@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation 3 (DESIGN.md Section 6): sensitivity of the reliability
+ * conclusions to the relative-error tolerance. The paper uses 2%
+ * "being conservative" and publishes raw logs so users can apply
+ * their own filters; this sweep regenerates the K40-vs-Phi DGEMM
+ * comparison under thresholds from 0% to 50%.
+ */
+
+#include "bench_util.hh"
+
+using namespace radcrit;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli = figureCli("bench_ablation_filter_threshold",
+                              400);
+    cli.parse(argc, argv);
+    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
+    bool csv = !cli.getFlag("no-csv");
+
+    TextTable table("Ablation: relative-error tolerance sweep "
+                    "(DGEMM, paper side 2048)");
+    table.setHeader({"threshold%", "K40 FIT", "K40 removed",
+                     "Phi FIT", "Phi removed"});
+
+    std::vector<double> thresholds{0.0, 0.5, 1.0, 2.0, 4.0, 10.0,
+                                   50.0};
+    std::vector<std::vector<std::string>> csv_rows;
+    for (double threshold : thresholds) {
+        std::vector<std::string> row{
+            TextTable::num(threshold, 1)};
+        for (DeviceId id : allDevices()) {
+            DeviceModel device = makeDevice(id);
+            auto w = makeDgemmWorkload(device, 256);
+            CampaignConfig cfg = defaultCampaign(
+                runs, device.name, w->name(), w->inputLabel());
+            cfg.filterThresholdPct = threshold;
+            CampaignResult res = runCampaign(device, *w, cfg);
+            row.push_back(TextTable::num(res.fitTotalAu(true),
+                                         1));
+            row.push_back(TextTable::num(
+                100.0 * res.filteredOutFraction(), 0) + "%");
+        }
+        table.addRow(row);
+        csv_rows.push_back(row);
+    }
+    table.render(std::cout);
+    std::printf("\nThe K40's apparent reliability improves "
+                "steeply with tolerance (its errors are small); "
+                "the Phi's barely moves (its errors are gross) — "
+                "the paper's central imprecise-computing "
+                "observation.\n");
+
+    if (csv) {
+        std::string path = benchOutputDir() +
+            "/ablation_filter_threshold.csv";
+        CsvWriter w(path);
+        w.writeRow({"thresholdPct", "k40Fit", "k40Removed",
+                    "phiFit", "phiRemoved"});
+        for (const auto &row : csv_rows)
+            w.writeRow(row);
+        std::printf("[csv] %s\n", path.c_str());
+    }
+    return 0;
+}

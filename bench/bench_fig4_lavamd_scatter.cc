@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Paper Fig. 4: LavaMD mean relative error vs. incorrect elements.
+ * Mean relative errors >= 20,000% plot at 20,000% as in the paper.
+ */
+
+#include "bench_util.hh"
+
+using namespace radcrit;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli = figureCli("bench_fig4_lavamd_scatter");
+    cli.parse(argc, argv);
+    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
+    bool csv = !cli.getFlag("no-csv");
+
+    for (DeviceId id : allDevices()) {
+        DeviceModel device = makeDevice(id);
+        std::vector<CampaignResult> results;
+        for (const auto &size : lavamdScaledSizes(id)) {
+            auto w = makeLavamdWorkload(device, size);
+            results.push_back(runPaperCampaign(device, *w, runs));
+        }
+        std::string panel = id == DeviceId::K40 ? "(a) K40"
+                                                : "(b) Xeon Phi";
+        renderScatterFigure(
+            "Fig. 4" + panel +
+            ": LavaMD Mean relative error and Incorrect Elements",
+            results, 5000.0, 20000.0,
+            std::string("fig4_lavamd_scatter_") + device.name +
+            ".csv", csv);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench harnesses: run campaigns
+ * over the canonical paper configurations, render the paper's
+ * figure shapes (scatter + stacked bars) to the terminal, and dump
+ * machine-readable CSV next to them.
+ */
+
+#ifndef RADCRIT_BENCH_BENCH_UTIL_HH
+#define RADCRIT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "campaign/series.hh"
+#include "common/cli.hh"
+#include "common/csv.hh"
+#include "common/figure.hh"
+#include "common/table.hh"
+
+namespace radcrit
+{
+
+/** Directory for CSV side-outputs of the bench harnesses. */
+inline std::string
+benchOutputDir()
+{
+    std::string dir = "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/** Standard CLI for figure benches: --runs and --csv toggles. */
+inline CliParser
+figureCli(const std::string &name, int64_t default_runs = 200)
+{
+    CliParser cli(name);
+    cli.addInt("runs", default_runs,
+               "faulty runs per configuration");
+    cli.addFlag("no-csv", "skip CSV side-output");
+    return cli;
+}
+
+/** Run the canonical campaign for a workload instance. */
+inline CampaignResult
+runPaperCampaign(const DeviceModel &device, Workload &workload,
+                 uint64_t runs)
+{
+    CampaignConfig cfg = defaultCampaign(
+        runs, device.name, workload.name(),
+        workload.inputLabel());
+    return runCampaign(device, workload, cfg);
+}
+
+/**
+ * Render one scatter figure (mean relative error vs. number of
+ * incorrect elements) from a set of campaigns, with the paper's
+ * axis clamps, and optionally dump per-run CSV.
+ */
+inline void
+renderScatterFigure(const std::string &title,
+                    const std::vector<CampaignResult> &results,
+                    double x_clamp, double y_clamp,
+                    const std::string &csv_name, bool write_csv)
+{
+    ScatterPlot plot(title, "Number of Incorrect Elements",
+                     "Average Relative Error (%)");
+    if (x_clamp > 0.0)
+        plot.setXClamp(x_clamp);
+    if (y_clamp > 0.0)
+        plot.setYClamp(y_clamp);
+    for (const auto &res : results)
+        plot.addSeries(scatterSeries(res));
+    plot.render(std::cout);
+
+    if (write_csv) {
+        std::string path = benchOutputDir() + "/" + csv_name;
+        CsvWriter csv(path);
+        csv.writeRow({"device", "input", "numIncorrect",
+                      "meanRelErrPct"});
+        for (const auto &res : results) {
+            ScatterSeries s = scatterSeries(res);
+            for (size_t i = 0; i < s.xs.size(); ++i) {
+                csv.writeRow({res.deviceName, res.inputLabel,
+                              TextTable::num(s.xs[i], 0),
+                              TextTable::num(s.ys[i], 4)});
+            }
+        }
+        std::printf("[csv] %s\n", path.c_str());
+    }
+}
+
+/**
+ * Render one locality/magnitude figure (stacked FIT bars, All and
+ * >threshold) from a set of campaigns.
+ */
+inline void
+renderLocalityFigure(const std::string &title,
+                     const std::vector<CampaignResult> &results,
+                     const std::vector<Pattern> &patterns,
+                     const std::string &csv_name, bool write_csv)
+{
+    std::vector<std::string> names;
+    for (Pattern p : patterns)
+        names.push_back(patternName(p));
+    StackedBarChart chart(title, names);
+    for (const auto &res : results) {
+        LocalityBars bars = localityBars(res, patterns);
+        for (auto &bar : bars.bars)
+            chart.addBar(std::move(bar));
+    }
+    chart.render(std::cout);
+
+    if (write_csv) {
+        std::string path = benchOutputDir() + "/" + csv_name;
+        CsvWriter csv(path);
+        std::vector<std::string> header{"device", "input",
+                                        "filtered"};
+        for (const auto &n : names)
+            header.push_back(n);
+        header.push_back("total");
+        csv.writeRow(header);
+        for (const auto &res : results) {
+            for (bool filtered : {false, true}) {
+                FitBreakdown bd = res.fitByPattern(filtered);
+                std::vector<std::string> row{
+                    res.deviceName, res.inputLabel,
+                    filtered ? "yes" : "no"};
+                for (Pattern p : patterns)
+                    row.push_back(TextTable::num(bd.of(p), 4));
+                row.push_back(TextTable::num(bd.total(), 4));
+                csv.writeRow(row);
+            }
+        }
+        std::printf("[csv] %s\n", path.c_str());
+    }
+}
+
+} // namespace radcrit
+
+#endif // RADCRIT_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cross-architecture criticality report: runs a small campaign of
+ * every workload on both device models and prints the comparison
+ * the paper's Section V-E discussion draws — which architecture
+ * produces less critical errors for which algorithm class.
+ *
+ *   $ criticality_report [--runs=150]
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace radcrit;
+
+namespace
+{
+
+struct Row
+{
+    std::string device;
+    std::string workload;
+    uint64_t sdc;
+    double medianErr;
+    double meanIncorrect;
+    double filtered;
+    double fit;
+};
+
+Row
+evaluate(const DeviceModel &device, Workload &workload,
+         uint64_t runs)
+{
+    CampaignConfig cfg = defaultCampaign(runs, device.name,
+                                         workload.name(),
+                                         workload.inputLabel());
+    CampaignResult res = runCampaign(device, workload, cfg);
+    std::vector<double> errs;
+    RunningStat incorrect;
+    for (const auto &run : res.runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        errs.push_back(run.crit.meanRelErrPct);
+        incorrect.add(static_cast<double>(
+            run.crit.numIncorrect));
+    }
+    return {device.name, workload.name(),
+            res.count(Outcome::Sdc),
+            errs.empty() ? 0.0 : quantile(errs, 0.5),
+            incorrect.mean(), res.filteredOutFraction(),
+            res.fitTotalAu(false)};
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("criticality_report");
+    cli.addInt("runs", 150, "faulty runs per configuration");
+    cli.parse(argc, argv);
+    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
+
+    TextTable table("Error criticality across architectures "
+                    "(paper Section V-E)");
+    table.setHeader({"device", "workload", "SDCs",
+                     "median relErr%", "mean #incorrect",
+                     "filtered@2%", "FIT [a.u.]"});
+
+    std::vector<Row> rows;
+    for (DeviceId id : allDevices()) {
+        DeviceModel device = makeDevice(id);
+        auto dgemm = makeDgemmWorkload(device, 256);
+        rows.push_back(evaluate(device, *dgemm, runs));
+        auto lavamd = makeLavamdWorkload(device,
+                                         LavaMdSize{7, 15});
+        rows.push_back(evaluate(device, *lavamd, runs));
+        auto hotspot = makeHotspotWorkload(device);
+        rows.push_back(evaluate(device, *hotspot, runs));
+        if (id == DeviceId::XeonPhi) {
+            auto clamr = makeClamrWorkload(device);
+            rows.push_back(evaluate(device, *clamr, runs));
+        }
+    }
+    for (const auto &r : rows) {
+        table.addRow({r.device, r.workload,
+                      TextTable::num(r.sdc),
+                      TextTable::num(r.medianErr, 2),
+                      TextTable::num(r.meanIncorrect, 0),
+                      TextTable::num(100.0 * r.filtered, 0) + "%",
+                      TextTable::num(r.fit, 1)});
+    }
+    table.render(std::cout);
+
+    std::printf(
+        "\nReading the table like the paper's conclusions:\n"
+        " - arithmetic codes (DGEMM): the K40 produces small, "
+        "mostly tolerable errors;\n   the Phi produces gross "
+        "ones -> K40 less critical for DGEMM users.\n"
+        " - FDM/particle codes (LavaMD): the Phi spreads "
+        "errors wider (cubic) but keeps\n   them smaller; the "
+        "K40's transcendental path makes them huge.\n"
+        " - iterative stencils (HotSpot): intrinsically robust "
+        "on both devices.\n"
+        " - conservative fluid codes (CLAMR): errors never "
+        "dissipate (mass invariant).\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Quickstart: inject one radiation strike into a workload on a
+ * device model and print the paper's four criticality metrics.
+ *
+ *   $ quickstart [--device=K40|XeonPhi] [--workload=HotSpot|...]
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "campaign/paperconfigs.hh"
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "metrics/criticality.hh"
+#include "sim/sampler.hh"
+
+using namespace radcrit;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("quickstart");
+    cli.addString("device", "K40", "K40 or XeonPhi");
+    cli.addString("workload", "HotSpot",
+                  "DGEMM, LavaMD, HotSpot or CLAMR");
+    cli.addInt("seed", 2017, "campaign seed");
+    cli.parse(argc, argv);
+
+    // 1. Pick a device model and bind a workload to it.
+    DeviceModel device = makeDevice(
+        cli.getString("device") == "XeonPhi" ? DeviceId::XeonPhi
+                                             : DeviceId::K40);
+    std::unique_ptr<Workload> workload;
+    std::string name = cli.getString("workload");
+    if (name == "DGEMM") {
+        workload = makeDgemmWorkload(device, 256);
+    } else if (name == "LavaMD") {
+        workload = makeLavamdWorkload(
+            device, LavaMdSize{7, 15});
+    } else if (name == "CLAMR") {
+        workload = makeClamrWorkload(device);
+    } else {
+        workload = makeHotspotWorkload(device);
+    }
+    std::printf("device   : %s (%s scheduling)\n",
+                device.name.c_str(),
+                schedulerKindName(device.schedulerKind));
+    std::printf("workload : %s, input %s\n",
+                workload->name().c_str(),
+                workload->inputLabel().c_str());
+
+    // 2. Build the launch view and a strike sampler for it.
+    KernelLaunch launch = buildLaunch(device, workload->traits());
+    StrikeSampler sampler(device, launch);
+    std::printf("launch   : %llu threads, occupancy %.2f, "
+                "scheduler strain %.2f\n",
+                static_cast<unsigned long long>(
+                    workload->traits().totalThreads),
+                launch.occupancy, launch.schedulerStrain);
+
+    // 3. Sample strikes until one produces an SDC, then analyze.
+    Rng rng(static_cast<uint64_t>(cli.getInt("seed")));
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        Strike strike = sampler.sampleStrike(rng);
+        Outcome outcome = sampler.sampleOutcome(strike.resource,
+                                                rng);
+        std::printf("\nstrike %d: %s in %s at t=%.2f -> %s\n",
+                    attempt, manifestationName(
+                        strike.manifestation),
+                    resourceKindName(strike.resource),
+                    strike.timeFraction, outcomeName(outcome));
+        if (outcome != Outcome::Sdc)
+            continue;
+
+        SdcRecord record = workload->inject(strike, rng);
+        if (record.empty()) {
+            std::printf("  ...architecturally masked (no output "
+                        "mismatch)\n");
+            continue;
+        }
+        CriticalityReport crit = analyzeCriticality(record);
+        std::printf("  metric 1  incorrect elements : %zu\n",
+                    crit.numIncorrect);
+        std::printf("  metric 3  mean relative error: %.4f%%\n",
+                    crit.meanRelErrPct);
+        std::printf("  metric 4  spatial locality   : %s\n",
+                    patternName(crit.pattern));
+        std::printf("  > 2%% filter: %zu elements survive "
+                    "(pattern %s)%s\n",
+                    crit.numIncorrectFiltered,
+                    patternName(crit.patternFiltered),
+                    crit.executionFiltered
+                        ? " -> execution would be accepted "
+                          "under imprecise computing"
+                        : "");
+        return 0;
+    }
+    std::printf("no SDC observed in 200 strikes (try another "
+                "seed)\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CLAMR wave visualizer: injects a strike into the shallow-water
+ * solver at several points in time and renders how the corrupted
+ * region grows into the paper's Fig. 9 wave — plus the mass-check
+ * detector verdict for each run.
+ *
+ *   $ wave_visualizer [--seed=7]
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "abft/detectors.hh"
+#include "campaign/paperconfigs.hh"
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "kernels/clamr.hh"
+#include "metrics/criticality.hh"
+#include "metrics/locality_map.hh"
+
+using namespace radcrit;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("wave_visualizer");
+    cli.addInt("seed", 7, "strike entropy seed");
+    cli.parse(argc, argv);
+
+    DeviceModel device = makeDevice(DeviceId::XeonPhi);
+    Clamr clamr(device, clamrScaledGrid());
+    MassChecker checker(clamr.goldenMass(), 1e-9);
+    Rng rng(static_cast<uint64_t>(cli.getInt("seed")));
+
+    std::printf("CLAMR circular dam break on %lldx%lld cells, "
+                "%lld steps; golden mass %.3f\n\n",
+                static_cast<long long>(clamr.grid()),
+                static_cast<long long>(clamr.grid()),
+                static_cast<long long>(clamr.steps()),
+                clamr.goldenMass());
+
+    for (double t : {0.85, 0.6, 0.3}) {
+        Strike strike;
+        strike.resource = ResourceKind::Fpu;
+        strike.manifestation = Manifestation::WrongOperation;
+        strike.timeFraction = t;
+        strike.entropy = static_cast<uint64_t>(
+            cli.getInt("seed"));
+        SdcRecord rec = clamr.inject(strike, rng);
+        CriticalityReport crit = analyzeCriticality(rec);
+
+        std::printf("strike at t=%.2f of the run "
+                    "(%lld steps remaining):\n", t,
+                    static_cast<long long>(
+                        clamr.steps() -
+                        static_cast<int64_t>(
+                            t * static_cast<double>(
+                                clamr.steps()))));
+        std::printf("  %zu incorrect cells, pattern %s, mean "
+                    "relative error %.2f%%\n",
+                    crit.numIncorrect,
+                    patternName(crit.pattern),
+                    crit.meanRelErrPct);
+        bool caught = checker.detect(clamr.lastInjectedMass());
+        std::printf("  mass check: %.6f vs %.6f -> %s\n",
+                    clamr.lastInjectedMass(), clamr.goldenMass(),
+                    caught ? "DETECTED (invariant violated)"
+                           : "missed");
+        LocalityMap map(rec);
+        map.renderAscii(std::cout, 48);
+        std::printf("\n");
+    }
+    std::printf("The wave of incorrect elements keeps expanding "
+                "as execution continues — CLAMR errors are never "
+                "recovered because the conservation invariant "
+                "itself is corrupted (paper Section V-D).\n");
+    return 0;
+}

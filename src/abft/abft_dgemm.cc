@@ -1,0 +1,127 @@
+#include "abft/abft_dgemm.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+AbftDgemm::AbftDgemm(const std::vector<double> &a,
+                     const std::vector<double> &b, int64_t n,
+                     double rel_tolerance)
+    : n_(n), relTol_(rel_tolerance)
+{
+    if (n <= 0)
+        fatal("ABFT matrix side must be positive");
+    auto cells = static_cast<size_t>(n) * n;
+    if (a.size() != cells || b.size() != cells)
+        fatal("ABFT inputs must be %lld x %lld",
+              static_cast<long long>(n),
+              static_cast<long long>(n));
+
+    // Row checksum vector of B: (B * e)_k = sum_j b[k][j].
+    std::vector<double> b_row_sum(n, 0.0);
+    for (int64_t k = 0; k < n; ++k) {
+        double s = 0.0;
+        for (int64_t j = 0; j < n; ++j)
+            s += b[k * n + j];
+        b_row_sum[k] = s;
+    }
+    // Column checksum vector of A: (e^T A)_k = sum_i a[i][k].
+    std::vector<double> a_col_sum(n, 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+        for (int64_t k = 0; k < n; ++k)
+            a_col_sum[k] += a[i * n + k];
+    }
+
+    rowSums_.assign(cells ? static_cast<size_t>(n) : 0, 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (int64_t k = 0; k < n; ++k)
+            s += a[i * n + k] * b_row_sum[k];
+        rowSums_[i] = s;
+    }
+    colSums_.assign(static_cast<size_t>(n), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+        double s = 0.0;
+        for (int64_t k = 0; k < n; ++k)
+            s += a_col_sum[k] * b[k * n + j];
+        colSums_[j] = s;
+    }
+}
+
+bool
+AbftDgemm::rowMismatch(double actual, double expected) const
+{
+    double scale = std::abs(expected) +
+        static_cast<double>(n_);
+    return std::abs(actual - expected) > relTol_ * scale ||
+        std::isnan(actual);
+}
+
+AbftDgemm::Verdict
+AbftDgemm::checkAndCorrect(std::vector<double> &c) const
+{
+    Verdict verdict;
+    std::vector<int64_t> bad_rows;
+    std::vector<double> row_delta;
+    for (int64_t i = 0; i < n_; ++i) {
+        double s = 0.0;
+        for (int64_t j = 0; j < n_; ++j)
+            s += c[i * n_ + j];
+        if (rowMismatch(s, rowSums_[i])) {
+            bad_rows.push_back(i);
+            row_delta.push_back(s - rowSums_[i]);
+        }
+    }
+    std::vector<int64_t> bad_cols;
+    std::vector<double> col_delta;
+    for (int64_t j = 0; j < n_; ++j) {
+        double s = 0.0;
+        for (int64_t i = 0; i < n_; ++i)
+            s += c[i * n_ + j];
+        if (rowMismatch(s, colSums_[j])) {
+            bad_cols.push_back(j);
+            col_delta.push_back(s - colSums_[j]);
+        }
+    }
+    verdict.badRows = bad_rows.size();
+    verdict.badCols = bad_cols.size();
+
+    if (bad_rows.empty() && bad_cols.empty()) {
+        verdict.status = Status::Clean;
+        return verdict;
+    }
+
+    if (bad_rows.size() == 1 && bad_cols.size() == 1) {
+        // Single corrupted element at the intersection.
+        c[bad_rows[0] * n_ + bad_cols[0]] -= row_delta[0];
+        verdict.status = Status::Corrected;
+        verdict.correctedElements = 1;
+        return verdict;
+    }
+    if (bad_rows.size() == 1 && bad_cols.size() > 1) {
+        // One corrupted row: each column checksum localizes the
+        // element's error within that row.
+        for (size_t k = 0; k < bad_cols.size(); ++k)
+            c[bad_rows[0] * n_ + bad_cols[k]] -= col_delta[k];
+        verdict.status = Status::Corrected;
+        verdict.correctedElements = bad_cols.size();
+        return verdict;
+    }
+    if (bad_cols.size() == 1 && bad_rows.size() > 1) {
+        for (size_t k = 0; k < bad_rows.size(); ++k)
+            c[bad_rows[k] * n_ + bad_cols[0]] -= row_delta[k];
+        verdict.status = Status::Corrected;
+        verdict.correctedElements = bad_rows.size();
+        return verdict;
+    }
+
+    // Multiple rows AND multiple columns: square/random patterns
+    // are not correctable by the checksum scheme.
+    verdict.status = Status::DetectedUncorrectable;
+    return verdict;
+}
+
+} // namespace radcrit

@@ -1,0 +1,70 @@
+#include "abft/detectors.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace radcrit
+{
+
+EntropyDetector::EntropyDetector(const std::vector<float> &golden,
+                                 size_t bins,
+                                 double threshold_bits)
+    : bins_(bins), thresholdBits_(threshold_bits)
+{
+    if (golden.empty())
+        fatal("EntropyDetector needs a non-empty golden field");
+    if (bins == 0)
+        fatal("EntropyDetector needs at least one bin");
+    auto [mn, mx] = std::minmax_element(golden.begin(),
+                                        golden.end());
+    lo_ = static_cast<double>(*mn);
+    hi_ = static_cast<double>(*mx);
+    if (hi_ <= lo_)
+        hi_ = lo_ + 1.0;
+    // Widen slightly so small excursions still bin sensibly.
+    double pad = 0.05 * (hi_ - lo_);
+    lo_ -= pad;
+    hi_ += pad;
+    goldenEntropy_ = entropyBits(golden);
+}
+
+double
+EntropyDetector::entropyBits(const std::vector<float> &field) const
+{
+    Histogram hist(lo_, hi_, bins_);
+    for (float v : field)
+        hist.add(static_cast<double>(v));
+    return hist.entropyBits();
+}
+
+bool
+EntropyDetector::detect(const std::vector<float> &field) const
+{
+    return std::abs(entropyBits(field) - goldenEntropy_) >
+        thresholdBits_;
+}
+
+MassChecker::MassChecker(double golden_mass, double rel_tolerance)
+    : goldenMass_(golden_mass), relTol_(rel_tolerance)
+{
+    if (golden_mass <= 0.0)
+        fatal("MassChecker needs a positive golden mass");
+}
+
+double
+MassChecker::relativeDrift(double candidate_mass) const
+{
+    return std::abs(candidate_mass - goldenMass_) / goldenMass_;
+}
+
+bool
+MassChecker::detect(double candidate_mass) const
+{
+    return relativeDrift(candidate_mass) > relTol_ ||
+        std::isnan(candidate_mass);
+}
+
+} // namespace radcrit

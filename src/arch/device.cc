@@ -1,0 +1,329 @@
+#include "arch/device.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Hardware:
+        return "Hardware";
+      case SchedulerKind::OperatingSystem:
+        return "OperatingSystem";
+      default:
+        panic("schedulerKindName: invalid kind %d",
+              static_cast<int>(kind));
+    }
+}
+
+uint64_t
+DeviceModel::maxResidentThreads() const
+{
+    return static_cast<uint64_t>(computeUnits) * maxThreadsPerUnit;
+}
+
+bool
+DeviceModel::hasResource(ResourceKind kind) const
+{
+    for (const auto &r : resources) {
+        if (r.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+const Resource &
+DeviceModel::resource(ResourceKind kind) const
+{
+    for (const auto &r : resources) {
+        if (r.kind == kind)
+            return r;
+    }
+    panic("device %s has no resource %s", name.c_str(),
+          resourceKindName(kind));
+}
+
+Manifestation
+DeviceModel::sampleManifestation(ResourceKind kind, Rng &rng) const
+{
+    const Resource &res = resource(kind);
+    if (res.manifestations.empty())
+        panic("resource %s on %s has no manifestations",
+              resourceKindName(kind), name.c_str());
+    double total = 0.0;
+    for (const auto &mw : res.manifestations)
+        total += mw.weight;
+    double pick = rng.uniform() * total;
+    for (const auto &mw : res.manifestations) {
+        pick -= mw.weight;
+        if (pick <= 0.0)
+            return mw.manifestation;
+    }
+    return res.manifestations.back().manifestation;
+}
+
+uint32_t
+DeviceModel::sampleBurstBits(Rng &rng) const
+{
+    // Geometric with p = 0.5, truncated at maxBurstBits: each extra
+    // cell in a multi-cell upset is roughly half as likely.
+    uint32_t bits = 1;
+    while (bits < maxBurstBits && rng.bernoulli(0.5))
+        ++bits;
+    return bits;
+}
+
+void
+DeviceModel::validate() const
+{
+    if (resources.empty())
+        panic("device %s has no resources", name.c_str());
+    for (const auto &r : resources) {
+        double s = r.outcome.sum();
+        if (std::abs(s - 1.0) > 1e-9)
+            panic("device %s resource %s outcome sums to %f",
+                  name.c_str(), resourceKindName(r.kind), s);
+        if (r.sizeBits <= 0.0)
+            panic("device %s resource %s has size %f", name.c_str(),
+                  resourceKindName(r.kind), r.sizeBits);
+        if (r.eccSurvival < 0.0 || r.eccSurvival > 1.0)
+            panic("device %s resource %s eccSurvival %f",
+                  name.c_str(), resourceKindName(r.kind),
+                  r.eccSurvival);
+        if (r.manifestations.empty() && r.outcome.pSdc > 0.0)
+            panic("device %s resource %s can SDC but has no "
+                  "manifestations", name.c_str(),
+                  resourceKindName(r.kind));
+    }
+    if (computeUnits == 0 || maxThreadsPerUnit == 0)
+        panic("device %s has no compute capacity", name.c_str());
+}
+
+namespace
+{
+
+/** Shorthand builders keep the factory tables readable. */
+Resource
+storageRes(ResourceKind kind, double bits, double ecc_survival,
+           OutcomeProfile outcome,
+           std::vector<ManifestationWeight> manifest)
+{
+    Resource r;
+    r.kind = kind;
+    r.sizeBits = bits;
+    r.eccSurvival = ecc_survival;
+    r.outcome = outcome;
+    r.manifestations = std::move(manifest);
+    return r;
+}
+
+Resource
+logicRes(ResourceKind kind, double bit_equivalents,
+         OutcomeProfile outcome,
+         std::vector<ManifestationWeight> manifest)
+{
+    return storageRes(kind, bit_equivalents, 1.0, outcome,
+                      std::move(manifest));
+}
+
+constexpr double kibit = 1024.0 * 8.0; // bits per KiB
+
+} // anonymous namespace
+
+DeviceModel
+makeK40()
+{
+    using M = Manifestation;
+
+    DeviceModel d;
+    d.name = "K40";
+    d.vendor = "NVIDIA";
+    d.schedulerKind = SchedulerKind::Hardware;
+    // 28 nm planar bulk (TSMC): reference storage sensitivity.
+    d.storageSensitivity = 1.0;
+    // Short, simple pipelines: small latched-logic cross-section.
+    d.logicSensitivity = 0.35;
+    d.computeUnits = 15;           // SMs
+    d.maxThreadsPerUnit = 2048;
+    d.sharedMemPerUnitBytes = 48 * 1024; // usable shared memory
+    d.cacheLineBytes = 128;
+    d.registerResidencyExposure = true;   // V-A reason (2)
+    d.schedulerStrainExponent = 0.85;     // V-A reason (1)
+    d.particlesPerBoxHint = 192;          // IV-C
+    d.maxBurstBits = 3;
+
+    // 30 Mbit register file, ECC protected; upsets survive only in
+    // unprotected operand collectors / queues (paper V-A: "data may
+    // still sit in internal queues or flip-flops that are not
+    // protected").
+    d.resources.push_back(storageRes(
+        ResourceKind::RegisterFile, 30.0 * 1024.0 * kibit / 8.0,
+        0.08,
+        {0.92, 0.05, 0.01, 0.02},
+        {{M::BitFlipValue, 1.0}}));
+
+    // 960 KB total L1/shared, split evenly; parity only.
+    d.resources.push_back(storageRes(
+        ResourceKind::L1Cache, 480.0 * kibit, 0.30,
+        {0.85, 0.12, 0.01, 0.02},
+        {{M::BitFlipValue, 0.5}, {M::BitFlipInputLine, 0.5}}));
+    d.resources.push_back(storageRes(
+        ResourceKind::SharedMemory, 480.0 * kibit, 0.30,
+        {0.92, 0.05, 0.01, 0.02},
+        {{M::BitFlipValue, 0.6}, {M::BitFlipInputLine, 0.4}}));
+
+    // 1536 KB L2, shared by all SMs. ECC filters most raw bit
+    // flips; surviving upsets are split between line-level data
+    // corruption and addressing/coherence errors that serve stale
+    // data.
+    d.resources.push_back(storageRes(
+        ResourceKind::L2Cache, 1536.0 * kibit, 0.25,
+        {0.80, 0.17, 0.01, 0.02},
+        {{M::BitFlipInputLine, 0.6}, {M::StaleData, 0.4}}));
+
+    // Hardware warp/block scheduler (GigaThread engine + per-SM
+    // schedulers). Its effective area scales with thread pressure
+    // (see exec::schedulerStrain); crash-heavy outcome.
+    d.resources.push_back(logicRes(
+        ResourceKind::Scheduler, 1.5e6,
+        {0.25, 0.55, 0.18, 0.02},
+        {{M::MisscheduledBlock, 0.6}, {M::SkippedChunk, 0.4}}));
+
+    d.resources.push_back(logicRes(
+        ResourceKind::Dispatcher, 0.8e6,
+        {0.35, 0.50, 0.10, 0.05},
+        {{M::WrongOperation, 0.7}, {M::SkippedChunk, 0.3}}));
+
+    // 2880 CUDA cores of simple FPU logic.
+    d.resources.push_back(logicRes(
+        ResourceKind::Fpu, 2.0e6,
+        {0.85, 0.10, 0.00, 0.05},
+        {{M::WrongOperation, 1.0}}));
+
+    // 480 special function units. The paper hypothesizes (V-E) that
+    // "the transcendental function unit in the K40 is more prone to
+    // corruption"; we encode that hypothesis as a generous
+    // effective area so SFU-heavy codes (LavaMD) see mostly
+    // WrongOperation SDCs with huge relative errors, as observed.
+    d.resources.push_back(logicRes(
+        ResourceKind::Sfu, 4.0e6,
+        {0.90, 0.05, 0.00, 0.05},
+        {{M::WrongOperation, 1.0}}));
+
+    d.resources.push_back(logicRes(
+        ResourceKind::ControlLogic, 0.6e6,
+        {0.05, 0.60, 0.35, 0.00},
+        {{M::SkippedChunk, 1.0}}));
+
+    d.resources.push_back(logicRes(
+        ResourceKind::PipelineLatch, 0.7e6,
+        {0.60, 0.25, 0.05, 0.10},
+        {{M::BitFlipValue, 0.7}, {M::WrongOperation, 0.3}}));
+
+    d.validate();
+    return d;
+}
+
+DeviceModel
+makeXeonPhi()
+{
+    using M = Manifestation;
+
+    DeviceModel d;
+    d.name = "XeonPhi";
+    d.vendor = "Intel";
+    d.schedulerKind = SchedulerKind::OperatingSystem;
+    // 22 nm Tri-gate FinFET: ~10x lower per-bit SRAM sensitivity
+    // than planar (paper IV-A citing Noh et al. [28]).
+    d.storageSensitivity = 0.10;
+    // Deep x86 in-order pipelines with decode/uops: logic
+    // cross-section is NOT derated as strongly as SRAM.
+    d.logicSensitivity = 0.30;
+    d.computeUnits = 57;           // physical cores
+    d.maxThreadsPerUnit = 4;       // hardware threads per core
+    d.sharedMemPerUnitBytes = 0;   // cache-based; no scratchpad limit
+    d.cacheLineBytes = 64;
+    d.registerResidencyExposure = false;  // waiting work sits in DRAM
+    d.schedulerStrainExponent = 0.14;     // OS scheduling, V-A (1)
+    d.particlesPerBoxHint = 100;          // IV-C
+    // FinFET multi-cell upsets span more cells at 22 nm.
+    d.maxBurstBits = 5;
+
+    // 57 cores x 4 threads x 32 x 512-bit vector registers, no ECC.
+    d.resources.push_back(storageRes(
+        ResourceKind::RegisterFile, 57.0 * 4.0 * 32.0 * 512.0, 1.0,
+        {0.90, 0.07, 0.01, 0.02},
+        {{M::BitFlipValue, 1.0}}));
+
+    // 57 x 64 KB L1 (parity: many upsets become detected faults;
+    // the silent escapes are mostly addressing errors serving
+    // wrong/stale lines rather than clean bit flips).
+    d.resources.push_back(storageRes(
+        ResourceKind::L1Cache, 57.0 * 64.0 * kibit, 0.30,
+        {0.87, 0.10, 0.01, 0.02},
+        {{M::BitFlipInputLine, 0.4}, {M::BitFlipValue, 0.2},
+         {M::StaleData, 0.4}}));
+
+    // 57 x 512 KB fully coherent L2 = 29184 KB: by far the largest
+    // storage array. Corrupted lines stay resident long and are
+    // consumed by many cores (paper V-E: "Xeon Phi has larger caches
+    // than K40, so its data is not evicted as often").
+    // ECC on the L2 scrubs virtually all single/double bit flips;
+    // what survives to program visibility is dominated by
+    // tag/coherence corruption that serves stale or wrong lines to
+    // many cores — which is why the Phi shows many corrupted
+    // elements but (almost) none below the 2% threshold.
+    d.resources.push_back(storageRes(
+        ResourceKind::L2Cache, 29184.0 * kibit, 0.25,
+        {0.89, 0.08, 0.01, 0.02},
+        {{M::BitFlipInputLine, 0.3}, {M::StaleData, 0.7}}));
+
+    // OS scheduling structures: software state; upsets there mostly
+    // kill the uOS or the offload daemon (crash/hang heavy).
+    d.resources.push_back(logicRes(
+        ResourceKind::Scheduler, 0.5e6,
+        {0.08, 0.62, 0.30, 0.00},
+        {{M::SkippedChunk, 0.7}, {M::MisscheduledBlock, 0.3}}));
+
+    // x86 decode + dispatch across 57 complex cores. Most latched
+    // upsets garble an instruction window silently; crashes need an
+    // illegal encoding.
+    d.resources.push_back(logicRes(
+        ResourceKind::Dispatcher, 2.5e6,
+        {0.66, 0.23, 0.06, 0.05},
+        {{M::WrongOperation, 0.8}, {M::SkippedChunk, 0.2}}));
+
+    // 512-bit vector FPUs.
+    d.resources.push_back(logicRes(
+        ResourceKind::Fpu, 2.5e6,
+        {0.90, 0.05, 0.00, 0.05},
+        {{M::WrongOperation, 1.0}}));
+
+    d.resources.push_back(logicRes(
+        ResourceKind::ControlLogic, 0.8e6,
+        {0.05, 0.55, 0.40, 0.00},
+        {{M::SkippedChunk, 1.0}}));
+
+    // Long in-order pipelines: large latch population per core.
+    d.resources.push_back(logicRes(
+        ResourceKind::PipelineLatch, 3.5e6,
+        {0.74, 0.15, 0.06, 0.05},
+        {{M::WrongOperation, 0.6}, {M::BitFlipValue, 0.4}}));
+
+    // Bidirectional 64-byte ring connecting the coherent L2s.
+    d.resources.push_back(logicRes(
+        ResourceKind::Interconnect, 0.9e6,
+        {0.40, 0.40, 0.15, 0.05},
+        {{M::StaleData, 0.6}, {M::BitFlipInputLine, 0.4}}));
+
+    d.validate();
+    return d;
+}
+
+} // namespace radcrit

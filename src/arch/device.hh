@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Parametric accelerator device models.
+ *
+ * A DeviceModel is the radcrit stand-in for the irradiated silicon:
+ * it lists every strike-able resource with its size (storage bits or
+ * logic-area bit-equivalents), how well it is protected (ECC
+ * survival), what a surviving upset does to the program (outcome
+ * profile: SDC / crash / hang / masked) and how an SDC manifests to
+ * the kernel (manifestation profile). Factory functions build the two
+ * devices of the paper: NVIDIA K40 (Kepler GK110b, 28 nm planar) and
+ * Intel Xeon Phi 3120A (Knights Corner, 22 nm FinFET).
+ */
+
+#ifndef RADCRIT_ARCH_DEVICE_HH
+#define RADCRIT_ARCH_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/manifestation.hh"
+#include "arch/resource.hh"
+
+namespace radcrit
+{
+
+class Rng;
+
+/**
+ * Probabilities of program-level outcomes given an upset in live
+ * state of a resource. Components must sum to 1.
+ */
+struct OutcomeProfile
+{
+    double pSdc = 0.0;
+    double pCrash = 0.0;
+    double pHang = 0.0;
+    double pMasked = 0.0;
+
+    /** @return pSdc + pCrash + pHang + pMasked. */
+    double sum() const { return pSdc + pCrash + pHang + pMasked; }
+};
+
+/** One weighted manifestation choice. */
+struct ManifestationWeight
+{
+    Manifestation manifestation;
+    double weight;
+};
+
+/**
+ * One strike-able resource instance on a device.
+ */
+struct Resource
+{
+    ResourceKind kind = ResourceKind::NumKinds;
+    /**
+     * Storage bits for arrays; logic area in bit-equivalents for
+     * combinational/sequential logic (a bit-equivalent is the area
+     * whose upset cross-section matches one SRAM bit of the same
+     * node).
+     */
+    double sizeBits = 0.0;
+    /** Fraction of upsets that escape ECC/parity protection. */
+    double eccSurvival = 1.0;
+    /** Outcome distribution conditional on a live-state upset. */
+    OutcomeProfile outcome;
+    /** Manifestation distribution conditional on an SDC. */
+    std::vector<ManifestationWeight> manifestations;
+};
+
+/** Parallel-thread management philosophy (paper Section IV-A). */
+enum class SchedulerKind : uint8_t
+{
+    /** NVIDIA-style in-silicon warp/block scheduler. */
+    Hardware,
+    /** Intel-style software scheduling by an on-card OS. */
+    OperatingSystem
+};
+
+/** @return printable name of the scheduler kind. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/**
+ * Complete parametric model of one accelerator.
+ */
+class DeviceModel
+{
+  public:
+    /** Short device name, e.g. "K40". */
+    std::string name;
+    /** Vendor string, e.g. "NVIDIA". */
+    std::string vendor;
+    /** Thread-management philosophy. */
+    SchedulerKind schedulerKind = SchedulerKind::Hardware;
+
+    /**
+     * Per-bit upset sensitivity of storage arrays, in arbitrary
+     * units. Planar 28 nm (K40) is 1.0; FinFET 22 nm (Phi) is ~10x
+     * less sensitive per bit (Noh et al., paper ref. [28]).
+     */
+    double storageSensitivity = 1.0;
+    /** Per-bit-equivalent sensitivity of logic. */
+    double logicSensitivity = 0.35;
+
+    /** SMs (K40) or physical cores (Phi). */
+    uint32_t computeUnits = 0;
+    /** Max resident threads per unit (2048 on K40, 4 on Phi). */
+    uint32_t maxThreadsPerUnit = 0;
+    /**
+     * Scratchpad bytes per unit that constrain occupancy (K40 shared
+     * memory); 0 when occupancy is not scratchpad-limited (Phi).
+     */
+    uint64_t sharedMemPerUnitBytes = 0;
+    /** Cache line size in bytes. */
+    uint32_t cacheLineBytes = 0;
+    /**
+     * True when waiting-but-resident threads keep their data exposed
+     * in the register file (paper Section V-A reason (2), K40).
+     */
+    bool registerResidencyExposure = false;
+    /**
+     * Exponent of scheduler-strain growth with managed threads
+     * (paper Section V-A reason (1)): ~0.7 for hardware schedulers,
+     * ~0.14 for OS scheduling.
+     */
+    double schedulerStrainExponent = 0.0;
+    /** LavaMD particles per box tuned for the device (IV-C). */
+    uint32_t particlesPerBoxHint = 0;
+    /**
+     * Max bits flipped by one strike in storage (multi-cell upsets);
+     * the actual count is sampled geometrically in [1, this].
+     */
+    uint32_t maxBurstBits = 1;
+
+    /** All strike-able resources. */
+    std::vector<Resource> resources;
+
+    /** @return total resident thread capacity. */
+    uint64_t maxResidentThreads() const;
+
+    /** @return true when the device has the given resource. */
+    bool hasResource(ResourceKind kind) const;
+
+    /** @return the resource record; panics when absent. */
+    const Resource &resource(ResourceKind kind) const;
+
+    /**
+     * Sample a manifestation for an SDC in the given resource.
+     */
+    Manifestation sampleManifestation(ResourceKind kind,
+                                      Rng &rng) const;
+
+    /**
+     * Sample the number of bits flipped by one storage strike
+     * (geometric, capped at maxBurstBits).
+     */
+    uint32_t sampleBurstBits(Rng &rng) const;
+
+    /** Validate internal consistency; panics on violations. */
+    void validate() const;
+};
+
+/**
+ * @return a model of the NVIDIA Tesla K40 (GK110b): 15 SMs, 2048
+ * threads/SM, 30 Mbit ECC register file, 960 KB L1/shared, 1536 KB
+ * L2, hardware scheduler, 28 nm planar (paper Section IV-A).
+ */
+DeviceModel makeK40();
+
+/**
+ * @return a model of the Intel Xeon Phi 3120A (Knights Corner): 57
+ * in-order cores x 4 hardware threads, 32x512-bit vector registers
+ * per core, 64 KB L1 + 512 KB coherent L2 per core, ring
+ * interconnect, OS scheduling, 22 nm FinFET (paper Section IV-A).
+ */
+DeviceModel makeXeonPhi();
+
+} // namespace radcrit
+
+#endif // RADCRIT_ARCH_DEVICE_HH

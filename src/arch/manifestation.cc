@@ -1,0 +1,30 @@
+#include "arch/manifestation.hh"
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+const char *
+manifestationName(Manifestation m)
+{
+    switch (m) {
+      case Manifestation::BitFlipValue:
+        return "BitFlipValue";
+      case Manifestation::BitFlipInputLine:
+        return "BitFlipInputLine";
+      case Manifestation::WrongOperation:
+        return "WrongOperation";
+      case Manifestation::SkippedChunk:
+        return "SkippedChunk";
+      case Manifestation::StaleData:
+        return "StaleData";
+      case Manifestation::MisscheduledBlock:
+        return "MisscheduledBlock";
+      default:
+        panic("manifestationName: invalid manifestation %d",
+              static_cast<int>(m));
+    }
+}
+
+} // namespace radcrit

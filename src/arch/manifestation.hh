@@ -1,0 +1,67 @@
+/**
+ * @file
+ * How a surviving strike manifests to the running kernel.
+ *
+ * The device architecture determines *what kind* of corruption a
+ * strike produces (a flipped storage bit, a garbled instruction
+ * window, a mis-scheduled block, ...); the kernel then determines how
+ * that corruption propagates to the output. This split is the core of
+ * the reproduction strategy: the paper's cross-device criticality
+ * differences (Section V-E) are all architecture-side — K40's short
+ * pipelines and ECC'd register file yield mostly single-bit data
+ * flips, while Xeon Phi's complex in-order cores and huge coherent L2
+ * yield instruction-window corruption and widely shared corrupted
+ * lines.
+ */
+
+#ifndef RADCRIT_ARCH_MANIFESTATION_HH
+#define RADCRIT_ARCH_MANIFESTATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace radcrit
+{
+
+/**
+ * Fault manifestation classes delivered to kernels.
+ */
+enum class Manifestation : uint8_t
+{
+    /** Flip 1..k bits of one in-flight or stored data value. */
+    BitFlipValue,
+    /**
+     * Flip bit(s) within one cache line of input data; every
+     * consumer of the line reads the corrupted values until
+     * eviction.
+     */
+    BitFlipInputLine,
+    /**
+     * A corrupted instruction window: the results produced by one
+     * work chunk (warp / vector lane group) are numerically wrong in
+     * an unstructured way (wrong operand, wrong opcode).
+     */
+    WrongOperation,
+    /** A chunk of work silently not executed (stale/zero output). */
+    SkippedChunk,
+    /** A chunk reads stale values of shared input data. */
+    StaleData,
+    /**
+     * A block/chunk is scheduled with wrong coordinates and writes
+     * data computed for another region of the domain.
+     */
+    MisscheduledBlock,
+
+    NumManifestations
+};
+
+/** Number of manifestation classes for array sizing. */
+constexpr size_t numManifestations =
+    static_cast<size_t>(Manifestation::NumManifestations);
+
+/** @return a stable short name for the manifestation. */
+const char *manifestationName(Manifestation m);
+
+} // namespace radcrit
+
+#endif // RADCRIT_ARCH_MANIFESTATION_HH

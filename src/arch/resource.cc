@@ -1,0 +1,60 @@
+#include "arch/resource.hh"
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+const char *
+resourceKindName(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::RegisterFile: return "RegisterFile";
+      case ResourceKind::L1Cache: return "L1Cache";
+      case ResourceKind::SharedMemory: return "SharedMemory";
+      case ResourceKind::L2Cache: return "L2Cache";
+      case ResourceKind::Scheduler: return "Scheduler";
+      case ResourceKind::Dispatcher: return "Dispatcher";
+      case ResourceKind::Fpu: return "Fpu";
+      case ResourceKind::Sfu: return "Sfu";
+      case ResourceKind::ControlLogic: return "ControlLogic";
+      case ResourceKind::PipelineLatch: return "PipelineLatch";
+      case ResourceKind::Interconnect: return "Interconnect";
+      default:
+        panic("resourceKindName: invalid kind %d",
+              static_cast<int>(kind));
+    }
+}
+
+ResourceKind
+resourceKindFromName(const std::string &name)
+{
+    for (size_t i = 0; i < numResourceKinds; ++i) {
+        auto kind = static_cast<ResourceKind>(i);
+        if (name == resourceKindName(kind))
+            return kind;
+    }
+    fatal("unknown resource kind '%s'", name.c_str());
+}
+
+bool
+isStorage(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::RegisterFile:
+      case ResourceKind::L1Cache:
+      case ResourceKind::SharedMemory:
+      case ResourceKind::L2Cache:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isLogic(ResourceKind kind)
+{
+    return !isStorage(kind) && kind != ResourceKind::NumKinds;
+}
+
+} // namespace radcrit

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Taxonomy of strike-able architectural resources.
+ *
+ * The paper (Section IV-D) motivates beam testing precisely because it
+ * "induc[es] failures in all the components of the device, including
+ * the scheduler, dispatcher, and control logic". This enum names every
+ * resource class our beam-campaign simulator can strike; the device
+ * models assign each a size (storage bits or logic area in
+ * bit-equivalents), a per-bit sensitivity, and ECC survival.
+ */
+
+#ifndef RADCRIT_ARCH_RESOURCE_HH
+#define RADCRIT_ARCH_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace radcrit
+{
+
+/**
+ * Architectural resource classes a neutron strike can upset.
+ */
+enum class ResourceKind : uint8_t
+{
+    /** Scalar/vector register files (incl. operand queues). */
+    RegisterFile,
+    /** Per-core/SM L1 data cache. */
+    L1Cache,
+    /** GPU shared memory (per-SM scratchpad). */
+    SharedMemory,
+    /** Last-level (L2) cache, shared across cores/SMs. */
+    L2Cache,
+    /** Warp/thread scheduler: hardware (K40) or OS structures (Phi). */
+    Scheduler,
+    /** Instruction dispatch / decode logic. */
+    Dispatcher,
+    /** Floating-point execution units. */
+    Fpu,
+    /** Special function units (transcendentals; K40 only). */
+    Sfu,
+    /** Kernel-launch, PCIe and global control logic. */
+    ControlLogic,
+    /** Unprotected pipeline latches and internal queues. */
+    PipelineLatch,
+    /** On-die interconnect (Phi's bidirectional ring). */
+    Interconnect,
+
+    NumKinds
+};
+
+/** Number of resource kinds as a size_t for array sizing. */
+constexpr size_t numResourceKinds =
+    static_cast<size_t>(ResourceKind::NumKinds);
+
+/** @return a stable short name for the resource kind. */
+const char *resourceKindName(ResourceKind kind);
+
+/** @return the resource kind with the given name; fatal on unknown. */
+ResourceKind resourceKindFromName(const std::string &name);
+
+/** @return true for storage arrays (bits hold data at rest). */
+bool isStorage(ResourceKind kind);
+
+/** @return true for combinational/sequential logic resources. */
+bool isLogic(ResourceKind kind);
+
+} // namespace radcrit
+
+#endif // RADCRIT_ARCH_RESOURCE_HH

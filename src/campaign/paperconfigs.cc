@@ -1,0 +1,117 @@
+#include "campaign/paperconfigs.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+
+namespace radcrit
+{
+
+DeviceModel
+makeDevice(DeviceId id)
+{
+    switch (id) {
+      case DeviceId::K40:
+        return makeK40();
+      case DeviceId::XeonPhi:
+        return makeXeonPhi();
+      default:
+        panic("makeDevice: invalid id %d", static_cast<int>(id));
+    }
+}
+
+std::vector<DeviceId>
+allDevices()
+{
+    return {DeviceId::K40, DeviceId::XeonPhi};
+}
+
+const char *
+deviceIdName(DeviceId id)
+{
+    switch (id) {
+      case DeviceId::K40: return "K40";
+      case DeviceId::XeonPhi: return "XeonPhi";
+      default:
+        panic("deviceIdName: invalid id %d", static_cast<int>(id));
+    }
+}
+
+std::vector<int64_t>
+dgemmScaledSides(DeviceId id)
+{
+    // Paper sides 1024/2048/4096 (+8192 on the Phi), scale 1/8.
+    if (id == DeviceId::XeonPhi)
+        return {128, 256, 512, 1024};
+    return {128, 256, 512};
+}
+
+std::vector<LavaMdSize>
+lavamdScaledSizes(DeviceId id)
+{
+    // Paper boxes/dim 15/19/23 (K40) and 13/15/19/23 (Phi),
+    // scale ~1/2.
+    if (id == DeviceId::XeonPhi)
+        return {{6, 13}, {7, 15}, {9, 19}, {11, 23}};
+    return {{7, 15}, {9, 19}, {11, 23}};
+}
+
+int64_t
+hotspotScaledGrid()
+{
+    return 256; // paper: 1024
+}
+
+int64_t
+clamrScaledGrid()
+{
+    return 128; // paper: 512
+}
+
+std::unique_ptr<Workload>
+makeDgemmWorkload(const DeviceModel &device, int64_t scaled_side)
+{
+    return std::make_unique<Dgemm>(device, scaled_side);
+}
+
+std::unique_ptr<Workload>
+makeLavamdWorkload(const DeviceModel &device, const LavaMdSize &size)
+{
+    return std::make_unique<LavaMd>(device, size.scaledBoxes, 42, 2,
+                                    4, size.paperBoxes);
+}
+
+std::unique_ptr<Workload>
+makeHotspotWorkload(const DeviceModel &device)
+{
+    return std::make_unique<HotSpot>(device, hotspotScaledGrid());
+}
+
+std::unique_ptr<Workload>
+makeClamrWorkload(const DeviceModel &device)
+{
+    return std::make_unique<Clamr>(device, clamrScaledGrid());
+}
+
+CampaignConfig
+defaultCampaign(uint64_t runs, const std::string &device_name,
+                const std::string &workload_name,
+                const std::string &input_label)
+{
+    CampaignConfig cfg;
+    cfg.faultyRuns = runs;
+    uint64_t h = 0x52414443'52495421ULL; // "RADCRIT!"
+    for (char c : device_name)
+        h = Rng::hashCombine(h, static_cast<uint64_t>(c));
+    for (char c : workload_name)
+        h = Rng::hashCombine(h, static_cast<uint64_t>(c));
+    for (char c : input_label)
+        h = Rng::hashCombine(h, static_cast<uint64_t>(c));
+    cfg.seed = h;
+    return cfg;
+}
+
+} // namespace radcrit

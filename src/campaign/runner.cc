@@ -1,0 +1,135 @@
+#include "campaign/runner.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/sampler.hh"
+
+namespace radcrit
+{
+
+uint64_t
+CampaignResult::count(Outcome outcome) const
+{
+    uint64_t n = 0;
+    for (const auto &run : runs) {
+        if (run.outcome == outcome)
+            ++n;
+    }
+    return n;
+}
+
+double
+CampaignResult::sdcOverDetectable() const
+{
+    uint64_t detectable = count(Outcome::Crash) +
+        count(Outcome::Hang);
+    if (detectable == 0)
+        return static_cast<double>(count(Outcome::Sdc));
+    return static_cast<double>(count(Outcome::Sdc)) /
+        static_cast<double>(detectable);
+}
+
+double
+CampaignResult::fitAu(uint64_t event_count) const
+{
+    if (runs.empty())
+        return 0.0;
+    double rate = static_cast<double>(event_count) /
+        static_cast<double>(runs.size());
+    return sensitiveAreaAu * config.fitScaleAu * rate;
+}
+
+double
+CampaignResult::fitTotalAu(bool filtered) const
+{
+    uint64_t events = 0;
+    for (const auto &run : runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        if (filtered && run.crit.executionFiltered)
+            continue;
+        ++events;
+    }
+    return fitAu(events);
+}
+
+FitBreakdown
+CampaignResult::fitByPattern(bool filtered) const
+{
+    FitBreakdown bd;
+    double per_run = fitAu(1);
+    for (const auto &run : runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        if (filtered) {
+            if (run.crit.executionFiltered)
+                continue;
+            bd.add(run.crit.patternFiltered, per_run);
+        } else {
+            bd.add(run.crit.pattern, per_run);
+        }
+    }
+    return bd;
+}
+
+double
+CampaignResult::filteredOutFraction() const
+{
+    uint64_t sdc = 0;
+    uint64_t removed = 0;
+    for (const auto &run : runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        ++sdc;
+        if (run.crit.executionFiltered)
+            ++removed;
+    }
+    if (sdc == 0)
+        return 0.0;
+    return static_cast<double>(removed) /
+        static_cast<double>(sdc);
+}
+
+CampaignResult
+runCampaign(const DeviceModel &device, Workload &workload,
+            const CampaignConfig &config)
+{
+    if (config.faultyRuns == 0)
+        fatal("campaign needs at least one run");
+
+    CampaignResult result;
+    result.deviceName = device.name;
+    result.workloadName = workload.name();
+    result.inputLabel = workload.inputLabel();
+    result.config = config;
+    result.launch = buildLaunch(device, workload.traits());
+
+    StrikeSampler sampler(device, result.launch);
+    result.sensitiveAreaAu = sampler.totalWeight();
+
+    RelativeErrorFilter filter(config.filterThresholdPct);
+    Rng rng(config.seed);
+    result.runs.reserve(config.faultyRuns);
+
+    for (uint64_t i = 0; i < config.faultyRuns; ++i) {
+        RunRecord run;
+        run.strike = sampler.sampleStrike(rng);
+        run.outcome = sampler.sampleOutcome(run.strike.resource,
+                                            rng);
+        if (run.outcome == Outcome::Sdc) {
+            SdcRecord record = workload.inject(run.strike, rng);
+            if (record.empty()) {
+                // The corruption was digested without an output
+                // mismatch: architecturally masked.
+                run.outcome = Outcome::Masked;
+            } else {
+                run.crit = analyzeCriticality(record, filter,
+                                              config.locality);
+            }
+        }
+        result.runs.push_back(std::move(run));
+    }
+    return result;
+}
+
+} // namespace radcrit

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Campaign runner: the Monte-Carlo stand-in for a beam test
+ * campaign. It samples strikes over a (device, workload) pair,
+ * classifies the program-level outcome of each, replays the faulty
+ * executions through the real kernel, and aggregates the paper's
+ * criticality metrics and relative-FIT breakdowns.
+ */
+
+#ifndef RADCRIT_CAMPAIGN_RUNNER_HH
+#define RADCRIT_CAMPAIGN_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/launch.hh"
+#include "metrics/criticality.hh"
+#include "sim/fault.hh"
+#include "sim/workload.hh"
+
+namespace radcrit
+{
+
+/**
+ * Campaign parameters.
+ */
+struct CampaignConfig
+{
+    /** Strikes to simulate (each is one potentially-faulty run). */
+    uint64_t faultyRuns = 200;
+    /** Master seed; identical configs reproduce identically. */
+    uint64_t seed = 12345;
+    /** Relative-error filter threshold in percent (paper: 2). */
+    double filterThresholdPct = 2.0;
+    /** Locality-classifier thresholds. */
+    LocalityParams locality;
+    /**
+     * Conversion from sensitive-area-weighted event rates to
+     * relative FIT in arbitrary units. The same constant is used
+     * for every device and code, preserving cross comparisons as in
+     * the paper (Section V).
+     */
+    double fitScaleAu = 5e-6;
+};
+
+/**
+ * One simulated strike and its consequences.
+ */
+struct RunRecord
+{
+    Strike strike;
+    Outcome outcome = Outcome::Masked;
+    /** Metrics; meaningful only when outcome == Sdc. */
+    CriticalityReport crit;
+};
+
+/**
+ * Aggregated results of one campaign.
+ */
+struct CampaignResult
+{
+    std::string deviceName;
+    std::string workloadName;
+    std::string inputLabel;
+    CampaignConfig config;
+    KernelLaunch launch;
+    /** Total sensitive area of the launch (a.u.). */
+    double sensitiveAreaAu = 0.0;
+    std::vector<RunRecord> runs;
+
+    /** @return number of runs with the given outcome. */
+    uint64_t count(Outcome outcome) const;
+
+    /** @return SDC : (crash + hang) ratio (paper Section V). */
+    double sdcOverDetectable() const;
+
+    /**
+     * Relative FIT (a.u.) for a class of events observed
+     * event_count times out of faultyRuns strikes.
+     */
+    double fitAu(uint64_t event_count) const;
+
+    /** @return total SDC FIT; filtered drops sub-threshold runs. */
+    double fitTotalAu(bool filtered) const;
+
+    /**
+     * FIT broken down by spatial pattern. When filtered is true,
+     * patterns are re-classified on surviving elements and fully
+     * filtered executions are dropped (paper Figs. 3, 5, 7).
+     */
+    FitBreakdown fitByPattern(bool filtered) const;
+
+    /** @return fraction of SDC runs removed by the filter. */
+    double filteredOutFraction() const;
+};
+
+/**
+ * Run one campaign.
+ *
+ * @param device Device model.
+ * @param workload Workload bound to the same device.
+ * @param config Campaign parameters.
+ */
+CampaignResult runCampaign(const DeviceModel &device,
+                           Workload &workload,
+                           const CampaignConfig &config);
+
+} // namespace radcrit
+
+#endif // RADCRIT_CAMPAIGN_RUNNER_HH

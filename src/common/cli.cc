@@ -1,0 +1,166 @@
+#include "common/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+CliParser::CliParser(std::string program_name)
+    : programName_(std::move(program_name))
+{
+}
+
+void
+CliParser::addString(const std::string &name, std::string def,
+                     std::string help)
+{
+    options_[name] = Option{Kind::String, def, def,
+                            std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addInt(const std::string &name, int64_t def,
+                  std::string help)
+{
+    std::string s = std::to_string(def);
+    options_[name] = Option{Kind::Int, s, s, std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addDouble(const std::string &name, double def,
+                     std::string help)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", def);
+    options_[name] = Option{Kind::Double, buf, buf,
+                            std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string &name, std::string help)
+{
+    options_[name] = Option{Kind::Flag, "0", "0", std::move(help)};
+    order_.push_back(name);
+}
+
+void
+CliParser::parse(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end())
+            fatal("unknown option --%s (try --help)", name.c_str());
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (have_value)
+                fatal("flag --%s does not take a value",
+                      name.c_str());
+            opt.value = "1";
+            opt.seen = true;
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc)
+                fatal("option --%s requires a value", name.c_str());
+            value = argv[++i];
+        }
+        if (opt.kind == Kind::Int) {
+            char *end = nullptr;
+            std::strtoll(value.c_str(), &end, 0);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option --%s expects an integer, got '%s'",
+                      name.c_str(), value.c_str());
+        } else if (opt.kind == Kind::Double) {
+            char *end = nullptr;
+            std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                fatal("option --%s expects a number, got '%s'",
+                      name.c_str(), value.c_str());
+        }
+        opt.value = value;
+        opt.seen = true;
+    }
+}
+
+const CliParser::Option &
+CliParser::lookup(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        panic("option --%s was never registered", name.c_str());
+    if (it->second.kind != kind)
+        panic("option --%s accessed with the wrong type",
+              name.c_str());
+    return it->second;
+}
+
+std::string
+CliParser::getString(const std::string &name) const
+{
+    return lookup(name, Kind::String).value;
+}
+
+int64_t
+CliParser::getInt(const std::string &name) const
+{
+    return std::strtoll(lookup(name, Kind::Int).value.c_str(),
+                        nullptr, 0);
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    return std::strtod(lookup(name, Kind::Double).value.c_str(),
+                       nullptr);
+}
+
+bool
+CliParser::getFlag(const std::string &name) const
+{
+    return lookup(name, Kind::Flag).value == "1";
+}
+
+std::string
+CliParser::usage() const
+{
+    std::ostringstream oss;
+    oss << "usage: " << programName_ << " [options]\n";
+    for (const auto &name : order_) {
+        const Option &opt = options_.at(name);
+        oss << "  --" << name;
+        if (opt.kind != Kind::Flag)
+            oss << "=<value>";
+        oss << "\n      " << opt.help;
+        if (opt.kind != Kind::Flag)
+            oss << " (default: " << opt.def << ")";
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace radcrit

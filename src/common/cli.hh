@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tiny command-line option parser shared by examples and benches.
+ *
+ * Supports --name=value and --name value forms plus boolean flags.
+ * Unknown options are a fatal() (user error), matching gem5's
+ * fatal-vs-panic discipline.
+ */
+
+#ifndef RADCRIT_COMMON_CLI_HH
+#define RADCRIT_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * Declarative option set: register options with defaults and help
+ * text, then parse argv.
+ */
+class CliParser
+{
+  public:
+    /** @param program_name Used in the usage banner. */
+    explicit CliParser(std::string program_name);
+
+    /** Register a string option. */
+    void addString(const std::string &name, std::string def,
+                   std::string help);
+
+    /** Register an integer option. */
+    void addInt(const std::string &name, int64_t def,
+                std::string help);
+
+    /** Register a floating-point option. */
+    void addDouble(const std::string &name, double def,
+                   std::string help);
+
+    /** Register a boolean flag (presence => true). */
+    void addFlag(const std::string &name, std::string help);
+
+    /**
+     * Parse argv. Prints usage and exits 0 on --help; fatal() on
+     * unknown options or malformed values.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** @return string value for a registered string option. */
+    std::string getString(const std::string &name) const;
+
+    /** @return integer value for a registered int option. */
+    int64_t getInt(const std::string &name) const;
+
+    /** @return double value for a registered double option. */
+    double getDouble(const std::string &name) const;
+
+    /** @return true if the flag was supplied. */
+    bool getFlag(const std::string &name) const;
+
+    /** @return positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the usage/help text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string value;
+        std::string def;
+        std::string help;
+        bool seen = false;
+    };
+
+    const Option &lookup(const std::string &name, Kind kind) const;
+
+    std::string programName_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> order_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_CLI_HH

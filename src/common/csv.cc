@@ -1,0 +1,44 @@
+#include "common/csv.hh"
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file '%s'", path.c_str());
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &fields)
+{
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(fields[i]);
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n\r") !=
+        std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace radcrit

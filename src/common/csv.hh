@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal CSV writer so every bench can dump machine-readable series
+ * next to its human-readable tables/figures.
+ */
+
+#ifndef RADCRIT_COMMON_CSV_HH
+#define RADCRIT_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * RFC-4180-ish CSV writer: quotes fields containing commas, quotes,
+ * or newlines; doubles embedded quotes.
+ */
+class CsvWriter
+{
+  public:
+    /** Open the given path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &fields);
+
+    /** Escape a single field per CSV quoting rules. */
+    static std::string escape(const std::string &field);
+
+    /** @return path this writer targets. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_CSV_HH

@@ -1,0 +1,239 @@
+#include "common/figure.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Glyphs assigned to scatter series in order. */
+const char seriesGlyphs[] = "ox+*#@%&";
+
+/** Glyphs assigned to stacked-bar segments in order. */
+const char segmentGlyphs[] = "#=+.:*o%";
+
+std::string
+fmtAxis(double v)
+{
+    char buf[32];
+    if (std::abs(v) >= 10000.0 || (std::abs(v) < 0.01 && v != 0.0))
+        std::snprintf(buf, sizeof(buf), "%.2e", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+ScatterPlot::ScatterPlot(std::string title, std::string x_label,
+                         std::string y_label)
+    : title_(std::move(title)), xLabel_(std::move(x_label)),
+      yLabel_(std::move(y_label))
+{
+}
+
+void
+ScatterPlot::setXClamp(double x_max)
+{
+    xClamp_ = x_max;
+}
+
+void
+ScatterPlot::setYClamp(double y_max)
+{
+    yClamp_ = y_max;
+}
+
+void
+ScatterPlot::addSeries(ScatterSeries series)
+{
+    if (series.xs.size() != series.ys.size())
+        panic("ScatterSeries '%s' has %zu xs but %zu ys",
+              series.label.c_str(), series.xs.size(),
+              series.ys.size());
+    series_.push_back(std::move(series));
+}
+
+void
+ScatterPlot::render(std::ostream &os, size_t width,
+                    size_t height) const
+{
+    os << title_ << '\n';
+
+    double x_min = 0.0, x_max = 1.0;
+    double y_min = 0.0, y_max = 1.0;
+    bool have_point = false;
+    auto clampX = [&](double x) {
+        return (xClamp_ > 0.0 && x > xClamp_) ? xClamp_ : x;
+    };
+    auto clampY = [&](double y) {
+        return (yClamp_ > 0.0 && y > yClamp_) ? yClamp_ : y;
+    };
+    for (const auto &s : series_) {
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            double x = clampX(s.xs[i]);
+            double y = clampY(s.ys[i]);
+            if (!have_point) {
+                x_min = x_max = x;
+                y_min = y_max = y;
+                have_point = true;
+            } else {
+                x_min = std::min(x_min, x);
+                x_max = std::max(x_max, x);
+                y_min = std::min(y_min, y);
+                y_max = std::max(y_max, y);
+            }
+        }
+    }
+    if (!have_point) {
+        os << "  (no data points)\n";
+        return;
+    }
+    x_min = std::min(x_min, 0.0);
+    y_min = std::min(y_min, 0.0);
+    if (x_max <= x_min)
+        x_max = x_min + 1.0;
+    if (y_max <= y_min)
+        y_max = y_min + 1.0;
+
+    std::vector<std::string> canvas(height,
+                                    std::string(width, ' '));
+    for (size_t si = 0; si < series_.size(); ++si) {
+        char glyph = seriesGlyphs[si % (sizeof(seriesGlyphs) - 1)];
+        const auto &s = series_[si];
+        for (size_t i = 0; i < s.xs.size(); ++i) {
+            double fx = (clampX(s.xs[i]) - x_min) / (x_max - x_min);
+            double fy = (clampY(s.ys[i]) - y_min) / (y_max - y_min);
+            auto cx = static_cast<size_t>(
+                fx * static_cast<double>(width - 1));
+            auto cy = static_cast<size_t>(
+                fy * static_cast<double>(height - 1));
+            canvas[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    std::string y_hi = fmtAxis(y_max);
+    std::string y_lo = fmtAxis(y_min);
+    size_t margin = std::max(y_hi.size(), y_lo.size());
+    for (size_t r = 0; r < height; ++r) {
+        std::string lbl;
+        if (r == 0)
+            lbl = y_hi + (yClamp_ > 0.0 && y_max >= yClamp_
+                          ? "+" : "");
+        else if (r == height - 1)
+            lbl = y_lo;
+        os << std::string(margin - std::min(margin, lbl.size()),
+                          ' ')
+           << lbl << " |" << canvas[r] << '\n';
+    }
+    os << std::string(margin, ' ') << " +"
+       << std::string(width, '-') << '\n';
+    std::string x_lo = fmtAxis(x_min);
+    std::string x_hi = fmtAxis(x_max) +
+        (xClamp_ > 0.0 && x_max >= xClamp_ ? "+" : "");
+    os << std::string(margin + 2, ' ') << x_lo
+       << std::string(width > x_lo.size() + x_hi.size()
+                      ? width - x_lo.size() - x_hi.size() : 1, ' ')
+       << x_hi << '\n';
+    os << std::string(margin + 2, ' ') << "x: " << xLabel_
+       << "   y: " << yLabel_ << '\n';
+    for (size_t si = 0; si < series_.size(); ++si) {
+        os << std::string(margin + 2, ' ') << "  "
+           << seriesGlyphs[si % (sizeof(seriesGlyphs) - 1)] << " = "
+           << series_[si].label << " (" << series_[si].xs.size()
+           << " runs)\n";
+    }
+}
+
+std::string
+ScatterPlot::toString(size_t width, size_t height) const
+{
+    std::ostringstream oss;
+    render(oss, width, height);
+    return oss.str();
+}
+
+StackedBarChart::StackedBarChart(std::string title,
+                                 std::vector<std::string>
+                                     segment_names)
+    : title_(std::move(title)),
+      segmentNames_(std::move(segment_names))
+{
+}
+
+void
+StackedBarChart::addBar(StackedBar bar)
+{
+    if (bar.segments.size() != segmentNames_.size())
+        panic("StackedBar '%s' has %zu segments, chart expects %zu",
+              bar.label.c_str(), bar.segments.size(),
+              segmentNames_.size());
+    bars_.push_back(std::move(bar));
+}
+
+void
+StackedBarChart::render(std::ostream &os, size_t width) const
+{
+    os << title_ << '\n';
+    if (bars_.empty()) {
+        os << "  (no bars)\n";
+        return;
+    }
+    double max_total = 0.0;
+    size_t label_width = 0;
+    for (const auto &bar : bars_) {
+        double total = 0.0;
+        for (double v : bar.segments)
+            total += std::max(0.0, v);
+        max_total = std::max(max_total, total);
+        label_width = std::max(label_width, bar.label.size());
+    }
+    if (max_total <= 0.0)
+        max_total = 1.0;
+
+    for (const auto &bar : bars_) {
+        os << bar.label
+           << std::string(label_width - bar.label.size(), ' ')
+           << " |";
+        double total = 0.0;
+        std::string body;
+        for (size_t si = 0; si < bar.segments.size(); ++si) {
+            double v = std::max(0.0, bar.segments[si]);
+            total += v;
+            auto chars = static_cast<size_t>(
+                std::round(v / max_total *
+                           static_cast<double>(width)));
+            body.append(chars,
+                        segmentGlyphs[si % (sizeof(segmentGlyphs) -
+                                            1)]);
+        }
+        os << body << "  " << fmtAxis(total) << '\n';
+    }
+    os << std::string(label_width, ' ') << " +"
+       << std::string(width, '-') << "> FIT [a.u.]\n";
+    os << "legend:";
+    for (size_t si = 0; si < segmentNames_.size(); ++si) {
+        os << "  "
+           << segmentGlyphs[si % (sizeof(segmentGlyphs) - 1)]
+           << " = " << segmentNames_[si];
+    }
+    os << '\n';
+}
+
+std::string
+StackedBarChart::toString(size_t width) const
+{
+    std::ostringstream oss;
+    render(oss, width);
+    return oss.str();
+}
+
+} // namespace radcrit

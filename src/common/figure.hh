@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ASCII renderers for the two figure shapes the paper uses: scatter
+ * plots (mean relative error vs. number of incorrect elements) and
+ * stacked bars (relative FIT broken down by spatial-locality pattern).
+ */
+
+#ifndef RADCRIT_COMMON_FIGURE_HH
+#define RADCRIT_COMMON_FIGURE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * A labelled point series in a scatter plot (e.g. one input size).
+ */
+struct ScatterSeries
+{
+    std::string label;
+    std::vector<double> xs;
+    std::vector<double> ys;
+};
+
+/**
+ * ASCII scatter plot with clamping thresholds matching the paper's
+ * ">= N" axis saturation (e.g. relative errors above 100% plotted at
+ * 100%).
+ */
+class ScatterPlot
+{
+  public:
+    /**
+     * @param title Plot title.
+     * @param x_label Label for the x axis.
+     * @param y_label Label for the y axis.
+     */
+    ScatterPlot(std::string title, std::string x_label,
+                std::string y_label);
+
+    /** Clamp x values above this threshold to the threshold. */
+    void setXClamp(double x_max);
+
+    /** Clamp y values above this threshold to the threshold. */
+    void setYClamp(double y_max);
+
+    /** Add a series; each series gets its own glyph. */
+    void addSeries(ScatterSeries series);
+
+    /** Render the plot at the given character resolution. */
+    void render(std::ostream &os, size_t width = 72,
+                size_t height = 24) const;
+
+    /** Render to a string. */
+    std::string toString(size_t width = 72, size_t height = 24) const;
+
+  private:
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    double xClamp_ = -1.0;
+    double yClamp_ = -1.0;
+    std::vector<ScatterSeries> series_;
+};
+
+/**
+ * One stacked bar: a label plus per-segment values keyed by segment
+ * names shared across the chart.
+ */
+struct StackedBar
+{
+    std::string label;
+    std::vector<double> segments;
+};
+
+/**
+ * Horizontal stacked-bar chart used for the FIT-by-locality figures
+ * (Figs. 3, 5, 7 of the paper).
+ */
+class StackedBarChart
+{
+  public:
+    /**
+     * @param title Chart title.
+     * @param segment_names Names of the stacked segments, in stacking
+     * order (e.g. {"Square", "Line", "Single", "Random"}).
+     */
+    StackedBarChart(std::string title,
+                    std::vector<std::string> segment_names);
+
+    /** Add one bar; segments.size() must match segment_names. */
+    void addBar(StackedBar bar);
+
+    /** Render with bars scaled to the widest total. */
+    void render(std::ostream &os, size_t width = 60) const;
+
+    /** Render to a string. */
+    std::string toString(size_t width = 60) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> segmentNames_;
+    std::vector<StackedBar> bars_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_FIGURE_HH

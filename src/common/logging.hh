@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (radcrit bugs) and
+ * aborts; fatal() is for user errors (bad configuration, invalid
+ * arguments) and exits cleanly with an error code. warn() and inform()
+ * provide non-fatal status output on stderr.
+ */
+
+#ifndef RADCRIT_COMMON_LOGGING_HH
+#define RADCRIT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace radcrit
+{
+
+/**
+ * Format a printf-style message into a std::string.
+ *
+ * @param fmt printf-style format string.
+ * @return The formatted message.
+ */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** printf-style formatting convenience wrapper. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal error that should never happen regardless of user
+ * input (a radcrit bug) and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a condition that prevents continuing and is the user's fault
+ * (bad configuration, invalid arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit an informative status message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when inform() output is suppressed. */
+bool isQuiet();
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_LOGGING_HH

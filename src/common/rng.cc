@@ -1,0 +1,176 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+    // xoshiro must not start from the all-zero state.
+    if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 &&
+        state_[3] == 0) {
+        state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::uniformInt called with zero bound");
+    // Lemire's method with rejection to remove modulo bias.
+    uint64_t x = next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+        uint64_t t = (0 - bound) % bound;
+        while (l < t) {
+            x = next64();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t
+Rng::uniformRange(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::uniformRange: lo %ld > hi %ld", lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; a fresh pair every call keeps streams splittable.
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+uint64_t
+Rng::poisson(double mean)
+{
+    if (mean < 0.0)
+        panic("Rng::poisson called with negative mean %f", mean);
+    if (mean == 0.0)
+        return 0;
+    if (mean > 64.0) {
+        // Normal approximation with continuity correction.
+        double v = normal(mean, std::sqrt(mean));
+        if (v < 0.0)
+            return 0;
+        return static_cast<uint64_t>(v + 0.5);
+    }
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    uint64_t n = 0;
+    while (prod > limit) {
+        prod *= uniform();
+        ++n;
+    }
+    return n;
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        panic("Rng::exponential called with rate %f <= 0", rate);
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    return -std::log(u) / rate;
+}
+
+Rng
+Rng::split(uint64_t tag)
+{
+    uint64_t mixed = hashCombine(next64(), tag);
+    return Rng(mixed);
+}
+
+uint64_t
+Rng::hashCombine(uint64_t a, uint64_t b)
+{
+    uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) +
+                          (a >> 2));
+    return splitMix64(state);
+}
+
+} // namespace radcrit

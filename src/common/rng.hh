@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for campaigns.
+ *
+ * radcrit uses xoshiro256** (Blackman & Vigna) seeded through
+ * SplitMix64 so that every campaign is exactly reproducible from a
+ * 64-bit seed, independent of the standard library implementation.
+ */
+
+#ifndef RADCRIT_COMMON_RNG_HH
+#define RADCRIT_COMMON_RNG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace radcrit
+{
+
+/**
+ * SplitMix64 stepper used to expand a 64-bit seed into generator
+ * state. Also usable as a cheap standalone generator for hashing.
+ *
+ * @param state In/out 64-bit state; advanced on each call.
+ * @return The next 64-bit output.
+ */
+uint64_t splitMix64(uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random generator.
+ *
+ * All campaign-level randomness (strike sampling, bit selection,
+ * workload input generation) flows through this class. Instances are
+ * cheap to copy, so sub-streams can be forked via split().
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return the next raw 64-bit output. */
+    uint64_t next64();
+
+    /** @return a uniformly distributed double in [0, 1). */
+    double uniform();
+
+    /** @return a uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /**
+     * @return a uniform integer in [0, bound) using Lemire's
+     * nearly-divisionless method. bound must be nonzero.
+     */
+    uint64_t uniformInt(uint64_t bound);
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    int64_t uniformRange(int64_t lo, int64_t hi);
+
+    /** @return true with probability p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /** @return a standard normal variate (Box-Muller, no caching). */
+    double normal();
+
+    /** @return a normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * @return a Poisson variate with the given mean. Uses Knuth's
+     * multiplication method for small means and a normal
+     * approximation with continuity correction for mean > 64.
+     */
+    uint64_t poisson(double mean);
+
+    /** @return an exponential variate with the given rate (> 0). */
+    double exponential(double rate);
+
+    /**
+     * Fork an independent sub-stream. The child is seeded from this
+     * generator's output mixed with the provided tag so that the same
+     * (parent seed, tag) always yields the same child stream.
+     */
+    Rng split(uint64_t tag);
+
+    /** Hash-combine convenience used to derive deterministic tags. */
+    static uint64_t hashCombine(uint64_t a, uint64_t b);
+
+  private:
+    std::array<uint64_t, 4> state_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_RNG_HH

@@ -1,0 +1,165 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    size_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double nn = static_cast<double>(n);
+    m2_ = m2_ + other.m2_ + delta * delta * na * nb / nn;
+    mean_ = mean_ + delta * nb / nn;
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::sum() const
+{
+    return mean_ * static_cast<double>(count_);
+}
+
+double
+RunningStat::confidenceHalfWidth(double z) const
+{
+    if (count_ < 2)
+        return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (!(lo < hi))
+        panic("Histogram range [%f, %f) is empty", lo, hi);
+    if (bins == 0)
+        panic("Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<size_t>(frac *
+                                   static_cast<double>(counts_.size()));
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+}
+
+uint64_t
+Histogram::binCount(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram bin %zu out of range (%zu bins)", i,
+              counts_.size());
+    return counts_[i];
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return binLo(i + 1);
+}
+
+double
+Histogram::entropyBits() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double entropy = 0.0;
+    auto accumulate = [&](uint64_t c) {
+        if (c == 0)
+            return;
+        double p = static_cast<double>(c) /
+            static_cast<double>(total_);
+        entropy -= p * std::log2(p);
+    };
+    for (uint64_t c : counts_)
+        accumulate(c);
+    accumulate(underflow_);
+    accumulate(overflow_);
+    return entropy;
+}
+
+double
+quantile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        panic("quantile of empty sample set");
+    if (p < 0.0 || p > 1.0)
+        panic("quantile p=%f outside [0, 1]", p);
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples[0];
+    double pos = p * static_cast<double>(samples.size() - 1);
+    auto lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace radcrit

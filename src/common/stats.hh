@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Streaming statistics accumulators used throughout campaign analysis.
+ */
+
+#ifndef RADCRIT_COMMON_STATS_HH
+#define RADCRIT_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * Welford-style streaming accumulator for mean/variance plus min/max.
+ */
+class RunningStat
+{
+  public:
+    RunningStat() = default;
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStat &other);
+
+    /** @return number of samples accumulated. */
+    size_t count() const { return count_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const;
+
+    /** @return unbiased sample variance (0 when count < 2). */
+    double variance() const;
+
+    /** @return unbiased sample standard deviation. */
+    double stddev() const;
+
+    /** @return smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** @return sum of all samples. */
+    double sum() const;
+
+    /**
+     * @return the half-width of the normal-approximation confidence
+     * interval at the given z value (default 1.96 for ~95%).
+     */
+    double confidenceHalfWidth(double z = 1.96) const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 1.0 / 0.0;
+    double max_ = -1.0 / 0.0;
+};
+
+/**
+ * Fixed-bin histogram over [lo, hi) with under/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the binned range.
+     * @param hi Exclusive upper bound of the binned range.
+     * @param bins Number of equal-width bins (> 0).
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add a sample, routing out-of-range values to overflow bins. */
+    void add(double x);
+
+    /** @return count in bin i (0 <= i < bins()). */
+    uint64_t binCount(size_t i) const;
+
+    /** @return number of samples below the histogram range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** @return number of samples at or above the range. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** @return total samples including under/overflow. */
+    uint64_t total() const { return total_; }
+
+    /** @return number of regular bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** @return inclusive lower edge of bin i. */
+    double binLo(size_t i) const;
+
+    /** @return exclusive upper edge of bin i. */
+    double binHi(size_t i) const;
+
+    /**
+     * Shannon entropy (bits) of the normalized bin distribution,
+     * including under/overflow mass. Used by the stencil entropy
+     * detector.
+     */
+    double entropyBits() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * @return the p-quantile (0 <= p <= 1) of the given samples using
+ * linear interpolation; the input vector is copied and sorted.
+ */
+double quantile(std::vector<double> samples, double p);
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_STATS_HH

@@ -1,0 +1,116 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace radcrit
+{
+
+TextTable::TextTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::num(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+}
+
+std::string
+TextTable::num(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    if (cols == 0)
+        return;
+
+    std::vector<size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    size_t total = 0;
+    for (size_t w : width)
+        total += w + 3;
+    total = total > 1 ? total - 1 : total;
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < cols; ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            os << cell
+               << std::string(width[i] - cell.size(), ' ');
+            if (i + 1 < cols)
+                os << " | ";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (!header_.empty()) {
+        renderRow(header_);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_) {
+        if (row.empty())
+            os << std::string(total, '-') << '\n';
+        else
+            renderRow(row);
+    }
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream oss;
+    render(oss);
+    return oss.str();
+}
+
+} // namespace radcrit

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Plain-text table renderer used by benches to print paper tables.
+ */
+
+#ifndef RADCRIT_COMMON_TABLE_HH
+#define RADCRIT_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * Column-aligned text table with an optional title and header row.
+ *
+ * Cells are strings; numeric convenience setters format with a fixed
+ * precision. Rendering pads every column to its widest cell.
+ */
+class TextTable
+{
+  public:
+    /** @param title Optional table title printed above the header. */
+    explicit TextTable(std::string title = "");
+
+    /** Set the header row (also fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; it may be shorter than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer. */
+    static std::string num(int64_t v);
+
+    /** Format an unsigned integer. */
+    static std::string num(uint64_t v);
+
+    /** Render the table to the given stream. */
+    void render(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    /** Separator rows are encoded as empty vectors. */
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_COMMON_TABLE_HH

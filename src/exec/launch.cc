@@ -1,0 +1,85 @@
+#include "exec/launch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+KernelLaunch
+buildLaunch(const DeviceModel &device, const WorkloadTraits &traits)
+{
+    if (traits.totalThreads == 0)
+        panic("workload %s launches zero threads",
+              traits.name.c_str());
+    if (traits.blockThreads == 0)
+        panic("workload %s has zero threads per block",
+              traits.name.c_str());
+
+    KernelLaunch launch;
+    launch.traits = traits;
+
+    uint64_t capacity = device.maxResidentThreads();
+
+    // Scratchpad-limited occupancy (K40 shared memory). A block
+    // needs perBlockLocalBytes; each unit can host only as many
+    // blocks as fit.
+    if (device.sharedMemPerUnitBytes > 0 &&
+        traits.perBlockLocalBytes > 0) {
+        uint64_t blocks_per_unit = device.sharedMemPerUnitBytes /
+            traits.perBlockLocalBytes;
+        blocks_per_unit = std::max<uint64_t>(blocks_per_unit, 1);
+        uint64_t per_unit = std::min<uint64_t>(
+            blocks_per_unit * traits.blockThreads,
+            device.maxThreadsPerUnit);
+        capacity = std::min<uint64_t>(
+            capacity,
+            per_unit * device.computeUnits);
+    }
+
+    launch.residentThreads = std::min(traits.totalThreads, capacity);
+    launch.occupancy = static_cast<double>(launch.residentThreads) /
+        static_cast<double>(device.maxResidentThreads());
+    launch.waves = static_cast<double>(traits.totalThreads) /
+        static_cast<double>(launch.residentThreads);
+
+    // Paper V-A reason (1): hardware schedulers strain with thread
+    // count; OS scheduling barely does. Kernels that cannot fill the
+    // device (low occupancy) put proportionally less pressure on the
+    // scheduler, which is why LavaMD's K40 FIT grows much slower
+    // with input than DGEMM's (Section V-B).
+    double exponent = device.schedulerStrainExponent *
+        (0.5 + 0.5 * std::min(1.0, launch.occupancy));
+    double ratio = static_cast<double>(traits.totalThreads) /
+        strainReferenceThreads;
+    launch.schedulerStrain = std::pow(std::max(ratio, 1e-6),
+                                      exponent);
+    // Never let strain fall below a floor: even one block needs
+    // scheduling machinery powered on.
+    launch.schedulerStrain = std::max(launch.schedulerStrain, 0.25);
+
+    // Paper V-A reason (2): on the K40, data of resident-but-waiting
+    // threads sits in registers; more waves means longer exposure.
+    // The effect saturates: queues and operand collectors have
+    // bounded depth, so exposure grows like sqrt(waves) up to 9x.
+    if (device.registerResidencyExposure) {
+        launch.registerExposure =
+            std::sqrt(std::min(std::max(1.0, launch.waves), 81.0));
+    } else {
+        launch.registerExposure = 1.0;
+    }
+
+    // Relative runtime: total arithmetic work divided by the
+    // throughput the launch actually achieves (units busy fraction).
+    double busy = std::max(launch.occupancy, 1.0 /
+                           static_cast<double>(device.computeUnits));
+    launch.durationAu = static_cast<double>(traits.totalThreads) *
+        traits.flopsPerThread /
+        (busy * static_cast<double>(device.maxResidentThreads()));
+
+    return launch;
+}
+
+} // namespace radcrit

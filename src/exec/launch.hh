@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel launch descriptors and the parallel-execution models that
+ * turn a workload's static traits into device-dependent dynamic
+ * quantities: occupancy, scheduler strain and register exposure.
+ *
+ * These two effects are the paper's own explanation (Section V-A) of
+ * why input size moves the K40's FIT but barely moves the Xeon
+ * Phi's:
+ *  (1) more parallel threads strain a *hardware* scheduler, whereas
+ *      OS scheduling is largely insensitive to thread count;
+ *  (2) the K40 parks waiting-but-resident threads' data in the
+ *      register file, so more threads means longer exposure, while
+ *      the Phi leaves waiting work in (non-irradiated) DRAM.
+ */
+
+#ifndef RADCRIT_EXEC_LAUNCH_HH
+#define RADCRIT_EXEC_LAUNCH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "arch/device.hh"
+#include "arch/resource.hh"
+
+namespace radcrit
+{
+
+/**
+ * Static, device-independent description of one workload
+ * configuration, provided by each kernel implementation.
+ */
+struct WorkloadTraits
+{
+    /** Workload name, e.g. "DGEMM". */
+    std::string name;
+    /** Total parallel threads the launch instantiates. */
+    uint64_t totalThreads = 0;
+    /** Threads per block / chunk. */
+    uint64_t blockThreads = 1;
+    /** Scratchpad bytes per block (limits K40 occupancy). */
+    uint64_t perBlockLocalBytes = 0;
+    /** Architectural registers per thread (32-bit units). */
+    uint32_t registersPerThread = 32;
+    /** Arithmetic work per thread (flops), for duration estimates. */
+    double flopsPerThread = 0.0;
+    /**
+     * Fraction of each resource holding live, consumable state
+     * during execution (utilization x liveness). Indexed by
+     * ResourceKind. Resources a kernel does not exercise must be 0.
+     */
+    std::array<double, numResourceKinds> utilization{};
+    /** 0..1: how control-flow heavy the kernel is (CLAMR high). */
+    double controlFlowIntensity = 0.0;
+    /** 0..1: transcendental-unit usage (LavaMD high). */
+    double sfuIntensity = 0.0;
+    /** Number of kernel invocations per run (CLAMR: one per step). */
+    uint64_t kernelInvocations = 1;
+    /** True for double-precision dominated codes. */
+    bool doublePrecision = true;
+    /**
+     * 0..1: how often a corrupted address/tag in storage escalates
+     * to a crash/hang. Codes with a small resident footprint
+     * (HotSpot) keep corrupted addresses inside mapped memory, so
+     * storage strikes mostly stay silent data corruptions.
+     */
+    double crashExposure = 1.0;
+
+    /** Access utilization by kind. */
+    double util(ResourceKind kind) const
+    {
+        return utilization[static_cast<size_t>(kind)];
+    }
+
+    /** Set utilization by kind. */
+    void setUtil(ResourceKind kind, double u)
+    {
+        utilization[static_cast<size_t>(kind)] = u;
+    }
+};
+
+/**
+ * Device-dependent dynamic view of one launch.
+ */
+struct KernelLaunch
+{
+    WorkloadTraits traits;
+    /** Threads simultaneously resident on the device. */
+    uint64_t residentThreads = 0;
+    /** residentThreads / device capacity, in [0, 1]. */
+    double occupancy = 0.0;
+    /** totalThreads / residentThreads, >= 1. */
+    double waves = 1.0;
+    /** Multiplier on the scheduler's effective sensitive area. */
+    double schedulerStrain = 1.0;
+    /** Multiplier on the register file's effective exposure. */
+    double registerExposure = 1.0;
+    /** Relative execution time, arbitrary units. */
+    double durationAu = 1.0;
+};
+
+/**
+ * Build the dynamic launch view of a workload on a device.
+ *
+ * Occupancy is limited by the device thread capacity and, when the
+ * device has a scratchpad (K40 shared memory), by per-block
+ * scratchpad demand. Scheduler strain follows
+ * (totalThreads / strainReferenceThreads)^(e_dev * (0.5 + 0.5*occ)),
+ * so scratchpad-starved kernels (LavaMD) see muted strain growth, as
+ * observed in the paper (Section V-B). Register exposure is
+ * sqrt(waves) on devices with registerResidencyExposure.
+ */
+KernelLaunch buildLaunch(const DeviceModel &device,
+                         const WorkloadTraits &traits);
+
+/**
+ * Reference thread count at which scheduler strain is 1.0. Chosen as
+ * the scaled-default DGEMM base size (512^2/16 threads) so relative
+ * FIT series match the paper's smallest-input normalization.
+ */
+constexpr double strainReferenceThreads = 16384.0;
+
+} // namespace radcrit
+
+#endif // RADCRIT_EXEC_LAUNCH_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Selective-hardening advisor (paper Section VI future work).
+ *
+ * Given a device, a workload, and an area budget, the advisor
+ * greedily picks the hardening techniques (ECC upgrades, residue-
+ * checked execution units, protected scheduler state, ...) that
+ * remove the most critical FIT per unit of area cost, re-running
+ * the campaign on the modified device model after each step. The
+ * result quantifies the paper's closing claim that criticality
+ * attribution makes targeted hardening cheap.
+ */
+
+#ifndef RADCRIT_HARDEN_ADVISOR_HH
+#define RADCRIT_HARDEN_ADVISOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/device.hh"
+#include "campaign/runner.hh"
+#include "sim/workload.hh"
+
+namespace radcrit
+{
+
+/** One applicable hardening technique. */
+struct HardeningOption
+{
+    /** Resource the technique protects. */
+    ResourceKind resource = ResourceKind::NumKinds;
+    /** Human-readable technique name. */
+    std::string technique;
+    /**
+     * Multiplier on the resource's surviving-upset rate: for
+     * storage it scales eccSurvival (e.g. 0.1 for SECDED over
+     * parity); for logic it scales the effective area (e.g. 0.15
+     * for residue checking that detects most wrong results).
+     */
+    double survivalScale = 0.1;
+    /** Fractional silicon area / energy overhead. */
+    double areaCostPct = 5.0;
+};
+
+/** @return the standard technique catalog for a device. */
+std::vector<HardeningOption>
+standardOptions(const DeviceModel &device);
+
+/** @return a copy of the device with the option applied. */
+DeviceModel applyHardening(const DeviceModel &device,
+                           const HardeningOption &option);
+
+/** One step of the greedy plan. */
+struct AdvisorStep
+{
+    HardeningOption option;
+    /** Critical (filtered) FIT before and after this step. */
+    double fitBefore = 0.0;
+    double fitAfter = 0.0;
+    /** Cumulative area cost after this step. */
+    double cumulativeCostPct = 0.0;
+};
+
+/**
+ * Factory building a workload bound to a (possibly hardened)
+ * device; traits depend on the device so the workload must be
+ * rebuilt per candidate.
+ */
+using WorkloadFactory =
+    std::function<std::unique_ptr<Workload>(const DeviceModel &)>;
+
+/**
+ * Greedy selective-hardening plan.
+ *
+ * @param device Baseline device.
+ * @param factory Workload factory.
+ * @param budget_pct Total area budget in percent.
+ * @param runs Campaign size per evaluation.
+ * @param seed Campaign seed (same for every evaluation so FIT
+ * deltas are paired).
+ * @return the chosen steps in application order.
+ */
+std::vector<AdvisorStep>
+advise(const DeviceModel &device, const WorkloadFactory &factory,
+       double budget_pct, uint64_t runs, uint64_t seed);
+
+} // namespace radcrit
+
+#endif // RADCRIT_HARDEN_ADVISOR_HH

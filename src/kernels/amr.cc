@@ -1,0 +1,91 @@
+#include "kernels/amr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+AmrMap::AmrMap(int64_t n, double threshold)
+    : n_(n), threshold_(threshold),
+      flags_(static_cast<size_t>(n) * n, 0)
+{
+    if (n < 2)
+        fatal("AmrMap needs a grid side >= 2 (got %lld)",
+              static_cast<long long>(n));
+    if (threshold <= 0.0)
+        fatal("AmrMap threshold must be positive (got %g)",
+              threshold);
+}
+
+void
+AmrMap::update(const std::vector<double> &height)
+{
+    if (height.size() != flags_.size())
+        panic("AmrMap::update: field has %zu cells, expected %zu",
+              height.size(), flags_.size());
+    refined_ = 0;
+    auto at = [&](int64_t r, int64_t c) {
+        r = std::clamp<int64_t>(r, 0, n_ - 1);
+        c = std::clamp<int64_t>(c, 0, n_ - 1);
+        return height[r * n_ + c];
+    };
+    for (int64_t r = 0; r < n_; ++r) {
+        for (int64_t c = 0; c < n_; ++c) {
+            double h = height[r * n_ + c];
+            double grad = std::max(
+                std::max(std::abs(at(r - 1, c) - h),
+                         std::abs(at(r + 1, c) - h)),
+                std::max(std::abs(at(r, c - 1) - h),
+                         std::abs(at(r, c + 1) - h)));
+            uint8_t flag = grad > threshold_ ? 1 : 0;
+            flags_[r * n_ + c] = flag;
+            refined_ += flag;
+        }
+    }
+}
+
+uint64_t
+AmrMap::effectiveCells() const
+{
+    auto base = static_cast<uint64_t>(n_) * n_;
+    return base + 3 * refined_;
+}
+
+double
+AmrMap::imbalance() const
+{
+    constexpr int64_t tile = 16;
+    if (n_ < tile)
+        return 0.0;
+    int64_t tiles = n_ / tile;
+    std::vector<double> work;
+    work.reserve(static_cast<size_t>(tiles) * tiles);
+    for (int64_t tr = 0; tr < tiles; ++tr) {
+        for (int64_t tc = 0; tc < tiles; ++tc) {
+            uint64_t cells = 0;
+            for (int64_t r = tr * tile; r < (tr + 1) * tile; ++r) {
+                for (int64_t c = tc * tile; c < (tc + 1) * tile;
+                     ++c) {
+                    cells += 1 + 3 * flags_[r * n_ + c];
+                }
+            }
+            work.push_back(static_cast<double>(cells));
+        }
+    }
+    double mean = 0.0;
+    for (double w : work)
+        mean += w;
+    mean /= static_cast<double>(work.size());
+    size_t deviant = 0;
+    for (double w : work) {
+        if (std::abs(w - mean) > 0.25 * mean)
+            ++deviant;
+    }
+    return static_cast<double>(deviant) /
+        static_cast<double>(work.size());
+}
+
+} // namespace radcrit

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cell-based adaptive-mesh-refinement map, the CLAMR scheduling
+ * layer.
+ *
+ * CLAMR refines cells near steep gradients of the water height; the
+ * paper stresses that the resulting "large number of kernel calls
+ * and changes in number of threads between time steps" exercise the
+ * device control resources. The AmrMap computes, per step, which
+ * cells a cell-based AMR would refine and how many effective cells
+ * (= threads) the step launches. The wave dynamics themselves run on
+ * the fully refined uniform grid (see DESIGN.md substitution notes).
+ */
+
+#ifndef RADCRIT_KERNELS_AMR_HH
+#define RADCRIT_KERNELS_AMR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * Two-level refinement map over an n x n cell grid.
+ */
+class AmrMap
+{
+  public:
+    /**
+     * @param n Grid side.
+     * @param threshold Refine where the max height difference to a
+     * 4-neighbour exceeds this.
+     */
+    AmrMap(int64_t n, double threshold);
+
+    /** Recompute flags from a height field (row-major n x n). */
+    void update(const std::vector<double> &height);
+
+    /** @return number of cells flagged for refinement. */
+    uint64_t refinedCells() const { return refined_; }
+
+    /**
+     * @return effective cell (thread) count: unflagged cells count
+     * once, flagged cells split into four children.
+     */
+    uint64_t effectiveCells() const;
+
+    /** @return per-cell refinement flags. */
+    const std::vector<uint8_t> &flags() const { return flags_; }
+
+    /** @return grid side. */
+    int64_t n() const { return n_; }
+
+    /**
+     * Load-imbalance proxy: fraction of 16x16 work tiles whose
+     * effective cell count deviates from the mean by more than 25%.
+     */
+    double imbalance() const;
+
+  private:
+    int64_t n_;
+    double threshold_;
+    std::vector<uint8_t> flags_;
+    uint64_t refined_ = 0;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_KERNELS_AMR_HH

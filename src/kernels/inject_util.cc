@@ -1,0 +1,107 @@
+#include "kernels/inject_util.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+template <typename UInt>
+UInt
+flipDistinctBits(UInt word, uint32_t bits, uint32_t max_bit,
+                 Rng &rng)
+{
+    UInt mask = 0;
+    uint32_t placed = 0;
+    uint32_t span = max_bit + 1;
+    if (bits > span)
+        bits = span;
+    while (placed < bits) {
+        UInt bit = UInt(1) << rng.uniformInt(span);
+        if (mask & bit)
+            continue;
+        mask |= bit;
+        ++placed;
+    }
+    return word ^ mask;
+}
+
+} // anonymous namespace
+
+double
+flipBits(double v, uint32_t bits, Rng &rng)
+{
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u = flipDistinctBits(u, bits, 63, rng);
+    double out;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+double
+flipBitsBounded(double v, uint32_t bits, uint32_t max_bit, Rng &rng)
+{
+    if (max_bit > 63)
+        panic("flipBitsBounded: max_bit %u > 63", max_bit);
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u = flipDistinctBits(u, bits, max_bit, rng);
+    double out;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+float
+flipBitsFloat(float v, uint32_t bits, Rng &rng)
+{
+    uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u = flipDistinctBits(u, bits, 31, rng);
+    float out;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+float
+flipBitsFloatBounded(float v, uint32_t bits, uint32_t max_bit,
+                     Rng &rng)
+{
+    if (max_bit > 31)
+        panic("flipBitsFloatBounded: max_bit %u > 31", max_bit);
+    uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    u = flipDistinctBits(u, bits, max_bit, rng);
+    float out;
+    std::memcpy(&out, &u, sizeof(out));
+    return out;
+}
+
+double
+garbageValue(double reference_scale, Rng &rng)
+{
+    if (reference_scale <= 0.0)
+        reference_scale = 1.0;
+    // Log-uniform over ~12 decades centred 3 decades above the
+    // reference: garbled arithmetic rarely lands near the correct
+    // magnitude.
+    double decades = rng.uniform(-3.0, 9.0);
+    double magnitude = reference_scale * std::pow(10.0, decades);
+    return rng.bernoulli(0.5) ? magnitude : -magnitude;
+}
+
+double
+skewedValue(double correct, double reference_scale, Rng &rng)
+{
+    double scale = rng.uniform(0.25, 4.0);
+    double offset = rng.normal(0.0, 0.25 * reference_scale);
+    return correct * scale + offset;
+}
+
+} // namespace radcrit

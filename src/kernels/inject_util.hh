@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-level corruption helpers shared by the kernel injection hooks.
+ *
+ * Two families of value corruption exist:
+ *  - unbounded flips (any bit incl. sign/exponent) for feed-forward
+ *    codes (DGEMM, LavaMD) where a wild value simply lands in the
+ *    output — these produce the huge relative errors the paper
+ *    reports for those codes;
+ *  - bounded flips for iterative PDE codes (HotSpot, CLAMR), where
+ *    out-of-range excursions destroy the numeric state (NaN cascades,
+ *    CFL violations) and manifest as crashes/hangs rather than SDCs;
+ *    the SDC-visible corruption is therefore restricted to bits that
+ *    keep the value within the solver's stable range (documented in
+ *    DESIGN.md).
+ */
+
+#ifndef RADCRIT_KERNELS_INJECT_UTIL_HH
+#define RADCRIT_KERNELS_INJECT_UTIL_HH
+
+#include <cstdint>
+
+namespace radcrit
+{
+
+class Rng;
+
+/**
+ * Flip `bits` distinct uniformly chosen bits of a double (any of the
+ * 64 positions, including exponent and sign).
+ */
+double flipBits(double v, uint32_t bits, Rng &rng);
+
+/**
+ * Flip `bits` distinct bits of a double restricted to positions
+ * [0, max_bit] (bounded excursion; max_bit 51 = mantissa only).
+ */
+double flipBitsBounded(double v, uint32_t bits, uint32_t max_bit,
+                       Rng &rng);
+
+/** Flip `bits` distinct uniformly chosen bits of a float (32). */
+float flipBitsFloat(float v, uint32_t bits, Rng &rng);
+
+/**
+ * Flip `bits` distinct float bits restricted to [0, max_bit]
+ * (max_bit 22 = mantissa only).
+ */
+float flipBitsFloatBounded(float v, uint32_t bits, uint32_t max_bit,
+                           Rng &rng);
+
+/**
+ * A numerically wrong result of a garbled instruction window: the
+ * magnitude is log-uniform over many decades around the reference
+ * scale and the sign is random, modelling wrong-opcode / wrong-
+ * operand execution.
+ *
+ * @param reference_scale Typical magnitude of correct values (> 0).
+ */
+double garbageValue(double reference_scale, Rng &rng);
+
+/**
+ * A mildly wrong result: the correct value scaled and offset within
+ * the same order of magnitude (wrong-but-plausible execution), used
+ * where the paper reports moderate relative errors.
+ */
+double skewedValue(double correct, double reference_scale,
+                   Rng &rng);
+
+} // namespace radcrit
+
+#endif // RADCRIT_KERNELS_INJECT_UTIL_HH

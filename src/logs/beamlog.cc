@@ -1,0 +1,327 @@
+#include "logs/beamlog.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "campaign/runner.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "metrics/criticality.hh"
+#include "metrics/relative_error.hh"
+#include "sim/workload.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Percent-encode spaces and '%' so values stay single tokens. */
+std::string
+encodeValue(const std::string &value)
+{
+    std::string out;
+    for (char c : value) {
+        if (c == ' ')
+            out += "%20";
+        else if (c == '%')
+            out += "%25";
+        else
+            out += c;
+    }
+    return out;
+}
+
+/** Inverse of encodeValue(). */
+std::string
+decodeValue(const std::string &value)
+{
+    std::string out;
+    for (size_t i = 0; i < value.size(); ++i) {
+        if (value[i] == '%' && i + 2 < value.size()) {
+            if (value.compare(i, 3, "%20") == 0) {
+                out += ' ';
+                i += 2;
+                continue;
+            }
+            if (value.compare(i, 3, "%25") == 0) {
+                out += '%';
+                i += 2;
+                continue;
+            }
+        }
+        out += value[i];
+    }
+    return out;
+}
+
+/** Parse "key=value" tokens from one log line after the keyword. */
+std::map<std::string, std::string>
+parseFields(std::istringstream &iss, const std::string &line)
+{
+    std::map<std::string, std::string> fields;
+    std::string token;
+    while (iss >> token) {
+        auto eq = token.find('=');
+        if (eq == std::string::npos)
+            fatal("malformed log token '%s' in line: %s",
+                  token.c_str(), line.c_str());
+        fields[token.substr(0, eq)] =
+            decodeValue(token.substr(eq + 1));
+    }
+    return fields;
+}
+
+const std::string &
+need(const std::map<std::string, std::string> &fields,
+     const char *key, const std::string &line)
+{
+    auto it = fields.find(key);
+    if (it == fields.end())
+        fatal("missing log field '%s' in line: %s", key,
+              line.c_str());
+    return it->second;
+}
+
+double
+toDouble(const std::string &s, const std::string &line)
+{
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str())
+        fatal("bad number '%s' in line: %s", s.c_str(),
+              line.c_str());
+    return v;
+}
+
+int64_t
+toInt(const std::string &s, const std::string &line)
+{
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str())
+        fatal("bad integer '%s' in line: %s", s.c_str(),
+              line.c_str());
+    return v;
+}
+
+Outcome
+outcomeFromName(const std::string &name, const std::string &line)
+{
+    for (size_t i = 0; i < numOutcomes; ++i) {
+        auto o = static_cast<Outcome>(i);
+        if (name == outcomeName(o))
+            return o;
+    }
+    fatal("unknown outcome '%s' in line: %s", name.c_str(),
+          line.c_str());
+}
+
+Manifestation
+manifestationFromName(const std::string &name,
+                      const std::string &line)
+{
+    for (size_t i = 0; i < numManifestations; ++i) {
+        auto m = static_cast<Manifestation>(i);
+        if (name == manifestationName(m))
+            return m;
+    }
+    fatal("unknown manifestation '%s' in line: %s", name.c_str(),
+          line.c_str());
+}
+
+} // anonymous namespace
+
+uint64_t
+BeamLog::count(Outcome outcome) const
+{
+    uint64_t n = 0;
+    for (const auto &run : runs)
+        n += run.outcome == outcome;
+    return n;
+}
+
+void
+writeBeamLog(const CampaignResult &result, Workload &workload,
+             std::ostream &os)
+{
+    os << "#HEADER device=" << encodeValue(result.deviceName)
+       << " workload=" << encodeValue(result.workloadName)
+       << " input=" << encodeValue(result.inputLabel)
+       << " seed=" << result.config.seed << '\n';
+
+    char buf[128];
+    for (size_t i = 0; i < result.runs.size(); ++i) {
+        const RunRecord &run = result.runs[i];
+        std::snprintf(buf, sizeof(buf), "%.17g",
+                      run.strike.timeFraction);
+        os << "#RUN idx=" << i
+           << " outcome=" << outcomeName(run.outcome)
+           << " resource="
+           << resourceKindName(run.strike.resource)
+           << " manifestation="
+           << manifestationName(run.strike.manifestation)
+           << " t=" << buf
+           << " burst=" << run.strike.burstBits
+           << " entropy=" << run.strike.entropy << '\n';
+        if (run.outcome == Outcome::Sdc) {
+            // Strikes are deterministic: replay to regenerate the
+            // full corrupted output (paper IV-D host logging).
+            Rng rng(result.config.seed);
+            SdcRecord rec = workload.inject(run.strike, rng);
+            os << "#DIMS dims=" << rec.dims
+               << " x=" << rec.extent[0]
+               << " y=" << rec.extent[1]
+               << " z=" << rec.extent[2] << '\n';
+            for (const auto &e : rec.elements) {
+                os << "#ERR x=" << e.coord[0]
+                   << " y=" << e.coord[1]
+                   << " z=" << e.coord[2];
+                std::snprintf(buf, sizeof(buf), "%.17g", e.read);
+                os << " read=" << buf;
+                std::snprintf(buf, sizeof(buf), "%.17g",
+                              e.expected);
+                os << " expected=" << buf << '\n';
+            }
+        }
+        os << "#END idx=" << i << '\n';
+    }
+}
+
+void
+writeBeamLogFile(const CampaignResult &result, Workload &workload,
+                 const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for beam-log output",
+              path.c_str());
+    writeBeamLog(result, workload, out);
+}
+
+BeamLog
+readBeamLog(std::istream &is)
+{
+    BeamLog log;
+    std::string line;
+    LoggedRun current;
+    bool in_run = false;
+    bool have_header = false;
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string keyword;
+        iss >> keyword;
+        if (keyword == "#HEADER") {
+            auto fields = parseFields(iss, line);
+            log.device = need(fields, "device", line);
+            log.workload = need(fields, "workload", line);
+            log.input = need(fields, "input", line);
+            log.seed = static_cast<uint64_t>(
+                toInt(need(fields, "seed", line), line));
+            have_header = true;
+        } else if (keyword == "#RUN") {
+            if (in_run)
+                fatal("nested #RUN in beam log: %s",
+                      line.c_str());
+            auto fields = parseFields(iss, line);
+            current = LoggedRun{};
+            current.index = static_cast<uint64_t>(
+                toInt(need(fields, "idx", line), line));
+            current.outcome = outcomeFromName(
+                need(fields, "outcome", line), line);
+            current.strike.resource = resourceKindFromName(
+                need(fields, "resource", line));
+            current.strike.manifestation = manifestationFromName(
+                need(fields, "manifestation", line), line);
+            current.strike.timeFraction =
+                toDouble(need(fields, "t", line), line);
+            current.strike.burstBits = static_cast<uint32_t>(
+                toInt(need(fields, "burst", line), line));
+            current.strike.entropy = static_cast<uint64_t>(
+                std::strtoull(need(fields, "entropy", line)
+                              .c_str(), nullptr, 10));
+            in_run = true;
+        } else if (keyword == "#DIMS") {
+            if (!in_run)
+                fatal("#DIMS outside a run: %s", line.c_str());
+            auto fields = parseFields(iss, line);
+            current.record.dims = static_cast<int>(
+                toInt(need(fields, "dims", line), line));
+            current.record.extent = {
+                toInt(need(fields, "x", line), line),
+                toInt(need(fields, "y", line), line),
+                toInt(need(fields, "z", line), line)};
+        } else if (keyword == "#ERR") {
+            if (!in_run)
+                fatal("#ERR outside a run: %s", line.c_str());
+            auto fields = parseFields(iss, line);
+            CorruptedElement e;
+            e.coord = {toInt(need(fields, "x", line), line),
+                       toInt(need(fields, "y", line), line),
+                       toInt(need(fields, "z", line), line)};
+            e.read = toDouble(need(fields, "read", line), line);
+            e.expected = toDouble(need(fields, "expected", line),
+                                  line);
+            current.record.elements.push_back(e);
+        } else if (keyword == "#END") {
+            if (!in_run)
+                fatal("#END without #RUN: %s", line.c_str());
+            log.runs.push_back(std::move(current));
+            in_run = false;
+        } else {
+            fatal("unknown beam-log keyword '%s'",
+                  keyword.c_str());
+        }
+    }
+    if (in_run)
+        fatal("beam log truncated inside run %llu",
+              static_cast<unsigned long long>(current.index));
+    if (!have_header)
+        fatal("beam log has no #HEADER");
+    return log;
+}
+
+BeamLog
+readBeamLogFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open beam log '%s'", path.c_str());
+    return readBeamLog(in);
+}
+
+LogAnalysis
+analyzeBeamLog(const BeamLog &log, double threshold_pct)
+{
+    LogAnalysis out;
+    out.patternCounts.assign(numPatterns, 0);
+    out.filteredPatternCounts.assign(numPatterns, 0);
+    RelativeErrorFilter filter(threshold_pct);
+    double err_sum = 0.0;
+    for (const auto &run : log.runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        ++out.sdcRuns;
+        CriticalityReport crit =
+            analyzeCriticality(run.record, filter);
+        err_sum += crit.meanRelErrPct;
+        out.patternCounts[static_cast<size_t>(crit.pattern)]++;
+        if (crit.executionFiltered) {
+            ++out.filteredOutRuns;
+        } else {
+            out.filteredPatternCounts[static_cast<size_t>(
+                crit.patternFiltered)]++;
+        }
+    }
+    if (out.sdcRuns > 0)
+        out.meanOfMeanRelErrPct = err_sum /
+            static_cast<double>(out.sdcRuns);
+    return out;
+}
+
+} // namespace radcrit

@@ -1,0 +1,64 @@
+#include "metrics/criticality.hh"
+
+#include "common/logging.hh"
+#include "metrics/relative_error.hh"
+
+namespace radcrit
+{
+
+CriticalityReport
+analyzeCriticality(const SdcRecord &record,
+                   const RelativeErrorFilter &filter,
+                   const LocalityParams &locality)
+{
+    CriticalityReport report;
+    report.numIncorrect = record.numIncorrect();
+    report.meanRelErrPct = meanRelativeErrorPct(record);
+    report.pattern = classifyLocality(record, locality);
+
+    SdcRecord filtered = filter.apply(record);
+    report.numIncorrectFiltered = filtered.numIncorrect();
+    report.meanRelErrFilteredPct = meanRelativeErrorPct(filtered);
+    report.patternFiltered = classifyLocality(filtered, locality);
+    report.executionFiltered = filtered.empty() && !record.empty();
+    return report;
+}
+
+void
+FitBreakdown::add(Pattern p, double fit_au)
+{
+    fit[static_cast<size_t>(p)] += fit_au;
+}
+
+double
+FitBreakdown::of(Pattern p) const
+{
+    return fit[static_cast<size_t>(p)];
+}
+
+double
+FitBreakdown::total() const
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < numPatterns; ++i) {
+        if (static_cast<Pattern>(i) == Pattern::None)
+            continue;
+        sum += fit[i];
+    }
+    return sum;
+}
+
+FitBreakdown
+makeFitBreakdown(const std::vector<Pattern> &patterns,
+                 double fit_per_run)
+{
+    if (fit_per_run < 0.0)
+        panic("makeFitBreakdown: negative fit_per_run %f",
+              fit_per_run);
+    FitBreakdown bd;
+    for (Pattern p : patterns)
+        bd.add(p, fit_per_run);
+    return bd;
+}
+
+} // namespace radcrit

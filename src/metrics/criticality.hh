@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The combined criticality analysis facade: applies all four paper
+ * metrics (and the relative-error filter) to one faulty execution,
+ * and aggregates runs into relative-FIT breakdowns by pattern.
+ */
+
+#ifndef RADCRIT_METRICS_CRITICALITY_HH
+#define RADCRIT_METRICS_CRITICALITY_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "metrics/filter.hh"
+#include "metrics/locality.hh"
+#include "metrics/sdcrecord.hh"
+
+namespace radcrit
+{
+
+/**
+ * All four criticality metrics of one faulty execution, before and
+ * after the relative-error filter.
+ */
+struct CriticalityReport
+{
+    /** Metric 1: number of incorrect elements. */
+    size_t numIncorrect = 0;
+    /** Metric 3: mean relative error (percent). */
+    double meanRelErrPct = 0.0;
+    /** Metric 4: spatial pattern of all mismatches. */
+    Pattern pattern = Pattern::None;
+
+    /** Incorrect elements above the filter threshold. */
+    size_t numIncorrectFiltered = 0;
+    /** Mean relative error over surviving elements. */
+    double meanRelErrFilteredPct = 0.0;
+    /** Pattern of surviving elements. */
+    Pattern patternFiltered = Pattern::None;
+    /** True when the filter removes the whole execution. */
+    bool executionFiltered = false;
+};
+
+/**
+ * Run the full metric suite over one mismatch record.
+ */
+CriticalityReport
+analyzeCriticality(const SdcRecord &record,
+                   const RelativeErrorFilter &filter =
+                       RelativeErrorFilter(2.0),
+                   const LocalityParams &locality = {});
+
+/**
+ * Relative FIT (arbitrary units) broken down by spatial pattern —
+ * the data behind the paper's Figs. 3, 5 and 7 stacked bars.
+ */
+struct FitBreakdown
+{
+    /** FIT contribution per pattern, indexed by Pattern. */
+    std::array<double, numPatterns> fit{};
+
+    /** Accumulate a run of the given pattern. */
+    void add(Pattern p, double fit_au);
+
+    /** @return FIT for one pattern. */
+    double of(Pattern p) const;
+
+    /** @return total FIT across patterns (excludes None). */
+    double total() const;
+};
+
+/**
+ * Build a breakdown from per-run patterns, each contributing
+ * fit_per_run arbitrary units (#SDC-in-pattern / fluence scaling is
+ * folded into fit_per_run by the campaign layer).
+ */
+FitBreakdown
+makeFitBreakdown(const std::vector<Pattern> &patterns,
+                 double fit_per_run);
+
+} // namespace radcrit
+
+#endif // RADCRIT_METRICS_CRITICALITY_HH

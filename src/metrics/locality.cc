@@ -1,0 +1,101 @@
+#include "metrics/locality.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+const char *
+patternName(Pattern p)
+{
+    switch (p) {
+      case Pattern::None: return "None";
+      case Pattern::Single: return "Single";
+      case Pattern::Line: return "Line";
+      case Pattern::Square: return "Square";
+      case Pattern::Cubic: return "Cubic";
+      case Pattern::Random: return "Random";
+      default:
+        panic("patternName: invalid pattern %d",
+              static_cast<int>(p));
+    }
+}
+
+namespace
+{
+
+std::vector<std::array<int64_t, 3>>
+uniqueCoords(const SdcRecord &record)
+{
+    std::vector<std::array<int64_t, 3>> coords;
+    coords.reserve(record.elements.size());
+    for (const auto &e : record.elements)
+        coords.push_back(e.coord);
+    std::sort(coords.begin(), coords.end());
+    coords.erase(std::unique(coords.begin(), coords.end()),
+                 coords.end());
+    return coords;
+}
+
+} // anonymous namespace
+
+size_t
+uniquePositions(const SdcRecord &record)
+{
+    return uniqueCoords(record).size();
+}
+
+Pattern
+classifyLocality(const SdcRecord &record,
+                 const LocalityParams &params)
+{
+    auto coords = uniqueCoords(record);
+    if (coords.empty())
+        return Pattern::None;
+    if (coords.size() == 1)
+        return Pattern::Single;
+
+    // Determine which axes vary and the bounding box.
+    std::array<int64_t, 3> lo = coords.front();
+    std::array<int64_t, 3> hi = coords.front();
+    for (const auto &c : coords) {
+        for (int a = 0; a < 3; ++a) {
+            lo[a] = std::min(lo[a], c[a]);
+            hi[a] = std::max(hi[a], c[a]);
+        }
+    }
+    int varying = 0;
+    for (int a = 0; a < 3; ++a) {
+        if (hi[a] != lo[a])
+            ++varying;
+    }
+
+    if (varying == 0) {
+        // Distinct coords with no varying axis cannot happen.
+        panic("locality: %zu unique coords but no varying axis",
+              coords.size());
+    }
+    if (varying == 1)
+        return Pattern::Line;
+
+    auto n = static_cast<double>(coords.size());
+    if (varying == 2) {
+        double area = 1.0;
+        for (int a = 0; a < 3; ++a)
+            area *= static_cast<double>(hi[a] - lo[a] + 1);
+        return (n / area >= params.squareDensity) ? Pattern::Square
+                                                  : Pattern::Random;
+    }
+
+    // varying == 3
+    double volume = 1.0;
+    for (int a = 0; a < 3; ++a)
+        volume *= static_cast<double>(hi[a] - lo[a] + 1);
+    return (n / volume >= params.cubicDensity) ? Pattern::Cubic
+                                               : Pattern::Random;
+}
+
+} // namespace radcrit

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Spatial locality of output errors (paper metric 4, Section III).
+ *
+ * "When several elements are corrupted, but they do not share the
+ * same position in one of the axis, they are tagged as random errors.
+ * When the corrupted elements share one, two, or three dimensions of
+ * the axis we classify them as line, square, or cubic respectively."
+ *
+ * Concretely (matching the usage throughout the paper's evaluation):
+ *  - one corrupted element                     -> Single
+ *  - all elements collinear along one axis     -> Line
+ *  - elements spanning two axes, clustered     -> Square
+ *  - elements spanning three axes, clustered   -> Cubic
+ *  - elements spanning multiple axes, scattered-> Random
+ *
+ * "Clustered" is judged by the density of unique corrupted positions
+ * inside their axis-aligned bounding box; the thresholds are
+ * parameters because the paper leaves the boundary qualitative.
+ * Classification uses *unique positions*: several LavaMD particles
+ * of one box share a box coordinate but count once for locality
+ * (while still counting individually for metric 1).
+ */
+
+#ifndef RADCRIT_METRICS_LOCALITY_HH
+#define RADCRIT_METRICS_LOCALITY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "metrics/sdcrecord.hh"
+
+namespace radcrit
+{
+
+/** Spatial error patterns, in the paper's vocabulary. */
+enum class Pattern : uint8_t
+{
+    /** No corrupted element (masked or fully filtered run). */
+    None,
+    Single,
+    Line,
+    Square,
+    Cubic,
+    Random,
+
+    NumPatterns
+};
+
+/** Number of patterns for array sizing. */
+constexpr size_t numPatterns =
+    static_cast<size_t>(Pattern::NumPatterns);
+
+/** @return a stable printable name of the pattern. */
+const char *patternName(Pattern p);
+
+/** Tunable cluster-density thresholds. */
+struct LocalityParams
+{
+    /**
+     * Minimum unique-position density inside the 2D bounding box for
+     * a two-axis-spanning pattern to count as Square (not Random).
+     */
+    double squareDensity = 0.05;
+    /** Same for three-axis-spanning patterns vs Cubic. */
+    double cubicDensity = 0.02;
+};
+
+/**
+ * Classify the spatial pattern of a corrupted-output record.
+ *
+ * @param record The mismatch log (possibly already filtered).
+ * @param params Cluster-density thresholds.
+ * @return the pattern; Pattern::None for an empty record.
+ */
+Pattern classifyLocality(const SdcRecord &record,
+                         const LocalityParams &params = {});
+
+/**
+ * @return the number of unique corrupted positions in the record.
+ */
+size_t uniquePositions(const SdcRecord &record);
+
+} // namespace radcrit
+
+#endif // RADCRIT_METRICS_LOCALITY_HH

@@ -1,0 +1,84 @@
+#include "metrics/locality_map.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+LocalityMap::LocalityMap(const SdcRecord &record)
+    : record_(record)
+{
+    if (record_.extent[0] <= 0 || record_.extent[1] <= 0)
+        panic("LocalityMap: degenerate extents %ld x %ld",
+              static_cast<long>(record_.extent[0]),
+              static_cast<long>(record_.extent[1]));
+}
+
+void
+LocalityMap::renderAscii(std::ostream &os, size_t max_side) const
+{
+    auto rows = static_cast<size_t>(record_.extent[0]);
+    auto cols = static_cast<size_t>(record_.extent[1]);
+    size_t out_rows = std::min(rows, max_side);
+    size_t out_cols = std::min(cols, max_side);
+
+    std::vector<char> cells(out_rows * out_cols, '.');
+    for (const auto &e : record_.elements) {
+        auto r = static_cast<size_t>(e.coord[0]) * out_rows / rows;
+        auto c = static_cast<size_t>(e.coord[1]) * out_cols / cols;
+        r = std::min(r, out_rows - 1);
+        c = std::min(c, out_cols - 1);
+        cells[r * out_cols + c] = '#';
+    }
+
+    os << "+" << std::string(out_cols, '-') << "+\n";
+    for (size_t r = 0; r < out_rows; ++r) {
+        os << '|';
+        os.write(&cells[r * out_cols],
+                 static_cast<std::streamsize>(out_cols));
+        os << "|\n";
+    }
+    os << "+" << std::string(out_cols, '-') << "+\n";
+    os << "grid " << rows << "x" << cols << ", "
+       << record_.elements.size() << " corrupted elements ('#')\n";
+}
+
+std::string
+LocalityMap::toAscii(size_t max_side) const
+{
+    std::ostringstream oss;
+    renderAscii(oss, max_side);
+    return oss.str();
+}
+
+void
+LocalityMap::writePpm(const std::string &path) const
+{
+    auto rows = static_cast<size_t>(record_.extent[0]);
+    auto cols = static_cast<size_t>(record_.extent[1]);
+    std::vector<unsigned char> pix(rows * cols * 3, 255);
+    for (const auto &e : record_.elements) {
+        auto r = static_cast<size_t>(e.coord[0]);
+        auto c = static_cast<size_t>(e.coord[1]);
+        if (r >= rows || c >= cols)
+            continue;
+        size_t off = (r * cols + c) * 3;
+        pix[off] = 220;     // red
+        pix[off + 1] = 30;
+        pix[off + 2] = 30;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for PPM output", path.c_str());
+    std::fprintf(f, "P6\n%zu %zu\n255\n", cols, rows);
+    std::fwrite(pix.data(), 1, pix.size(), f);
+    std::fclose(f);
+}
+
+} // namespace radcrit

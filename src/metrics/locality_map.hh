@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error locality map rendering (paper Fig. 9): the output result as a
+ * 2D matrix with corrupted elements marked, in ASCII for terminals
+ * and PPM (red dots on white) for image output.
+ */
+
+#ifndef RADCRIT_METRICS_LOCALITY_MAP_HH
+#define RADCRIT_METRICS_LOCALITY_MAP_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/sdcrecord.hh"
+
+namespace radcrit
+{
+
+/**
+ * Renders the spatial distribution of a 2D SdcRecord.
+ */
+class LocalityMap
+{
+  public:
+    /**
+     * @param record 2D record (dims must be 2); 3D records are
+     * projected onto the first two axes.
+     */
+    explicit LocalityMap(const SdcRecord &record);
+
+    /**
+     * Render at most max_side characters per axis (down-sampling the
+     * grid; a character cell is marked when any element inside it is
+     * corrupted).
+     */
+    void renderAscii(std::ostream &os, size_t max_side = 64) const;
+
+    /** Render to a string. */
+    std::string toAscii(size_t max_side = 64) const;
+
+    /**
+     * Write a full-resolution PPM (P6) image: white background, red
+     * corrupted elements. fatal() on I/O failure.
+     */
+    void writePpm(const std::string &path) const;
+
+  private:
+    SdcRecord record_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_METRICS_LOCALITY_MAP_HH

@@ -1,0 +1,43 @@
+#include "metrics/relative_error.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace radcrit
+{
+
+double
+relativeErrorPct(double read, double expected)
+{
+    if (!std::isfinite(read))
+        return relativeErrorSentinelPct;
+    if (expected == 0.0)
+        return read == 0.0 ? 0.0 : relativeErrorSentinelPct;
+    double rel = std::abs(read - expected) / std::abs(expected) *
+        100.0;
+    if (!std::isfinite(rel))
+        return relativeErrorSentinelPct;
+    return std::min(rel, relativeErrorSentinelPct);
+}
+
+double
+meanRelativeErrorPct(const SdcRecord &record)
+{
+    if (record.elements.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &e : record.elements)
+        sum += relativeErrorPct(e.read, e.expected);
+    return sum / static_cast<double>(record.elements.size());
+}
+
+double
+maxRelativeErrorPct(const SdcRecord &record)
+{
+    double mx = 0.0;
+    for (const auto &e : record.elements)
+        mx = std::max(mx, relativeErrorPct(e.read, e.expected));
+    return mx;
+}
+
+} // namespace radcrit

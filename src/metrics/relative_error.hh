@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Relative error and mean relative error (paper metrics 2 and 3).
+ *
+ *   relative_error = |read - expected| / |expected| * 100   [percent]
+ *
+ * The mean relative error averages the relative errors of all
+ * corrupted elements of one faulty execution, giving "an overview of
+ * how much the overall corrupted output differs from the expected
+ * one" (Section III).
+ */
+
+#ifndef RADCRIT_METRICS_RELATIVE_ERROR_HH
+#define RADCRIT_METRICS_RELATIVE_ERROR_HH
+
+#include "metrics/sdcrecord.hh"
+
+namespace radcrit
+{
+
+/**
+ * Relative error of one element, in percent.
+ *
+ * For expected == 0 the paper's formula is undefined; we return 0
+ * when read is also 0 and a large sentinel (1e12 %) otherwise, which
+ * keeps such elements above any realistic filter threshold.
+ * Non-finite read values (NaN/Inf from corrupted arithmetic) also
+ * map to the sentinel.
+ */
+double relativeErrorPct(double read, double expected);
+
+/** Sentinel relative error used for undefined/non-finite cases. */
+constexpr double relativeErrorSentinelPct = 1e12;
+
+/**
+ * Mean of relative errors over all corrupted elements (metric 3).
+ * @return 0 for an empty record.
+ */
+double meanRelativeErrorPct(const SdcRecord &record);
+
+/**
+ * Largest per-element relative error in the record (0 when empty).
+ */
+double maxRelativeErrorPct(const SdcRecord &record);
+
+} // namespace radcrit
+
+#endif // RADCRIT_METRICS_RELATIVE_ERROR_HH

@@ -1,0 +1,84 @@
+#include "mtbf/projection.hh"
+
+#include <cmath>
+
+#include "campaign/runner.hh"
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+double
+dalyInterval(double checkpoint_write_hours, double mtbf_hours)
+{
+    if (checkpoint_write_hours <= 0.0 || mtbf_hours <= 0.0)
+        fatal("Daly interval needs positive write cost and MTBF");
+    return std::sqrt(2.0 * checkpoint_write_hours * mtbf_hours);
+}
+
+double
+checkpointEfficiency(double interval_hours,
+                     double checkpoint_write_hours,
+                     double restart_hours, double mtbf_hours)
+{
+    if (interval_hours <= 0.0 || mtbf_hours <= 0.0)
+        fatal("efficiency needs positive interval and MTBF");
+    // Per segment of useful work T: wall time T + C. Failures
+    // arrive at rate 1/MTBF; each failure wastes on average half a
+    // segment of rework plus the restart time.
+    double segment_wall = interval_hours +
+        checkpoint_write_hours;
+    double failure_overhead_rate =
+        (0.5 * segment_wall + restart_hours) / mtbf_hours;
+    double eff = (interval_hours / segment_wall) *
+        (1.0 - failure_overhead_rate);
+    return std::max(0.0, eff);
+}
+
+SystemProjection
+projectToSystem(const CampaignResult &result,
+                const SystemConfig &config)
+{
+    if (config.devices == 0)
+        fatal("system needs at least one device");
+    if (config.fitPerAu <= 0.0)
+        fatal("fitPerAu anchor must be positive");
+
+    SystemProjection proj;
+
+    // Relative FIT for each event class, converted through the
+    // absolute anchor.
+    uint64_t detectable = result.count(Outcome::Crash) +
+        result.count(Outcome::Hang);
+    proj.deviceDetectableFit =
+        result.fitAu(detectable) * config.fitPerAu;
+    proj.deviceSdcFit =
+        result.fitTotalAu(false) * config.fitPerAu;
+    proj.deviceCriticalFit =
+        result.fitTotalAu(true) * config.fitPerAu;
+
+    auto mtbf = [&](double device_fit) {
+        if (device_fit <= 0.0)
+            return 0.0;
+        double failures_per_hour = device_fit * 1e-9 *
+            static_cast<double>(config.devices);
+        return 1.0 / failures_per_hour;
+    };
+    proj.mtbfDetectableHours = mtbf(proj.deviceDetectableFit);
+    proj.mtbsSdcHours = mtbf(proj.deviceSdcFit);
+    proj.mtbsCriticalHours = mtbf(proj.deviceCriticalFit);
+
+    if (proj.mtbfDetectableHours > 0.0) {
+        proj.dalyIntervalHours = dalyInterval(
+            config.checkpointWriteHours,
+            proj.mtbfDetectableHours);
+        proj.efficiency = checkpointEfficiency(
+            proj.dalyIntervalHours, config.checkpointWriteHours,
+            config.restartHours, proj.mtbfDetectableHours);
+    } else {
+        proj.efficiency = 1.0;
+    }
+    return proj;
+}
+
+} // namespace radcrit

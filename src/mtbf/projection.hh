@@ -1,0 +1,111 @@
+/**
+ * @file
+ * System-level reliability projection.
+ *
+ * The paper's introduction motivates error criticality with
+ * system-scale numbers: Titan's >18,000 Kepler GPUs have a
+ * radiation-induced MTBF "in the order of dozens of hours"
+ * (refs. [18], [41]), and crashes/hangs "lead to performance
+ * penalties and eventual data loss if a checkpoint was not
+ * performed". This module closes that loop: it scales per-device
+ * failure rates (from campaigns, anchored to an absolute-FIT
+ * assumption the user provides, since the paper's absolute FIT is
+ * business-sensitive) to a full machine, and computes the optimal
+ * checkpoint interval (Young/Daly) and the resulting machine
+ * efficiency — quantifying why SDC criticality matters at exascale
+ * (Section I).
+ */
+
+#ifndef RADCRIT_MTBF_PROJECTION_HH
+#define RADCRIT_MTBF_PROJECTION_HH
+
+#include <cstdint>
+
+namespace radcrit
+{
+
+struct CampaignResult;
+
+/** A machine built from many accelerators. */
+struct SystemConfig
+{
+    /** Accelerators in the machine (Titan: 18,688). */
+    uint64_t devices = 18688;
+    /**
+     * Anchor: absolute device FIT (failures per 1e9 device-hours)
+     * corresponding to one relative-FIT arbitrary unit. The paper
+     * withholds absolute FIT; pick the anchor to explore
+     * scenarios. The default of 25 puts a Titan-scale machine in
+     * the "dozens of hours" MTBF band the paper quotes.
+     */
+    double fitPerAu = 25.0;
+    /** Time to write one checkpoint, hours. */
+    double checkpointWriteHours = 0.1;
+    /** Time to restart from a checkpoint, hours. */
+    double restartHours = 0.15;
+};
+
+/** System-level projection of one campaign's rates. */
+struct SystemProjection
+{
+    /** Absolute per-device FIT for detectable failures. */
+    double deviceDetectableFit = 0.0;
+    /** Absolute per-device FIT for SDCs (all mismatches). */
+    double deviceSdcFit = 0.0;
+    /** Absolute per-device FIT for critical (filtered) SDCs. */
+    double deviceCriticalFit = 0.0;
+
+    /** Machine MTBF for detectable failures, hours. */
+    double mtbfDetectableHours = 0.0;
+    /** Machine mean time between SDCs, hours. */
+    double mtbsSdcHours = 0.0;
+    /** Machine mean time between critical SDCs, hours. */
+    double mtbsCriticalHours = 0.0;
+
+    /** Young/Daly optimal checkpoint interval, hours. */
+    double dalyIntervalHours = 0.0;
+    /**
+     * Machine efficiency under optimal checkpointing: useful work
+     * divided by wall time, accounting for checkpoint writes and
+     * rework/restart after detectable failures.
+     */
+    double efficiency = 0.0;
+};
+
+/**
+ * Project a campaign to machine scale.
+ *
+ * Detectable failures (crash + hang) drive checkpoint/restart
+ * overheads; SDC rates are reported both raw and after the
+ * campaign's tolerance filter (critical), since only detectable
+ * failures trigger recovery — SDCs silently corrupt results, which
+ * is the paper's core concern.
+ */
+SystemProjection
+projectToSystem(const CampaignResult &result,
+                const SystemConfig &config);
+
+/**
+ * Young/Daly first-order optimal checkpoint interval:
+ * sqrt(2 * write_cost * MTBF).
+ *
+ * @param checkpoint_write_hours Checkpoint write cost, hours.
+ * @param mtbf_hours System MTBF for detectable failures, hours.
+ */
+double dalyInterval(double checkpoint_write_hours,
+                    double mtbf_hours);
+
+/**
+ * Machine efficiency for a given checkpoint interval: fraction of
+ * wall time spent on useful forward progress, with checkpoint
+ * overhead, expected rework of half an interval per failure, and
+ * restart cost.
+ */
+double checkpointEfficiency(double interval_hours,
+                            double checkpoint_write_hours,
+                            double restart_hours,
+                            double mtbf_hours);
+
+} // namespace radcrit
+
+#endif // RADCRIT_MTBF_PROJECTION_HH

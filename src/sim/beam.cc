@@ -1,0 +1,111 @@
+#include "sim/beam.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+
+double
+BeamFacility::accelerationFactor() const
+{
+    double flux_per_hour = fluxPerCm2s * 3600.0;
+    return flux_per_hour / terrestrialFluxPerCm2Hour;
+}
+
+double
+BeamFacility::spotAreaCm2() const
+{
+    double radius_cm = spotDiameterInch * 2.54 / 2.0;
+    return M_PI * radius_cm * radius_cm;
+}
+
+BeamFacility
+makePaperSetup()
+{
+    BeamFacility f;
+    f.name = "LANSCE";
+    f.fluxPerCm2s = 1e6;
+    f.spotDiameterInch = 2.0;
+    // Two K40s and two Xeon Phis in the beam line at increasing
+    // distance; de-rating compensates distance attenuation (after
+    // de-rating, sensitivity is position-independent, Section IV-D).
+    f.boards = {
+        {"K40 #1", 1.0, 1.00},
+        {"K40 #2", 1.5, 0.82},
+        {"XeonPhi #1", 2.0, 0.69},
+        {"XeonPhi #2", 2.5, 0.58},
+    };
+    return f;
+}
+
+BeamExposure::BeamExposure(const BeamFacility &facility,
+                           double chip_cross_section_cm2,
+                           double run_seconds)
+    : facility_(facility),
+      chipCrossSectionCm2_(chip_cross_section_cm2),
+      runSeconds_(run_seconds)
+{
+    if (chip_cross_section_cm2 <= 0.0)
+        fatal("chip cross-section must be positive (got %g)",
+              chip_cross_section_cm2);
+    if (run_seconds <= 0.0)
+        fatal("run time must be positive (got %g)", run_seconds);
+}
+
+double
+BeamExposure::runFluence() const
+{
+    return facility_.fluxPerCm2s * runSeconds_;
+}
+
+double
+BeamExposure::expectedStrikesPerRun(double upsets_per_fluence) const
+{
+    return runFluence() * upsets_per_fluence;
+}
+
+uint64_t
+BeamExposure::sampleStrikes(double upsets_per_fluence,
+                            Rng &rng) const
+{
+    return rng.poisson(expectedStrikesPerRun(upsets_per_fluence));
+}
+
+bool
+BeamExposure::honoursSingleStrikeRule(
+    double upsets_per_fluence, double p_error_given_strike) const
+{
+    double errors_per_run = expectedStrikesPerRun(upsets_per_fluence)
+        * p_error_given_strike;
+    return errors_per_run < 1e-3;
+}
+
+double
+BeamExposure::fluence(double beam_hours) const
+{
+    return facility_.fluxPerCm2s * 3600.0 * beam_hours;
+}
+
+double
+BeamExposure::fitAtSeaLevel(double errors, double beam_hours) const
+{
+    if (beam_hours <= 0.0)
+        fatal("beam_hours must be positive (got %g)", beam_hours);
+    // Errors per unit fluence times terrestrial flux gives errors
+    // per hour in the natural environment; FIT is per 1e9 hours.
+    double errors_per_fluence = errors / fluence(beam_hours);
+    double errors_per_hour = errors_per_fluence *
+        terrestrialFluxPerCm2Hour;
+    return errors_per_hour * 1e9;
+}
+
+double
+BeamExposure::equivalentNaturalHours(double beam_hours) const
+{
+    return beam_hours * facility_.accelerationFactor();
+}
+
+} // namespace radcrit

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Accelerated-beam facility model (paper Section IV-D).
+ *
+ * Models the LANSCE / ISIS experimental setup: a neutron flux 6-8
+ * orders of magnitude above the terrestrial reference, a 2-inch beam
+ * spot irradiating only the accelerator chip (DRAM stays outside),
+ * several boards at different distances with de-rating factors, and
+ * the tuning rule that keeps observed error rates below 1e-3
+ * errors/execution so that at most one neutron corrupts a run.
+ *
+ * The facility converts between beam exposure and expected strike
+ * counts, and scales observed error rates to FIT at the terrestrial
+ * reference flux of 13 n/(cm^2 h) (JEDEC JESD89A, paper ref. [23]).
+ */
+
+#ifndef RADCRIT_SIM_BEAM_HH
+#define RADCRIT_SIM_BEAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+class Rng;
+
+/** Terrestrial reference flux at sea level, n/(cm^2 h). */
+constexpr double terrestrialFluxPerCm2Hour = 13.0;
+
+/** One board placed in the beam line. */
+struct BoardPlacement
+{
+    /** Label, e.g. "K40 #1". */
+    std::string label;
+    /** Distance from the neutron source, metres. */
+    double distanceM = 1.0;
+    /**
+     * De-rating factor applied for distance attenuation; effective
+     * flux = facility flux * derating.
+     */
+    double derating = 1.0;
+};
+
+/**
+ * Beam facility configuration.
+ */
+struct BeamFacility
+{
+    /** Facility name: "LANSCE" or "ISIS". */
+    std::string name = "LANSCE";
+    /** Beam flux in n/(cm^2 s) (1e5 at ISIS to 2.5e6 at LANSCE). */
+    double fluxPerCm2s = 1e6;
+    /** Beam spot diameter in inches (2 in the paper). */
+    double spotDiameterInch = 2.0;
+    /** Boards irradiated in parallel. */
+    std::vector<BoardPlacement> boards;
+
+    /** @return acceleration factor over the terrestrial flux. */
+    double accelerationFactor() const;
+
+    /** @return beam spot area in cm^2. */
+    double spotAreaCm2() const;
+};
+
+/** @return the standard two-K40 + two-Phi LANSCE setup of Fig. 1. */
+BeamFacility makePaperSetup();
+
+/**
+ * Bookkeeping of one beam campaign: exposure, executions, errors.
+ */
+class BeamExposure
+{
+  public:
+    /**
+     * @param facility The facility configuration.
+     * @param chip_cross_section_cm2 Sensitive chip area under beam.
+     * @param run_seconds Wall time of one code execution.
+     */
+    BeamExposure(const BeamFacility &facility,
+                 double chip_cross_section_cm2, double run_seconds);
+
+    /**
+     * Expected strikes (upsets anywhere in the chip) per execution,
+     * given a device raw cross-section expressed as upsets per
+     * n/cm^2 of fluence.
+     */
+    double expectedStrikesPerRun(double upsets_per_fluence) const;
+
+    /**
+     * Sample how many strikes one execution receives (Poisson).
+     */
+    uint64_t sampleStrikes(double upsets_per_fluence,
+                           Rng &rng) const;
+
+    /**
+     * @return true when the configuration honours the paper's
+     * single-strike tuning rule (observed error rate < 1e-3 per
+     * execution).
+     */
+    bool honoursSingleStrikeRule(double upsets_per_fluence,
+                                 double p_error_given_strike) const;
+
+    /** Fluence accumulated over the given beam-hours, n/cm^2. */
+    double fluence(double beam_hours) const;
+
+    /**
+     * Scale an error count observed under beam to FIT (failures per
+     * 1e9 device-hours) at terrestrial flux.
+     *
+     * @param errors Observed errors.
+     * @param beam_hours Beam time over which they were observed.
+     */
+    double fitAtSeaLevel(double errors, double beam_hours) const;
+
+    /**
+     * Natural-environment hours equivalent to the given beam hours
+     * (the paper quotes >= 8e8 hours, about 91,000 years).
+     */
+    double equivalentNaturalHours(double beam_hours) const;
+
+    /** @return per-run fluence, n/cm^2. */
+    double runFluence() const;
+
+  private:
+    BeamFacility facility_;
+    double chipCrossSectionCm2_;
+    double runSeconds_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_SIM_BEAM_HH

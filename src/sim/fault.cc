@@ -1,0 +1,22 @@
+#include "sim/fault.hh"
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Masked: return "Masked";
+      case Outcome::Sdc: return "SDC";
+      case Outcome::Crash: return "Crash";
+      case Outcome::Hang: return "Hang";
+      default:
+        panic("outcomeName: invalid outcome %d",
+              static_cast<int>(o));
+    }
+}
+
+} // namespace radcrit

@@ -1,0 +1,110 @@
+#include "sim/sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+
+StrikeSampler::StrikeSampler(const DeviceModel &device,
+                             const KernelLaunch &launch)
+    : device_(device), launch_(launch)
+{
+    for (const auto &res : device.resources) {
+        double sens = isStorage(res.kind)
+            ? device.storageSensitivity
+            : device.logicSensitivity;
+        double w = res.sizeBits * sens * res.eccSurvival *
+            launch.traits.util(res.kind);
+        if (res.kind == ResourceKind::Scheduler)
+            w *= launch.schedulerStrain;
+        if (res.kind == ResourceKind::RegisterFile)
+            w *= launch.registerExposure;
+        weights_[static_cast<size_t>(res.kind)] = w;
+        totalWeight_ += w;
+    }
+    if (totalWeight_ <= 0.0)
+        panic("launch of %s on %s exercises no sensitive resource",
+              launch.traits.name.c_str(), device.name.c_str());
+}
+
+double
+StrikeSampler::weight(ResourceKind kind) const
+{
+    return weights_[static_cast<size_t>(kind)];
+}
+
+ResourceKind
+StrikeSampler::sampleResource(Rng &rng) const
+{
+    double pick = rng.uniform() * totalWeight_;
+    for (size_t i = 0; i < numResourceKinds; ++i) {
+        pick -= weights_[i];
+        if (pick <= 0.0 && weights_[i] > 0.0)
+            return static_cast<ResourceKind>(i);
+    }
+    // Numerical tail: return the last nonzero-weight resource.
+    for (size_t i = numResourceKinds; i-- > 0;) {
+        if (weights_[i] > 0.0)
+            return static_cast<ResourceKind>(i);
+    }
+    panic("StrikeSampler::sampleResource: no nonzero weight");
+}
+
+Outcome
+StrikeSampler::sampleOutcome(ResourceKind kind, Rng &rng) const
+{
+    OutcomeProfile p = device_.resource(kind).outcome;
+
+    // Storage strikes crash mainly through corrupted addresses and
+    // tags; small-footprint codes keep corrupted addresses inside
+    // the resident set and see data corruption instead.
+    double cx = launch_.traits.crashExposure;
+    if (cx < 1.0 && isStorage(kind)) {
+        double moved = (p.pCrash + p.pHang) * (1.0 - cx);
+        p.pSdc += moved;
+        p.pCrash *= cx;
+        p.pHang *= cx;
+    }
+
+    // Control-flow-heavy kernels (CLAMR) convert more upsets in
+    // logic/scheduling resources into crashes and hangs.
+    double cf = launch_.traits.controlFlowIntensity;
+    if (cf > 0.0 && isLogic(kind)) {
+        double boost = 1.0 + 0.8 * cf;
+        double extra = (p.pCrash + p.pHang) * (boost - 1.0);
+        extra = std::min(extra, p.pSdc * 0.8);
+        double ch = p.pCrash + p.pHang;
+        if (ch > 0.0) {
+            p.pCrash += extra * (p.pCrash / ch);
+            p.pHang += extra * (p.pHang / ch);
+            p.pSdc -= extra;
+        }
+    }
+
+    double pick = rng.uniform();
+    if ((pick -= p.pSdc) <= 0.0)
+        return Outcome::Sdc;
+    if ((pick -= p.pCrash) <= 0.0)
+        return Outcome::Crash;
+    if ((pick -= p.pHang) <= 0.0)
+        return Outcome::Hang;
+    return Outcome::Masked;
+}
+
+Strike
+StrikeSampler::sampleStrike(Rng &rng) const
+{
+    Strike s;
+    s.resource = sampleResource(rng);
+    s.manifestation = device_.sampleManifestation(s.resource, rng);
+    s.timeFraction = rng.uniform();
+    s.burstBits = isStorage(s.resource)
+        ? device_.sampleBurstBits(rng) : 1;
+    s.entropy = rng.next64();
+    return s;
+}
+
+} // namespace radcrit

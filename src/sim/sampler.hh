@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Area- and utilization-weighted strike sampling.
+ *
+ * The sampler turns a (device, launch) pair into a probability
+ * distribution over strike targets: each resource's effective
+ * sensitive area is
+ *
+ *   size_bits * sensitivity * ecc_survival * utilization
+ *     * scheduler_strain   (Scheduler only)
+ *     * register_exposure  (RegisterFile only, K40-style devices)
+ *
+ * The sum of these weights is the launch's total sensitive area in
+ * arbitrary units; relative FIT values are proportional to it, which
+ * is how input size moves the FIT series (paper Section V-A).
+ */
+
+#ifndef RADCRIT_SIM_SAMPLER_HH
+#define RADCRIT_SIM_SAMPLER_HH
+
+#include <array>
+
+#include "arch/device.hh"
+#include "exec/launch.hh"
+#include "sim/fault.hh"
+
+namespace radcrit
+{
+
+class Rng;
+
+/**
+ * Samples strikes and their program-level outcomes for one launch on
+ * one device.
+ */
+class StrikeSampler
+{
+  public:
+    /**
+     * @param device The device model (must outlive the sampler).
+     * @param launch The dynamic launch view on that device.
+     */
+    StrikeSampler(const DeviceModel &device,
+                  const KernelLaunch &launch);
+
+    /** @return effective sensitive weight of one resource (a.u.). */
+    double weight(ResourceKind kind) const;
+
+    /** @return total sensitive area over all resources (a.u.). */
+    double totalWeight() const { return totalWeight_; }
+
+    /** Sample the struck resource proportionally to the weights. */
+    ResourceKind sampleResource(Rng &rng) const;
+
+    /**
+     * Sample a program-level outcome for a strike in the given
+     * resource. Control-flow-heavy kernels turn more upsets into
+     * crashes/hangs (paper Section V: "Observed differences may be
+     * dependent on algorithm control-flow characteristics").
+     */
+    Outcome sampleOutcome(ResourceKind kind, Rng &rng) const;
+
+    /** Sample a complete strike (resource, manifestation, timing). */
+    Strike sampleStrike(Rng &rng) const;
+
+    /** @return the device this sampler targets. */
+    const DeviceModel &device() const { return device_; }
+
+    /** @return the launch this sampler targets. */
+    const KernelLaunch &launch() const { return launch_; }
+
+  private:
+    const DeviceModel &device_;
+    KernelLaunch launch_;
+    std::array<double, numResourceKinds> weights_{};
+    double totalWeight_ = 0.0;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_SIM_SAMPLER_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the AMR refinement map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "kernels/amr.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(AmrTest, FlatFieldNoRefinement)
+{
+    AmrMap amr(32, 0.5);
+    std::vector<double> h(32 * 32, 3.0);
+    amr.update(h);
+    EXPECT_EQ(amr.refinedCells(), 0u);
+    EXPECT_EQ(amr.effectiveCells(), 32u * 32u);
+    EXPECT_DOUBLE_EQ(amr.imbalance(), 0.0);
+}
+
+TEST(AmrTest, StepEdgeRefines)
+{
+    AmrMap amr(32, 0.5);
+    std::vector<double> h(32 * 32, 1.0);
+    for (int64_t r = 0; r < 32; ++r)
+        for (int64_t c = 16; c < 32; ++c)
+            h[r * 32 + c] = 5.0;
+    amr.update(h);
+    // Both sides of the discontinuity flag: 2 columns x 32 rows.
+    EXPECT_EQ(amr.refinedCells(), 64u);
+    EXPECT_EQ(amr.effectiveCells(), 32u * 32u + 3u * 64u);
+}
+
+TEST(AmrTest, ThresholdGatesRefinement)
+{
+    std::vector<double> h(32 * 32, 1.0);
+    h[16 * 32 + 16] = 1.4; // gradient 0.4
+    AmrMap tight(32, 0.3);
+    tight.update(h);
+    EXPECT_GT(tight.refinedCells(), 0u);
+    AmrMap loose(32, 0.5);
+    loose.update(h);
+    EXPECT_EQ(loose.refinedCells(), 0u);
+}
+
+TEST(AmrTest, LocalizedRefinementIsImbalanced)
+{
+    // One refined corner tile: most work tiles are near the mean,
+    // the refined one deviates — Table I's "imbalanced".
+    AmrMap amr(64, 0.5);
+    std::vector<double> h(64 * 64, 1.0);
+    for (int64_t r = 0; r < 8; ++r)
+        for (int64_t c = 0; c < 8; ++c)
+            h[r * 64 + c] = 10.0 + static_cast<double>(r + c);
+    amr.update(h);
+    EXPECT_GT(amr.refinedCells(), 0u);
+    EXPECT_GT(amr.imbalance(), 0.0);
+}
+
+TEST(AmrTest, FlagsShapeMatchesGrid)
+{
+    AmrMap amr(16, 0.5);
+    EXPECT_EQ(amr.flags().size(), 16u * 16u);
+    EXPECT_EQ(amr.n(), 16);
+}
+
+TEST(AmrDeathTest, BadConfig)
+{
+    EXPECT_EXIT(AmrMap(1, 0.5), ::testing::ExitedWithCode(1),
+                "grid side");
+    EXPECT_EXIT(AmrMap(8, 0.0), ::testing::ExitedWithCode(1),
+                "threshold");
+}
+
+TEST(AmrDeathTest, WrongFieldSizePanics)
+{
+    AmrMap amr(8, 0.5);
+    std::vector<double> wrong(10, 1.0);
+    EXPECT_DEATH(amr.update(wrong), "expected");
+}
+
+} // anonymous namespace
+} // namespace radcrit

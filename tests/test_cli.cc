@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the command-line option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(CliTest, DefaultsApply)
+{
+    CliParser cli("prog");
+    cli.addInt("n", 7, "count");
+    cli.addString("name", "abc", "name");
+    cli.addDouble("x", 1.5, "x");
+    cli.addFlag("fast", "go fast");
+    const char *argv[] = {"prog"};
+    cli.parse(1, argv);
+    EXPECT_EQ(cli.getInt("n"), 7);
+    EXPECT_EQ(cli.getString("name"), "abc");
+    EXPECT_DOUBLE_EQ(cli.getDouble("x"), 1.5);
+    EXPECT_FALSE(cli.getFlag("fast"));
+}
+
+TEST(CliTest, EqualsForm)
+{
+    CliParser cli("prog");
+    cli.addInt("n", 0, "");
+    const char *argv[] = {"prog", "--n=42"};
+    cli.parse(2, argv);
+    EXPECT_EQ(cli.getInt("n"), 42);
+}
+
+TEST(CliTest, SpaceForm)
+{
+    CliParser cli("prog");
+    cli.addString("s", "", "");
+    const char *argv[] = {"prog", "--s", "hello"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.getString("s"), "hello");
+}
+
+TEST(CliTest, FlagPresence)
+{
+    CliParser cli("prog");
+    cli.addFlag("v", "");
+    const char *argv[] = {"prog", "--v"};
+    cli.parse(2, argv);
+    EXPECT_TRUE(cli.getFlag("v"));
+}
+
+TEST(CliTest, PositionalCollected)
+{
+    CliParser cli("prog");
+    cli.addFlag("v", "");
+    const char *argv[] = {"prog", "input.txt", "--v", "more"};
+    cli.parse(4, argv);
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.txt");
+    EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(CliTest, NegativeNumbers)
+{
+    CliParser cli("prog");
+    cli.addInt("n", 0, "");
+    cli.addDouble("x", 0.0, "");
+    const char *argv[] = {"prog", "--n=-3", "--x=-2.5"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.getInt("n"), -3);
+    EXPECT_DOUBLE_EQ(cli.getDouble("x"), -2.5);
+}
+
+TEST(CliTest, UsageMentionsOptions)
+{
+    CliParser cli("prog");
+    cli.addInt("runs", 5, "number of runs");
+    std::string u = cli.usage();
+    EXPECT_NE(u.find("--runs"), std::string::npos);
+    EXPECT_NE(u.find("number of runs"), std::string::npos);
+    EXPECT_NE(u.find("default: 5"), std::string::npos);
+}
+
+TEST(CliDeathTest, UnknownOptionFatal)
+{
+    CliParser cli("prog");
+    const char *argv[] = {"prog", "--nope"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(CliDeathTest, BadIntFatal)
+{
+    CliParser cli("prog");
+    cli.addInt("n", 0, "");
+    const char *argv[] = {"prog", "--n=abc"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeathTest, MissingValueFatal)
+{
+    CliParser cli("prog");
+    cli.addInt("n", 0, "");
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "requires a value");
+}
+
+TEST(CliDeathTest, FlagWithValueFatal)
+{
+    CliParser cli("prog");
+    cli.addFlag("v", "");
+    const char *argv[] = {"prog", "--v=1"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "does not take a value");
+}
+
+} // anonymous namespace
+} // namespace radcrit

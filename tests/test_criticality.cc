@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the combined criticality analysis and FIT breakdown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/criticality.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+SdcRecord
+mixedRecord()
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {100, 100, 1};
+    // Line of three elements on row 4, two of them sub-threshold.
+    rec.elements.push_back({{4, 1, 0}, 1.001, 1.0});
+    rec.elements.push_back({{4, 2, 0}, 1.005, 1.0});
+    rec.elements.push_back({{4, 3, 0}, 2.0, 1.0});
+    return rec;
+}
+
+TEST(CriticalityTest, UnfilteredMetrics)
+{
+    CriticalityReport rep = analyzeCriticality(mixedRecord());
+    EXPECT_EQ(rep.numIncorrect, 3u);
+    EXPECT_EQ(rep.pattern, Pattern::Line);
+    EXPECT_NEAR(rep.meanRelErrPct, (0.1 + 0.5 + 100.0) / 3.0,
+                1e-6);
+    EXPECT_FALSE(rep.executionFiltered);
+}
+
+TEST(CriticalityTest, FilterChangesPattern)
+{
+    // "One execution classified as square may change to line or
+    // single when some elements are filtered" — here Line becomes
+    // Single.
+    CriticalityReport rep = analyzeCriticality(mixedRecord());
+    EXPECT_EQ(rep.numIncorrectFiltered, 1u);
+    EXPECT_EQ(rep.patternFiltered, Pattern::Single);
+    EXPECT_NEAR(rep.meanRelErrFilteredPct, 100.0, 1e-9);
+}
+
+TEST(CriticalityTest, FullyFilteredExecution)
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {10, 10, 1};
+    rec.elements.push_back({{1, 1, 0}, 1.0001, 1.0});
+    CriticalityReport rep = analyzeCriticality(rec);
+    EXPECT_TRUE(rep.executionFiltered);
+    EXPECT_EQ(rep.patternFiltered, Pattern::None);
+    EXPECT_EQ(rep.numIncorrectFiltered, 0u);
+}
+
+TEST(CriticalityTest, EmptyRecord)
+{
+    SdcRecord rec;
+    CriticalityReport rep = analyzeCriticality(rec);
+    EXPECT_EQ(rep.numIncorrect, 0u);
+    EXPECT_EQ(rep.pattern, Pattern::None);
+    EXPECT_FALSE(rep.executionFiltered);
+}
+
+TEST(CriticalityTest, CustomThreshold)
+{
+    RelativeErrorFilter f(200.0);
+    CriticalityReport rep = analyzeCriticality(mixedRecord(), f);
+    EXPECT_TRUE(rep.executionFiltered);
+}
+
+TEST(FitBreakdownTest, AccumulatesAndTotals)
+{
+    FitBreakdown bd;
+    bd.add(Pattern::Square, 1.5);
+    bd.add(Pattern::Square, 1.5);
+    bd.add(Pattern::Line, 2.0);
+    EXPECT_DOUBLE_EQ(bd.of(Pattern::Square), 3.0);
+    EXPECT_DOUBLE_EQ(bd.of(Pattern::Line), 2.0);
+    EXPECT_DOUBLE_EQ(bd.of(Pattern::Cubic), 0.0);
+    EXPECT_DOUBLE_EQ(bd.total(), 5.0);
+}
+
+TEST(FitBreakdownTest, NoneExcludedFromTotal)
+{
+    FitBreakdown bd;
+    bd.add(Pattern::None, 10.0);
+    bd.add(Pattern::Single, 1.0);
+    EXPECT_DOUBLE_EQ(bd.total(), 1.0);
+}
+
+TEST(FitBreakdownTest, MakeFromPatterns)
+{
+    std::vector<Pattern> patterns{Pattern::Single, Pattern::Single,
+                                  Pattern::Cubic};
+    FitBreakdown bd = makeFitBreakdown(patterns, 0.5);
+    EXPECT_DOUBLE_EQ(bd.of(Pattern::Single), 1.0);
+    EXPECT_DOUBLE_EQ(bd.of(Pattern::Cubic), 0.5);
+    EXPECT_DOUBLE_EQ(bd.total(), 1.5);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+class CsvTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "radcrit_csv_test.csv";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesRows)
+{
+    {
+        CsvWriter w(path_);
+        w.writeRow({"a", "b"});
+        w.writeRow({"1", "2"});
+    }
+    EXPECT_EQ(readAll(path_), "a,b\n1,2\n");
+}
+
+TEST_F(CsvTest, QuotesSpecialCharacters)
+{
+    {
+        CsvWriter w(path_);
+        w.writeRow({"a,b", "he said \"hi\"", "line\nbreak"});
+    }
+    EXPECT_EQ(readAll(path_),
+              "\"a,b\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvEscapeTest, PlainFieldUntouched)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvEscapeTest, CommaQuoted)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuoteDoubled)
+{
+    EXPECT_EQ(CsvWriter::escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvDeathTest, BadPathIsFatal)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent-dir/x.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the entropy and mass-conservation detectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "abft/detectors.hh"
+#include "common/rng.hh"
+#include "kernels/hotspot.hh"
+#include "sim/fault.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(EntropyDetectorTest, GoldenFieldPasses)
+{
+    std::vector<float> golden(1024);
+    Rng rng(1);
+    for (auto &v : golden)
+        v = static_cast<float>(rng.normal(320.0, 10.0));
+    EntropyDetector det(golden);
+    EXPECT_FALSE(det.detect(golden));
+    EXPECT_GT(det.goldenEntropyBits(), 1.0);
+}
+
+TEST(EntropyDetectorTest, WidespreadShiftDetected)
+{
+    std::vector<float> golden(4096);
+    Rng rng(2);
+    for (auto &v : golden)
+        v = static_cast<float>(rng.normal(320.0, 10.0));
+    EntropyDetector det(golden, 64, 0.02);
+    // Widespread low-magnitude corruption narrows/reshapes the
+    // distribution (paper V-C: check entropy, not elements).
+    std::vector<float> corrupted = golden;
+    for (size_t i = 0; i < corrupted.size(); i += 2)
+        corrupted[i] = 320.0f;
+    EXPECT_TRUE(det.detect(corrupted));
+}
+
+TEST(EntropyDetectorTest, SingleElementBelowThreshold)
+{
+    std::vector<float> golden(4096);
+    Rng rng(3);
+    for (auto &v : golden)
+        v = static_cast<float>(rng.normal(320.0, 10.0));
+    EntropyDetector det(golden, 64, 0.02);
+    std::vector<float> corrupted = golden;
+    corrupted[5] += 2.0f;
+    // One mildly wrong element cannot move the whole entropy.
+    EXPECT_FALSE(det.detect(corrupted));
+}
+
+TEST(EntropyDetectorTest, EndToEndOnHotSpot)
+{
+    DeviceModel device = makeK40();
+    HotSpot hotspot(device, 64, 96, 42);
+    EntropyDetector det(hotspot.goldenTemp(), 64, 0.02);
+    EXPECT_FALSE(det.detect(hotspot.goldenTemp()));
+}
+
+TEST(EntropyDetectorDeathTest, EmptyGoldenFatal)
+{
+    std::vector<float> empty;
+    EXPECT_EXIT(EntropyDetector det(empty),
+                ::testing::ExitedWithCode(1), "non-empty");
+}
+
+TEST(MassCheckerTest, ExactMassPasses)
+{
+    MassChecker mc(1000.0);
+    EXPECT_FALSE(mc.detect(1000.0));
+    EXPECT_FALSE(mc.detect(1000.0 + 1e-7));
+}
+
+TEST(MassCheckerTest, DriftDetected)
+{
+    MassChecker mc(1000.0, 1e-9);
+    EXPECT_TRUE(mc.detect(1000.1));
+    EXPECT_TRUE(mc.detect(999.0));
+    EXPECT_NEAR(mc.relativeDrift(1001.0), 1e-3, 1e-12);
+}
+
+TEST(MassCheckerTest, NanDetected)
+{
+    MassChecker mc(1000.0);
+    EXPECT_TRUE(mc.detect(std::nan("")));
+}
+
+TEST(MassCheckerDeathTest, NonPositiveMassFatal)
+{
+    EXPECT_EXIT(MassChecker(0.0), ::testing::ExitedWithCode(1),
+                "positive");
+}
+
+} // anonymous namespace
+} // namespace radcrit

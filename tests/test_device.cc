@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the K40 and Xeon Phi device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/device.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(DeviceTest, K40Parameters)
+{
+    DeviceModel d = makeK40();
+    EXPECT_EQ(d.name, "K40");
+    EXPECT_EQ(d.schedulerKind, SchedulerKind::Hardware);
+    EXPECT_EQ(d.computeUnits, 15u);
+    EXPECT_EQ(d.maxThreadsPerUnit, 2048u);
+    EXPECT_EQ(d.maxResidentThreads(), 30720u);
+    EXPECT_TRUE(d.registerResidencyExposure);
+    EXPECT_EQ(d.particlesPerBoxHint, 192u);
+    EXPECT_EQ(d.cacheLineBytes, 128u);
+    // 30 Mbit register file (paper IV-A).
+    EXPECT_DOUBLE_EQ(d.resource(ResourceKind::RegisterFile)
+                     .sizeBits, 30.0 * 1024.0 * 1024.0);
+}
+
+TEST(DeviceTest, XeonPhiParameters)
+{
+    DeviceModel d = makeXeonPhi();
+    EXPECT_EQ(d.name, "XeonPhi");
+    EXPECT_EQ(d.schedulerKind, SchedulerKind::OperatingSystem);
+    EXPECT_EQ(d.computeUnits, 57u);
+    EXPECT_EQ(d.maxThreadsPerUnit, 4u);
+    EXPECT_EQ(d.maxResidentThreads(), 228u);
+    EXPECT_FALSE(d.registerResidencyExposure);
+    EXPECT_EQ(d.particlesPerBoxHint, 100u);
+    EXPECT_EQ(d.cacheLineBytes, 64u);
+    // 29184 KB of L2 (paper IV-A).
+    EXPECT_DOUBLE_EQ(d.resource(ResourceKind::L2Cache).sizeBits,
+                     29184.0 * 1024.0 * 8.0);
+    // K40 has SFUs; the Phi does not.
+    EXPECT_FALSE(d.hasResource(ResourceKind::Sfu));
+    EXPECT_TRUE(d.hasResource(ResourceKind::Interconnect));
+}
+
+TEST(DeviceTest, FinFetIsLessSensitivePerBit)
+{
+    // Paper IV-A: 3-D transistors show ~10x reduced per-bit
+    // sensitivity compared to planar.
+    EXPECT_NEAR(makeK40().storageSensitivity /
+                makeXeonPhi().storageSensitivity, 10.0, 1e-9);
+}
+
+TEST(DeviceTest, OutcomeProfilesNormalized)
+{
+    for (const DeviceModel &d : {makeK40(), makeXeonPhi()}) {
+        for (const auto &r : d.resources)
+            EXPECT_NEAR(r.outcome.sum(), 1.0, 1e-9)
+                << d.name << " " << resourceKindName(r.kind);
+    }
+}
+
+TEST(DeviceTest, ValidatePassesOnFactories)
+{
+    EXPECT_NO_FATAL_FAILURE(makeK40().validate());
+    EXPECT_NO_FATAL_FAILURE(makeXeonPhi().validate());
+}
+
+TEST(DeviceTest, SdcCapableResourcesHaveManifestations)
+{
+    for (const DeviceModel &d : {makeK40(), makeXeonPhi()}) {
+        for (const auto &r : d.resources) {
+            if (r.outcome.pSdc > 0.0) {
+                EXPECT_FALSE(r.manifestations.empty())
+                    << d.name << " "
+                    << resourceKindName(r.kind);
+            }
+        }
+    }
+}
+
+TEST(DeviceTest, SampleManifestationRespectsWeights)
+{
+    DeviceModel d = makeK40();
+    Rng rng(3);
+    // K40 register file manifests only as BitFlipValue.
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(d.sampleManifestation(ResourceKind::RegisterFile,
+                                        rng),
+                  Manifestation::BitFlipValue);
+    }
+    // Sfu manifests only as WrongOperation.
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(d.sampleManifestation(ResourceKind::Sfu, rng),
+                  Manifestation::WrongOperation);
+    }
+}
+
+TEST(DeviceTest, SampleManifestationMixture)
+{
+    DeviceModel d = makeXeonPhi();
+    Rng rng(4);
+    int stale = 0, line = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto m = d.sampleManifestation(ResourceKind::L2Cache, rng);
+        stale += m == Manifestation::StaleData;
+        line += m == Manifestation::BitFlipInputLine;
+    }
+    EXPECT_EQ(stale + line, 2000);
+    // 70/30 split with sampling noise.
+    EXPECT_NEAR(static_cast<double>(stale) / 2000.0, 0.7, 0.05);
+}
+
+TEST(DeviceTest, BurstBitsBounded)
+{
+    DeviceModel k40 = makeK40();
+    DeviceModel phi = makeXeonPhi();
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        uint32_t b = k40.sampleBurstBits(rng);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, k40.maxBurstBits);
+    }
+    uint32_t phi_max = 0;
+    for (int i = 0; i < 1000; ++i)
+        phi_max = std::max(phi_max, phi.sampleBurstBits(rng));
+    // Phi multi-cell upsets span more bits than the K40's.
+    EXPECT_GT(phi.maxBurstBits, k40.maxBurstBits);
+    EXPECT_LE(phi_max, phi.maxBurstBits);
+}
+
+TEST(DeviceTest, SchedulerKindNames)
+{
+    EXPECT_STREQ(schedulerKindName(SchedulerKind::Hardware),
+                 "Hardware");
+    EXPECT_STREQ(schedulerKindName(
+                     SchedulerKind::OperatingSystem),
+                 "OperatingSystem");
+}
+
+TEST(DeviceDeathTest, MissingResourcePanics)
+{
+    DeviceModel d = makeXeonPhi();
+    EXPECT_DEATH(d.resource(ResourceKind::Sfu), "has no resource");
+}
+
+} // anonymous namespace
+} // namespace radcrit

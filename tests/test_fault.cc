@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tests for strike/outcome plumbing and manifestation names.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/manifestation.hh"
+#include "sim/fault.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(FaultTest, OutcomeNames)
+{
+    EXPECT_STREQ(outcomeName(Outcome::Masked), "Masked");
+    EXPECT_STREQ(outcomeName(Outcome::Sdc), "SDC");
+    EXPECT_STREQ(outcomeName(Outcome::Crash), "Crash");
+    EXPECT_STREQ(outcomeName(Outcome::Hang), "Hang");
+}
+
+TEST(FaultTest, ManifestationNamesUnique)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < numManifestations; ++i)
+        names.insert(manifestationName(
+            static_cast<Manifestation>(i)));
+    EXPECT_EQ(names.size(), numManifestations);
+}
+
+TEST(FaultTest, StrikeDefaults)
+{
+    Strike s;
+    EXPECT_EQ(s.resource, ResourceKind::RegisterFile);
+    EXPECT_EQ(s.manifestation, Manifestation::BitFlipValue);
+    EXPECT_EQ(s.burstBits, 1u);
+    EXPECT_DOUBLE_EQ(s.timeFraction, 0.0);
+}
+
+TEST(FaultTest, OutcomeCount)
+{
+    EXPECT_EQ(numOutcomes, 4u);
+}
+
+} // anonymous namespace
+} // namespace radcrit

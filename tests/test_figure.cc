@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the ASCII scatter-plot and stacked-bar renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/figure.hh"
+#include "common/logging.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(ScatterPlotTest, RendersPointsAndLegend)
+{
+    ScatterPlot p("T", "xs", "ys");
+    p.addSeries({"s1", {0.0, 1.0, 2.0}, {0.0, 1.0, 4.0}});
+    std::string out = p.toString(40, 10);
+    EXPECT_NE(out.find("T"), std::string::npos);
+    EXPECT_NE(out.find("s1"), std::string::npos);
+    EXPECT_NE(out.find("o"), std::string::npos); // first glyph
+    EXPECT_NE(out.find("x: xs"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, EmptyPlot)
+{
+    ScatterPlot p("T", "x", "y");
+    EXPECT_NE(p.toString().find("no data"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, ClampMarksAxis)
+{
+    ScatterPlot p("T", "x", "y");
+    p.setYClamp(100.0);
+    p.addSeries({"s", {1.0}, {1e9}});
+    std::string out = p.toString(40, 10);
+    // Clamped max is rendered with a trailing '+'.
+    EXPECT_NE(out.find("100+"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, MismatchedSeriesPanics)
+{
+    ScatterPlot p("T", "x", "y");
+    EXPECT_DEATH(p.addSeries({"bad", {1.0}, {}}), "has 1 xs");
+}
+
+TEST(ScatterPlotTest, MultipleSeriesDistinctGlyphs)
+{
+    ScatterPlot p("T", "x", "y");
+    p.addSeries({"a", {0.0}, {0.0}});
+    p.addSeries({"b", {10.0}, {10.0}});
+    std::string out = p.toString(30, 8);
+    EXPECT_NE(out.find("o = a"), std::string::npos);
+    EXPECT_NE(out.find("x = b"), std::string::npos);
+}
+
+TEST(StackedBarChartTest, RendersBarsAndLegend)
+{
+    StackedBarChart c("FIT", {"Square", "Line"});
+    c.addBar({"1024 All", {2.0, 1.0}});
+    c.addBar({"1024 >2%", {1.0, 0.5}});
+    std::string out = c.toString(30);
+    EXPECT_NE(out.find("1024 All"), std::string::npos);
+    EXPECT_NE(out.find("Square"), std::string::npos);
+    EXPECT_NE(out.find("#"), std::string::npos);
+    EXPECT_NE(out.find("="), std::string::npos);
+}
+
+TEST(StackedBarChartTest, WrongSegmentCountPanics)
+{
+    StackedBarChart c("FIT", {"a", "b"});
+    EXPECT_DEATH(c.addBar({"x", {1.0}}), "expects 2");
+}
+
+TEST(StackedBarChartTest, EmptyChart)
+{
+    StackedBarChart c("FIT", {"a"});
+    EXPECT_NE(c.toString().find("no bars"), std::string::npos);
+}
+
+TEST(StackedBarChartTest, BarLengthProportional)
+{
+    StackedBarChart c("FIT", {"seg"});
+    c.addBar({"big", {10.0}});
+    c.addBar({"small", {5.0}});
+    std::string out = c.toString(40);
+    auto count_in_line = [&](const std::string &label) {
+        auto pos = out.find(label);
+        auto end = out.find('\n', pos);
+        std::string line = out.substr(pos, end - pos);
+        return std::count(line.begin(), line.end(), '#');
+    };
+    EXPECT_GT(count_in_line("big"), count_in_line("small"));
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the parameterized relative-error filter (paper
+ * Section III).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/filter.hh"
+#include "metrics/relative_error.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+SdcRecord
+threeElementRecord()
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {10, 10, 1};
+    rec.elements.push_back({{0, 0, 0}, 1.001, 1.0}); // 0.1%
+    rec.elements.push_back({{1, 1, 0}, 1.05, 1.0});  // 5%
+    rec.elements.push_back({{2, 2, 0}, 2.0, 1.0});   // 100%
+    return rec;
+}
+
+TEST(FilterTest, DefaultThresholdIsTwoPercent)
+{
+    RelativeErrorFilter f;
+    EXPECT_DOUBLE_EQ(f.thresholdPct(), 2.0);
+}
+
+TEST(FilterTest, DropsOnlySubThresholdElements)
+{
+    RelativeErrorFilter f(2.0);
+    SdcRecord out = f.apply(threeElementRecord());
+    ASSERT_EQ(out.numIncorrect(), 2u);
+    EXPECT_EQ(out.elements[0].coord[0], 1);
+    EXPECT_EQ(out.elements[1].coord[0], 2);
+    EXPECT_EQ(out.dims, 2);
+    EXPECT_EQ(out.extent[0], 10);
+}
+
+TEST(FilterTest, StrictlyGreaterThanThreshold)
+{
+    // The paper keeps "mismatches with relative errors greater
+    // than t%": exactly t% is dropped. Use an exactly
+    // representable percentage (1/64 = 1.5625%).
+    RelativeErrorFilter f(1.5625);
+    SdcRecord rec;
+    rec.elements.push_back({{0, 0, 0}, 65.0, 64.0});
+    EXPECT_TRUE(f.removesExecution(rec));
+    RelativeErrorFilter below(1.5624);
+    EXPECT_FALSE(below.removesExecution(rec));
+}
+
+TEST(FilterTest, RemovesExecutionWhenAllSmall)
+{
+    RelativeErrorFilter f(2.0);
+    SdcRecord rec;
+    rec.elements.push_back({{0, 0, 0}, 1.001, 1.0});
+    rec.elements.push_back({{5, 5, 0}, 1.0001, 1.0});
+    EXPECT_TRUE(f.removesExecution(rec));
+    EXPECT_TRUE(f.apply(rec).empty());
+}
+
+TEST(FilterTest, KeepsExecutionWithOneLargeError)
+{
+    RelativeErrorFilter f(2.0);
+    SdcRecord rec = threeElementRecord();
+    EXPECT_FALSE(f.removesExecution(rec));
+}
+
+TEST(FilterTest, ZeroThresholdKeepsAllMismatches)
+{
+    RelativeErrorFilter f(0.0);
+    SdcRecord out = f.apply(threeElementRecord());
+    EXPECT_EQ(out.numIncorrect(), 3u);
+}
+
+TEST(FilterTest, HugeThresholdRemovesAll)
+{
+    RelativeErrorFilter f(1e13);
+    EXPECT_TRUE(f.apply(threeElementRecord()).empty());
+}
+
+class FilterThresholdSweep
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FilterThresholdSweep, MonotoneInThreshold)
+{
+    // A larger tolerance never keeps more elements.
+    RelativeErrorFilter tight(GetParam());
+    RelativeErrorFilter loose(GetParam() * 2.0 + 1.0);
+    SdcRecord rec = threeElementRecord();
+    EXPECT_GE(tight.apply(rec).numIncorrect(),
+              loose.apply(rec).numIncorrect());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, FilterThresholdSweep,
+                         ::testing::Values(0.0, 0.5, 2.0, 4.0,
+                                           50.0, 99.0));
+
+TEST(FilterDeathTest, NegativeThresholdFatal)
+{
+    EXPECT_EXIT(RelativeErrorFilter(-1.0),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+} // anonymous namespace
+} // namespace radcrit

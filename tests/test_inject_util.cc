@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the bit-flip and garbage-value helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hh"
+#include "kernels/inject_util.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+uint64_t
+bitsOf(double v)
+{
+    uint64_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+uint32_t
+bitsOf(float v)
+{
+    uint32_t u;
+    std::memcpy(&u, &v, sizeof(u));
+    return u;
+}
+
+TEST(FlipBitsTest, FlipsExactCount)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        double v = rng.uniform(-10.0, 10.0);
+        for (uint32_t k : {1u, 2u, 3u}) {
+            double f = flipBits(v, k, rng);
+            EXPECT_EQ(std::popcount(bitsOf(v) ^ bitsOf(f)), k);
+        }
+    }
+}
+
+TEST(FlipBitsTest, BoundedStaysInMantissa)
+{
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        double v = 323.25;
+        double f = flipBitsBounded(v, 1, 51, rng);
+        uint64_t diff = bitsOf(v) ^ bitsOf(f);
+        EXPECT_EQ(std::popcount(diff), 1);
+        // Bit index below 52: value changes by < 1 ulp * 2^52.
+        EXPECT_LT(diff, 1ULL << 52);
+        // Mantissa-only flips keep sign and exponent: the value
+        // stays within a factor of 2.
+        EXPECT_GT(f, v / 2.0);
+        EXPECT_LT(f, v * 2.0);
+    }
+}
+
+TEST(FlipBitsTest, FloatVariants)
+{
+    Rng rng(3);
+    float v = 1.5f;
+    float f = flipBitsFloat(v, 2, rng);
+    EXPECT_EQ(std::popcount(bitsOf(v) ^ bitsOf(f)), 2);
+    float b = flipBitsFloatBounded(v, 1, 22, rng);
+    EXPECT_LT(bitsOf(v) ^ bitsOf(b), 1u << 23);
+}
+
+TEST(FlipBitsTest, BurstLargerThanRangeClamped)
+{
+    Rng rng(4);
+    // Requesting 10 bits in a 3-bit range flips all 3.
+    double f = flipBitsBounded(1.0, 10, 2, rng);
+    uint64_t diff = bitsOf(1.0) ^ bitsOf(f);
+    EXPECT_EQ(std::popcount(diff), 3);
+    EXPECT_LT(diff, 8u);
+}
+
+TEST(FlipBitsTest, DoubleFlipRestores)
+{
+    // Flipping the same deterministic mask twice restores the
+    // value; here we check flip is an involution on the bit level
+    // by applying XOR of the observed diff.
+    Rng rng(5);
+    double v = -7.25;
+    double f = flipBits(v, 3, rng);
+    uint64_t diff = bitsOf(v) ^ bitsOf(f);
+    uint64_t back = bitsOf(f) ^ diff;
+    double restored;
+    std::memcpy(&restored, &back, sizeof(restored));
+    EXPECT_EQ(bitsOf(restored), bitsOf(v));
+}
+
+TEST(GarbageValueTest, SpansDecadesAndSigns)
+{
+    Rng rng(6);
+    int negative = 0;
+    double min_mag = 1e300, max_mag = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        double g = garbageValue(1.0, rng);
+        negative += g < 0.0;
+        min_mag = std::min(min_mag, std::abs(g));
+        max_mag = std::max(max_mag, std::abs(g));
+    }
+    EXPECT_NEAR(negative / 5000.0, 0.5, 0.05);
+    EXPECT_LT(min_mag, 1e-2);
+    EXPECT_GT(max_mag, 1e7);
+}
+
+TEST(GarbageValueTest, ScalesWithReference)
+{
+    Rng a(7), b(7);
+    double g1 = garbageValue(1.0, a);
+    double g2 = garbageValue(100.0, b);
+    EXPECT_NEAR(g2 / g1, 100.0, 1e-9);
+}
+
+TEST(GarbageValueTest, NonPositiveReferenceDefaults)
+{
+    Rng rng(8);
+    double g = garbageValue(0.0, rng);
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_NE(g, 0.0);
+}
+
+TEST(SkewedValueTest, StaysSameOrderOfMagnitude)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        double s = skewedValue(10.0, 10.0, rng);
+        EXPECT_LT(std::abs(s), 100.0);
+    }
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Integration tests: end-to-end campaigns must reproduce the
+ * paper's qualitative findings (loose bands; exact series are
+ * produced by the bench harnesses and recorded in EXPERIMENTS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "common/stats.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+CampaignResult
+runFor(const DeviceModel &device, Workload &w, uint64_t runs = 250)
+{
+    CampaignConfig cfg = defaultCampaign(runs, device.name,
+                                         w.name(),
+                                         w.inputLabel());
+    return runCampaign(device, w, cfg);
+}
+
+double
+patternShare(const CampaignResult &res,
+             std::initializer_list<Pattern> patterns)
+{
+    uint64_t hits = 0, sdc = 0;
+    for (const auto &run : res.runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        ++sdc;
+        for (Pattern p : patterns) {
+            if (run.crit.pattern == p) {
+                ++hits;
+                break;
+            }
+        }
+    }
+    return sdc ? static_cast<double>(hits) /
+        static_cast<double>(sdc) : 0.0;
+}
+
+double
+medianRelErr(const CampaignResult &res)
+{
+    std::vector<double> errs;
+    for (const auto &run : res.runs) {
+        if (run.outcome == Outcome::Sdc)
+            errs.push_back(run.crit.meanRelErrPct);
+    }
+    return errs.empty() ? 0.0 : quantile(errs, 0.5);
+}
+
+TEST(IntegrationDgemm, K40FilterRemovesMajority)
+{
+    // Paper V-A: 50% to 75% of K40 DGEMM corrupted executions
+    // have all elements below the 2% threshold.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    Dgemm dgemm(k40, 256);
+    CampaignResult res = runFor(k40, dgemm);
+    EXPECT_GE(res.filteredOutFraction(), 0.35);
+    EXPECT_LE(res.filteredOutFraction(), 0.80);
+}
+
+TEST(IntegrationDgemm, PhiErrorsAreExtreme)
+{
+    // Paper Fig. 2b: on the Phi almost all corrupted elements are
+    // extremely different from the expected value.
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    Dgemm dgemm(phi, 256);
+    CampaignResult res = runFor(phi, dgemm);
+    EXPECT_GT(medianRelErr(res), 100.0);
+    // ...and almost nothing is filtered.
+    EXPECT_LT(res.filteredOutFraction(), 0.30);
+}
+
+TEST(IntegrationDgemm, K40ErrorsAreMild)
+{
+    // Paper Fig. 2a: ~75% of K40 SDCs have mean relative error
+    // below 10%.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    Dgemm dgemm(k40, 256);
+    CampaignResult res = runFor(k40, dgemm);
+    uint64_t mild = 0, sdc = 0;
+    for (const auto &run : res.runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        ++sdc;
+        mild += run.crit.meanRelErrPct < 10.0;
+    }
+    ASSERT_GT(sdc, 50u);
+    EXPECT_GT(static_cast<double>(mild) /
+              static_cast<double>(sdc), 0.5);
+}
+
+TEST(IntegrationDgemm, K40FitGrowsWithInputPhiDoesNot)
+{
+    // Paper V-A: K40 FIT grows strongly with input size (hardware
+    // scheduler + register exposure); the Phi's barely moves.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    Dgemm k40_small(k40, 128), k40_big(k40, 512);
+    Dgemm phi_small(phi, 128), phi_big(phi, 512);
+    double k40_growth =
+        runFor(k40, k40_big).fitTotalAu(false) /
+        runFor(k40, k40_small).fitTotalAu(false);
+    double phi_growth =
+        runFor(phi, phi_big).fitTotalAu(false) /
+        runFor(phi, phi_small).fitTotalAu(false);
+    EXPECT_GT(k40_growth, 1.8);
+    EXPECT_LT(phi_growth, 1.5);
+    EXPECT_GT(k40_growth, phi_growth);
+}
+
+TEST(IntegrationDgemm, K40CrashShareGrowsWithInput)
+{
+    // Paper V: "the larger the input, the higher the crashes and
+    // hangs rate" (SDC:detectable falls from ~4x toward ~1.1x).
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    Dgemm small(k40, 128), big(k40, 512);
+    double r_small = runFor(k40, small).sdcOverDetectable();
+    double r_big = runFor(k40, big).sdcOverDetectable();
+    EXPECT_GT(r_small, r_big);
+    EXPECT_GT(r_small, 2.0);
+    EXPECT_LT(r_big, 3.0);
+}
+
+TEST(IntegrationLavaMd, PhiHasMoreElementsSmallerErrors)
+{
+    // Paper V-B: the Phi shows more incorrect elements than the
+    // K40 but with an overall lower difference to the expected
+    // values.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    LavaMd on_k40(k40, 7, 42, 2, 4, 15);
+    LavaMd on_phi(phi, 7, 42, 2, 4, 15);
+    CampaignResult rk = runFor(k40, on_k40);
+    CampaignResult rp = runFor(phi, on_phi);
+
+    RunningStat k40_elems, phi_elems;
+    for (const auto &run : rk.runs) {
+        if (run.outcome == Outcome::Sdc)
+            k40_elems.add(static_cast<double>(
+                run.crit.numIncorrect));
+    }
+    for (const auto &run : rp.runs) {
+        if (run.outcome == Outcome::Sdc)
+            phi_elems.add(static_cast<double>(
+                run.crit.numIncorrect));
+    }
+    EXPECT_GT(phi_elems.mean(), k40_elems.mean());
+}
+
+TEST(IntegrationLavaMd, PhiIsCubicDominated)
+{
+    // Paper Fig. 5b: most Phi LavaMD errors are cubic and square.
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    LavaMd lava(phi, 9, 42, 2, 4, 19);
+    CampaignResult res = runFor(phi, lava);
+    EXPECT_GT(patternShare(res, {Pattern::Cubic, Pattern::Square}),
+              0.5);
+}
+
+TEST(IntegrationLavaMd, K40CubicShareDecreasesWithInput)
+{
+    // Paper V-B: K40 cubic+square falls from 55% to 42% as the
+    // input grows (cache sharing decreases).
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    LavaMd small(k40, 7, 42, 2, 4, 15);
+    LavaMd big(k40, 11, 42, 2, 4, 23);
+    double share_small = patternShare(
+        runFor(k40, small), {Pattern::Cubic, Pattern::Square});
+    double share_big = patternShare(
+        runFor(k40, big), {Pattern::Cubic, Pattern::Square});
+    EXPECT_GT(share_small, share_big);
+}
+
+TEST(IntegrationLavaMd, PhiSdcRatioRisesWithInput)
+{
+    // Paper V: Phi LavaMD SDC:(crash+hang) grows from ~3x to ~12x
+    // with input size.
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    LavaMd small(phi, 6, 42, 2, 4, 13);
+    LavaMd big(phi, 11, 42, 2, 4, 23);
+    double r_small = runFor(phi, small).sdcOverDetectable();
+    double r_big = runFor(phi, big).sdcOverDetectable();
+    EXPECT_GT(r_big, r_small);
+    EXPECT_GT(r_big, 3.5);
+}
+
+TEST(IntegrationHotSpot, MostResilientCode)
+{
+    // Paper V-C: 80-95% of HotSpot faulty executions fall under
+    // the 2% filter; mean relative errors stay below 25%; only
+    // square/line patterns.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    HotSpot hotspot(k40, 128, 192, 42);
+    CampaignResult res = runFor(k40, hotspot);
+    EXPECT_GE(res.filteredOutFraction(), 0.70);
+    for (const auto &run : res.runs) {
+        if (run.outcome != Outcome::Sdc)
+            continue;
+        EXPECT_LT(run.crit.meanRelErrPct, 25.0);
+        EXPECT_TRUE(run.crit.pattern == Pattern::Square ||
+                    run.crit.pattern == Pattern::Line ||
+                    run.crit.pattern == Pattern::Single)
+            << patternName(run.crit.pattern);
+    }
+    // Highest SDC:(crash+hang) ratio of the K40 codes (paper: 7x).
+    EXPECT_GT(res.sdcOverDetectable(), 4.0);
+}
+
+TEST(IntegrationClamr, WaveErrorsNeverRecover)
+{
+    // Paper V-D: CLAMR errors spread as a wave; square patterns
+    // amount to ~99%; corrupted-element counts are huge.
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    Clamr clamr(phi, 96, 256, 42);
+    CampaignResult res = runFor(phi, clamr, 120);
+    EXPECT_GT(patternShare(res, {Pattern::Square}), 0.9);
+    RunningStat elems;
+    for (const auto &run : res.runs) {
+        if (run.outcome == Outcome::Sdc)
+            elems.add(static_cast<double>(
+                run.crit.numIncorrect));
+    }
+    // Large fractions of the 96x96 grid are corrupted.
+    EXPECT_GT(elems.mean(), 500.0);
+}
+
+TEST(IntegrationCrossDevice, K40FitHigherThanPhi)
+{
+    // K40 (28 nm planar + hardware scheduling) shows higher
+    // relative FIT than the Phi for the same code, as in Figs. 3,
+    // 5, 7.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    Dgemm on_k40(k40, 256), on_phi(phi, 256);
+    EXPECT_GT(runFor(k40, on_k40).fitTotalAu(false),
+              runFor(phi, on_phi).fitTotalAu(false));
+}
+
+TEST(IntegrationCrossDevice, FilterImprovesK40DgemmReliability)
+{
+    // Paper V-A: tolerating 2% discrepancy makes the K40 at least
+    // ~60% "more reliable" than counting every mismatch.
+    DeviceModel k40 = makeDevice(DeviceId::K40);
+    Dgemm dgemm(k40, 256);
+    CampaignResult res = runFor(k40, dgemm);
+    EXPECT_LT(res.fitTotalAu(true), 0.65 * res.fitTotalAu(false));
+}
+
+} // anonymous namespace
+} // namespace radcrit

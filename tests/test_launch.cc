@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for occupancy, scheduler strain and register exposure —
+ * the paper's Section V-A parallelism-management effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/device.hh"
+#include "exec/launch.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+WorkloadTraits
+simpleTraits(uint64_t threads, uint64_t block_threads = 256,
+             uint64_t local_bytes = 0)
+{
+    WorkloadTraits t;
+    t.name = "toy";
+    t.totalThreads = threads;
+    t.blockThreads = block_threads;
+    t.perBlockLocalBytes = local_bytes;
+    t.flopsPerThread = 100.0;
+    t.setUtil(ResourceKind::RegisterFile, 1.0);
+    return t;
+}
+
+TEST(LaunchTest, SmallLaunchFullyResident)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, simpleTraits(1000));
+    EXPECT_EQ(l.residentThreads, 1000u);
+    EXPECT_DOUBLE_EQ(l.waves, 1.0);
+    EXPECT_DOUBLE_EQ(l.registerExposure, 1.0);
+}
+
+TEST(LaunchTest, CapacityLimitsResidency)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, simpleTraits(1000000));
+    EXPECT_EQ(l.residentThreads, d.maxResidentThreads());
+    EXPECT_GT(l.waves, 30.0);
+}
+
+TEST(LaunchTest, ScratchpadLimitsOccupancy)
+{
+    DeviceModel d = makeK40();
+    // 24 KB per 256-thread block: only 2 blocks fit in 48 KB.
+    KernelLaunch l = buildLaunch(
+        d, simpleTraits(1000000, 256, 24 * 1024));
+    EXPECT_EQ(l.residentThreads, 2u * 256u * d.computeUnits);
+    EXPECT_NEAR(l.occupancy, 0.25, 1e-9);
+}
+
+TEST(LaunchTest, PhiIgnoresScratchpad)
+{
+    DeviceModel d = makeXeonPhi();
+    KernelLaunch l = buildLaunch(
+        d, simpleTraits(1000000, 256, 1024 * 1024));
+    EXPECT_EQ(l.residentThreads, d.maxResidentThreads());
+}
+
+TEST(LaunchTest, HardwareStrainGrowsWithThreads)
+{
+    // Paper V-A reason (1): hardware scheduler strain grows with
+    // the number of managed threads.
+    DeviceModel d = makeK40();
+    double prev = 0.0;
+    for (uint64_t threads : {16384u, 65536u, 262144u, 1048576u}) {
+        KernelLaunch l = buildLaunch(d, simpleTraits(threads));
+        EXPECT_GT(l.schedulerStrain, prev);
+        prev = l.schedulerStrain;
+    }
+}
+
+TEST(LaunchTest, OsStrainNearlyFlat)
+{
+    // Paper V-A: the Phi's OS scheduling barely reacts to thread
+    // count (1.8x over a 64x thread increase).
+    DeviceModel d = makeXeonPhi();
+    double lo = buildLaunch(d, simpleTraits(16384)).schedulerStrain;
+    double hi = buildLaunch(d, simpleTraits(16384 * 64))
+        .schedulerStrain;
+    EXPECT_LT(hi / lo, 2.2);
+    EXPECT_GT(hi / lo, 1.0);
+}
+
+TEST(LaunchTest, HardwareStrainOutpacesOs)
+{
+    DeviceModel k40 = makeK40();
+    DeviceModel phi = makeXeonPhi();
+    double k40_growth =
+        buildLaunch(k40, simpleTraits(1048576)).schedulerStrain /
+        buildLaunch(k40, simpleTraits(16384)).schedulerStrain;
+    double phi_growth =
+        buildLaunch(phi, simpleTraits(1048576)).schedulerStrain /
+        buildLaunch(phi, simpleTraits(16384)).schedulerStrain;
+    EXPECT_GT(k40_growth, 3.0 * phi_growth);
+}
+
+TEST(LaunchTest, RegisterExposureOnlyOnK40)
+{
+    // Paper V-A reason (2): waiting threads' data sits in K40
+    // registers; the Phi parks waiting work in DRAM.
+    WorkloadTraits t = simpleTraits(1000000);
+    EXPECT_GT(buildLaunch(makeK40(), t).registerExposure, 1.5);
+    EXPECT_DOUBLE_EQ(buildLaunch(makeXeonPhi(), t)
+                     .registerExposure, 1.0);
+}
+
+TEST(LaunchTest, RegisterExposureSaturates)
+{
+    DeviceModel d = makeK40();
+    double big = buildLaunch(d, simpleTraits(100000000))
+        .registerExposure;
+    EXPECT_LE(big, 9.0 + 1e-9);
+}
+
+class StrainMonotoneTest
+    : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(StrainMonotoneTest, StrainAtLeastFloor)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, simpleTraits(GetParam()));
+    EXPECT_GE(l.schedulerStrain, 0.25);
+    EXPECT_GE(l.waves, 1.0);
+    EXPECT_GT(l.durationAu, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, StrainMonotoneTest,
+                         ::testing::Values(1, 100, 10000, 1000000,
+                                           100000000));
+
+TEST(LaunchDeathTest, ZeroThreadsPanics)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits t = simpleTraits(0);
+    EXPECT_DEATH(buildLaunch(d, t), "zero threads");
+}
+
+} // anonymous namespace
+} // namespace radcrit

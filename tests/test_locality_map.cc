@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the error locality map renderer (paper Fig. 9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "metrics/locality_map.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+SdcRecord
+recordWith(std::initializer_list<std::pair<int64_t, int64_t>> pts,
+           int64_t rows = 16, int64_t cols = 16)
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {rows, cols, 1};
+    for (auto [r, c] : pts)
+        rec.elements.push_back({{r, c, 0}, 1.0, 2.0});
+    return rec;
+}
+
+TEST(LocalityMapTest, MarksCorruptedCells)
+{
+    LocalityMap map(recordWith({{0, 0}, {15, 15}}));
+    std::string out = map.toAscii(16);
+    // First grid row: corrupted at column 0.
+    auto first = out.find("|#");
+    EXPECT_NE(first, std::string::npos);
+    EXPECT_NE(out.find("#|"), std::string::npos);
+    EXPECT_NE(out.find("2 corrupted elements"),
+              std::string::npos);
+}
+
+TEST(LocalityMapTest, CleanMapHasNoMarks)
+{
+    LocalityMap map(recordWith({}));
+    std::string out = map.toAscii(16);
+    // Only the footer legend mentions '#'; no grid cell is marked.
+    auto grid_end = out.rfind('+');
+    EXPECT_EQ(out.substr(0, grid_end).find('#'),
+              std::string::npos);
+    EXPECT_NE(out.find("0 corrupted elements"),
+              std::string::npos);
+}
+
+TEST(LocalityMapTest, DownsamplesLargeGrids)
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {512, 512, 1};
+    rec.elements.push_back({{511, 511, 0}, 1.0, 2.0});
+    LocalityMap map(rec);
+    std::string out = map.toAscii(32);
+    // 32 columns of cells + 2 border chars per row.
+    auto line_start = out.find("\n|");
+    auto line_end = out.find('\n', line_start + 1);
+    EXPECT_EQ(line_end - line_start - 1, 34u);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(LocalityMapTest, PpmWritesRedDots)
+{
+    std::string path = ::testing::TempDir() + "radcrit_map.ppm";
+    LocalityMap map(recordWith({{1, 2}}, 4, 4));
+    map.writePpm(path);
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::string magic;
+    in >> magic;
+    EXPECT_EQ(magic, "P6");
+    int w, h, maxv;
+    in >> w >> h >> maxv;
+    EXPECT_EQ(w, 4);
+    EXPECT_EQ(h, 4);
+    in.get();
+    std::vector<unsigned char> pix(4 * 4 * 3);
+    in.read(reinterpret_cast<char *>(pix.data()),
+            static_cast<std::streamsize>(pix.size()));
+    size_t off = (1 * 4 + 2) * 3;
+    EXPECT_EQ(pix[off], 220);    // red channel
+    EXPECT_EQ(pix[off + 1], 30); // corrupted cell
+    EXPECT_EQ(pix[0], 255);      // clean cell stays white
+    std::remove(path.c_str());
+}
+
+TEST(LocalityMapDeathTest, DegenerateExtentsPanic)
+{
+    SdcRecord rec;
+    rec.dims = 2;
+    rec.extent = {0, 4, 1};
+    EXPECT_DEATH(LocalityMap map(rec), "degenerate");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the logging/formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(LoggingTest, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(strprintf("%.2f", 1.2345), "1.23");
+}
+
+TEST(LoggingTest, StrprintfEmpty)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(LoggingTest, StrprintfLongString)
+{
+    std::string big(10000, 'x');
+    std::string out = strprintf("[%s]", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '[');
+    EXPECT_EQ(out.back(), ']');
+}
+
+TEST(LoggingTest, QuietFlagRoundTrip)
+{
+    bool before = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+    setQuiet(before);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the system-level MTBF projection and checkpoint
+ * optimization (paper Section I motivation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "campaign/runner.hh"
+#include "kernels/dgemm.hh"
+#include "mtbf/projection.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+CampaignResult
+campaign(uint64_t runs = 300)
+{
+    DeviceModel device = makeK40();
+    static Dgemm dgemm(device, 128, 42);
+    CampaignConfig cfg;
+    cfg.faultyRuns = runs;
+    cfg.seed = 21;
+    return runCampaign(device, dgemm, cfg);
+}
+
+TEST(DalyTest, KnownValue)
+{
+    // sqrt(2 * 0.1 h * 20 h) = 2 h.
+    EXPECT_NEAR(dalyInterval(0.1, 20.0), 2.0, 1e-12);
+}
+
+TEST(DalyTest, GrowsWithMtbf)
+{
+    EXPECT_GT(dalyInterval(0.1, 100.0), dalyInterval(0.1, 10.0));
+    EXPECT_GT(dalyInterval(0.5, 10.0), dalyInterval(0.1, 10.0));
+}
+
+TEST(EfficiencyTest, BoundsAndMonotonicity)
+{
+    // Efficiency is in (0, 1) and degrades as MTBF shrinks.
+    double good = checkpointEfficiency(2.0, 0.1, 0.15, 100.0);
+    double bad = checkpointEfficiency(2.0, 0.1, 0.15, 5.0);
+    EXPECT_GT(good, 0.0);
+    EXPECT_LT(good, 1.0);
+    EXPECT_GT(good, bad);
+}
+
+TEST(EfficiencyTest, DalyIntervalNearOptimal)
+{
+    // The Daly interval should beat nearby intervals.
+    double mtbf = 30.0, c = 0.1, r = 0.15;
+    double opt = dalyInterval(c, mtbf);
+    double at_opt = checkpointEfficiency(opt, c, r, mtbf);
+    EXPECT_GE(at_opt + 1e-6,
+              checkpointEfficiency(opt * 3.0, c, r, mtbf));
+    EXPECT_GE(at_opt + 1e-6,
+              checkpointEfficiency(opt / 3.0, c, r, mtbf));
+}
+
+TEST(ProjectionTest, RatesScaleWithMachine)
+{
+    CampaignResult res = campaign();
+    SystemConfig small;
+    small.devices = 1000;
+    SystemConfig titan;
+    titan.devices = 18688;
+    SystemProjection ps = projectToSystem(res, small);
+    SystemProjection pt = projectToSystem(res, titan);
+    // Same per-device FIT; machine MTBF scales inversely with
+    // device count.
+    EXPECT_NEAR(ps.deviceSdcFit, pt.deviceSdcFit, 1e-12);
+    EXPECT_NEAR(ps.mtbfDetectableHours / pt.mtbfDetectableHours,
+                18.688, 0.01);
+}
+
+TEST(ProjectionTest, CriticalNeverExceedsRawSdc)
+{
+    SystemProjection p = projectToSystem(campaign(),
+                                         SystemConfig{});
+    EXPECT_LE(p.deviceCriticalFit, p.deviceSdcFit);
+    EXPECT_GE(p.mtbsCriticalHours, p.mtbsSdcHours);
+}
+
+TEST(ProjectionTest, TitanScaleIsDozensOfHours)
+{
+    // With a plausible absolute anchor, a Titan-scale machine's
+    // radiation-induced MTBF lands in the "dozens of hours" range
+    // the paper quotes (refs. [18], [41]).
+    CampaignResult res = campaign();
+    SystemConfig titan;
+    titan.devices = 18688;
+    titan.fitPerAu = 25.0;
+    SystemProjection p = projectToSystem(res, titan);
+    double all_failures_mtbf =
+        1.0 / (1.0 / p.mtbfDetectableHours +
+               1.0 / p.mtbsSdcHours);
+    EXPECT_GT(all_failures_mtbf, 1.0);
+    EXPECT_LT(all_failures_mtbf, 1000.0);
+}
+
+TEST(ProjectionTest, EfficiencyReasonable)
+{
+    SystemProjection p = projectToSystem(campaign(),
+                                         SystemConfig{});
+    EXPECT_GT(p.efficiency, 0.5);
+    EXPECT_LT(p.efficiency, 1.0);
+    EXPECT_GT(p.dalyIntervalHours, 0.0);
+}
+
+TEST(ProjectionDeathTest, BadConfigFatal)
+{
+    CampaignResult res = campaign(50);
+    SystemConfig cfg;
+    cfg.devices = 0;
+    EXPECT_EXIT(projectToSystem(res, cfg),
+                ::testing::ExitedWithCode(1), "at least one");
+    SystemConfig cfg2;
+    cfg2.fitPerAu = 0.0;
+    EXPECT_EXIT(projectToSystem(res, cfg2),
+                ::testing::ExitedWithCode(1), "anchor");
+    EXPECT_EXIT(dalyInterval(0.0, 10.0),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+} // anonymous namespace
+} // namespace radcrit

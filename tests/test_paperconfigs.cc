@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the canonical paper experiment configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "campaign/paperconfigs.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(PaperConfigsTest, DeviceFactories)
+{
+    EXPECT_EQ(makeDevice(DeviceId::K40).name, "K40");
+    EXPECT_EQ(makeDevice(DeviceId::XeonPhi).name, "XeonPhi");
+    EXPECT_EQ(allDevices().size(), 2u);
+    EXPECT_STREQ(deviceIdName(DeviceId::K40), "K40");
+}
+
+TEST(PaperConfigsTest, DgemmSidesMatchPaper)
+{
+    // Fig. 2: 3 sizes on the K40, 4 on the Phi (adds 8192).
+    EXPECT_EQ(dgemmScaledSides(DeviceId::K40).size(), 3u);
+    EXPECT_EQ(dgemmScaledSides(DeviceId::XeonPhi).size(), 4u);
+    EXPECT_EQ(dgemmScaledSides(DeviceId::XeonPhi).back(), 1024);
+}
+
+TEST(PaperConfigsTest, LavamdSizesMatchPaper)
+{
+    // Fig. 4: K40 tested at 15/19/23 boxes, Phi adds 13.
+    auto k40 = lavamdScaledSizes(DeviceId::K40);
+    auto phi = lavamdScaledSizes(DeviceId::XeonPhi);
+    ASSERT_EQ(k40.size(), 3u);
+    ASSERT_EQ(phi.size(), 4u);
+    EXPECT_EQ(k40.front().paperBoxes, 15);
+    EXPECT_EQ(phi.front().paperBoxes, 13);
+    EXPECT_EQ(phi.back().paperBoxes, 23);
+}
+
+TEST(PaperConfigsTest, WorkloadFactoriesLabelPaperSizes)
+{
+    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
+    auto dgemm = makeDgemmWorkload(phi, 128);
+    EXPECT_EQ(dgemm->inputLabel(), "1024x1024");
+    auto lavamd = makeLavamdWorkload(
+        phi, lavamdScaledSizes(DeviceId::XeonPhi)[0]);
+    EXPECT_EQ(lavamd->inputLabel(), "13 boxes/dim");
+    auto hotspot = makeHotspotWorkload(phi);
+    EXPECT_EQ(hotspot->inputLabel(), "1024x1024");
+    auto clamr = makeClamrWorkload(phi);
+    EXPECT_EQ(clamr->inputLabel(), "512x512 cells");
+}
+
+TEST(PaperConfigsTest, GridsMatchPaperScales)
+{
+    EXPECT_EQ(hotspotScaledGrid() * 4, 1024);
+    EXPECT_EQ(clamrScaledGrid() * 4, 512);
+}
+
+TEST(PaperConfigsTest, CampaignSeedsIndependent)
+{
+    CampaignConfig a = defaultCampaign(10, "K40", "DGEMM", "1024");
+    CampaignConfig b = defaultCampaign(10, "K40", "DGEMM", "2048");
+    CampaignConfig c = defaultCampaign(10, "XeonPhi", "DGEMM",
+                                       "1024");
+    EXPECT_NE(a.seed, b.seed);
+    EXPECT_NE(a.seed, c.seed);
+    EXPECT_EQ(a.seed,
+              defaultCampaign(10, "K40", "DGEMM", "1024").seed);
+    EXPECT_EQ(a.faultyRuns, 10u);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for relative error and mean relative error (paper metrics
+ * 2 and 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "metrics/relative_error.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(RelativeErrorTest, PaperFormula)
+{
+    // "The relative error of a corrupted element that has a value
+    // which is ten times the expected will be 900%."
+    EXPECT_DOUBLE_EQ(relativeErrorPct(10.0, 1.0), 900.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(1.02, 1.0),
+                     relativeErrorPct(0.98, 1.0));
+    EXPECT_NEAR(relativeErrorPct(1.02, 1.0), 2.0, 1e-9);
+}
+
+TEST(RelativeErrorTest, ExactMatchIsZero)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(5.0, 5.0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(-3.0, -3.0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(0.0, 0.0), 0.0);
+}
+
+TEST(RelativeErrorTest, SignMatters)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(-1.0, 1.0), 200.0);
+}
+
+TEST(RelativeErrorTest, ZeroExpectedSentinel)
+{
+    EXPECT_DOUBLE_EQ(relativeErrorPct(1.0, 0.0),
+                     relativeErrorSentinelPct);
+}
+
+TEST(RelativeErrorTest, NonFiniteReadsSentinel)
+{
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    double inf = std::numeric_limits<double>::infinity();
+    EXPECT_DOUBLE_EQ(relativeErrorPct(nan, 1.0),
+                     relativeErrorSentinelPct);
+    EXPECT_DOUBLE_EQ(relativeErrorPct(inf, 1.0),
+                     relativeErrorSentinelPct);
+}
+
+TEST(RelativeErrorTest, CappedAtSentinel)
+{
+    EXPECT_LE(relativeErrorPct(1e300, 1e-300),
+              relativeErrorSentinelPct);
+}
+
+TEST(MeanRelativeErrorTest, EmptyRecordIsZero)
+{
+    SdcRecord rec;
+    EXPECT_DOUBLE_EQ(meanRelativeErrorPct(rec), 0.0);
+    EXPECT_DOUBLE_EQ(maxRelativeErrorPct(rec), 0.0);
+}
+
+TEST(MeanRelativeErrorTest, AveragesElements)
+{
+    SdcRecord rec;
+    rec.elements.push_back({{0, 0, 0}, 1.10, 1.0}); // 10%
+    rec.elements.push_back({{0, 1, 0}, 1.30, 1.0}); // 30%
+    EXPECT_NEAR(meanRelativeErrorPct(rec), 20.0, 1e-9);
+    EXPECT_NEAR(maxRelativeErrorPct(rec), 30.0, 1e-9);
+}
+
+class RelErrSymmetryTest
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RelErrSymmetryTest, ScaleInvariance)
+{
+    // relative error is invariant under common scaling.
+    double scale = GetParam();
+    double base = relativeErrorPct(1.2, 1.0);
+    EXPECT_NEAR(relativeErrorPct(1.2 * scale, 1.0 * scale), base,
+                1e-9 * base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RelErrSymmetryTest,
+                         ::testing::Values(1e-6, 0.5, 3.0, 1e6,
+                                           -2.0));
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the resource taxonomy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/resource.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(ResourceTest, NamesRoundTrip)
+{
+    for (size_t i = 0; i < numResourceKinds; ++i) {
+        auto kind = static_cast<ResourceKind>(i);
+        EXPECT_EQ(resourceKindFromName(resourceKindName(kind)),
+                  kind);
+    }
+}
+
+TEST(ResourceTest, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < numResourceKinds; ++i)
+        names.insert(resourceKindName(
+            static_cast<ResourceKind>(i)));
+    EXPECT_EQ(names.size(), numResourceKinds);
+}
+
+TEST(ResourceTest, StorageLogicPartition)
+{
+    size_t storage = 0, logic = 0;
+    for (size_t i = 0; i < numResourceKinds; ++i) {
+        auto kind = static_cast<ResourceKind>(i);
+        EXPECT_NE(isStorage(kind), isLogic(kind));
+        storage += isStorage(kind);
+        logic += isLogic(kind);
+    }
+    EXPECT_EQ(storage + logic, numResourceKinds);
+    EXPECT_EQ(storage, 4u); // RF, L1, shared, L2
+}
+
+TEST(ResourceTest, StorageKinds)
+{
+    EXPECT_TRUE(isStorage(ResourceKind::RegisterFile));
+    EXPECT_TRUE(isStorage(ResourceKind::L2Cache));
+    EXPECT_FALSE(isStorage(ResourceKind::Scheduler));
+    EXPECT_TRUE(isLogic(ResourceKind::Sfu));
+    EXPECT_TRUE(isLogic(ResourceKind::Interconnect));
+}
+
+TEST(ResourceDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT(resourceKindFromName("Bogus"),
+                ::testing::ExitedWithCode(1),
+                "unknown resource kind");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and statistical property tests for the xoshiro256** RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(RngTest, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next64() == b.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        int64_t v = rng.uniformRange(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(RngTest, UniformRangeSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(rng.uniformRange(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversAllValues)
+{
+    Rng rng(10);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIntMean)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.uniformInt(100));
+    double mean = sum / n;
+    EXPECT_NEAR(mean, 49.5, 0.5);
+}
+
+TEST(RngTest, BernoulliRate)
+{
+    Rng rng(12);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(14);
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal();
+        sum += v;
+        sumsq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted)
+{
+    Rng rng(15);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PoissonMeanTest, MeanAndVarianceMatch)
+{
+    double mean = GetParam();
+    Rng rng(16 + static_cast<uint64_t>(mean * 10));
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        auto v = static_cast<double>(rng.poisson(mean));
+        sum += v;
+        sumsq += v * v;
+    }
+    double m = sum / n;
+    double var = sumsq / n - m * m;
+    double tol = 5.0 * std::sqrt(mean / n) + 0.01;
+    EXPECT_NEAR(m, mean, tol);
+    // Poisson variance equals its mean.
+    EXPECT_NEAR(var, mean, 10.0 * mean / std::sqrt(n) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0,
+                                           40.0, 100.0));
+
+TEST(RngTest, PoissonZeroMean)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(18);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, SplitStreamsAreIndependentButDeterministic)
+{
+    Rng a(42), b(42);
+    Rng sa = a.split(1);
+    Rng sb = b.split(1);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(sa.next64(), sb.next64());
+
+    Rng c(42);
+    Rng sc = c.split(2);
+    Rng d(42);
+    Rng sd = d.split(1);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (sc.next64() == sd.next64())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, HashCombineIsDeterministicAndSpread)
+{
+    EXPECT_EQ(Rng::hashCombine(1, 2), Rng::hashCombine(1, 2));
+    EXPECT_NE(Rng::hashCombine(1, 2), Rng::hashCombine(2, 1));
+    std::set<uint64_t> seen;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seen.insert(Rng::hashCombine(i, 0));
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RngTest, SplitMix64Advances)
+{
+    uint64_t s = 0;
+    uint64_t a = splitMix64(s);
+    uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+    EXPECT_NE(s, 0u);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the campaign runner and its aggregations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "campaign/runner.hh"
+#include "kernels/dgemm.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    DeviceModel device_ = makeK40();
+    Dgemm dgemm_{device_, 64, 42};
+
+    CampaignConfig
+    config(uint64_t runs, uint64_t seed = 7)
+    {
+        CampaignConfig cfg;
+        cfg.faultyRuns = runs;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+TEST_F(RunnerTest, RunsRequestedCount)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(50));
+    EXPECT_EQ(res.runs.size(), 50u);
+    EXPECT_EQ(res.deviceName, "K40");
+    EXPECT_EQ(res.workloadName, "DGEMM");
+    EXPECT_GT(res.sensitiveAreaAu, 0.0);
+}
+
+TEST_F(RunnerTest, OutcomeCountsPartition)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(120));
+    uint64_t total = res.count(Outcome::Masked) +
+        res.count(Outcome::Sdc) + res.count(Outcome::Crash) +
+        res.count(Outcome::Hang);
+    EXPECT_EQ(total, 120u);
+    EXPECT_GT(res.count(Outcome::Sdc), 0u);
+}
+
+TEST_F(RunnerTest, ReproducibleFromSeed)
+{
+    CampaignResult a = runCampaign(device_, dgemm_, config(40, 3));
+    CampaignResult b = runCampaign(device_, dgemm_, config(40, 3));
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome);
+        EXPECT_EQ(a.runs[i].strike.resource,
+                  b.runs[i].strike.resource);
+        EXPECT_EQ(a.runs[i].crit.numIncorrect,
+                  b.runs[i].crit.numIncorrect);
+    }
+}
+
+TEST_F(RunnerTest, DifferentSeedsDiffer)
+{
+    CampaignResult a = runCampaign(device_, dgemm_, config(40, 1));
+    CampaignResult b = runCampaign(device_, dgemm_, config(40, 2));
+    bool any_diff = false;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        if (a.runs[i].outcome != b.runs[i].outcome ||
+            a.runs[i].strike.resource !=
+                b.runs[i].strike.resource) {
+            any_diff = true;
+        }
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(RunnerTest, SdcRunsCarryMetrics)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(150));
+    for (const auto &run : res.runs) {
+        if (run.outcome == Outcome::Sdc) {
+            EXPECT_GT(run.crit.numIncorrect, 0u);
+            EXPECT_NE(run.crit.pattern, Pattern::None);
+        }
+    }
+}
+
+TEST_F(RunnerTest, FitScalesWithCounts)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(100));
+    EXPECT_DOUBLE_EQ(res.fitAu(0), 0.0);
+    EXPECT_DOUBLE_EQ(res.fitAu(50), 0.5 * res.fitAu(100));
+    EXPECT_NEAR(res.fitTotalAu(false),
+                res.fitAu(res.count(Outcome::Sdc)), 1e-12);
+}
+
+TEST_F(RunnerTest, FilteredFitNeverExceedsAll)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(200));
+    EXPECT_LE(res.fitTotalAu(true), res.fitTotalAu(false));
+    EXPECT_GE(res.filteredOutFraction(), 0.0);
+    EXPECT_LE(res.filteredOutFraction(), 1.0);
+}
+
+TEST_F(RunnerTest, BreakdownTotalsMatch)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(200));
+    FitBreakdown all = res.fitByPattern(false);
+    EXPECT_NEAR(all.total(), res.fitTotalAu(false),
+                1e-9 * std::max(1.0, all.total()));
+    FitBreakdown filtered = res.fitByPattern(true);
+    EXPECT_NEAR(filtered.total(), res.fitTotalAu(true),
+                1e-9 * std::max(1.0, filtered.total()));
+}
+
+TEST_F(RunnerTest, SdcOverDetectablePositive)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(300));
+    EXPECT_GT(res.sdcOverDetectable(), 0.5);
+}
+
+TEST(RunnerDeathTest, ZeroRunsFatal)
+{
+    DeviceModel d = makeK40();
+    Dgemm dgemm(d, 64, 42);
+    CampaignConfig cfg;
+    cfg.faultyRuns = 0;
+    EXPECT_EXIT(runCampaign(d, dgemm, cfg),
+                ::testing::ExitedWithCode(1), "at least one");
+}
+
+} // anonymous namespace
+} // namespace radcrit

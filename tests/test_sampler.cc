@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the strike sampler: weights, resource distribution and
+ * outcome modulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "exec/launch.hh"
+#include "sim/sampler.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+WorkloadTraits
+uniformTraits(double util = 0.5)
+{
+    WorkloadTraits t;
+    t.name = "toy";
+    t.totalThreads = 65536;
+    t.blockThreads = 256;
+    t.flopsPerThread = 10.0;
+    for (size_t i = 0; i < numResourceKinds; ++i)
+        t.utilization[i] = util;
+    return t;
+}
+
+TEST(SamplerTest, WeightsArePositiveAndSum)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, uniformTraits());
+    StrikeSampler s(d, l);
+    double sum = 0.0;
+    for (size_t i = 0; i < numResourceKinds; ++i)
+        sum += s.weight(static_cast<ResourceKind>(i));
+    EXPECT_NEAR(sum, s.totalWeight(), 1e-9 * sum);
+    EXPECT_GT(s.totalWeight(), 0.0);
+}
+
+TEST(SamplerTest, UnusedResourceNeverStruck)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits t = uniformTraits();
+    t.setUtil(ResourceKind::Sfu, 0.0);
+    KernelLaunch l = buildLaunch(d, t);
+    StrikeSampler s(d, l);
+    EXPECT_DOUBLE_EQ(s.weight(ResourceKind::Sfu), 0.0);
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_NE(s.sampleResource(rng), ResourceKind::Sfu);
+}
+
+TEST(SamplerTest, SamplingMatchesWeights)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, uniformTraits());
+    StrikeSampler s(d, l);
+    Rng rng(2);
+    std::array<uint64_t, numResourceKinds> counts{};
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        counts[static_cast<size_t>(s.sampleResource(rng))]++;
+    for (size_t i = 0; i < numResourceKinds; ++i) {
+        double expected = s.weight(static_cast<ResourceKind>(i)) /
+            s.totalWeight();
+        double observed = static_cast<double>(counts[i]) / n;
+        EXPECT_NEAR(observed, expected,
+                    0.02 + 3.0 * std::sqrt(expected / n));
+    }
+}
+
+TEST(SamplerTest, SchedulerStrainScalesWeight)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits small = uniformTraits();
+    small.totalThreads = 16384;
+    WorkloadTraits big = uniformTraits();
+    big.totalThreads = 1048576;
+    StrikeSampler ss(d, buildLaunch(d, small));
+    StrikeSampler sb(d, buildLaunch(d, big));
+    EXPECT_GT(sb.weight(ResourceKind::Scheduler),
+              2.0 * ss.weight(ResourceKind::Scheduler));
+}
+
+TEST(SamplerTest, OutcomeDistributionMatchesProfile)
+{
+    DeviceModel d = makeK40();
+    KernelLaunch l = buildLaunch(d, uniformTraits());
+    StrikeSampler s(d, l);
+    Rng rng(3);
+    const Resource &rf = d.resource(ResourceKind::RegisterFile);
+    uint64_t sdc = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (s.sampleOutcome(ResourceKind::RegisterFile, rng) ==
+            Outcome::Sdc) {
+            ++sdc;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(sdc) / n, rf.outcome.pSdc,
+                0.02);
+}
+
+TEST(SamplerTest, ControlFlowBoostsCrashes)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits calm = uniformTraits();
+    calm.controlFlowIntensity = 0.0;
+    WorkloadTraits branchy = uniformTraits();
+    branchy.controlFlowIntensity = 1.0;
+    StrikeSampler sc(d, buildLaunch(d, calm));
+    StrikeSampler sb(d, buildLaunch(d, branchy));
+    Rng rng(4);
+    auto crash_rate = [&](StrikeSampler &s) {
+        Rng local(5);
+        uint64_t crash = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            Outcome o = s.sampleOutcome(ResourceKind::Scheduler,
+                                        local);
+            crash += o == Outcome::Crash || o == Outcome::Hang;
+        }
+        return static_cast<double>(crash) / n;
+    };
+    EXPECT_GT(crash_rate(sb), crash_rate(sc) + 0.03);
+    (void)rng;
+}
+
+TEST(SamplerTest, CrashExposureShieldsStorage)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits exposed = uniformTraits();
+    exposed.crashExposure = 1.0;
+    WorkloadTraits shielded = uniformTraits();
+    shielded.crashExposure = 0.2;
+    StrikeSampler se(d, buildLaunch(d, exposed));
+    StrikeSampler ss(d, buildLaunch(d, shielded));
+    auto crash_rate = [&](StrikeSampler &s, ResourceKind kind) {
+        Rng local(6);
+        uint64_t crash = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i) {
+            Outcome o = s.sampleOutcome(kind, local);
+            crash += o == Outcome::Crash || o == Outcome::Hang;
+        }
+        return static_cast<double>(crash) / n;
+    };
+    // Storage crashes shrink; logic crashes are untouched.
+    EXPECT_LT(crash_rate(ss, ResourceKind::L2Cache),
+              0.5 * crash_rate(se, ResourceKind::L2Cache));
+    EXPECT_NEAR(crash_rate(ss, ResourceKind::Fpu),
+                crash_rate(se, ResourceKind::Fpu), 0.02);
+}
+
+TEST(SamplerTest, StrikesAreComplete)
+{
+    DeviceModel d = makeXeonPhi();
+    KernelLaunch l = buildLaunch(d, uniformTraits());
+    StrikeSampler s(d, l);
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        Strike strike = s.sampleStrike(rng);
+        EXPECT_GE(strike.timeFraction, 0.0);
+        EXPECT_LT(strike.timeFraction, 1.0);
+        EXPECT_GE(strike.burstBits, 1u);
+        EXPECT_LE(strike.burstBits, d.maxBurstBits);
+        EXPECT_GT(s.weight(strike.resource), 0.0);
+    }
+}
+
+TEST(SamplerDeathTest, AllZeroUtilizationPanics)
+{
+    DeviceModel d = makeK40();
+    WorkloadTraits t = uniformTraits(0.0);
+    KernelLaunch l = buildLaunch(d, t);
+    EXPECT_DEATH(StrikeSampler(d, l), "no sensitive resource");
+}
+
+} // anonymous namespace
+} // namespace radcrit

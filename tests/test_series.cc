@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the figure-series builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/series.hh"
+#include "kernels/dgemm.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+CampaignResult
+smallCampaign()
+{
+    DeviceModel device = makeDevice(DeviceId::K40);
+    Dgemm dgemm(device, 64, 42);
+    CampaignConfig cfg;
+    cfg.faultyRuns = 150;
+    cfg.seed = 17;
+    return runCampaign(device, dgemm, cfg);
+}
+
+TEST(SeriesTest, ScatterOnlySdcRuns)
+{
+    CampaignResult res = smallCampaign();
+    ScatterSeries s = scatterSeries(res);
+    EXPECT_EQ(s.xs.size(),
+              static_cast<size_t>(res.count(Outcome::Sdc)));
+    EXPECT_EQ(s.xs.size(), s.ys.size());
+    EXPECT_EQ(s.label, res.inputLabel);
+    for (double x : s.xs)
+        EXPECT_GE(x, 1.0);
+    for (double y : s.ys)
+        EXPECT_GE(y, 0.0);
+}
+
+TEST(SeriesTest, LocalityBarsStructure)
+{
+    CampaignResult res = smallCampaign();
+    LocalityBars bars = localityBars(res, patterns2d());
+    ASSERT_EQ(bars.segmentNames.size(), 4u);
+    EXPECT_EQ(bars.segmentNames[0], "Square");
+    ASSERT_GE(bars.bars.size(), 1u);
+    EXPECT_EQ(bars.bars[0].segments.size(), 4u);
+    EXPECT_NE(bars.bars[0].label.find("All"), std::string::npos);
+}
+
+TEST(SeriesTest, FilteredBarSmaller)
+{
+    CampaignResult res = smallCampaign();
+    LocalityBars bars = localityBars(res, patterns2d());
+    if (bars.bars.size() == 2) {
+        double all = 0.0, filtered = 0.0;
+        for (double v : bars.bars[0].segments)
+            all += v;
+        for (double v : bars.bars[1].segments)
+            filtered += v;
+        EXPECT_LE(filtered, all);
+        EXPECT_NE(bars.bars[1].label.find(">2%"),
+                  std::string::npos);
+        // (braced if-body keeps -Wdangling-else quiet)
+    }
+}
+
+TEST(SeriesTest, PatternOrders)
+{
+    auto p2 = patterns2d();
+    EXPECT_EQ(p2.size(), 4u);
+    auto p3 = patterns3d();
+    EXPECT_EQ(p3.size(), 5u);
+    EXPECT_EQ(p3.front(), Pattern::Cubic);
+}
+
+TEST(SeriesTest, RunRowsMatchHeader)
+{
+    CampaignResult res = smallCampaign();
+    auto header = runRowsHeader();
+    auto rows = runRows(res);
+    EXPECT_EQ(rows.size(), res.runs.size());
+    for (const auto &row : rows) {
+        EXPECT_GE(row.size(), 4u);
+        EXPECT_LE(row.size(), header.size());
+    }
+}
+
+TEST(SeriesTest, SdcRowsAreComplete)
+{
+    CampaignResult res = smallCampaign();
+    auto rows = runRows(res);
+    auto header = runRowsHeader();
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (res.runs[i].outcome == Outcome::Sdc) {
+            EXPECT_EQ(rows[i].size(), header.size());
+        }
+    }
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the streaming statistics accumulators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(RunningStatTest, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic sequence is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential)
+{
+    Rng rng(5);
+    RunningStat whole, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.normal(3.0, 2.0);
+        whole.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatTest, ConfidenceShrinksWithSamples)
+{
+    Rng rng(6);
+    RunningStat small, large;
+    for (int i = 0; i < 100; ++i)
+        small.add(rng.normal());
+    for (int i = 0; i < 10000; ++i)
+        large.add(rng.normal());
+    EXPECT_GT(small.confidenceHalfWidth(),
+              large.confidenceHalfWidth());
+}
+
+TEST(HistogramTest, BinningAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(5.5);
+    h.add(9.999);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(HistogramTest, BinEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 4.0);
+    EXPECT_EQ(h.bins(), 10u);
+}
+
+TEST(HistogramTest, EntropyUniformVsPoint)
+{
+    Histogram flat(0.0, 8.0, 8);
+    for (int b = 0; b < 8; ++b)
+        flat.add(b + 0.5);
+    EXPECT_NEAR(flat.entropyBits(), 3.0, 1e-12);
+
+    Histogram point(0.0, 8.0, 8);
+    for (int i = 0; i < 100; ++i)
+        point.add(4.2);
+    EXPECT_NEAR(point.entropyBits(), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, EntropyEmptyIsZero)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.entropyBits(), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+}
+
+TEST(QuantileTest, SingleSample)
+{
+    std::vector<double> v{7.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.9), 7.0);
+}
+
+} // anonymous namespace
+} // namespace radcrit

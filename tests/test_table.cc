@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(TextTableTest, RendersHeaderAndRows)
+{
+    TextTable t("Title");
+    t.setHeader({"a", "bb"});
+    t.addRow({"1", "2"});
+    std::string out = t.toString();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsColumns)
+{
+    TextTable t;
+    t.setHeader({"col", "x"});
+    t.addRow({"longvalue", "y"});
+    std::string out = t.toString();
+    // Header row must be padded to the widest cell.
+    auto header_end = out.find('\n');
+    auto row_start = out.rfind('\n', out.size() - 2);
+    EXPECT_NE(header_end, std::string::npos);
+    std::string header = out.substr(0, header_end);
+    std::string row = out.substr(row_start + 1);
+    EXPECT_EQ(header.find('|'), row.find('|'));
+}
+
+TEST(TextTableTest, ShortRowsAllowed)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"1"});
+    EXPECT_NO_THROW(t.toString());
+}
+
+TEST(TextTableTest, SeparatorRendersDashes)
+{
+    TextTable t;
+    t.setHeader({"a"});
+    t.addSeparator();
+    std::string out = t.toString();
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableRendersNothing)
+{
+    TextTable t;
+    EXPECT_EQ(t.toString(), "");
+}
+
+TEST(TextTableTest, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(static_cast<int64_t>(-5)), "-5");
+    EXPECT_EQ(TextTable::num(static_cast<uint64_t>(7)), "7");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+} // anonymous namespace
+} // namespace radcrit

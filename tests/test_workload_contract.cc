@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Workload-contract property suite: every (device, workload,
+ * manifestation) combination must satisfy the invariants the
+ * campaign layer relies on — coordinates inside the output
+ * extents, read values differing from expected, per-strike
+ * determinism, and no duplicate elements.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "campaign/paperconfigs.hh"
+#include "common/rng.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+enum class Wl { Dgemm, LavaMd, HotSpot, Clamr };
+
+std::unique_ptr<Workload>
+makeSmall(Wl wl, const DeviceModel &device)
+{
+    switch (wl) {
+      case Wl::Dgemm:
+        return std::make_unique<Dgemm>(device, 64, 42);
+      case Wl::LavaMd:
+        return std::make_unique<LavaMd>(device, 5, 42, 2, 4, 11);
+      case Wl::HotSpot:
+        return std::make_unique<HotSpot>(device, 64, 64, 42);
+      case Wl::Clamr:
+        return std::make_unique<Clamr>(device, 64, 64, 42);
+    }
+    return nullptr;
+}
+
+using Param = std::tuple<DeviceId, Wl, Manifestation>;
+
+class WorkloadContractTest
+    : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(WorkloadContractTest, InvariantsHold)
+{
+    auto [device_id, wl, manifestation] = GetParam();
+    DeviceModel device = makeDevice(device_id);
+    auto workload = makeSmall(wl, device);
+
+    // Strikes of this manifestation from plausible resources.
+    std::vector<ResourceKind> sources;
+    for (const auto &res : device.resources) {
+        for (const auto &mw : res.manifestations) {
+            if (mw.manifestation == manifestation)
+                sources.push_back(res.kind);
+        }
+    }
+    if (sources.empty())
+        GTEST_SKIP() << "device never produces this "
+                        "manifestation";
+
+    Rng rng(99);
+    SdcRecord shape = workload->emptyRecord();
+    for (int trial = 0; trial < 12; ++trial) {
+        Strike strike;
+        strike.resource = sources[rng.uniformInt(sources.size())];
+        strike.manifestation = manifestation;
+        strike.timeFraction = rng.uniform();
+        strike.burstBits = 1 +
+            static_cast<uint32_t>(rng.uniformInt(3));
+        strike.entropy = rng.next64();
+
+        Rng unused_a(1), unused_b(2);
+        SdcRecord rec = workload->inject(strike, unused_a);
+
+        // 1. Geometry matches the declared output shape.
+        EXPECT_EQ(rec.dims, shape.dims);
+        EXPECT_EQ(rec.extent, shape.extent);
+
+        // 2. Every element is inside the extents and genuinely
+        // mismatching.
+        std::multiset<std::array<int64_t, 3>> coords;
+        for (const auto &e : rec.elements) {
+            for (int a = 0; a < 3; ++a) {
+                EXPECT_GE(e.coord[a], 0);
+                EXPECT_LT(e.coord[a], rec.extent[a]);
+            }
+            EXPECT_TRUE(e.read != e.expected ||
+                        std::isnan(e.read));
+            coords.insert(e.coord);
+        }
+
+        // 3. Duplicate coordinates only where several particles
+        // share a box (3D records); never in 2D grids.
+        if (rec.dims == 2) {
+            std::set<std::array<int64_t, 3>> unique(
+                coords.begin(), coords.end());
+            EXPECT_EQ(unique.size(), coords.size());
+        }
+
+        // 4. Determinism: the record is a pure function of the
+        // strike.
+        SdcRecord again = workload->inject(strike, unused_b);
+        ASSERT_EQ(again.numIncorrect(), rec.numIncorrect());
+        for (size_t i = 0; i < rec.elements.size(); ++i) {
+            EXPECT_EQ(again.elements[i].coord,
+                      rec.elements[i].coord);
+            // NaN != NaN: compare bit-level equality by hash of
+            // the double's representation via ==, tolerating NaN.
+            bool equal = again.elements[i].read ==
+                rec.elements[i].read ||
+                (std::isnan(again.elements[i].read) &&
+                 std::isnan(rec.elements[i].read));
+            EXPECT_TRUE(equal);
+        }
+    }
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    auto [device_id, wl, manifestation] = info.param;
+    std::string name = deviceIdName(device_id);
+    switch (wl) {
+      case Wl::Dgemm: name += "_DGEMM"; break;
+      case Wl::LavaMd: name += "_LavaMD"; break;
+      case Wl::HotSpot: name += "_HotSpot"; break;
+      case Wl::Clamr: name += "_CLAMR"; break;
+    }
+    name += std::string("_") + manifestationName(manifestation);
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, WorkloadContractTest,
+    ::testing::Combine(
+        ::testing::Values(DeviceId::K40, DeviceId::XeonPhi),
+        ::testing::Values(Wl::Dgemm, Wl::LavaMd, Wl::HotSpot,
+                          Wl::Clamr),
+        ::testing::Values(Manifestation::BitFlipValue,
+                          Manifestation::BitFlipInputLine,
+                          Manifestation::WrongOperation,
+                          Manifestation::SkippedChunk,
+                          Manifestation::StaleData,
+                          Manifestation::MisscheduledBlock)),
+    paramName);
+
+} // anonymous namespace
+} // namespace radcrit
