@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abft_coverage.dir/bench_abft_coverage.cc.o"
+  "CMakeFiles/bench_abft_coverage.dir/bench_abft_coverage.cc.o.d"
+  "bench_abft_coverage"
+  "bench_abft_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abft_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

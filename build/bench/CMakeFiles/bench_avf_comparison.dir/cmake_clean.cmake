@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_avf_comparison.dir/bench_avf_comparison.cc.o"
+  "CMakeFiles/bench_avf_comparison.dir/bench_avf_comparison.cc.o.d"
+  "bench_avf_comparison"
+  "bench_avf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_avf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_dgemm_locality.cc" "bench/CMakeFiles/bench_fig3_dgemm_locality.dir/bench_fig3_dgemm_locality.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_dgemm_locality.dir/bench_fig3_dgemm_locality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/radcrit_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/radcrit_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/abft/CMakeFiles/radcrit_abft.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/radcrit_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/harden/CMakeFiles/radcrit_harden.dir/DependInfo.cmake"
+  "/root/repo/build/src/avf/CMakeFiles/radcrit_avf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtbf/CMakeFiles/radcrit_mtbf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radcrit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/radcrit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/radcrit_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/radcrit_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radcrit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

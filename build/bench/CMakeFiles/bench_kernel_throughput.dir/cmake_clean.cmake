@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_throughput.dir/bench_kernel_throughput.cc.o"
+  "CMakeFiles/bench_kernel_throughput.dir/bench_kernel_throughput.cc.o.d"
+  "bench_kernel_throughput"
+  "bench_kernel_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

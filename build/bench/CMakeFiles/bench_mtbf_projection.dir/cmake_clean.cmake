@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtbf_projection.dir/bench_mtbf_projection.cc.o"
+  "CMakeFiles/bench_mtbf_projection.dir/bench_mtbf_projection.cc.o.d"
+  "bench_mtbf_projection"
+  "bench_mtbf_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtbf_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

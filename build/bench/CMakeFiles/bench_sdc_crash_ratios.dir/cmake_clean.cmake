@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdc_crash_ratios.dir/bench_sdc_crash_ratios.cc.o"
+  "CMakeFiles/bench_sdc_crash_ratios.dir/bench_sdc_crash_ratios.cc.o.d"
+  "bench_sdc_crash_ratios"
+  "bench_sdc_crash_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdc_crash_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

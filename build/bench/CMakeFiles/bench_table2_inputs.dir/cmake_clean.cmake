@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_inputs.dir/bench_table2_inputs.cc.o"
+  "CMakeFiles/bench_table2_inputs.dir/bench_table2_inputs.cc.o.d"
+  "bench_table2_inputs"
+  "bench_table2_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abft_protection.dir/abft_protection.cpp.o"
+  "CMakeFiles/abft_protection.dir/abft_protection.cpp.o.d"
+  "abft_protection"
+  "abft_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abft_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criticality_report.dir/criticality_report.cpp.o"
+  "CMakeFiles/criticality_report.dir/criticality_report.cpp.o.d"
+  "criticality_report"
+  "criticality_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criticality_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

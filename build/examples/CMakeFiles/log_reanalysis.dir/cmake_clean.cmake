@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_reanalysis.dir/log_reanalysis.cpp.o"
+  "CMakeFiles/log_reanalysis.dir/log_reanalysis.cpp.o.d"
+  "log_reanalysis"
+  "log_reanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_reanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_visualizer.dir/wave_visualizer.cpp.o"
+  "CMakeFiles/wave_visualizer.dir/wave_visualizer.cpp.o.d"
+  "wave_visualizer"
+  "wave_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

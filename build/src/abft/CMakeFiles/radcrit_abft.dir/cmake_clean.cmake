@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_abft.dir/abft_dgemm.cc.o"
+  "CMakeFiles/radcrit_abft.dir/abft_dgemm.cc.o.d"
+  "CMakeFiles/radcrit_abft.dir/detectors.cc.o"
+  "CMakeFiles/radcrit_abft.dir/detectors.cc.o.d"
+  "libradcrit_abft.a"
+  "libradcrit_abft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/device.cc" "src/arch/CMakeFiles/radcrit_arch.dir/device.cc.o" "gcc" "src/arch/CMakeFiles/radcrit_arch.dir/device.cc.o.d"
+  "/root/repo/src/arch/manifestation.cc" "src/arch/CMakeFiles/radcrit_arch.dir/manifestation.cc.o" "gcc" "src/arch/CMakeFiles/radcrit_arch.dir/manifestation.cc.o.d"
+  "/root/repo/src/arch/resource.cc" "src/arch/CMakeFiles/radcrit_arch.dir/resource.cc.o" "gcc" "src/arch/CMakeFiles/radcrit_arch.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radcrit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_arch.dir/device.cc.o"
+  "CMakeFiles/radcrit_arch.dir/device.cc.o.d"
+  "CMakeFiles/radcrit_arch.dir/manifestation.cc.o"
+  "CMakeFiles/radcrit_arch.dir/manifestation.cc.o.d"
+  "CMakeFiles/radcrit_arch.dir/resource.cc.o"
+  "CMakeFiles/radcrit_arch.dir/resource.cc.o.d"
+  "libradcrit_arch.a"
+  "libradcrit_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

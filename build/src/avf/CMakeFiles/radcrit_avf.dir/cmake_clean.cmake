@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_avf.dir/avf.cc.o"
+  "CMakeFiles/radcrit_avf.dir/avf.cc.o.d"
+  "libradcrit_avf.a"
+  "libradcrit_avf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_avf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

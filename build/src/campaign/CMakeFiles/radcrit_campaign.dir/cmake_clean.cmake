@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_campaign.dir/paperconfigs.cc.o"
+  "CMakeFiles/radcrit_campaign.dir/paperconfigs.cc.o.d"
+  "CMakeFiles/radcrit_campaign.dir/runner.cc.o"
+  "CMakeFiles/radcrit_campaign.dir/runner.cc.o.d"
+  "CMakeFiles/radcrit_campaign.dir/series.cc.o"
+  "CMakeFiles/radcrit_campaign.dir/series.cc.o.d"
+  "libradcrit_campaign.a"
+  "libradcrit_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

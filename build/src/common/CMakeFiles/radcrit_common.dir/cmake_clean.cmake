@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_common.dir/cli.cc.o"
+  "CMakeFiles/radcrit_common.dir/cli.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/csv.cc.o"
+  "CMakeFiles/radcrit_common.dir/csv.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/figure.cc.o"
+  "CMakeFiles/radcrit_common.dir/figure.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/logging.cc.o"
+  "CMakeFiles/radcrit_common.dir/logging.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/rng.cc.o"
+  "CMakeFiles/radcrit_common.dir/rng.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/stats.cc.o"
+  "CMakeFiles/radcrit_common.dir/stats.cc.o.d"
+  "CMakeFiles/radcrit_common.dir/table.cc.o"
+  "CMakeFiles/radcrit_common.dir/table.cc.o.d"
+  "libradcrit_common.a"
+  "libradcrit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

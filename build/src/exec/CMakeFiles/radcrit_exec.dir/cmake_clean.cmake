@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_exec.dir/launch.cc.o"
+  "CMakeFiles/radcrit_exec.dir/launch.cc.o.d"
+  "libradcrit_exec.a"
+  "libradcrit_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

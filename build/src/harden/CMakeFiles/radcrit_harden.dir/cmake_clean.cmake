@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_harden.dir/advisor.cc.o"
+  "CMakeFiles/radcrit_harden.dir/advisor.cc.o.d"
+  "CMakeFiles/radcrit_harden.dir/attribution.cc.o"
+  "CMakeFiles/radcrit_harden.dir/attribution.cc.o.d"
+  "libradcrit_harden.a"
+  "libradcrit_harden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

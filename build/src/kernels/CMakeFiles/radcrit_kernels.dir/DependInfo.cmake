@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/amr.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/amr.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/amr.cc.o.d"
+  "/root/repo/src/kernels/clamr.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/clamr.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/clamr.cc.o.d"
+  "/root/repo/src/kernels/dgemm.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/dgemm.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/dgemm.cc.o.d"
+  "/root/repo/src/kernels/hotspot.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/hotspot.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/hotspot.cc.o.d"
+  "/root/repo/src/kernels/inject_util.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/inject_util.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/inject_util.cc.o.d"
+  "/root/repo/src/kernels/lavamd.cc" "src/kernels/CMakeFiles/radcrit_kernels.dir/lavamd.cc.o" "gcc" "src/kernels/CMakeFiles/radcrit_kernels.dir/lavamd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/radcrit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/radcrit_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/radcrit_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/radcrit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radcrit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_kernels.dir/amr.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/amr.cc.o.d"
+  "CMakeFiles/radcrit_kernels.dir/clamr.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/clamr.cc.o.d"
+  "CMakeFiles/radcrit_kernels.dir/dgemm.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/dgemm.cc.o.d"
+  "CMakeFiles/radcrit_kernels.dir/hotspot.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/hotspot.cc.o.d"
+  "CMakeFiles/radcrit_kernels.dir/inject_util.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/inject_util.cc.o.d"
+  "CMakeFiles/radcrit_kernels.dir/lavamd.cc.o"
+  "CMakeFiles/radcrit_kernels.dir/lavamd.cc.o.d"
+  "libradcrit_kernels.a"
+  "libradcrit_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_logs.dir/beamlog.cc.o"
+  "CMakeFiles/radcrit_logs.dir/beamlog.cc.o.d"
+  "libradcrit_logs.a"
+  "libradcrit_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradcrit_logs.a"
+)

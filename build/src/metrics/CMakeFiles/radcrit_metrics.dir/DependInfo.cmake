@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/criticality.cc" "src/metrics/CMakeFiles/radcrit_metrics.dir/criticality.cc.o" "gcc" "src/metrics/CMakeFiles/radcrit_metrics.dir/criticality.cc.o.d"
+  "/root/repo/src/metrics/filter.cc" "src/metrics/CMakeFiles/radcrit_metrics.dir/filter.cc.o" "gcc" "src/metrics/CMakeFiles/radcrit_metrics.dir/filter.cc.o.d"
+  "/root/repo/src/metrics/locality.cc" "src/metrics/CMakeFiles/radcrit_metrics.dir/locality.cc.o" "gcc" "src/metrics/CMakeFiles/radcrit_metrics.dir/locality.cc.o.d"
+  "/root/repo/src/metrics/locality_map.cc" "src/metrics/CMakeFiles/radcrit_metrics.dir/locality_map.cc.o" "gcc" "src/metrics/CMakeFiles/radcrit_metrics.dir/locality_map.cc.o.d"
+  "/root/repo/src/metrics/relative_error.cc" "src/metrics/CMakeFiles/radcrit_metrics.dir/relative_error.cc.o" "gcc" "src/metrics/CMakeFiles/radcrit_metrics.dir/relative_error.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radcrit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_metrics.dir/criticality.cc.o"
+  "CMakeFiles/radcrit_metrics.dir/criticality.cc.o.d"
+  "CMakeFiles/radcrit_metrics.dir/filter.cc.o"
+  "CMakeFiles/radcrit_metrics.dir/filter.cc.o.d"
+  "CMakeFiles/radcrit_metrics.dir/locality.cc.o"
+  "CMakeFiles/radcrit_metrics.dir/locality.cc.o.d"
+  "CMakeFiles/radcrit_metrics.dir/locality_map.cc.o"
+  "CMakeFiles/radcrit_metrics.dir/locality_map.cc.o.d"
+  "CMakeFiles/radcrit_metrics.dir/relative_error.cc.o"
+  "CMakeFiles/radcrit_metrics.dir/relative_error.cc.o.d"
+  "libradcrit_metrics.a"
+  "libradcrit_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

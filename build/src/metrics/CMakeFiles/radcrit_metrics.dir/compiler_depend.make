@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for radcrit_metrics.
+# This may be replaced when dependencies are built.

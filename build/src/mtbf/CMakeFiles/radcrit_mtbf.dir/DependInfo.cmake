@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mtbf/projection.cc" "src/mtbf/CMakeFiles/radcrit_mtbf.dir/projection.cc.o" "gcc" "src/mtbf/CMakeFiles/radcrit_mtbf.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/campaign/CMakeFiles/radcrit_campaign.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radcrit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/radcrit_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radcrit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/radcrit_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/radcrit_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/radcrit_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_mtbf.dir/projection.cc.o"
+  "CMakeFiles/radcrit_mtbf.dir/projection.cc.o.d"
+  "libradcrit_mtbf.a"
+  "libradcrit_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_sim.dir/beam.cc.o"
+  "CMakeFiles/radcrit_sim.dir/beam.cc.o.d"
+  "CMakeFiles/radcrit_sim.dir/fault.cc.o"
+  "CMakeFiles/radcrit_sim.dir/fault.cc.o.d"
+  "CMakeFiles/radcrit_sim.dir/sampler.cc.o"
+  "CMakeFiles/radcrit_sim.dir/sampler.cc.o.d"
+  "libradcrit_sim.a"
+  "libradcrit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

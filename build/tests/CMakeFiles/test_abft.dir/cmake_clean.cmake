@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abft.dir/test_abft.cc.o"
+  "CMakeFiles/test_abft.dir/test_abft.cc.o.d"
+  "test_abft"
+  "test_abft.pdb"
+  "test_abft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

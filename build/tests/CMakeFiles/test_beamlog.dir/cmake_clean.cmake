@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_beamlog.dir/test_beamlog.cc.o"
+  "CMakeFiles/test_beamlog.dir/test_beamlog.cc.o.d"
+  "test_beamlog"
+  "test_beamlog.pdb"
+  "test_beamlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_beamlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clamr.dir/test_clamr.cc.o"
+  "CMakeFiles/test_clamr.dir/test_clamr.cc.o.d"
+  "test_clamr"
+  "test_clamr.pdb"
+  "test_clamr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clamr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_criticality.dir/test_criticality.cc.o"
+  "CMakeFiles/test_criticality.dir/test_criticality.cc.o.d"
+  "test_criticality"
+  "test_criticality.pdb"
+  "test_criticality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dgemm.dir/test_dgemm.cc.o"
+  "CMakeFiles/test_dgemm.dir/test_dgemm.cc.o.d"
+  "test_dgemm"
+  "test_dgemm.pdb"
+  "test_dgemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

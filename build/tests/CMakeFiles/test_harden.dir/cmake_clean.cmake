@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harden.dir/test_harden.cc.o"
+  "CMakeFiles/test_harden.dir/test_harden.cc.o.d"
+  "test_harden"
+  "test_harden.pdb"
+  "test_harden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

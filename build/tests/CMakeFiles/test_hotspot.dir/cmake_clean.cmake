@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotspot.dir/test_hotspot.cc.o"
+  "CMakeFiles/test_hotspot.dir/test_hotspot.cc.o.d"
+  "test_hotspot"
+  "test_hotspot.pdb"
+  "test_hotspot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

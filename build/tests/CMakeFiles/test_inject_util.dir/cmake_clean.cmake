@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inject_util.dir/test_inject_util.cc.o"
+  "CMakeFiles/test_inject_util.dir/test_inject_util.cc.o.d"
+  "test_inject_util"
+  "test_inject_util.pdb"
+  "test_inject_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inject_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_launch.dir/test_launch.cc.o"
+  "CMakeFiles/test_launch.dir/test_launch.cc.o.d"
+  "test_launch"
+  "test_launch.pdb"
+  "test_launch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lavamd.dir/test_lavamd.cc.o"
+  "CMakeFiles/test_lavamd.dir/test_lavamd.cc.o.d"
+  "test_lavamd"
+  "test_lavamd.pdb"
+  "test_lavamd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lavamd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

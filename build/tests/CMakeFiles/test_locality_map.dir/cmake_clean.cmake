@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_locality_map.dir/test_locality_map.cc.o"
+  "CMakeFiles/test_locality_map.dir/test_locality_map.cc.o.d"
+  "test_locality_map"
+  "test_locality_map.pdb"
+  "test_locality_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_locality_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paperconfigs.dir/test_paperconfigs.cc.o"
+  "CMakeFiles/test_paperconfigs.dir/test_paperconfigs.cc.o.d"
+  "test_paperconfigs"
+  "test_paperconfigs.pdb"
+  "test_paperconfigs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paperconfigs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relative_error.dir/test_relative_error.cc.o"
+  "CMakeFiles/test_relative_error.dir/test_relative_error.cc.o.d"
+  "test_relative_error"
+  "test_relative_error.pdb"
+  "test_relative_error[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relative_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

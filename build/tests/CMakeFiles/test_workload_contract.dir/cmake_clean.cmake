@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_contract.dir/test_workload_contract.cc.o"
+  "CMakeFiles/test_workload_contract.dir/test_workload_contract.cc.o.d"
+  "test_workload_contract"
+  "test_workload_contract.pdb"
+  "test_workload_contract[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

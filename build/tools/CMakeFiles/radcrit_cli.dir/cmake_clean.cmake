@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radcrit_cli.dir/radcrit_cli.cc.o"
+  "CMakeFiles/radcrit_cli.dir/radcrit_cli.cc.o.d"
+  "radcrit_cli"
+  "radcrit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radcrit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
