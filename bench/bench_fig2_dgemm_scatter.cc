@@ -36,5 +36,6 @@ main(int argc, char **argv)
             ".csv", csv);
         std::printf("\n");
     }
+    writeBenchJson("bench_fig2_dgemm_scatter");
     return 0;
 }

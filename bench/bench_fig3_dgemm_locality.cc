@@ -35,5 +35,6 @@ main(int argc, char **argv)
             ".csv", csv);
         std::printf("\n");
     }
+    writeBenchJson("bench_fig3_dgemm_locality");
     return 0;
 }

@@ -33,5 +33,6 @@ main(int argc, char **argv)
             ".csv", csv);
         std::printf("\n");
     }
+    writeBenchJson("bench_fig4_lavamd_scatter");
     return 0;
 }

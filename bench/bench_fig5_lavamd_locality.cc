@@ -33,5 +33,6 @@ main(int argc, char **argv)
             ".csv", csv);
         std::printf("\n");
     }
+    writeBenchJson("bench_fig5_lavamd_locality");
     return 0;
 }

@@ -37,5 +37,6 @@ main(int argc, char **argv)
             ".csv", csv);
         std::printf("\n");
     }
+    writeBenchJson("bench_fig6_hotspot_scatter");
     return 0;
 }

@@ -33,5 +33,6 @@ main(int argc, char **argv)
         std::printf("filtered executions: %.0f%%\n\n",
                     100.0 * results[0].filteredOutFraction());
     }
+    writeBenchJson("bench_fig7_hotspot_locality");
     return 0;
 }

@@ -25,5 +25,6 @@ main(int argc, char **argv)
         "Fig. 8: CLAMR Mean relative error and Incorrect Elements"
         " (Xeon Phi)",
         results, 0.0, 100.0, "fig8_clamr_scatter.csv", csv);
+    writeBenchJson("bench_fig8_clamr_scatter");
     return 0;
 }

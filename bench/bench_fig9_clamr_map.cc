@@ -47,5 +47,6 @@ main(int argc, char **argv)
     std::string ppm = benchOutputDir() + "/fig9_clamr_map.ppm";
     map.writePpm(ppm);
     std::printf("[ppm] %s\n", ppm.c_str());
+    writeBenchJson("bench_fig9_clamr_map");
     return 0;
 }

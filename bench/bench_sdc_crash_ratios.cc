@@ -88,5 +88,6 @@ main(int argc, char **argv)
         }
         std::printf("[csv] %s\n", path.c_str());
     }
+    writeBenchJson("bench_sdc_crash_ratios");
     return 0;
 }

@@ -9,8 +9,10 @@
 #ifndef RADCRIT_BENCH_BENCH_UTIL_HH
 #define RADCRIT_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,7 +23,10 @@
 #include "common/cli.hh"
 #include "common/csv.hh"
 #include "common/figure.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
 
 namespace radcrit
 {
@@ -47,6 +52,54 @@ figureCli(const std::string &name, int64_t default_runs = 200)
     return cli;
 }
 
+/**
+ * Process-wide tally of campaign work done by one bench harness,
+ * feeding the machine-readable results emitter. runPaperCampaign()
+ * records into it automatically.
+ */
+struct BenchRecorder
+{
+    uint64_t campaigns = 0;
+    uint64_t runs = 0;
+    uint64_t wallNs = 0;
+
+    void
+    addCampaign(uint64_t campaign_runs, uint64_t campaign_ns)
+    {
+        ++campaigns;
+        runs += campaign_runs;
+        wallNs += campaign_ns;
+    }
+
+    /** @return wall nanoseconds per simulated faulty run. */
+    double
+    nsPerOp() const
+    {
+        return runs == 0
+            ? 0.0
+            : static_cast<double>(wallNs) /
+                static_cast<double>(runs);
+    }
+
+    /** @return simulated faulty runs per second. */
+    double
+    runsPerSecond() const
+    {
+        return wallNs == 0
+            ? 0.0
+            : static_cast<double>(runs) * 1e9 /
+                static_cast<double>(wallNs);
+    }
+};
+
+/** @return the process-wide bench recorder. */
+inline BenchRecorder &
+benchRecorder()
+{
+    static BenchRecorder recorder;
+    return recorder;
+}
+
 /** Run the canonical campaign for a workload instance. */
 inline CampaignResult
 runPaperCampaign(const DeviceModel &device, Workload &workload,
@@ -55,7 +108,46 @@ runPaperCampaign(const DeviceModel &device, Workload &workload,
     CampaignConfig cfg = defaultCampaign(
         runs, device.name, workload.name(),
         workload.inputLabel());
-    return runCampaign(device, workload, cfg);
+    auto start = std::chrono::steady_clock::now();
+    CampaignResult res = runCampaign(device, workload, cfg);
+    auto wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+    benchRecorder().addCampaign(res.runs.size(), wall_ns);
+    return res;
+}
+
+/**
+ * Emit the bench's machine-readable results as
+ * bench_out/<bench_name>.json: schema version, campaign/run
+ * tallies with ns-per-run and runs-per-second, and the full stats
+ * registry snapshot (phase timers, kernel timers, outcome
+ * counters). tools/check_bench_json.py validates the shape in CI.
+ */
+inline void
+writeBenchJson(const std::string &bench_name)
+{
+    const BenchRecorder &rec = benchRecorder();
+    std::string path = benchOutputDir() + "/" + bench_name +
+        ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open bench results file '%s'", path.c_str());
+        return;
+    }
+    out << "{\n"
+        << "  \"schema\": 1,\n"
+        << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n"
+        << "  \"campaigns\": " << rec.campaigns << ",\n"
+        << "  \"runs\": " << rec.runs << ",\n"
+        << "  \"wall_ns\": " << rec.wallNs << ",\n"
+        << "  \"ns_per_op\": " << jsonNum(rec.nsPerOp()) << ",\n"
+        << "  \"runs_per_s\": " << jsonNum(rec.runsPerSecond())
+        << ",\n"
+        << "  \"stats\": ";
+    StatsRegistry::global().snapshot().writeJson(out, 2);
+    out << "\n}\n";
+    std::printf("[json] %s\n", path.c_str());
 }
 
 /**

@@ -1,11 +1,34 @@
 #include "campaign/runner.hh"
 
+#include <array>
+#include <cctype>
+#include <chrono>
+
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/timer.hh"
+#include "obs/trace.hh"
 #include "sim/sampler.hh"
 
 namespace radcrit
 {
+
+namespace
+{
+
+/** Lowercase a label for use in a hierarchical stat name. */
+std::string
+statToken(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label)
+        out += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // anonymous namespace
 
 uint64_t
 CampaignResult::count(Outcome outcome) const
@@ -107,28 +130,123 @@ runCampaign(const DeviceModel &device, Workload &workload,
     StrikeSampler sampler(device, result.launch);
     result.sensitiveAreaAu = sampler.totalWeight();
 
+    // --- Telemetry: counters under campaign.<device>.<workload>,
+    // shared phase timers, and the optional per-strike trace. The
+    // campaign's own contribution is separated out at the end by
+    // diffing the registry against this snapshot.
+    StatsRegistry &reg = StatsRegistry::global();
+    StatsSnapshot before = reg.snapshot();
+    std::string prefix = "campaign." + statToken(device.name) +
+        "." + statToken(workload.name());
+    std::array<Counter *, numOutcomes> outcomeCounters{};
+    for (size_t o = 0; o < numOutcomes; ++o) {
+        outcomeCounters[o] = &reg.counter(
+            prefix + "." +
+            statToken(outcomeName(static_cast<Outcome>(o))));
+    }
+    Counter &runsCounter = reg.counter(prefix + ".runs");
+    Counter &filteredCounter = reg.counter(prefix + ".filtered");
+    reg.gauge(prefix + ".sensitive_area_au")
+        .set(result.sensitiveAreaAu);
+    reg.gauge(prefix + ".occupancy").set(result.launch.occupancy);
+    LogHistogram &incorrectHist =
+        reg.histogram(prefix + ".incorrect_elements");
+    PhaseTimer sampleTimer(reg, "campaign.phase.sample");
+    PhaseTimer classifyTimer(reg, "campaign.phase.classify");
+    PhaseTimer replayTimer(reg, "campaign.phase.replay");
+    PhaseTimer metricsTimer(reg, "campaign.phase.metrics");
+    PhaseTimer campaignTimer(reg, "campaign.total");
+    auto campaign_start = std::chrono::steady_clock::now();
+    TraceSink *sink = traceSink();
+
+    if (config.progressEvery > 0)
+        inform("campaign %s: %s", device.name.c_str(),
+               describeLaunch(result.launch).c_str());
+
     RelativeErrorFilter filter(config.filterThresholdPct);
     Rng rng(config.seed);
     result.runs.reserve(config.faultyRuns);
 
     for (uint64_t i = 0; i < config.faultyRuns; ++i) {
+        auto run_start = std::chrono::steady_clock::now();
         RunRecord run;
-        run.strike = sampler.sampleStrike(rng);
-        run.outcome = sampler.sampleOutcome(run.strike.resource,
-                                            rng);
+        {
+            ScopedTick tick(sampleTimer);
+            run.strike = sampler.sampleStrike(rng);
+        }
+        {
+            ScopedTick tick(classifyTimer);
+            run.outcome =
+                sampler.sampleOutcome(run.strike.resource, rng);
+        }
         if (run.outcome == Outcome::Sdc) {
-            SdcRecord record = workload.inject(run.strike, rng);
+            SdcRecord record;
+            {
+                ScopedTick tick(replayTimer);
+                record = workload.inject(run.strike, rng);
+            }
             if (record.empty()) {
                 // The corruption was digested without an output
                 // mismatch: architecturally masked.
                 run.outcome = Outcome::Masked;
             } else {
+                ScopedTick tick(metricsTimer);
                 run.crit = analyzeCriticality(record, filter,
                                               config.locality);
             }
         }
+
+        runsCounter.inc();
+        outcomeCounters[static_cast<size_t>(run.outcome)]->inc();
+        if (run.outcome == Outcome::Sdc) {
+            incorrectHist.add(
+                static_cast<double>(run.crit.numIncorrect));
+            if (run.crit.executionFiltered)
+                filteredCounter.inc();
+        }
+
+        if (sink) {
+            StrikeTraceRecord rec;
+            rec.run = i;
+            rec.device = result.deviceName;
+            rec.workload = result.workloadName;
+            rec.input = result.inputLabel;
+            rec.resource = run.strike.resource;
+            rec.manifestation = run.strike.manifestation;
+            rec.timeFraction = run.strike.timeFraction;
+            rec.burstBits = run.strike.burstBits;
+            rec.outcome = run.outcome;
+            rec.numIncorrect = run.crit.numIncorrect;
+            rec.meanRelErrPct = run.crit.meanRelErrPct;
+            rec.pattern = run.crit.pattern;
+            rec.executionFiltered = run.crit.executionFiltered;
+            rec.wallNs = static_cast<uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - run_start)
+                    .count());
+            sink->strike(rec);
+        }
+
+        if (config.progressEvery > 0 &&
+            ((i + 1) % config.progressEvery == 0 ||
+             i + 1 == config.faultyRuns)) {
+            inform("campaign %s/%s %s: %llu/%llu runs",
+                   result.deviceName.c_str(),
+                   result.workloadName.c_str(),
+                   result.inputLabel.c_str(),
+                   static_cast<unsigned long long>(i + 1),
+                   static_cast<unsigned long long>(
+                       config.faultyRuns));
+        }
+
         result.runs.push_back(std::move(run));
     }
+    campaignTimer.recordNs(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - campaign_start)
+            .count()));
+    result.stats = reg.snapshot().since(before);
     return result;
 }
 

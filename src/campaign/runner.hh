@@ -16,6 +16,7 @@
 
 #include "exec/launch.hh"
 #include "metrics/criticality.hh"
+#include "obs/stats_registry.hh"
 #include "sim/fault.hh"
 #include "sim/workload.hh"
 
@@ -42,6 +43,12 @@ struct CampaignConfig
      * the paper (Section V).
      */
     double fitScaleAu = 5e-6;
+    /**
+     * Emit an inform() progress line every this many runs (0 =
+     * silent). Long campaigns pair this with radcrit_cli
+     * --progress.
+     */
+    uint64_t progressEvery = 0;
 };
 
 /**
@@ -68,6 +75,15 @@ struct CampaignResult
     /** Total sensitive area of the launch (a.u.). */
     double sensitiveAreaAu = 0.0;
     std::vector<RunRecord> runs;
+    /**
+     * Telemetry recorded during this campaign: the outcome
+     * counters under "campaign.<device>.<workload>.*" plus the
+     * phase timers ("campaign.phase.{sample,classify,replay,
+     * metrics}") and kernel timers that advanced while it ran (a
+     * diff of the global registry, so concurrent campaigns in one
+     * process stay separable).
+     */
+    StatsSnapshot stats;
 
     /** @return number of runs with the given outcome. */
     uint64_t count(Outcome outcome) const;

@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 namespace radcrit
@@ -9,7 +12,41 @@ namespace radcrit
 
 namespace
 {
+
 bool quietFlag = false;
+std::atomic<LogHook> logHook{nullptr};
+
+/** Initial level: RADCRIT_LOG_LEVEL when set and valid, else Info. */
+LogLevel
+initialLogLevel()
+{
+    const char *env = std::getenv("RADCRIT_LOG_LEVEL");
+    LogLevel level = LogLevel::Info;
+    if (env && *env && !parseLogLevel(env, level)) {
+        std::fprintf(stderr,
+                     "warn: RADCRIT_LOG_LEVEL '%s' is not a level "
+                     "(silent, error, warn, info); using info\n",
+                     env);
+    }
+    return level;
+}
+
+std::atomic<LogLevel> &
+logLevelVar()
+{
+    static std::atomic<LogLevel> level{initialLogLevel()};
+    return level;
+}
+
+/** Forward one diagnostic to the observer, if any. */
+void
+notifyHook(const char *level, const std::string &msg)
+{
+    LogHook hook = logHook.load(std::memory_order_acquire);
+    if (hook)
+        hook(level, msg);
+}
+
 } // anonymous namespace
 
 std::string
@@ -65,19 +102,25 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    notifyHook("warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (quietFlag)
+    bool print = !quietFlag && logLevel() >= LogLevel::Info;
+    bool hooked = logHook.load(std::memory_order_acquire);
+    if (!print && !hooked)
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (print)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    notifyHook("info", msg);
 }
 
 void
@@ -90,6 +133,46 @@ bool
 isQuiet()
 {
     return quietFlag;
+}
+
+bool
+parseLogLevel(const char *name, LogLevel &out)
+{
+    if (!name)
+        return false;
+    std::string lower;
+    for (const char *p = name; *p; ++p)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (lower == "silent" || lower == "quiet" || lower == "none")
+        out = LogLevel::Silent;
+    else if (lower == "error" || lower == "fatal")
+        out = LogLevel::Error;
+    else if (lower == "warn" || lower == "warning")
+        out = LogLevel::Warn;
+    else if (lower == "info" || lower == "debug")
+        out = LogLevel::Info;
+    else
+        return false;
+    return true;
+}
+
+LogLevel
+logLevel()
+{
+    return logLevelVar().load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logLevelVar().store(level, std::memory_order_relaxed);
+}
+
+void
+setLogHook(LogHook hook)
+{
+    logHook.store(hook, std::memory_order_release);
 }
 
 } // namespace radcrit

@@ -12,6 +12,7 @@
 #define RADCRIT_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace radcrit
@@ -56,6 +57,41 @@ void setQuiet(bool quiet);
 
 /** @return true when inform() output is suppressed. */
 bool isQuiet();
+
+/**
+ * Console verbosity levels for warn()/inform(). fatal()/panic()
+ * always print. The initial level comes from the RADCRIT_LOG_LEVEL
+ * environment variable ("silent", "error", "warn" or "info");
+ * setLogLevel() overrides it at runtime, and setQuiet() remains an
+ * additional gate on inform() only.
+ */
+enum class LogLevel : uint8_t { Silent = 0, Error, Warn, Info };
+
+/**
+ * Parse a level name ("silent"/"quiet", "error", "warn"/"warning",
+ * "info"/"debug"; case-insensitive).
+ *
+ * @return true and set `out` on success, false on unknown names.
+ */
+bool parseLogLevel(const char *name, LogLevel &out);
+
+/** @return the current console verbosity level. */
+LogLevel logLevel();
+
+/** Override the console verbosity level. */
+void setLogLevel(LogLevel level);
+
+/**
+ * Observer invoked for every warn()/inform() message with its
+ * level name ("warn"/"info") — even messages suppressed on the
+ * console by the log level or quiet flag, so an attached trace
+ * sink records the complete diagnostic stream.
+ */
+using LogHook = void (*)(const char *level,
+                         const std::string &msg);
+
+/** Install (or clear, with nullptr) the diagnostic observer. */
+void setLogHook(LogHook hook);
 
 } // namespace radcrit
 

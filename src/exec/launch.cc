@@ -82,4 +82,18 @@ buildLaunch(const DeviceModel &device, const WorkloadTraits &traits)
     return launch;
 }
 
+std::string
+describeLaunch(const KernelLaunch &launch)
+{
+    return strprintf(
+        "%s: %llu threads (%llu resident, occupancy %.2f, "
+        "%.1f waves), scheduler strain %.2f, register exposure "
+        "%.2f",
+        launch.traits.name.c_str(),
+        static_cast<unsigned long long>(launch.traits.totalThreads),
+        static_cast<unsigned long long>(launch.residentThreads),
+        launch.occupancy, launch.waves, launch.schedulerStrain,
+        launch.registerExposure);
+}
+
 } // namespace radcrit

@@ -121,6 +121,13 @@ KernelLaunch buildLaunch(const DeviceModel &device,
  */
 constexpr double strainReferenceThreads = 16384.0;
 
+/**
+ * One-line human-readable summary of a launch (thread counts,
+ * occupancy, waves, strain) for progress reporting and campaign
+ * telemetry headers.
+ */
+std::string describeLaunch(const KernelLaunch &launch);
+
 } // namespace radcrit
 
 #endif // RADCRIT_EXEC_LAUNCH_HH

@@ -86,6 +86,9 @@ Clamr::Clamr(const DeviceModel &device, int64_t grid, int64_t steps,
     if (paper_scale <= 0)
         fatal("CLAMR paper_scale must be positive");
 
+    ScopedTimer golden_timer(StatsRegistry::global(),
+                             "kernel.clamr.golden");
+
     snapInterval_ = std::max<int64_t>(steps_ / 16, 1);
 
     // Circular dam break (the standard CLAMR test problem): a
@@ -400,6 +403,7 @@ Clamr::runWithCorruption(int64_t it0, int64_t persist,
 SdcRecord
 Clamr::inject(const Strike &strike, Rng &rng)
 {
+    ScopedTick tick(injectTimer_);
     SdcRecord out = emptyRecord();
     // Strike-local randomness derives only from the strike's own
     // entropy: the injected record is a pure function of the

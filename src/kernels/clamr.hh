@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "kernels/amr.hh"
+#include "obs/timer.hh"
 #include "sim/workload.hh"
 
 namespace radcrit
@@ -150,6 +151,9 @@ class Clamr : public Workload
     double lastMass_ = 0.0;
     std::vector<SweState> snaps_;
     std::vector<uint64_t> amrSeries_;
+    /** Injection-replay latency telemetry. */
+    PhaseTimer injectTimer_{StatsRegistry::global(),
+                            "kernel.clamr.inject"};
 };
 
 } // namespace radcrit

@@ -34,6 +34,9 @@ Dgemm::Dgemm(const DeviceModel &device, int64_t n, uint64_t seed,
     if (paper_scale <= 0)
         fatal("DGEMM paper_scale must be positive");
 
+    ScopedTimer golden_timer(StatsRegistry::global(),
+                             "kernel.dgemm.golden");
+
     // Sign-balanced inputs in (-1, 1): small enough to avoid
     // overflow, representative magnitude, balanced bit population
     // (paper Section IV-D).
@@ -167,6 +170,7 @@ Dgemm::record(SdcRecord &out, int64_t i, int64_t j,
 SdcRecord
 Dgemm::inject(const Strike &strike, Rng &rng)
 {
+    ScopedTick tick(injectTimer_);
     SdcRecord out = emptyRecord();
     // Strike-local randomness derives only from the strike's own
     // entropy: the injected record is a pure function of the

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timer.hh"
 #include "sim/workload.hh"
 
 namespace radcrit
@@ -108,6 +109,9 @@ class Dgemm : public Workload
     std::vector<double> cGolden_;
     /** RMS magnitude of golden C (garbage-value scale). */
     double cRms_ = 1.0;
+    /** Injection-replay latency telemetry. */
+    PhaseTimer injectTimer_{StatsRegistry::global(),
+                            "kernel.dgemm.inject"};
 };
 
 } // namespace radcrit

@@ -41,6 +41,9 @@ HotSpot::HotSpot(const DeviceModel &device, int64_t grid,
     if (paper_scale <= 0)
         fatal("HotSpot paper_scale must be positive");
 
+    ScopedTimer golden_timer(StatsRegistry::global(),
+                             "kernel.hotspot.golden");
+
     snapInterval_ = std::max<int64_t>(iters_ / 12, 1);
 
     // Power map: smooth background plus a few hot functional units,
@@ -213,6 +216,7 @@ HotSpot::runWithCorruption(int64_t it0, int64_t persist,
 SdcRecord
 HotSpot::inject(const Strike &strike, Rng &rng)
 {
+    ScopedTick tick(injectTimer_);
     SdcRecord out = emptyRecord();
     // Strike-local randomness derives only from the strike's own
     // entropy: the injected record is a pure function of the

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timer.hh"
 #include "sim/workload.hh"
 
 namespace radcrit
@@ -125,6 +126,9 @@ class HotSpot : public Workload
     std::vector<float> golden_;
     /** Golden checkpoints every snapInterval_ iterations. */
     std::vector<std::vector<float>> snaps_;
+    /** Injection-replay latency telemetry. */
+    PhaseTimer injectTimer_{StatsRegistry::global(),
+                            "kernel.hotspot.inject"};
 };
 
 } // namespace radcrit

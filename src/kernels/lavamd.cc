@@ -36,6 +36,9 @@ LavaMd::LavaMd(const DeviceModel &device, int64_t boxes1d,
         fatal("device %s has no LavaMD particle tuning",
               device_.name.c_str());
 
+    ScopedTimer golden_timer(StatsRegistry::global(),
+                             "kernel.lavamd.golden");
+
     p_ = std::max<int64_t>(
         device_.particlesPerBoxHint / particle_scale, 4);
 
@@ -301,6 +304,7 @@ LavaMd::recomputeBoxWith(int64_t box,
 SdcRecord
 LavaMd::inject(const Strike &strike, Rng &rng)
 {
+    ScopedTick tick(injectTimer_);
     SdcRecord out = emptyRecord();
     // Strike-local randomness derives only from the strike's own
     // entropy: the injected record is a pure function of the

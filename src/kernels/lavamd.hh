@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timer.hh"
 #include "sim/workload.hh"
 
 namespace radcrit
@@ -132,6 +133,9 @@ class LavaMd : public Workload
     std::vector<double> curx_, cury_, curz_, curq_;
     std::vector<double> fGolden_;
     double fRms_ = 1.0;
+    /** Injection-replay latency telemetry. */
+    PhaseTimer injectTimer_{StatsRegistry::global(),
+                            "kernel.lavamd.inject"};
 };
 
 } // namespace radcrit

@@ -1,0 +1,44 @@
+#include "obs/json.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += strprintf(
+                    "\\u%04x", static_cast<unsigned char>(c));
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return strprintf("%.0f", v);
+    return strprintf("%.9g", v);
+}
+
+} // namespace radcrit

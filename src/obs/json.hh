@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON rendering helpers shared by the observability
+ * emitters (stats dumps, JSONL traces, bench results). Writing —
+ * not parsing — is all the subsystem needs, so no dependency is
+ * taken on a JSON library.
+ */
+
+#ifndef RADCRIT_OBS_JSON_HH
+#define RADCRIT_OBS_JSON_HH
+
+#include <string>
+
+namespace radcrit
+{
+
+/** Escape a string for embedding between JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render a finite double as a JSON number (integral values without
+ * a fraction); NaN/Inf render as 0 since JSON has no literal for
+ * them.
+ */
+std::string jsonNum(double v);
+
+} // namespace radcrit
+
+#endif // RADCRIT_OBS_JSON_HH

@@ -1,0 +1,362 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Bucket index for a sample: 0 for x < 1, else floor(log2) + 1. */
+size_t
+bucketOf(double x)
+{
+    if (!(x >= 1.0))
+        return 0;
+    int exp = std::ilogb(x);
+    size_t idx = static_cast<size_t>(exp) + 1;
+    return std::min<size_t>(idx, LogHistogram::numBuckets - 1);
+}
+
+} // anonymous namespace
+
+void
+LogHistogram::add(double x)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[bucketOf(x)];
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+}
+
+uint64_t
+LogHistogram::bucketCount(size_t i) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return i < numBuckets ? buckets_[i] : 0;
+}
+
+double
+LogHistogram::bucketLo(size_t i)
+{
+    if (i == 0)
+        return 0.0;
+    return std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+uint64_t
+LogHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+LogHistogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+LogHistogram::mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+LogHistogram::min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+LogHistogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+void
+LogHistogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Gauge: return "gauge";
+      case StatKind::Histogram: return "histogram";
+    }
+    return "unknown";
+}
+
+const StatsSnapshot::Entry *
+StatsSnapshot::find(const std::string &name) const
+{
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), name,
+        [](const Entry &e, const std::string &n) {
+            return e.name < n;
+        });
+    if (it != entries.end() && it->name == name)
+        return &*it;
+    return nullptr;
+}
+
+double
+StatsSnapshot::value(const std::string &name) const
+{
+    const Entry *e = find(name);
+    return e ? e->value : 0.0;
+}
+
+StatsSnapshot
+StatsSnapshot::since(const StatsSnapshot &earlier) const
+{
+    StatsSnapshot out;
+    out.entries.reserve(entries.size());
+    for (const Entry &e : entries) {
+        const Entry *prev = earlier.find(e.name);
+        Entry d = e;
+        if (prev && prev->kind == e.kind) {
+            switch (e.kind) {
+              case StatKind::Counter:
+                d.value = e.value - prev->value;
+                break;
+              case StatKind::Gauge:
+                // Gauges are levels, not rates: keep the latest.
+                break;
+              case StatKind::Histogram:
+                d.count = e.count - prev->count;
+                d.sum = e.sum - prev->sum;
+                d.buckets.clear();
+                for (const auto &[idx, n] : e.buckets) {
+                    uint64_t before = 0;
+                    for (const auto &[pidx, pn] : prev->buckets) {
+                        if (pidx == idx)
+                            before = pn;
+                    }
+                    if (n > before)
+                        d.buckets.emplace_back(idx, n - before);
+                }
+                break;
+            }
+        }
+        // Drop instruments that saw no activity in the window so
+        // campaign snapshots stay scoped to their own run.
+        bool active = d.kind == StatKind::Gauge ||
+            (d.kind == StatKind::Counter ? d.value != 0.0
+                                         : d.count != 0);
+        if (!prev || active)
+            out.entries.push_back(std::move(d));
+    }
+    return out;
+}
+
+void
+StatsSnapshot::writeText(std::ostream &os) const
+{
+    for (const Entry &e : entries) {
+        switch (e.kind) {
+          case StatKind::Counter:
+            os << e.name << " = "
+               << strprintf("%.0f", e.value) << "\n";
+            break;
+          case StatKind::Gauge:
+            os << e.name << " = "
+               << strprintf("%g", e.value) << " (gauge)\n";
+            break;
+          case StatKind::Histogram:
+            os << e.name << ": count="
+               << e.count << " mean="
+               << strprintf("%.1f", e.count == 0 ? 0.0 :
+                            e.sum / static_cast<double>(e.count))
+               << " min=" << strprintf("%g", e.min)
+               << " max=" << strprintf("%g", e.max) << "\n";
+            break;
+        }
+    }
+}
+
+void
+StatsSnapshot::writeJson(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<size_t>(indent), ' ');
+    std::string inner = pad + "  ";
+    os << "{";
+    bool first = true;
+    for (const Entry &e : entries) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n" << inner << "\"" << jsonEscape(e.name)
+           << "\": {\"kind\": \"" << statKindName(e.kind) << "\"";
+        switch (e.kind) {
+          case StatKind::Counter:
+          case StatKind::Gauge:
+            os << ", \"value\": " << jsonNum(e.value);
+            break;
+          case StatKind::Histogram:
+            os << ", \"count\": " << e.count
+               << ", \"sum\": " << jsonNum(e.sum)
+               << ", \"min\": " << jsonNum(e.min)
+               << ", \"max\": " << jsonNum(e.max)
+               << ", \"buckets\": {";
+            for (size_t i = 0; i < e.buckets.size(); ++i) {
+                if (i > 0)
+                    os << ", ";
+                os << "\"" << jsonNum(
+                    LogHistogram::bucketLo(e.buckets[i].first))
+                   << "\": " << e.buckets[i].second;
+            }
+            os << "}";
+            break;
+        }
+        os << "}";
+    }
+    if (!first)
+        os << "\n" << pad;
+    os << "}";
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    return *lookup(name, StatKind::Counter).counter;
+}
+
+Gauge &
+StatsRegistry::gauge(const std::string &name)
+{
+    return *lookup(name, StatKind::Gauge).gauge;
+}
+
+LogHistogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    return *lookup(name, StatKind::Histogram).histogram;
+}
+
+StatsRegistry::Instrument &
+StatsRegistry::lookup(const std::string &name, StatKind kind)
+{
+    if (name.empty())
+        panic("stats instrument needs a non-empty name");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = instruments_.find(name);
+    if (it == instruments_.end()) {
+        Instrument inst;
+        inst.kind = kind;
+        switch (kind) {
+          case StatKind::Counter:
+            inst.counter = std::make_unique<Counter>();
+            break;
+          case StatKind::Gauge:
+            inst.gauge = std::make_unique<Gauge>();
+            break;
+          case StatKind::Histogram:
+            inst.histogram = std::make_unique<LogHistogram>();
+            break;
+        }
+        it = instruments_.emplace(name, std::move(inst)).first;
+    } else if (it->second.kind != kind) {
+        panic("stats instrument '%s' is a %s, requested as %s",
+              name.c_str(), statKindName(it->second.kind),
+              statKindName(kind));
+    }
+    return it->second;
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    return snapshot("");
+}
+
+StatsSnapshot
+StatsRegistry::snapshot(const std::string &prefix) const
+{
+    StatsSnapshot snap;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, inst] : instruments_) {
+        if (!prefix.empty() && name != prefix &&
+            (name.size() <= prefix.size() ||
+             name.compare(0, prefix.size(), prefix) != 0 ||
+             name[prefix.size()] != '.')) {
+            continue;
+        }
+        StatsSnapshot::Entry e;
+        e.name = name;
+        e.kind = inst.kind;
+        switch (inst.kind) {
+          case StatKind::Counter:
+            e.value = static_cast<double>(inst.counter->value());
+            break;
+          case StatKind::Gauge:
+            e.value = inst.gauge->value();
+            break;
+          case StatKind::Histogram: {
+            const LogHistogram &h = *inst.histogram;
+            e.count = h.count();
+            e.sum = h.sum();
+            e.min = h.min();
+            e.max = h.max();
+            for (size_t i = 0; i < LogHistogram::numBuckets; ++i) {
+                uint64_t n = h.bucketCount(i);
+                if (n > 0)
+                    e.buckets.emplace_back(i, n);
+            }
+            break;
+          }
+        }
+        snap.entries.push_back(std::move(e));
+    }
+    // std::map iterates in name order, so entries are sorted.
+    return snap;
+}
+
+void
+StatsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, inst] : instruments_) {
+        switch (inst.kind) {
+          case StatKind::Counter: inst.counter->reset(); break;
+          case StatKind::Gauge: inst.gauge->reset(); break;
+          case StatKind::Histogram: inst.histogram->reset(); break;
+        }
+    }
+}
+
+StatsRegistry &
+StatsRegistry::global()
+{
+    static StatsRegistry registry;
+    return registry;
+}
+
+} // namespace radcrit

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Campaign telemetry: a process-wide registry of named counters,
+ * gauges and log-scale histograms.
+ *
+ * Names are hierarchical dotted paths in the gem5/prometheus
+ * tradition ("campaign.k40.dgemm.sdc", "kernel.dgemm.inject.ns");
+ * snapshots can be taken of the whole registry or of one subtree,
+ * diffed against an earlier snapshot, and dumped as text or JSON.
+ * Instruments are created on first use and live for the process
+ * lifetime, so hot paths can cache the returned references and pay
+ * only an atomic add per event.
+ */
+
+#ifndef RADCRIT_OBS_STATS_REGISTRY_HH
+#define RADCRIT_OBS_STATS_REGISTRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace radcrit
+{
+
+/**
+ * Monotonic event counter.
+ */
+class Counter
+{
+  public:
+    /** Add n events (default one). */
+    void inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** @return the accumulated count. */
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero. */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/**
+ * Last-value instrument for levels (occupancy, sensitive area).
+ */
+class Gauge
+{
+  public:
+    /** Set the current level. */
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+    /** @return the current level. */
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Reset to zero. */
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Power-of-two-bucketed histogram for long-tailed non-negative
+ * samples (latencies in ns, element counts). Bucket i holds samples
+ * in [2^(i-1), 2^i); bucket 0 holds samples < 1.
+ */
+class LogHistogram
+{
+  public:
+    /** Number of buckets (covers the full uint64 range). */
+    static constexpr size_t numBuckets = 65;
+
+    /** Add one sample; negative samples clamp to bucket 0. */
+    void add(double x);
+
+    /** @return count in bucket i. */
+    uint64_t bucketCount(size_t i) const;
+
+    /** @return inclusive lower edge of bucket i. */
+    static double bucketLo(size_t i);
+
+    /** @return total samples. */
+    uint64_t count() const;
+
+    /** @return sum of all samples. */
+    double sum() const;
+
+    /** @return sample mean (0 when empty). */
+    double mean() const;
+
+    /** @return smallest sample (0 when empty). */
+    double min() const;
+
+    /** @return largest sample (0 when empty). */
+    double max() const;
+
+    /** Reset all buckets and moments. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::array<uint64_t, numBuckets> buckets_{};
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Instrument kinds, used by snapshot entries. */
+enum class StatKind : uint8_t { Counter, Gauge, Histogram };
+
+/** @return printable kind name ("counter", ...). */
+const char *statKindName(StatKind kind);
+
+/**
+ * Point-in-time copy of registry contents, sorted by name.
+ * Snapshots are plain data: they survive registry resets and can be
+ * carried inside campaign results.
+ */
+struct StatsSnapshot
+{
+    struct Entry
+    {
+        std::string name;
+        StatKind kind = StatKind::Counter;
+        /** Counter count or gauge level. */
+        double value = 0.0;
+        /** Histogram-only moments. */
+        uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        /** Non-empty histogram buckets as (bucket index, count). */
+        std::vector<std::pair<size_t, uint64_t>> buckets;
+    };
+
+    std::vector<Entry> entries;
+
+    /** @return the entry with the given name, or nullptr. */
+    const Entry *find(const std::string &name) const;
+
+    /** @return counter/gauge value by name (0 when missing). */
+    double value(const std::string &name) const;
+
+    /**
+     * @return a snapshot of what happened between `earlier` and this
+     * snapshot: counters and histograms are subtracted, gauges keep
+     * their latest level. Entries absent from `earlier` pass through.
+     */
+    StatsSnapshot since(const StatsSnapshot &earlier) const;
+
+    /** Human-readable dump, one instrument per line. */
+    void writeText(std::ostream &os) const;
+
+    /** Machine-readable dump: one JSON object keyed by name. */
+    void writeJson(std::ostream &os, int indent = 0) const;
+};
+
+/**
+ * The registry: owns every instrument, keyed by dotted name.
+ */
+class StatsRegistry
+{
+  public:
+    /**
+     * @return the counter registered under `name`, creating it on
+     * first use. fatal() if the name is already a different kind.
+     */
+    Counter &counter(const std::string &name);
+
+    /** @return the gauge registered under `name`. */
+    Gauge &gauge(const std::string &name);
+
+    /** @return the log-scale histogram registered under `name`. */
+    LogHistogram &histogram(const std::string &name);
+
+    /** @return a snapshot of every instrument. */
+    StatsSnapshot snapshot() const;
+
+    /**
+     * @return a snapshot of instruments whose name equals `prefix`
+     * or starts with `prefix` + ".".
+     */
+    StatsSnapshot snapshot(const std::string &prefix) const;
+
+    /** Zero every instrument (instruments stay registered). */
+    void reset();
+
+    /** @return the process-wide default registry. */
+    static StatsRegistry &global();
+
+  private:
+    struct Instrument
+    {
+        StatKind kind;
+        // At most one is engaged, selected by kind. unique_ptr
+        // keeps Instrument movable despite the atomics/mutex.
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    Instrument &lookup(const std::string &name, StatKind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_OBS_STATS_REGISTRY_HH

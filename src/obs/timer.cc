@@ -1,0 +1,16 @@
+#include "obs/timer.hh"
+
+namespace radcrit
+{
+
+PhaseTimer::PhaseTimer(StatsRegistry &registry,
+                       const std::string &name, bool with_hist)
+    : name_(name),
+      calls_(registry.counter(name + ".calls")),
+      ns_(registry.counter(name + ".ns")),
+      hist_(with_hist ? &registry.histogram(name + ".hist")
+                      : nullptr)
+{
+}
+
+} // namespace radcrit

@@ -1,0 +1,159 @@
+#include "obs/trace.hh"
+
+#include <atomic>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+std::atomic<TraceSink *> globalSink{nullptr};
+
+/** Forward a diagnostic line from the logging layer to the sink. */
+void
+traceLogHook(const char *level, const std::string &msg)
+{
+    TraceSink *sink = globalSink.load(std::memory_order_acquire);
+    if (sink)
+        sink->log(level, msg);
+}
+
+} // anonymous namespace
+
+void
+MemoryTraceSink::strike(const StrikeTraceRecord &rec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    strikes_.push_back(rec);
+}
+
+void
+MemoryTraceSink::log(const std::string &level,
+                     const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    logs_.emplace_back(level, msg);
+}
+
+std::vector<StrikeTraceRecord>
+MemoryTraceSink::strikes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return strikes_;
+}
+
+std::vector<std::pair<std::string, std::string>>
+MemoryTraceSink::logs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return logs_;
+}
+
+void
+MemoryTraceSink::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    strikes_.clear();
+    logs_.clear();
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : path_(path), out_(path)
+{
+    if (!out_)
+        fatal("cannot open trace file '%s'", path.c_str());
+}
+
+JsonlTraceSink::~JsonlTraceSink()
+{
+    flush();
+}
+
+void
+JsonlTraceSink::strike(const StrikeTraceRecord &rec)
+{
+    std::string line = strikeTraceJson(rec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << "\n";
+}
+
+void
+JsonlTraceSink::log(const std::string &level,
+                    const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << "{\"schema\": " << traceSchemaVersion
+         << ", \"type\": \"log\", \"level\": \""
+         << jsonEscape(level) << "\", \"msg\": \""
+         << jsonEscape(msg) << "\"}\n";
+}
+
+void
+JsonlTraceSink::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.flush();
+}
+
+std::string
+strikeTraceJson(const StrikeTraceRecord &rec)
+{
+    std::string s;
+    s.reserve(256);
+    s += "{\"schema\": ";
+    s += std::to_string(traceSchemaVersion);
+    s += ", \"type\": \"strike\", \"run\": ";
+    s += std::to_string(rec.run);
+    s += ", \"device\": \"";
+    s += jsonEscape(rec.device);
+    s += "\", \"workload\": \"";
+    s += jsonEscape(rec.workload);
+    s += "\", \"input\": \"";
+    s += jsonEscape(rec.input);
+    s += "\", \"resource\": \"";
+    s += resourceKindName(rec.resource);
+    s += "\", \"manifestation\": \"";
+    s += manifestationName(rec.manifestation);
+    s += "\", \"timeFraction\": ";
+    s += jsonNum(rec.timeFraction);
+    s += ", \"burstBits\": ";
+    s += std::to_string(rec.burstBits);
+    s += ", \"outcome\": \"";
+    s += outcomeName(rec.outcome);
+    s += "\"";
+    if (rec.outcome == Outcome::Sdc) {
+        s += ", \"numIncorrect\": ";
+        s += std::to_string(rec.numIncorrect);
+        s += ", \"meanRelErrPct\": ";
+        s += jsonNum(rec.meanRelErrPct);
+        s += ", \"pattern\": \"";
+        s += patternName(rec.pattern);
+        s += "\", \"filtered\": ";
+        s += rec.executionFiltered ? "true" : "false";
+    }
+    s += ", \"wallNs\": ";
+    s += std::to_string(rec.wallNs);
+    s += "}";
+    return s;
+}
+
+TraceSink *
+setTraceSink(TraceSink *sink)
+{
+    TraceSink *prev =
+        globalSink.exchange(sink, std::memory_order_acq_rel);
+    setLogHook(sink ? traceLogHook : nullptr);
+    return prev;
+}
+
+TraceSink *
+traceSink()
+{
+    return globalSink.load(std::memory_order_acquire);
+}
+
+} // namespace radcrit

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Structured run tracing: one record per simulated strike, in the
+ * spirit of the per-event logs the paper's host computer kept
+ * during beam time (and that examples/log_reanalysis.cpp replays).
+ *
+ * A TraceSink receives StrikeTraceRecord events and free-form
+ * diagnostic lines; implementations route them nowhere
+ * (NullTraceSink), to memory for tests (MemoryTraceSink) or to a
+ * JSONL file (JsonlTraceSink, one versioned JSON object per line —
+ * see README "Observability" for the schema). The process-wide
+ * sink is attached with setTraceSink(); the campaign runner and the
+ * logging layer emit into it only when one is attached, so the
+ * disabled path costs a single pointer load per event.
+ */
+
+#ifndef RADCRIT_OBS_TRACE_HH
+#define RADCRIT_OBS_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/manifestation.hh"
+#include "arch/resource.hh"
+#include "metrics/locality.hh"
+#include "sim/fault.hh"
+
+namespace radcrit
+{
+
+/** Version of the JSONL trace schema emitted by JsonlTraceSink. */
+constexpr int traceSchemaVersion = 1;
+
+/**
+ * Everything observable about one simulated strike: the strike
+ * site, the program-level outcome, and (for SDCs) the criticality
+ * metrics, plus the wall time the simulation spent on the run.
+ */
+struct StrikeTraceRecord
+{
+    /** Zero-based index of the run within its campaign. */
+    uint64_t run = 0;
+    std::string device;
+    std::string workload;
+    std::string input;
+
+    /** Strike site. */
+    ResourceKind resource = ResourceKind::RegisterFile;
+    Manifestation manifestation = Manifestation::BitFlipValue;
+    double timeFraction = 0.0;
+    uint32_t burstBits = 1;
+
+    /** Program-level outcome. */
+    Outcome outcome = Outcome::Masked;
+
+    /** Criticality metrics; meaningful only for Sdc outcomes. */
+    uint64_t numIncorrect = 0;
+    double meanRelErrPct = 0.0;
+    Pattern pattern = Pattern::None;
+    bool executionFiltered = false;
+
+    /** Wall time spent simulating this run. */
+    uint64_t wallNs = 0;
+};
+
+/**
+ * Pluggable destination for trace events. Implementations must
+ * tolerate concurrent calls.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One simulated strike completed. */
+    virtual void strike(const StrikeTraceRecord &rec) = 0;
+
+    /**
+     * One diagnostic line from the logging layer.
+     *
+     * @param level "warn" or "info".
+     * @param msg The formatted message.
+     */
+    virtual void log(const std::string &level,
+                     const std::string &msg) = 0;
+
+    /** Flush buffered output (no-op by default). */
+    virtual void flush() {}
+};
+
+/**
+ * Discards everything: for measuring instrumentation overhead and
+ * as an explicit "tracing off" sink.
+ */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void strike(const StrikeTraceRecord &) override {}
+    void log(const std::string &, const std::string &) override {}
+};
+
+/**
+ * Buffers events in memory; the test sink.
+ */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    void strike(const StrikeTraceRecord &rec) override;
+    void log(const std::string &level,
+             const std::string &msg) override;
+
+    /** @return all strike records received so far. */
+    std::vector<StrikeTraceRecord> strikes() const;
+
+    /** @return all (level, message) diagnostics received so far. */
+    std::vector<std::pair<std::string, std::string>> logs() const;
+
+    /** Drop everything buffered. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<StrikeTraceRecord> strikes_;
+    std::vector<std::pair<std::string, std::string>> logs_;
+};
+
+/**
+ * Streams one JSON object per line ("JSON Lines"). Every record
+ * carries "schema": 1 and a "type" of "strike" or "log".
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** Open `path` for writing; fatal() when it cannot be opened. */
+    explicit JsonlTraceSink(const std::string &path);
+
+    ~JsonlTraceSink() override;
+
+    void strike(const StrikeTraceRecord &rec) override;
+    void log(const std::string &level,
+             const std::string &msg) override;
+    void flush() override;
+
+    /** @return the path records are written to. */
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    std::ofstream out_;
+};
+
+/** @return one strike record rendered as a single JSON line. */
+std::string strikeTraceJson(const StrikeTraceRecord &rec);
+
+/**
+ * Attach the process-wide trace sink (non-owning; pass nullptr to
+ * detach). Also routes warn()/inform() diagnostics into the sink.
+ *
+ * @return the previously attached sink.
+ */
+TraceSink *setTraceSink(TraceSink *sink);
+
+/** @return the attached sink, or nullptr when tracing is off. */
+TraceSink *traceSink();
+
+} // namespace radcrit
+
+#endif // RADCRIT_OBS_TRACE_HH

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace radcrit
@@ -41,6 +45,75 @@ TEST(LoggingTest, QuietFlagRoundTrip)
     setQuiet(false);
     EXPECT_FALSE(isQuiet());
     setQuiet(before);
+}
+
+TEST(LoggingTest, ParseLogLevelNames)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("silent", level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("QUIET", level));
+    EXPECT_EQ(level, LogLevel::Silent);
+    EXPECT_TRUE(parseLogLevel("error", level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("Warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("warning", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", level));
+    EXPECT_EQ(level, LogLevel::Info);
+    EXPECT_FALSE(parseLogLevel("loud", level));
+    EXPECT_FALSE(parseLogLevel(nullptr, level));
+    EXPECT_EQ(level, LogLevel::Info); // unchanged on failure
+}
+
+TEST(LoggingTest, LogLevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+std::vector<std::pair<std::string, std::string>> hookedMessages;
+
+void
+recordingHook(const char *level, const std::string &msg)
+{
+    hookedMessages.emplace_back(level, msg);
+}
+
+TEST(LoggingTest, HookSeesSuppressedMessages)
+{
+    LogLevel before = logLevel();
+    bool quiet = isQuiet();
+    hookedMessages.clear();
+    setLogHook(recordingHook);
+    setLogLevel(LogLevel::Silent);
+    setQuiet(true);
+    warn("suppressed warn");
+    inform("suppressed info");
+    setLogHook(nullptr);
+    setQuiet(quiet);
+    setLogLevel(before);
+    ASSERT_EQ(hookedMessages.size(), 2u);
+    EXPECT_EQ(hookedMessages[0].first, "warn");
+    EXPECT_EQ(hookedMessages[0].second, "suppressed warn");
+    EXPECT_EQ(hookedMessages[1].first, "info");
+    EXPECT_EQ(hookedMessages[1].second, "suppressed info");
+}
+
+TEST(LoggingTest, NoHookNoFormattingSideEffects)
+{
+    setLogHook(nullptr);
+    bool quiet = isQuiet();
+    setQuiet(true);
+    // Must not crash or print: quiet inform with no hook returns
+    // before formatting.
+    inform("never formatted %d", 3);
+    setQuiet(quiet);
 }
 
 TEST(LoggingDeathTest, PanicAborts)

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "campaign/runner.hh"
+#include "common/logging.hh"
 #include "kernels/dgemm.hh"
 
 namespace radcrit
@@ -120,6 +121,67 @@ TEST_F(RunnerTest, SdcOverDetectablePositive)
 {
     CampaignResult res = runCampaign(device_, dgemm_, config(300));
     EXPECT_GT(res.sdcOverDetectable(), 0.5);
+}
+
+TEST_F(RunnerTest, StatsCountersMatchOutcomeCounts)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(130));
+    // The snapshot is scoped to this campaign (a registry diff),
+    // so its counters must equal the aggregated run outcomes even
+    // after the earlier campaigns in this process.
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.k40.dgemm.sdc"),
+        static_cast<double>(res.count(Outcome::Sdc)));
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.k40.dgemm.crash"),
+        static_cast<double>(res.count(Outcome::Crash)));
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.k40.dgemm.hang"),
+        static_cast<double>(res.count(Outcome::Hang)));
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.k40.dgemm.masked"),
+        static_cast<double>(res.count(Outcome::Masked)));
+    EXPECT_DOUBLE_EQ(res.stats.value("campaign.k40.dgemm.runs"),
+                     130.0);
+}
+
+TEST_F(RunnerTest, StatsCarryPhaseTimers)
+{
+    CampaignResult res = runCampaign(device_, dgemm_, config(40));
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.phase.sample.calls"), 40.0);
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.phase.classify.calls"), 40.0);
+    // Replay runs only for SDC-classified strikes; metrics only
+    // for non-masked replays.
+    uint64_t replays = static_cast<uint64_t>(
+        res.stats.value("campaign.phase.replay.calls"));
+    EXPECT_GE(replays, res.count(Outcome::Sdc));
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("campaign.phase.metrics.calls"),
+        static_cast<double>(res.count(Outcome::Sdc)));
+    EXPECT_DOUBLE_EQ(res.stats.value("campaign.total.calls"),
+                     1.0);
+    EXPECT_GT(res.stats.value("campaign.total.ns"), 0.0);
+    // The kernel-side inject timer advanced once per replay.
+    EXPECT_DOUBLE_EQ(
+        res.stats.value("kernel.dgemm.inject.calls"),
+        static_cast<double>(replays));
+}
+
+TEST_F(RunnerTest, ProgressReportingKeepsResultsIdentical)
+{
+    CampaignConfig with = config(30, 11);
+    with.progressEvery = 10;
+    bool quiet = isQuiet();
+    setQuiet(true);
+    CampaignResult a = runCampaign(device_, dgemm_, with);
+    setQuiet(quiet);
+    CampaignResult b = runCampaign(device_, dgemm_,
+                                   config(30, 11));
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i)
+        EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome);
 }
 
 TEST(RunnerDeathTest, ZeroRunsFatal)

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the observability stats registry: instrument
+ * registration, hierarchical snapshots, diffs, and dumps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/stats_registry.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(CounterTest, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndReset)
+{
+    Gauge g;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+    g.reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(LogHistogramTest, BucketsArePowersOfTwo)
+{
+    LogHistogram h;
+    h.add(0.0);   // bucket 0 (< 1)
+    h.add(1.0);   // bucket 1: [1, 2)
+    h.add(1.5);   // bucket 1
+    h.add(2.0);   // bucket 2: [2, 4)
+    h.add(1024.0); // bucket 11: [1024, 2048)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(11), 1u);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLo(1), 1.0);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLo(11), 1024.0);
+}
+
+TEST(LogHistogramTest, MomentsTrackSamples)
+{
+    LogHistogram h;
+    h.add(2.0);
+    h.add(6.0);
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(h.min(), 2.0);
+    EXPECT_DOUBLE_EQ(h.max(), 6.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LogHistogramTest, NegativeSamplesClampToBucketZero)
+{
+    LogHistogram h;
+    h.add(-5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(StatsRegistryTest, SameNameSameInstrument)
+{
+    StatsRegistry reg;
+    Counter &a = reg.counter("x.y");
+    Counter &b = reg.counter("x.y");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(StatsRegistryDeathTest, KindMismatchPanics)
+{
+    StatsRegistry reg;
+    reg.counter("x");
+    EXPECT_DEATH(reg.gauge("x"), "is a counter");
+}
+
+TEST(StatsRegistryDeathTest, EmptyNamePanics)
+{
+    StatsRegistry reg;
+    EXPECT_DEATH(reg.counter(""), "non-empty");
+}
+
+TEST(StatsRegistryTest, SnapshotSortedAndComplete)
+{
+    StatsRegistry reg;
+    reg.counter("b.count").inc(2);
+    reg.gauge("a.level").set(0.5);
+    reg.histogram("c.hist").add(3.0);
+    StatsSnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.entries.size(), 3u);
+    EXPECT_EQ(snap.entries[0].name, "a.level");
+    EXPECT_EQ(snap.entries[1].name, "b.count");
+    EXPECT_EQ(snap.entries[2].name, "c.hist");
+    EXPECT_EQ(snap.entries[0].kind, StatKind::Gauge);
+    EXPECT_DOUBLE_EQ(snap.value("b.count"), 2.0);
+    EXPECT_EQ(snap.entries[2].count, 1u);
+}
+
+TEST(StatsRegistryTest, PrefixSnapshotFilters)
+{
+    StatsRegistry reg;
+    reg.counter("campaign.k40.dgemm.sdc").inc(3);
+    reg.counter("campaign.k40.dgemm.masked").inc(1);
+    reg.counter("campaign.k40.lavamd.sdc").inc(9);
+    reg.counter("campaign.k40.dgemmx.sdc").inc(7);
+    StatsSnapshot snap = reg.snapshot("campaign.k40.dgemm");
+    ASSERT_EQ(snap.entries.size(), 2u);
+    EXPECT_DOUBLE_EQ(snap.value("campaign.k40.dgemm.sdc"), 3.0);
+    EXPECT_DOUBLE_EQ(snap.value("campaign.k40.dgemm.masked"),
+                     1.0);
+    // Exact-name match is also included.
+    reg.counter("exact").inc();
+    EXPECT_EQ(reg.snapshot("exact").entries.size(), 1u);
+}
+
+TEST(StatsRegistryTest, SinceDiffsCountersAndHistograms)
+{
+    StatsRegistry reg;
+    Counter &c = reg.counter("c");
+    LogHistogram &h = reg.histogram("h");
+    Gauge &g = reg.gauge("g");
+    c.inc(5);
+    h.add(2.0);
+    g.set(1.0);
+    StatsSnapshot before = reg.snapshot();
+    c.inc(7);
+    h.add(100.0);
+    g.set(2.0);
+    StatsSnapshot delta = reg.snapshot().since(before);
+    EXPECT_DOUBLE_EQ(delta.value("c"), 7.0);
+    EXPECT_DOUBLE_EQ(delta.value("g"), 2.0); // gauges keep level
+    const StatsSnapshot::Entry *hist = delta.find("h");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 1u);
+    EXPECT_DOUBLE_EQ(hist->sum, 100.0);
+    ASSERT_EQ(hist->buckets.size(), 1u);
+    EXPECT_DOUBLE_EQ(LogHistogram::bucketLo(hist->buckets[0].first),
+                     64.0);
+}
+
+TEST(StatsRegistryTest, SinceDropsIdleInstruments)
+{
+    StatsRegistry reg;
+    reg.counter("busy").inc();
+    reg.counter("idle").inc(4);
+    StatsSnapshot before = reg.snapshot();
+    reg.counter("busy").inc(2);
+    StatsSnapshot delta = reg.snapshot().since(before);
+    EXPECT_NE(delta.find("busy"), nullptr);
+    EXPECT_EQ(delta.find("idle"), nullptr);
+}
+
+TEST(StatsRegistryTest, ResetZeroesEverything)
+{
+    StatsRegistry reg;
+    reg.counter("c").inc(5);
+    reg.histogram("h").add(9.0);
+    reg.gauge("g").set(2.0);
+    reg.reset();
+    EXPECT_EQ(reg.counter("c").value(), 0u);
+    EXPECT_EQ(reg.histogram("h").count(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+}
+
+TEST(StatsRegistryTest, TextDumpMentionsEveryInstrument)
+{
+    StatsRegistry reg;
+    reg.counter("alpha").inc(3);
+    reg.gauge("beta").set(0.25);
+    reg.histogram("gamma").add(10.0);
+    std::ostringstream os;
+    reg.snapshot().writeText(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("alpha = 3"), std::string::npos);
+    EXPECT_NE(text.find("beta"), std::string::npos);
+    EXPECT_NE(text.find("gamma"), std::string::npos);
+}
+
+TEST(StatsRegistryTest, JsonDumpIsWellFormedEnough)
+{
+    StatsRegistry reg;
+    reg.counter("a.b").inc(2);
+    reg.histogram("a.h").add(5.0);
+    std::ostringstream os;
+    reg.snapshot().writeJson(os);
+    std::string json = os.str();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"a.b\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"counter\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"value\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(StatsRegistryTest, GlobalRegistryIsSingleton)
+{
+    EXPECT_EQ(&StatsRegistry::global(), &StatsRegistry::global());
+}
+
+} // anonymous namespace
+} // namespace radcrit

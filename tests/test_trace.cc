@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the structured trace sinks: in-memory capture during
+ * campaigns (one record per faulty run, fields matching the
+ * RunRecord), JSONL rendering, and the logging-layer routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/runner.hh"
+#include "common/logging.hh"
+#include "kernels/dgemm.hh"
+#include "obs/trace.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+/** Detach the global sink even when a test fails mid-way. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setTraceSink(nullptr); }
+
+    DeviceModel device_ = makeK40();
+    Dgemm dgemm_{device_, 64, 42};
+
+    CampaignConfig
+    config(uint64_t runs, uint64_t seed = 7)
+    {
+        CampaignConfig cfg;
+        cfg.faultyRuns = runs;
+        cfg.seed = seed;
+        return cfg;
+    }
+};
+
+TEST_F(TraceTest, SinkAttachDetachRoundTrip)
+{
+    EXPECT_EQ(traceSink(), nullptr);
+    MemoryTraceSink sink;
+    EXPECT_EQ(setTraceSink(&sink), nullptr);
+    EXPECT_EQ(traceSink(), &sink);
+    EXPECT_EQ(setTraceSink(nullptr), &sink);
+    EXPECT_EQ(traceSink(), nullptr);
+}
+
+TEST_F(TraceTest, OneRecordPerFaultyRun)
+{
+    MemoryTraceSink sink;
+    setTraceSink(&sink);
+    CampaignResult res = runCampaign(device_, dgemm_, config(60));
+    auto strikes = sink.strikes();
+    ASSERT_EQ(strikes.size(), res.runs.size());
+    for (size_t i = 0; i < strikes.size(); ++i) {
+        const StrikeTraceRecord &rec = strikes[i];
+        const RunRecord &run = res.runs[i];
+        EXPECT_EQ(rec.run, i);
+        EXPECT_EQ(rec.device, "K40");
+        EXPECT_EQ(rec.workload, "DGEMM");
+        EXPECT_EQ(rec.resource, run.strike.resource);
+        EXPECT_EQ(rec.manifestation, run.strike.manifestation);
+        EXPECT_EQ(rec.outcome, run.outcome);
+        EXPECT_EQ(rec.numIncorrect, run.crit.numIncorrect);
+        EXPECT_DOUBLE_EQ(rec.meanRelErrPct,
+                         run.crit.meanRelErrPct);
+        EXPECT_EQ(rec.pattern, run.crit.pattern);
+        EXPECT_EQ(rec.executionFiltered,
+                  run.crit.executionFiltered);
+    }
+}
+
+TEST_F(TraceTest, NoSinkMeansNoRecords)
+{
+    MemoryTraceSink sink;
+    runCampaign(device_, dgemm_, config(10));
+    EXPECT_TRUE(sink.strikes().empty());
+}
+
+TEST_F(TraceTest, StrikeJsonCarriesSchemaAndFields)
+{
+    StrikeTraceRecord rec;
+    rec.run = 3;
+    rec.device = "K40";
+    rec.workload = "DGEMM";
+    rec.input = "512x512";
+    rec.outcome = Outcome::Sdc;
+    rec.numIncorrect = 17;
+    rec.meanRelErrPct = 1.25;
+    rec.pattern = Pattern::Single;
+    rec.wallNs = 900;
+    std::string json = strikeTraceJson(rec);
+    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"strike\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"run\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"SDC\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"numIncorrect\": 17"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"wallNs\": 900"), std::string::npos);
+}
+
+TEST_F(TraceTest, MaskedRecordOmitsSdcMetrics)
+{
+    StrikeTraceRecord rec;
+    rec.outcome = Outcome::Masked;
+    std::string json = strikeTraceJson(rec);
+    EXPECT_EQ(json.find("numIncorrect"), std::string::npos);
+    EXPECT_NE(json.find("\"outcome\": \"Masked\""),
+              std::string::npos);
+}
+
+TEST_F(TraceTest, JsonlSinkWritesOneLinePerEvent)
+{
+    std::string path = ::testing::TempDir() + "trace_test.jsonl";
+    {
+        JsonlTraceSink sink(path);
+        setTraceSink(&sink);
+        runCampaign(device_, dgemm_, config(25));
+        setTraceSink(nullptr);
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        EXPECT_NE(line.find("\"schema\": 1"), std::string::npos);
+        ++lines;
+    }
+    EXPECT_EQ(lines, 25u);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WarnAndInformRouteIntoSink)
+{
+    MemoryTraceSink sink;
+    setTraceSink(&sink);
+    bool quiet = isQuiet();
+    setQuiet(true); // console suppressed, sink still records
+    warn("trace-routing check %d", 1);
+    inform("trace-routing check %d", 2);
+    setQuiet(quiet);
+    setTraceSink(nullptr);
+    auto logs = sink.logs();
+    ASSERT_EQ(logs.size(), 2u);
+    EXPECT_EQ(logs[0].first, "warn");
+    EXPECT_EQ(logs[0].second, "trace-routing check 1");
+    EXPECT_EQ(logs[1].first, "info");
+    EXPECT_EQ(logs[1].second, "trace-routing check 2");
+}
+
+TEST_F(TraceTest, DetachedSinkReceivesNothing)
+{
+    MemoryTraceSink sink;
+    setTraceSink(&sink);
+    setTraceSink(nullptr);
+    warn("not routed");
+    EXPECT_TRUE(sink.logs().empty());
+}
+
+TEST_F(TraceTest, MemorySinkClearDropsEverything)
+{
+    MemoryTraceSink sink;
+    sink.log("warn", "x");
+    sink.strike(StrikeTraceRecord{});
+    sink.clear();
+    EXPECT_TRUE(sink.logs().empty());
+    EXPECT_TRUE(sink.strikes().empty());
+}
+
+} // anonymous namespace
+} // namespace radcrit

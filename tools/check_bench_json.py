@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable bench output emitted by writeBenchJson().
+
+Usage:
+    check_bench_json.py <bench_binary> [extra bench args...]
+
+Runs the bench binary (by default with a small --runs count so the
+check stays fast), then parses bench_out/<bench_name>.json from the
+current working directory and validates its shape:
+
+  * schema == 1 and bench matches the binary name
+  * campaigns/runs/wall_ns are positive integers
+  * ns_per_op and runs_per_s are positive and mutually consistent
+  * stats is an object of instrument entries, each with a valid
+    kind, and the campaign outcome counters sum to the run tally
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+
+def fail(msg):
+    print("check_bench_json: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def validate_stats(stats):
+    """Check every instrument entry in the registry snapshot."""
+    expect(isinstance(stats, dict), "stats must be an object")
+    expect(stats, "stats snapshot is empty")
+    for name, entry in stats.items():
+        expect(name, "stats entry with empty name")
+        expect(isinstance(entry, dict),
+               "stats entry %r is not an object" % name)
+        kind = entry.get("kind")
+        if kind in ("counter", "gauge"):
+            expect(isinstance(entry.get("value"), (int, float)),
+                   "%s: missing numeric value" % name)
+        elif kind == "histogram":
+            expect(isinstance(entry.get("count"), int),
+                   "%s: missing integer count" % name)
+            buckets = entry.get("buckets")
+            expect(isinstance(buckets, dict),
+                   "%s: missing buckets object" % name)
+            expect(sum(buckets.values()) == entry["count"],
+                   "%s: bucket counts do not sum to count" % name)
+        else:
+            fail("%s: unknown kind %r" % (name, kind))
+
+
+def validate(path, bench_name):
+    expect(os.path.exists(path), "missing output file %s" % path)
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail("%s is not valid JSON: %s" % (path, e))
+
+    expect(doc.get("schema") == 1,
+           "schema must be 1, got %r" % doc.get("schema"))
+    expect(doc.get("bench") == bench_name,
+           "bench name %r != binary name %r"
+           % (doc.get("bench"), bench_name))
+    for key in ("campaigns", "runs", "wall_ns"):
+        expect(isinstance(doc.get(key), int) and doc[key] > 0,
+               "%s must be a positive integer, got %r"
+               % (key, doc.get(key)))
+    for key in ("ns_per_op", "runs_per_s"):
+        expect(isinstance(doc.get(key), (int, float))
+               and doc[key] > 0,
+               "%s must be positive, got %r" % (key, doc.get(key)))
+
+    # ns_per_op and runs_per_s must describe the same measurement.
+    ratio = doc["ns_per_op"] * doc["runs_per_s"] / 1e9
+    expect(abs(ratio - 1.0) < 1e-6,
+           "ns_per_op and runs_per_s are inconsistent (ratio %g)"
+           % ratio)
+    expect(abs(doc["ns_per_op"] - doc["wall_ns"] / doc["runs"])
+           < max(1e-6 * doc["ns_per_op"], 1e-3),
+           "ns_per_op does not match wall_ns / runs")
+
+    validate_stats(doc.get("stats"))
+
+    # The per-campaign outcome counters in the snapshot must tally
+    # with the bench's total run count.
+    outcome_sum = 0
+    for name, entry in doc["stats"].items():
+        if (name.startswith("campaign.")
+                and name.rsplit(".", 1)[-1]
+                in ("masked", "sdc", "crash", "hang")):
+            outcome_sum += int(entry["value"])
+    expect(outcome_sum == doc["runs"],
+           "outcome counters sum to %d, expected runs == %d"
+           % (outcome_sum, doc["runs"]))
+
+    print("check_bench_json: OK: %s (%d campaigns, %d runs, "
+          "%.0f ns/op)" % (path, doc["campaigns"], doc["runs"],
+                           doc["ns_per_op"]))
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = argv[1]
+    args = argv[2:] or ["--runs", "20"]
+    bench_name = os.path.basename(binary)
+
+    proc = subprocess.run([binary] + args,
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail("%s exited with %d:\n%s"
+             % (bench_name, proc.returncode,
+                proc.stderr.decode(errors="replace")))
+
+    validate(os.path.join("bench_out", bench_name + ".json"),
+             bench_name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,7 +10,9 @@
  *       --log=lavamd.beamlog --csv=lavamd.csv --figures
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -23,6 +25,7 @@
 #include "common/figure.hh"
 #include "common/table.hh"
 #include "logs/beamlog.hh"
+#include "obs/trace.hh"
 
 using namespace radcrit;
 
@@ -69,6 +72,12 @@ main(int argc, char **argv)
                   "relative-error tolerance in percent");
     cli.addString("log", "", "write the beam log here");
     cli.addString("csv", "", "write per-run metrics CSV here");
+    cli.addString("trace", "",
+                  "write a JSONL strike trace here (one record "
+                  "per simulated run)");
+    cli.addString("stats-out", "",
+                  "write the campaign stats snapshot as JSON here");
+    cli.addFlag("progress", "report campaign progress on stderr");
     cli.addFlag("figures", "render scatter + locality figures");
     cli.parse(argc, argv);
 
@@ -89,8 +98,36 @@ main(int argc, char **argv)
     if (cli.getInt("seed") != 0)
         cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
     cfg.filterThresholdPct = cli.getDouble("threshold");
+    if (cli.getFlag("progress")) {
+        cfg.progressEvery =
+            std::max<uint64_t>(cfg.faultyRuns / 10, 1);
+    }
+
+    std::unique_ptr<JsonlTraceSink> trace;
+    if (!cli.getString("trace").empty()) {
+        trace = std::make_unique<JsonlTraceSink>(
+            cli.getString("trace"));
+        setTraceSink(trace.get());
+    }
 
     CampaignResult res = runCampaign(device, *workload, cfg);
+
+    if (trace) {
+        setTraceSink(nullptr);
+        trace->flush();
+        std::printf("[trace] %s\n", trace->path().c_str());
+    }
+
+    if (!cli.getString("stats-out").empty()) {
+        std::ofstream stats_out(cli.getString("stats-out"));
+        if (!stats_out)
+            fatal("cannot open stats file '%s'",
+                  cli.getString("stats-out").c_str());
+        res.stats.writeJson(stats_out);
+        stats_out << "\n";
+        std::printf("[stats] %s\n",
+                    cli.getString("stats-out").c_str());
+    }
 
     TextTable table("radcrit campaign: " + device.name + " / " +
                     workload->name() + " " +
