@@ -22,6 +22,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_abft_coverage", 250);
     cli.parse(argc, argv);
+    benchJobs(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

@@ -17,6 +17,7 @@ main(int argc, char **argv)
     CliParser cli = figureCli("bench_ablation_filter_threshold",
                               400);
     cli.parse(argc, argv);
+    benchJobs(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

@@ -13,6 +13,7 @@
  * for the device-model constants (see DESIGN.md Section 6).
  */
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -20,8 +21,10 @@
 #include "campaign/paperconfigs.hh"
 #include "campaign/runner.hh"
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "exec/pool.hh"
 #include "sim/sampler.hh"
 
 using namespace radcrit;
@@ -64,7 +67,9 @@ summarize(const CampaignResult &res, TextTable &table)
         TextTable::num(res.count(Outcome::Crash)),
         TextTable::num(res.count(Outcome::Hang)),
         TextTable::num(res.count(Outcome::Masked)),
-        TextTable::num(res.sdcOverDetectable(), 2),
+        std::isnan(res.sdcOverDetectable())
+            ? "n/a"
+            : TextTable::num(res.sdcOverDetectable(), 2),
         TextTable::num(100.0 * res.filteredOutFraction(), 0) + "%",
         errs.empty() ? "-" : TextTable::num(quantile(errs, 0.5),
                                             1),
@@ -139,7 +144,14 @@ main(int argc, char **argv)
     cli.addInt("runs", 400, "faulty runs per configuration");
     cli.addString("only", "", "restrict to one workload name");
     cli.addFlag("detail", "print per-resource breakdowns");
+    cli.addInt("jobs",
+               static_cast<int64_t>(WorkerPool::envJobs(1)),
+               "worker threads per campaign (1 = serial, 0 = one "
+               "per hardware thread; default from RADCRIT_JOBS)");
     cli.parse(argc, argv);
+    if (cli.getInt("jobs") < 0)
+        fatal("--jobs must be >= 0");
+    auto jobs = static_cast<unsigned>(cli.getInt("jobs"));
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     std::string only = cli.getString("only");
 
@@ -159,6 +171,7 @@ main(int argc, char **argv)
                 auto cfg = defaultCampaign(runs, device.name,
                                            w->name(),
                                            w->inputLabel());
+                cfg.jobs = jobs;
                 auto res = runCampaign(device, *w, cfg);
                 if (want_detail)
                     detail(res);
@@ -172,6 +185,7 @@ main(int argc, char **argv)
                 auto cfg = defaultCampaign(runs, device.name,
                                            w->name(),
                                            w->inputLabel());
+                cfg.jobs = jobs;
                 auto res = runCampaign(device, *w, cfg);
                 if (want_detail)
                     detail(res);
@@ -184,6 +198,7 @@ main(int argc, char **argv)
             auto cfg = defaultCampaign(runs, device.name,
                                        w->name(),
                                        w->inputLabel());
+            cfg.jobs = jobs;
             auto res = runCampaign(device, *w, cfg);
             if (want_detail)
                 detail(res);
@@ -196,6 +211,7 @@ main(int argc, char **argv)
             auto cfg = defaultCampaign(runs, device.name,
                                        w->name(),
                                        w->inputLabel());
+            cfg.jobs = jobs;
             auto res = runCampaign(device, *w, cfg);
             if (want_detail)
                 detail(res);

@@ -116,6 +116,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_detectors", 200);
     cli.parse(argc, argv);
+    benchJobs(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     std::printf("=== Application-level SDC detectors "

@@ -7,12 +7,23 @@
  * K40 ~7x, Phi ~3x.
  */
 
+#include <cmath>
+
 #include "bench_util.hh"
 
 using namespace radcrit;
 
 namespace
 {
+
+/** SDC:(crash+hang) ratio cell; "n/a" when undefined. */
+std::string
+ratioCell(const CampaignResult &res, int digits)
+{
+    double ratio = res.sdcOverDetectable();
+    return std::isnan(ratio) ? "n/a"
+                             : TextTable::num(ratio, digits);
+}
 
 void
 addRow(TextTable &table, const CampaignResult &res,
@@ -23,7 +34,7 @@ addRow(TextTable &table, const CampaignResult &res,
                   TextTable::num(res.count(Outcome::Sdc)),
                   TextTable::num(res.count(Outcome::Crash)),
                   TextTable::num(res.count(Outcome::Hang)),
-                  TextTable::num(res.sdcOverDetectable(), 2),
+                  ratioCell(res, 2),
                   paper_band});
 }
 
@@ -34,6 +45,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_sdc_crash_ratios", 300);
     cli.parse(argc, argv);
+    benchJobs(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 
@@ -83,8 +95,7 @@ main(int argc, char **argv)
                         TextTable::num(res.count(Outcome::Crash)),
                         TextTable::num(res.count(Outcome::Hang)),
                         TextTable::num(res.count(Outcome::Masked)),
-                        TextTable::num(res.sdcOverDetectable(),
-                                       3)});
+                        ratioCell(res, 3)});
         }
         std::printf("[csv] %s\n", path.c_str());
     }

@@ -25,6 +25,7 @@
 #include "common/figure.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "exec/pool.hh"
 #include "obs/json.hh"
 #include "obs/stats_registry.hh"
 
@@ -41,13 +42,17 @@ benchOutputDir()
     return dir;
 }
 
-/** Standard CLI for figure benches: --runs and --csv toggles. */
+/** Standard CLI for figure benches: --runs, --jobs, --csv. */
 inline CliParser
 figureCli(const std::string &name, int64_t default_runs = 200)
 {
     CliParser cli(name);
     cli.addInt("runs", default_runs,
                "faulty runs per configuration");
+    cli.addInt("jobs",
+               static_cast<int64_t>(WorkerPool::envJobs(1)),
+               "worker threads per campaign (1 = serial, 0 = one "
+               "per hardware thread; default from RADCRIT_JOBS)");
     cli.addFlag("no-csv", "skip CSV side-output");
     return cli;
 }
@@ -62,6 +67,8 @@ struct BenchRecorder
     uint64_t campaigns = 0;
     uint64_t runs = 0;
     uint64_t wallNs = 0;
+    /** Worker threads per campaign (resolved, so never 0). */
+    unsigned jobs = 1;
 
     void
     addCampaign(uint64_t campaign_runs, uint64_t campaign_ns)
@@ -100,6 +107,23 @@ benchRecorder()
     return recorder;
 }
 
+/**
+ * Read --jobs from a figureCli() parser and arm the recorder, so
+ * every later runPaperCampaign() runs with that worker count and
+ * the bench JSON records it. Call once right after cli.parse().
+ */
+inline unsigned
+benchJobs(const CliParser &cli)
+{
+    int64_t raw = cli.getInt("jobs");
+    if (raw < 0)
+        fatal("--jobs must be >= 0");
+    unsigned jobs = WorkerPool::resolveJobs(
+        static_cast<unsigned>(raw));
+    benchRecorder().jobs = jobs;
+    return jobs;
+}
+
 /** Run the canonical campaign for a workload instance. */
 inline CampaignResult
 runPaperCampaign(const DeviceModel &device, Workload &workload,
@@ -108,6 +132,7 @@ runPaperCampaign(const DeviceModel &device, Workload &workload,
     CampaignConfig cfg = defaultCampaign(
         runs, device.name, workload.name(),
         workload.inputLabel());
+    cfg.jobs = benchRecorder().jobs;
     auto start = std::chrono::steady_clock::now();
     CampaignResult res = runCampaign(device, workload, cfg);
     auto wall_ns = static_cast<uint64_t>(
@@ -120,9 +145,10 @@ runPaperCampaign(const DeviceModel &device, Workload &workload,
 /**
  * Emit the bench's machine-readable results as
  * bench_out/<bench_name>.json: schema version, campaign/run
- * tallies with ns-per-run and runs-per-second, and the full stats
- * registry snapshot (phase timers, kernel timers, outcome
- * counters). tools/check_bench_json.py validates the shape in CI.
+ * tallies with worker count, ns-per-run and (parallel)
+ * runs-per-second, and the full stats registry snapshot (phase
+ * timers, kernel timers, outcome counters).
+ * tools/check_bench_json.py validates the shape in CI.
  */
 inline void
 writeBenchJson(const std::string &bench_name)
@@ -136,9 +162,10 @@ writeBenchJson(const std::string &bench_name)
         return;
     }
     out << "{\n"
-        << "  \"schema\": 1,\n"
+        << "  \"schema\": 2,\n"
         << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n"
         << "  \"campaigns\": " << rec.campaigns << ",\n"
+        << "  \"jobs\": " << rec.jobs << ",\n"
         << "  \"runs\": " << rec.runs << ",\n"
         << "  \"wall_ns\": " << rec.wallNs << ",\n"
         << "  \"ns_per_op\": " << jsonNum(rec.nsPerOp()) << ",\n"

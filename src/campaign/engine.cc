@@ -1,0 +1,62 @@
+#include "campaign/engine.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Run `fn` under a ScopedTick when `timer` is non-null. */
+template <typename Fn>
+void
+timed(PhaseTimer *timer, Fn &&fn)
+{
+    if (timer) {
+        ScopedTick tick(*timer);
+        fn();
+    } else {
+        fn();
+    }
+}
+
+} // anonymous namespace
+
+Rng
+runRng(const CampaignConfig &config, uint64_t run_index)
+{
+    return Rng(config.seed).split(run_index);
+}
+
+RunRecord
+simulateRun(const StrikeSampler &sampler, Workload &workload,
+            const RelativeErrorFilter &filter,
+            const CampaignConfig &config, uint64_t run_index,
+            Rng &rng, const RunPhaseTimers &timers)
+{
+    RunRecord run;
+    run.index = run_index;
+    timed(timers.sample,
+          [&] { run.strike = sampler.sampleStrike(rng); });
+    timed(timers.classify, [&] {
+        run.outcome = sampler.sampleOutcome(run.strike.resource,
+                                            rng);
+    });
+    if (run.outcome == Outcome::Sdc) {
+        SdcRecord record;
+        timed(timers.replay,
+              [&] { record = workload.inject(run.strike, rng); });
+        if (record.empty()) {
+            // The corruption was digested without an output
+            // mismatch: architecturally masked.
+            run.outcome = Outcome::Masked;
+        } else {
+            timed(timers.metrics, [&] {
+                run.crit = analyzeCriticality(record, filter,
+                                              config.locality);
+            });
+        }
+    }
+    return run;
+}
+
+} // namespace radcrit

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Campaign engine: the pure per-strike simulation step. A campaign
+ * is a deterministic map over independent runs — run k depends only
+ * on (device, workload, config, k), never on runs before it — which
+ * is what lets the runner execute runs on any number of workers and
+ * still produce bit-identical results (see exec/pool.hh).
+ */
+
+#ifndef RADCRIT_CAMPAIGN_ENGINE_HH
+#define RADCRIT_CAMPAIGN_ENGINE_HH
+
+#include <cstdint>
+
+#include "campaign/runner.hh"
+#include "common/rng.hh"
+#include "obs/timer.hh"
+#include "sim/sampler.hh"
+
+namespace radcrit
+{
+
+/**
+ * The RNG stream of one run: the master seed split by the run
+ * index, so run k draws the same numbers whether it executes
+ * serially, on worker 3 of 8, or alone in a replay.
+ *
+ * Note this is a different stream layout than the pre-parallel
+ * runner, which threaded one sequential Rng through the whole
+ * campaign — a given seed produces different (equally valid)
+ * campaigns across that boundary.
+ */
+Rng runRng(const CampaignConfig &config, uint64_t run_index);
+
+/**
+ * Optional per-phase latency timers for simulateRun. Null entries
+ * are skipped; the runner wires these to per-worker shards.
+ */
+struct RunPhaseTimers
+{
+    PhaseTimer *sample = nullptr;
+    PhaseTimer *classify = nullptr;
+    PhaseTimer *replay = nullptr;
+    PhaseTimer *metrics = nullptr;
+};
+
+/**
+ * Simulate one strike: sample it, classify the program-level
+ * outcome, and, for SDC outcomes, replay the corruption through the
+ * workload and compute the criticality metrics.
+ *
+ * Pure with respect to campaign state: touches nothing but the
+ * passed-in workload's scratch buffers and `rng`, so concurrent
+ * calls on distinct workload clones are safe (see
+ * Workload::clone()).
+ *
+ * @param sampler Strike sampler for the (device, launch) pair.
+ * @param workload Workload replaying SDC strikes (mutated scratch).
+ * @param filter Relative-error filter for criticality metrics.
+ * @param config Campaign parameters.
+ * @param run_index Index of this run within the campaign.
+ * @param rng This run's private stream (runRng(config, run_index)).
+ * @param timers Optional phase-latency telemetry.
+ */
+RunRecord simulateRun(const StrikeSampler &sampler,
+                      Workload &workload,
+                      const RelativeErrorFilter &filter,
+                      const CampaignConfig &config,
+                      uint64_t run_index, Rng &rng,
+                      const RunPhaseTimers &timers = {});
+
+} // namespace radcrit
+
+#endif // RADCRIT_CAMPAIGN_ENGINE_HH

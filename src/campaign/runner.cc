@@ -1,11 +1,16 @@
 #include "campaign/runner.hh"
 
 #include <array>
-#include <cctype>
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
 
+#include "campaign/engine.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "exec/pool.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "sim/sampler.hh"
@@ -16,17 +21,37 @@ namespace radcrit
 namespace
 {
 
-/** Lowercase a label for use in a hierarchical stat name. */
-std::string
-statToken(const std::string &label)
+/**
+ * Per-worker telemetry shard: a private registry plus cached
+ * instrument handles, so workers never contend on the campaign
+ * counters. Shards are merged into the campaign registry in worker
+ * order after the pool drains, which keeps the aggregate independent
+ * of execution interleaving.
+ */
+struct StatsShard
 {
-    std::string out;
-    out.reserve(label.size());
-    for (char c : label)
-        out += static_cast<char>(
-            std::tolower(static_cast<unsigned char>(c)));
-    return out;
-}
+    StatsShard(const std::string &prefix)
+    {
+        for (size_t o = 0; o < numOutcomes; ++o) {
+            outcome[o] = &reg.counter(
+                prefix + "." +
+                statToken(outcomeName(static_cast<Outcome>(o))));
+        }
+        runs = &reg.counter(prefix + ".runs");
+        filtered = &reg.counter(prefix + ".filtered");
+        incorrect = &reg.histogram(prefix + ".incorrect_elements");
+    }
+
+    StatsRegistry reg;
+    std::array<Counter *, numOutcomes> outcome{};
+    Counter *runs = nullptr;
+    Counter *filtered = nullptr;
+    LogHistogram *incorrect = nullptr;
+    PhaseTimer sample{reg, "campaign.phase.sample"};
+    PhaseTimer classify{reg, "campaign.phase.classify"};
+    PhaseTimer replay{reg, "campaign.phase.replay"};
+    PhaseTimer metrics{reg, "campaign.phase.metrics"};
+};
 
 } // anonymous namespace
 
@@ -47,7 +72,7 @@ CampaignResult::sdcOverDetectable() const
     uint64_t detectable = count(Outcome::Crash) +
         count(Outcome::Hang);
     if (detectable == 0)
-        return static_cast<double>(count(Outcome::Sdc));
+        return std::numeric_limits<double>::quiet_NaN();
     return static_cast<double>(count(Outcome::Sdc)) /
         static_cast<double>(detectable);
 }
@@ -130,123 +155,142 @@ runCampaign(const DeviceModel &device, Workload &workload,
     StrikeSampler sampler(device, result.launch);
     result.sensitiveAreaAu = sampler.totalWeight();
 
-    // --- Telemetry: counters under campaign.<device>.<workload>,
-    // shared phase timers, and the optional per-strike trace. The
-    // campaign's own contribution is separated out at the end by
-    // diffing the registry against this snapshot.
-    StatsRegistry &reg = StatsRegistry::global();
-    StatsSnapshot before = reg.snapshot();
+    // --- Telemetry. Workers write campaign counters into private
+    // shards; kernel instruments (PhaseTimer members of workloads
+    // and their clones) land directly in the global registry, whose
+    // instruments are thread-safe. The shards plus the global
+    // kernel-side diff are folded into a campaign-local registry, so
+    // result.stats carries the same content the old serial diff did.
+    StatsRegistry &global = StatsRegistry::global();
+    StatsSnapshot globalBefore = global.snapshot();
+    StatsRegistry campaignReg;
     std::string prefix = "campaign." + statToken(device.name) +
         "." + statToken(workload.name());
-    std::array<Counter *, numOutcomes> outcomeCounters{};
-    for (size_t o = 0; o < numOutcomes; ++o) {
-        outcomeCounters[o] = &reg.counter(
-            prefix + "." +
-            statToken(outcomeName(static_cast<Outcome>(o))));
-    }
-    Counter &runsCounter = reg.counter(prefix + ".runs");
-    Counter &filteredCounter = reg.counter(prefix + ".filtered");
-    reg.gauge(prefix + ".sensitive_area_au")
+    campaignReg.gauge(prefix + ".sensitive_area_au")
         .set(result.sensitiveAreaAu);
-    reg.gauge(prefix + ".occupancy").set(result.launch.occupancy);
-    LogHistogram &incorrectHist =
-        reg.histogram(prefix + ".incorrect_elements");
-    PhaseTimer sampleTimer(reg, "campaign.phase.sample");
-    PhaseTimer classifyTimer(reg, "campaign.phase.classify");
-    PhaseTimer replayTimer(reg, "campaign.phase.replay");
-    PhaseTimer metricsTimer(reg, "campaign.phase.metrics");
-    PhaseTimer campaignTimer(reg, "campaign.total");
+    campaignReg.gauge(prefix + ".occupancy")
+        .set(result.launch.occupancy);
+    PhaseTimer campaignTimer(campaignReg, "campaign.total");
     auto campaign_start = std::chrono::steady_clock::now();
-    TraceSink *sink = traceSink();
+
+    WorkerPool pool(config.jobs);
+    unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
+        pool.jobs(), config.faultyRuns));
 
     if (config.progressEvery > 0)
-        inform("campaign %s: %s", device.name.c_str(),
-               describeLaunch(result.launch).c_str());
+        inform("campaign %s: %s (%u worker%s)",
+               device.name.c_str(),
+               describeLaunch(result.launch).c_str(), workers,
+               workers == 1 ? "" : "s");
+
+    std::vector<std::unique_ptr<StatsShard>> shards;
+    shards.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        shards.push_back(std::make_unique<StatsShard>(prefix));
+
+    // Strike-trace records are produced out of order by the
+    // workers; the ordered sink re-serializes them by run index.
+    TraceSink *rawSink = traceSink();
+    OrderedTraceSink orderedSink(rawSink);
+    TraceSink *sink = rawSink ? &orderedSink : nullptr;
 
     RelativeErrorFilter filter(config.filterThresholdPct);
-    Rng rng(config.seed);
-    result.runs.reserve(config.faultyRuns);
+    result.runs.resize(config.faultyRuns);
+    std::atomic<uint64_t> completed{0};
 
-    for (uint64_t i = 0; i < config.faultyRuns; ++i) {
-        auto run_start = std::chrono::steady_clock::now();
-        RunRecord run;
-        {
-            ScopedTick tick(sampleTimer);
-            run.strike = sampler.sampleStrike(rng);
-        }
-        {
-            ScopedTick tick(classifyTimer);
-            run.outcome =
-                sampler.sampleOutcome(run.strike.resource, rng);
-        }
-        if (run.outcome == Outcome::Sdc) {
-            SdcRecord record;
-            {
-                ScopedTick tick(replayTimer);
-                record = workload.inject(run.strike, rng);
+    pool.forChunks(config.faultyRuns, [&](unsigned worker,
+                                          uint64_t begin,
+                                          uint64_t end) {
+        StatsShard &shard = *shards[worker];
+        RunPhaseTimers timers;
+        timers.sample = &shard.sample;
+        timers.classify = &shard.classify;
+        timers.replay = &shard.replay;
+        timers.metrics = &shard.metrics;
+
+        // Worker 0 runs on the caller thread and reuses the caller's
+        // workload; the others replay strikes on private clones.
+        std::unique_ptr<Workload> local;
+        if (worker != 0)
+            local = workload.clone();
+        Workload &wl = local ? *local : workload;
+
+        for (uint64_t i = begin; i < end; ++i) {
+            auto run_start = std::chrono::steady_clock::now();
+            Rng rng = runRng(config, i);
+            RunRecord run = simulateRun(sampler, wl, filter,
+                                        config, i, rng, timers);
+
+            shard.runs->inc();
+            shard.outcome[static_cast<size_t>(run.outcome)]->inc();
+            if (run.outcome == Outcome::Sdc) {
+                shard.incorrect->add(
+                    static_cast<double>(run.crit.numIncorrect));
+                if (run.crit.executionFiltered)
+                    shard.filtered->inc();
             }
-            if (record.empty()) {
-                // The corruption was digested without an output
-                // mismatch: architecturally masked.
-                run.outcome = Outcome::Masked;
-            } else {
-                ScopedTick tick(metricsTimer);
-                run.crit = analyzeCriticality(record, filter,
-                                              config.locality);
+
+            if (sink) {
+                StrikeTraceRecord rec;
+                rec.run = i;
+                rec.device = result.deviceName;
+                rec.workload = result.workloadName;
+                rec.input = result.inputLabel;
+                rec.resource = run.strike.resource;
+                rec.manifestation = run.strike.manifestation;
+                rec.timeFraction = run.strike.timeFraction;
+                rec.burstBits = run.strike.burstBits;
+                rec.outcome = run.outcome;
+                rec.numIncorrect = run.crit.numIncorrect;
+                rec.meanRelErrPct = run.crit.meanRelErrPct;
+                rec.pattern = run.crit.pattern;
+                rec.executionFiltered = run.crit.executionFiltered;
+                rec.wallNs = static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() -
+                        run_start)
+                        .count());
+                sink->strike(rec);
+            }
+
+            result.runs[i] = std::move(run);
+
+            uint64_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) +
+                1;
+            if (config.progressEvery > 0 &&
+                (done % config.progressEvery == 0 ||
+                 done == config.faultyRuns)) {
+                inform("campaign %s/%s %s: %llu/%llu runs",
+                       result.deviceName.c_str(),
+                       result.workloadName.c_str(),
+                       result.inputLabel.c_str(),
+                       static_cast<unsigned long long>(done),
+                       static_cast<unsigned long long>(
+                           config.faultyRuns));
             }
         }
+    });
+    orderedSink.drain();
 
-        runsCounter.inc();
-        outcomeCounters[static_cast<size_t>(run.outcome)]->inc();
-        if (run.outcome == Outcome::Sdc) {
-            incorrectHist.add(
-                static_cast<double>(run.crit.numIncorrect));
-            if (run.crit.executionFiltered)
-                filteredCounter.inc();
-        }
-
-        if (sink) {
-            StrikeTraceRecord rec;
-            rec.run = i;
-            rec.device = result.deviceName;
-            rec.workload = result.workloadName;
-            rec.input = result.inputLabel;
-            rec.resource = run.strike.resource;
-            rec.manifestation = run.strike.manifestation;
-            rec.timeFraction = run.strike.timeFraction;
-            rec.burstBits = run.strike.burstBits;
-            rec.outcome = run.outcome;
-            rec.numIncorrect = run.crit.numIncorrect;
-            rec.meanRelErrPct = run.crit.meanRelErrPct;
-            rec.pattern = run.crit.pattern;
-            rec.executionFiltered = run.crit.executionFiltered;
-            rec.wallNs = static_cast<uint64_t>(
-                std::chrono::duration_cast<
-                    std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - run_start)
-                    .count());
-            sink->strike(rec);
-        }
-
-        if (config.progressEvery > 0 &&
-            ((i + 1) % config.progressEvery == 0 ||
-             i + 1 == config.faultyRuns)) {
-            inform("campaign %s/%s %s: %llu/%llu runs",
-                   result.deviceName.c_str(),
-                   result.workloadName.c_str(),
-                   result.inputLabel.c_str(),
-                   static_cast<unsigned long long>(i + 1),
-                   static_cast<unsigned long long>(
-                       config.faultyRuns));
-        }
-
-        result.runs.push_back(std::move(run));
-    }
     campaignTimer.recordNs(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - campaign_start)
             .count()));
-    result.stats = reg.snapshot().since(before);
+
+    // Fold the shards (worker order, so the aggregate is
+    // deterministic up to timing values), pick up the kernel-side
+    // instruments that advanced in the global registry, and publish
+    // the campaign's own contribution back into the global registry
+    // so process-wide tallies stay whole.
+    for (auto &shard : shards)
+        campaignReg.merge(shard->reg.snapshot());
+    StatsSnapshot kernelDiff =
+        global.snapshot().since(globalBefore);
+    global.merge(campaignReg.snapshot());
+    campaignReg.merge(kernelDiff);
+    result.stats = campaignReg.snapshot();
     return result;
 }
 

@@ -49,6 +49,14 @@ struct CampaignConfig
      * --progress.
      */
     uint64_t progressEvery = 0;
+    /**
+     * Worker threads executing runs (radcrit_cli --jobs /
+     * RADCRIT_JOBS). 1 = serial (default), 0 = one per hardware
+     * thread, N = exactly N workers. Results are bit-identical for
+     * every value: run k always draws from Rng(seed).split(k) and
+     * runs land in the result by index (see campaign/engine.hh).
+     */
+    unsigned jobs = 1;
 };
 
 /**
@@ -56,6 +64,8 @@ struct CampaignConfig
  */
 struct RunRecord
 {
+    /** Index of this run within its campaign. */
+    uint64_t index = 0;
     Strike strike;
     Outcome outcome = Outcome::Masked;
     /** Metrics; meaningful only when outcome == Sdc. */
@@ -88,7 +98,11 @@ struct CampaignResult
     /** @return number of runs with the given outcome. */
     uint64_t count(Outcome outcome) const;
 
-    /** @return SDC : (crash + hang) ratio (paper Section V). */
+    /**
+     * @return SDC : (crash + hang) ratio (paper Section V), or NaN
+     * when no crash or hang was observed (the ratio is undefined;
+     * tables render it as "n/a").
+     */
     double sdcOverDetectable() const;
 
     /**

@@ -68,7 +68,8 @@ patterns3d()
 std::vector<std::string>
 runRowsHeader()
 {
-    return {"outcome", "resource", "manifestation", "timeFraction",
+    return {"run", "outcome", "resource", "manifestation",
+            "timeFraction",
             "numIncorrect", "meanRelErrPct", "pattern",
             "numIncorrectFiltered", "meanRelErrFilteredPct",
             "patternFiltered", "executionFiltered"};
@@ -81,6 +82,7 @@ runRows(const CampaignResult &result)
     rows.reserve(result.runs.size());
     for (const auto &run : result.runs) {
         std::vector<std::string> row;
+        row.push_back(TextTable::num(run.index));
         row.push_back(outcomeName(run.outcome));
         row.push_back(resourceKindName(run.strike.resource));
         row.push_back(manifestationName(run.strike.manifestation));

@@ -51,8 +51,9 @@ std::vector<Pattern> patterns2d();
 std::vector<Pattern> patterns3d();
 
 /**
- * CSV-ready rows of per-run metrics: outcome, resource, incorrect
- * elements, mean relative error, patterns before/after filter.
+ * CSV-ready rows of per-run metrics: run index, outcome, resource,
+ * incorrect elements, mean relative error, patterns before/after
+ * filter. Rows appear in run-index order for any jobs count.
  */
 std::vector<std::vector<std::string>>
 runRows(const CampaignResult &result);

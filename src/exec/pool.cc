@@ -1,0 +1,98 @@
+#include "exec/pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+WorkerPool::WorkerPool(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{
+}
+
+unsigned
+WorkerPool::resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::max(hw, 1u);
+}
+
+unsigned
+WorkerPool::envJobs(unsigned fallback)
+{
+    const char *env = std::getenv("RADCRIT_JOBS");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0') {
+        warn("RADCRIT_JOBS '%s' is not a job count; using %u",
+             env, fallback);
+        return fallback;
+    }
+    return resolveJobs(static_cast<unsigned>(v));
+}
+
+std::pair<uint64_t, uint64_t>
+WorkerPool::chunkBounds(uint64_t count, unsigned workers,
+                        unsigned worker)
+{
+    if (workers == 0)
+        panic("chunkBounds needs at least one worker");
+    if (worker >= workers)
+        return {count, count};
+    uint64_t base = count / workers;
+    uint64_t rem = count % workers;
+    uint64_t begin = worker * base + std::min<uint64_t>(worker, rem);
+    uint64_t end = begin + base + (worker < rem ? 1 : 0);
+    return {begin, end};
+}
+
+void
+WorkerPool::forChunks(uint64_t count, const ChunkBody &body) const
+{
+    if (count == 0)
+        return;
+    unsigned workers = static_cast<unsigned>(
+        std::min<uint64_t>(jobs_, count));
+
+    if (workers == 1) {
+        body(0, 0, count);
+        return;
+    }
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto guarded = [&](unsigned worker) {
+        auto [begin, end] = chunkBounds(count, workers, worker);
+        try {
+            body(worker, begin, end);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        threads.emplace_back(guarded, w);
+    guarded(0);
+    for (auto &t : threads)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace radcrit

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic worker pool for embarrassingly parallel index
+ * ranges.
+ *
+ * The pool partitions [0, count) into one contiguous chunk per
+ * worker (static chunking, no work stealing), so the mapping from
+ * item index to worker is a pure function of (count, jobs). Work
+ * whose output depends only on the item index — like the campaign
+ * engine's seed-split runs — therefore produces identical results
+ * for any worker count. Used by the campaign runner and available
+ * to benches.
+ */
+
+#ifndef RADCRIT_EXEC_POOL_HH
+#define RADCRIT_EXEC_POOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace radcrit
+{
+
+/**
+ * Fixed-width thread pool over static contiguous chunks.
+ */
+class WorkerPool
+{
+  public:
+    /**
+     * Body invoked once per non-empty chunk.
+     *
+     * @param worker Zero-based worker index (chunk index).
+     * @param begin First item index of the chunk.
+     * @param end One past the last item index of the chunk.
+     */
+    using ChunkBody =
+        std::function<void(unsigned worker, uint64_t begin,
+                           uint64_t end)>;
+
+    /**
+     * @param jobs Requested worker count; 0 selects
+     * hardware_concurrency (resolved immediately, see jobs()).
+     */
+    explicit WorkerPool(unsigned jobs = 0);
+
+    /** @return the resolved worker count (always >= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Partition [0, count) into at most jobs() contiguous chunks
+     * and run `body` on each chunk concurrently. Worker 0 runs on
+     * the calling thread; with a single worker (or a single item)
+     * no thread is spawned at all, so the serial path is exactly a
+     * plain loop. Blocks until every chunk completed. The first
+     * exception thrown by a body is rethrown on the caller after
+     * all workers joined.
+     */
+    void forChunks(uint64_t count, const ChunkBody &body) const;
+
+    /**
+     * Resolve a requested job count: 0 becomes
+     * std::thread::hardware_concurrency() (itself clamped to >= 1),
+     * anything else passes through.
+     */
+    static unsigned resolveJobs(unsigned requested);
+
+    /**
+     * Job count requested via the RADCRIT_JOBS environment
+     * variable, or `fallback` when unset or unparsable. A value of
+     * 0 means "all hardware threads", as with --jobs.
+     */
+    static unsigned envJobs(unsigned fallback);
+
+    /**
+     * Chunk of worker `worker` when `count` items are split over
+     * `workers` chunks: the first count % workers chunks get one
+     * extra item.
+     *
+     * @return [begin, end) item range (empty when there is no work
+     * left for this worker).
+     */
+    static std::pair<uint64_t, uint64_t>
+    chunkBounds(uint64_t count, unsigned workers, unsigned worker);
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_EXEC_POOL_HH

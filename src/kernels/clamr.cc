@@ -138,18 +138,21 @@ Clamr::Clamr(const DeviceModel &device, int64_t grid, int64_t steps,
     SweState cur = init_;
     SweState nxt;
     nxt.resize(cells);
-    snaps_.push_back(cur);
+    std::vector<SweState> snaps;
+    snaps.push_back(cur);
     amr.update(cur.h);
     amrSeries_.push_back(amr.effectiveCells());
     for (int64_t it = 0; it < steps_; ++it) {
         step(cur, nxt);
         std::swap(cur, nxt);
         if ((it + 1) % snapInterval_ == 0 && it + 1 < steps_) {
-            snaps_.push_back(cur);
+            snaps.push_back(cur);
             amr.update(cur.h);
             amrSeries_.push_back(amr.effectiveCells());
         }
     }
+    snaps_ = std::make_shared<const std::vector<SweState>>(
+        std::move(snaps));
     golden_ = cur;
     goldenMass_ = mass(golden_);
     lastMass_ = goldenMass_;
@@ -377,8 +380,8 @@ Clamr::runWithCorruption(int64_t it0, int64_t persist,
 {
     int64_t snap = std::min<int64_t>(it0 / snapInterval_,
                                      static_cast<int64_t>(
-                                         snaps_.size()) - 1);
-    SweState cur = snaps_[static_cast<size_t>(snap)];
+                                         snaps_->size()) - 1);
+    SweState cur = (*snaps_)[static_cast<size_t>(snap)];
     SweState nxt;
     nxt.resize(cur.h.size());
     int64_t it_end = std::min(steps_, it0 + persist);

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,12 @@ class Clamr : public Workload
     const WorkloadTraits &traits() const override { return traits_; }
     SdcRecord inject(const Strike &strike, Rng &rng) override;
     SdcRecord emptyRecord() const override;
+    std::unique_ptr<Workload> clone() const override
+    {
+        // Clones share the checkpoint stack immutably; lastMass_
+        // and the scratch state stay private per clone.
+        return std::make_unique<Clamr>(*this);
+    }
 
     /** @return scaled grid side. */
     int64_t grid() const { return n_; }
@@ -149,7 +156,11 @@ class Clamr : public Workload
     SweState golden_;
     double goldenMass_ = 0.0;
     double lastMass_ = 0.0;
-    std::vector<SweState> snaps_;
+    /**
+     * Golden checkpoints every snapInterval_ steps, immutable
+     * after construction and shared between clones.
+     */
+    std::shared_ptr<const std::vector<SweState>> snaps_;
     std::vector<uint64_t> amrSeries_;
     /** Injection-replay latency telemetry. */
     PhaseTimer injectTimer_{StatsRegistry::global(),

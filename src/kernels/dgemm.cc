@@ -41,25 +41,26 @@ Dgemm::Dgemm(const DeviceModel &device, int64_t n, uint64_t seed,
     // overflow, representative magnitude, balanced bit population
     // (paper Section IV-D).
     Rng rng(seed);
-    a_.resize(static_cast<size_t>(n_) * n_);
-    b_.resize(static_cast<size_t>(n_) * n_);
-    for (auto &v : a_)
+    Golden gold;
+    gold.a.resize(static_cast<size_t>(n_) * n_);
+    gold.b.resize(static_cast<size_t>(n_) * n_);
+    for (auto &v : gold.a)
         v = rng.uniform(-1.0, 1.0);
-    for (auto &v : b_)
+    for (auto &v : gold.b)
         v = rng.uniform(-1.0, 1.0);
 
     // Golden output on the very same code path used at injection
     // time (paper IV-D: golden outputs calculated on the device
     // under test to avoid precision and round-off issues).
-    cGolden_.assign(static_cast<size_t>(n_) * n_, 0.0);
+    gold.c.assign(static_cast<size_t>(n_) * n_, 0.0);
     constexpr int64_t kb = 64;
     for (int64_t k0 = 0; k0 < n_; k0 += kb) {
         int64_t k1 = std::min(n_, k0 + kb);
         for (int64_t i = 0; i < n_; ++i) {
             for (int64_t k = k0; k < k1; ++k) {
-                double aik = a_[i * n_ + k];
-                const double *brow = &b_[k * n_];
-                double *crow = &cGolden_[i * n_];
+                double aik = gold.a[i * n_ + k];
+                const double *brow = &gold.b[k * n_];
+                double *crow = &gold.c[i * n_];
                 for (int64_t j = 0; j < n_; ++j)
                     crow[j] += aik * brow[j];
             }
@@ -67,11 +68,13 @@ Dgemm::Dgemm(const DeviceModel &device, int64_t n, uint64_t seed,
     }
 
     double sumsq = 0.0;
-    for (double v : cGolden_)
+    for (double v : gold.c)
         sumsq += v * v;
-    cRms_ = std::sqrt(sumsq / static_cast<double>(cGolden_.size()));
-    if (cRms_ <= 0.0)
-        cRms_ = 1.0;
+    gold.cRms = std::sqrt(sumsq /
+                          static_cast<double>(gold.c.size()));
+    if (gold.cRms <= 0.0)
+        gold.cRms = 1.0;
+    gold_ = std::make_shared<const Golden>(std::move(gold));
 
     // --- Launch traits at paper-equivalent scale -------------------
     int64_t n_eff = n_ * paperScale_;
@@ -145,16 +148,16 @@ Dgemm::emptyRecord() const
 double
 Dgemm::dot(int64_t i, int64_t j) const
 {
-    return cGolden_[i * n_ + j];
+    return gold_->c[i * n_ + j];
 }
 
 double
 Dgemm::partialDot(int64_t i, int64_t j, int64_t k_end) const
 {
     double sum = 0.0;
-    const double *arow = &a_[i * n_];
+    const double *arow = &gold_->a[i * n_];
     for (int64_t k = 0; k < k_end; ++k)
-        sum += arow[k] * b_[k * n_ + j];
+        sum += arow[k] * gold_->b[k * n_ + j];
     return sum;
 }
 
@@ -162,7 +165,7 @@ void
 Dgemm::record(SdcRecord &out, int64_t i, int64_t j,
               double read) const
 {
-    double expected = cGolden_[i * n_ + j];
+    double expected = gold_->c[i * n_ + j];
     if (read != expected || std::isnan(read))
         out.elements.push_back({{i, j, 0}, read, expected});
 }
@@ -243,8 +246,8 @@ Dgemm::injectInputLineFlip(const Strike &strike, Rng &rng,
     std::vector<std::pair<int64_t, double>> deltas;
     for (uint32_t bflip = 0; bflip < strike.burstBits; ++bflip) {
         int64_t k = rng.uniformRange(k_start, k_end - 1);
-        double orig = corrupt_a ? a_[row * n_ + k]
-                                : b_[k * n_ + row];
+        double orig = corrupt_a ? gold_->a[row * n_ + k]
+                                : gold_->b[k * n_ + row];
         double bad = flipBits(orig, 1, rng);
         deltas.emplace_back(k, bad - orig);
     }
@@ -266,15 +269,15 @@ Dgemm::injectInputLineFlip(const Strike &strike, Rng &rng,
     for (int64_t idx = start; idx < start + consumed; ++idx) {
         double delta = 0.0;
         for (const auto &[k, dv] : deltas) {
-            delta += corrupt_a ? dv * b_[k * n_ + idx]
-                               : dv * a_[idx * n_ + k];
+            delta += corrupt_a ? dv * gold_->b[k * n_ + idx]
+                               : dv * gold_->a[idx * n_ + k];
         }
         if (delta == 0.0)
             continue;
         if (corrupt_a)
-            record(out, row, idx, cGolden_[row * n_ + idx] + delta);
+            record(out, row, idx, gold_->c[row * n_ + idx] + delta);
         else
-            record(out, idx, row, cGolden_[idx * n_ + row] + delta);
+            record(out, idx, row, gold_->c[idx * n_ + row] + delta);
     }
 }
 
@@ -289,7 +292,7 @@ Dgemm::injectWrongOperation(const Strike &strike, Rng &rng,
     int64_t j0 = rng.uniformRange(0, n_ / chunkCols - 1) * chunkCols;
     for (int64_t i = i0; i < i0 + chunkRows; ++i) {
         for (int64_t j = j0; j < j0 + chunkCols; ++j)
-            record(out, i, j, garbageValue(cRms_, rng));
+            record(out, i, j, garbageValue(gold_->cRms, rng));
     }
 }
 
@@ -348,13 +351,13 @@ Dgemm::injectStaleData(const Strike &strike, Rng &rng,
                 double delta = 0.0;
                 for (int64_t k = k0; k < std::min(n_, k0 + kb);
                      ++k) {
-                    double stale = b_[(k - kb) * n_ + j];
-                    delta += a_[i * n_ + k] *
-                        (stale - b_[k * n_ + j]);
+                    double stale = gold_->b[(k - kb) * n_ + j];
+                    delta += gold_->a[i * n_ + k] *
+                        (stale - gold_->b[k * n_ + j]);
                 }
                 if (delta != 0.0) {
                     record(out, i, j,
-                           cGolden_[i * n_ + j] + delta);
+                           gold_->c[i * n_ + j] + delta);
                 }
             }
         }
@@ -377,7 +380,7 @@ Dgemm::injectMisscheduledBlock(const Strike &strike, Rng &rng,
         sj = (sj + 1) % tiles;
     for (int64_t di = 0; di < blockTile; ++di) {
         for (int64_t dj = 0; dj < blockTile; ++dj) {
-            double read = cGolden_[(si * blockTile + di) * n_ +
+            double read = gold_->c[(si * blockTile + di) * n_ +
                                    sj * blockTile + dj];
             record(out, bi * blockTile + di, bj * blockTile + dj,
                    read);
@@ -388,7 +391,7 @@ Dgemm::injectMisscheduledBlock(const Strike &strike, Rng &rng,
 std::vector<double>
 Dgemm::materializeOutput(const SdcRecord &record) const
 {
-    std::vector<double> c = cGolden_;
+    std::vector<double> c = gold_->c;
     for (const auto &e : record.elements)
         c[e.coord[0] * n_ + e.coord[1]] = e.read;
     return c;

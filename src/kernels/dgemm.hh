@@ -17,6 +17,7 @@
 #define RADCRIT_KERNELS_DGEMM_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,18 +50,22 @@ class Dgemm : public Workload
     const WorkloadTraits &traits() const override { return traits_; }
     SdcRecord inject(const Strike &strike, Rng &rng) override;
     SdcRecord emptyRecord() const override;
+    std::unique_ptr<Workload> clone() const override
+    {
+        return std::make_unique<Dgemm>(*this);
+    }
 
     /** @return scaled matrix side. */
     int64_t n() const { return n_; }
 
     /** @return input matrix A (row-major, n x n). */
-    const std::vector<double> &a() const { return a_; }
+    const std::vector<double> &a() const { return gold_->a; }
 
     /** @return input matrix B (row-major, n x n). */
-    const std::vector<double> &b() const { return b_; }
+    const std::vector<double> &b() const { return gold_->b; }
 
     /** @return golden output C (row-major, n x n). */
-    const std::vector<double> &goldenC() const { return cGolden_; }
+    const std::vector<double> &goldenC() const { return gold_->c; }
 
     /**
      * @return a full output matrix equal to the golden output with
@@ -99,16 +104,26 @@ class Dgemm : public Workload
     void record(SdcRecord &out, int64_t i, int64_t j,
                 double read) const;
 
+    /**
+     * Inputs and golden output, computed once at construction and
+     * immutable afterwards: clones share one block instead of
+     * copying O(n^2) doubles per campaign worker.
+     */
+    struct Golden
+    {
+        std::vector<double> a;
+        std::vector<double> b;
+        std::vector<double> c;
+        /** RMS magnitude of golden C (garbage-value scale). */
+        double cRms = 1.0;
+    };
+
     std::string name_ = "DGEMM";
     DeviceModel device_;
     int64_t n_;
     int64_t paperScale_;
     WorkloadTraits traits_;
-    std::vector<double> a_;
-    std::vector<double> b_;
-    std::vector<double> cGolden_;
-    /** RMS magnitude of golden C (garbage-value scale). */
-    double cRms_ = 1.0;
+    std::shared_ptr<const Golden> gold_;
     /** Injection-replay latency telemetry. */
     PhaseTimer injectTimer_{StatsRegistry::global(),
                             "kernel.dgemm.inject"};

@@ -70,13 +70,16 @@ HotSpot::HotSpot(const DeviceModel &device, int64_t grid,
     // Golden run with checkpoints.
     std::vector<float> cur = tempInit_;
     std::vector<float> nxt(cells);
-    snaps_.push_back(cur);
+    std::vector<std::vector<float>> snaps;
+    snaps.push_back(cur);
     for (int64_t it = 0; it < iters_; ++it) {
         step(cur, nxt);
         cur.swap(nxt);
         if ((it + 1) % snapInterval_ == 0 && it + 1 < iters_)
-            snaps_.push_back(cur);
+            snaps.push_back(cur);
     }
+    snaps_ = std::make_shared<
+        const std::vector<std::vector<float>>>(std::move(snaps));
     golden_ = cur;
 
     // --- Launch traits at paper-equivalent scale -------------------
@@ -189,8 +192,8 @@ HotSpot::runWithCorruption(int64_t it0, int64_t persist,
 {
     int64_t snap = std::min<int64_t>(it0 / snapInterval_,
                                      static_cast<int64_t>(
-                                         snaps_.size()) - 1);
-    std::vector<float> cur = snaps_[static_cast<size_t>(snap)];
+                                         snaps_->size()) - 1);
+    std::vector<float> cur = (*snaps_)[static_cast<size_t>(snap)];
     std::vector<float> nxt(cur.size());
     int64_t it_end = std::min(iters_, it0 + persist);
     for (int64_t it = snap * snapInterval_; it < iters_; ++it) {

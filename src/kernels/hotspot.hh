@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,12 @@ class HotSpot : public Workload
     const WorkloadTraits &traits() const override { return traits_; }
     SdcRecord inject(const Strike &strike, Rng &rng) override;
     SdcRecord emptyRecord() const override;
+    std::unique_ptr<Workload> clone() const override
+    {
+        // Clones share the checkpoint stack (the dominant buffer)
+        // immutably; everything else is copied.
+        return std::make_unique<HotSpot>(*this);
+    }
 
     /** @return scaled grid side. */
     int64_t grid() const { return n_; }
@@ -124,8 +131,11 @@ class HotSpot : public Workload
     std::vector<float> power_;
     std::vector<float> tempInit_;
     std::vector<float> golden_;
-    /** Golden checkpoints every snapInterval_ iterations. */
-    std::vector<std::vector<float>> snaps_;
+    /**
+     * Golden checkpoints every snapInterval_ iterations, immutable
+     * after construction and shared between clones.
+     */
+    std::shared_ptr<const std::vector<std::vector<float>>> snaps_;
     /** Injection-replay latency telemetry. */
     PhaseTimer injectTimer_{StatsRegistry::global(),
                             "kernel.hotspot.inject"};

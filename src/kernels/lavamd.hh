@@ -59,6 +59,13 @@ class LavaMd : public Workload
     const WorkloadTraits &traits() const override { return traits_; }
     SdcRecord inject(const Strike &strike, Rng &rng) override;
     SdcRecord emptyRecord() const override;
+    std::unique_ptr<Workload> clone() const override
+    {
+        // Positions/charges and golden forces are small (boxes^3 *
+        // P doubles), so a plain copy is cheaper than sharing; the
+        // cur* scratch buffers must be private per clone anyway.
+        return std::make_unique<LavaMd>(*this);
+    }
 
     /** @return scaled boxes per dimension. */
     int64_t boxes1d() const { return nb_; }

@@ -1,6 +1,7 @@
 #include "obs/stats_registry.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <ostream>
 
@@ -9,6 +10,20 @@
 
 namespace radcrit
 {
+
+std::string
+statToken(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        auto u = static_cast<unsigned char>(c);
+        out += std::isalnum(u)
+            ? static_cast<char>(std::tolower(u))
+            : '_';
+    }
+    return out;
+}
 
 namespace
 {
@@ -40,6 +55,30 @@ LogHistogram::add(double x)
     }
     ++count_;
     sum_ += x;
+}
+
+void
+LogHistogram::absorb(uint64_t count, double sum, double min,
+                     double max,
+                     const std::vector<std::pair<size_t, uint64_t>>
+                         &buckets)
+{
+    if (count == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[idx, n] : buckets) {
+        if (idx < numBuckets)
+            buckets_[idx] += n;
+    }
+    if (count_ == 0) {
+        min_ = min;
+        max_ = max;
+    } else {
+        min_ = std::min(min_, min);
+        max_ = std::max(max_, max);
+    }
+    count_ += count;
+    sum_ += sum;
 }
 
 uint64_t
@@ -337,6 +376,25 @@ StatsRegistry::snapshot(const std::string &prefix) const
     }
     // std::map iterates in name order, so entries are sorted.
     return snap;
+}
+
+void
+StatsRegistry::merge(const StatsSnapshot &snap)
+{
+    for (const StatsSnapshot::Entry &e : snap.entries) {
+        switch (e.kind) {
+          case StatKind::Counter:
+            counter(e.name).inc(static_cast<uint64_t>(e.value));
+            break;
+          case StatKind::Gauge:
+            gauge(e.name).set(e.value);
+            break;
+          case StatKind::Histogram:
+            histogram(e.name).absorb(e.count, e.sum, e.min, e.max,
+                                     e.buckets);
+            break;
+        }
+    }
 }
 
 void

@@ -28,6 +28,16 @@
 namespace radcrit
 {
 
+struct StatsSnapshot;
+
+/**
+ * Sanitize a label for use as one segment of a hierarchical stat
+ * name: lower-cased, with every non-alphanumeric character replaced
+ * by '_' so labels with spaces or dots ("Xeon Phi", "v1.2") cannot
+ * corrupt the dotted-name hierarchy.
+ */
+std::string statToken(const std::string &label);
+
 /**
  * Monotonic event counter.
  */
@@ -88,6 +98,16 @@ class LogHistogram
 
     /** Add one sample; negative samples clamp to bucket 0. */
     void add(double x);
+
+    /**
+     * Fold another histogram's aggregate (as captured in a
+     * snapshot) into this one: bucket counts and moments add, the
+     * min/max envelope widens. Used when merging per-worker stat
+     * shards.
+     */
+    void absorb(uint64_t count, double sum, double min, double max,
+                const std::vector<std::pair<size_t, uint64_t>>
+                    &buckets);
 
     /** @return count in bucket i. */
     uint64_t bucketCount(size_t i) const;
@@ -198,6 +218,16 @@ class StatsRegistry
      * or starts with `prefix` + ".".
      */
     StatsSnapshot snapshot(const std::string &prefix) const;
+
+    /**
+     * Fold a snapshot into this registry: counters add their
+     * values, histograms absorb buckets and moments, gauges take
+     * the snapshot's level. Instruments are created on demand. The
+     * campaign engine uses this to combine per-worker registry
+     * shards in run-index order, and to publish the combined
+     * campaign contribution into the global registry.
+     */
+    void merge(const StatsSnapshot &snap);
 
     /** Zero every instrument (instruments stay registered). */
     void reset();

@@ -99,6 +99,73 @@ JsonlTraceSink::flush()
     out_.flush();
 }
 
+OrderedTraceSink::OrderedTraceSink(TraceSink *inner,
+                                   uint64_t first_run)
+    : inner_(inner), next_(first_run)
+{
+}
+
+OrderedTraceSink::~OrderedTraceSink()
+{
+    drain();
+}
+
+void
+OrderedTraceSink::strike(const StrikeTraceRecord &rec)
+{
+    if (!inner_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rec.run != next_) {
+        pending_.emplace(rec.run, rec);
+        return;
+    }
+    inner_->strike(rec);
+    ++next_;
+    // Release the contiguous prefix that was waiting on this run.
+    auto it = pending_.begin();
+    while (it != pending_.end() && it->first == next_) {
+        inner_->strike(it->second);
+        ++next_;
+        it = pending_.erase(it);
+    }
+}
+
+void
+OrderedTraceSink::log(const std::string &level,
+                      const std::string &msg)
+{
+    if (inner_)
+        inner_->log(level, msg);
+}
+
+void
+OrderedTraceSink::flush()
+{
+    if (inner_)
+        inner_->flush();
+}
+
+void
+OrderedTraceSink::drain()
+{
+    if (!inner_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[run, rec] : pending_) {
+        inner_->strike(rec);
+        next_ = run + 1;
+    }
+    pending_.clear();
+}
+
+size_t
+OrderedTraceSink::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.size();
+}
+
 std::string
 strikeTraceJson(const StrikeTraceRecord &rec)
 {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -152,6 +153,46 @@ class JsonlTraceSink : public TraceSink
     std::string path_;
     std::mutex mutex_;
     std::ofstream out_;
+};
+
+/**
+ * Reordering decorator: buffers out-of-order strike records and
+ * forwards them to the wrapped sink sorted by run index, so a
+ * parallel campaign produces the exact same trace stream as a
+ * serial one regardless of worker completion order. Records must
+ * carry dense run indices starting at `first_run`; drain() (also
+ * called from the destructor) flushes any remainder in index order.
+ * Log lines pass straight through.
+ */
+class OrderedTraceSink : public TraceSink
+{
+  public:
+    /**
+     * @param inner Sink receiving the ordered stream (not owned;
+     * may be nullptr, which discards everything).
+     * @param first_run Index the ordered stream starts at.
+     */
+    explicit OrderedTraceSink(TraceSink *inner,
+                              uint64_t first_run = 0);
+
+    ~OrderedTraceSink() override;
+
+    void strike(const StrikeTraceRecord &rec) override;
+    void log(const std::string &level,
+             const std::string &msg) override;
+    void flush() override;
+
+    /** Forward everything still buffered, in run-index order. */
+    void drain();
+
+    /** @return records currently buffered (for tests). */
+    size_t pending() const;
+
+  private:
+    TraceSink *inner_;
+    mutable std::mutex mutex_;
+    uint64_t next_;
+    std::map<uint64_t, StrikeTraceRecord> pending_;
 };
 
 /** @return one strike record rendered as a single JSON line. */

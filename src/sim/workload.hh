@@ -28,11 +28,28 @@ class Rng;
 
 /**
  * One benchmark bound to one device configuration.
+ *
+ * Threading contract: inject() is deterministic (a pure function of
+ * the Strike) but may scribble on internal scratch buffers, so
+ * concurrent inject() calls on the *same* instance are not allowed.
+ * Parallel campaigns give every worker its own instance via
+ * clone(); clones share immutable golden data where that is cheap
+ * and are safe to use from different threads concurrently.
  */
 class Workload
 {
   public:
     virtual ~Workload() = default;
+
+    /**
+     * @return an independent copy of this workload bound to the
+     * same device and input: identical name/label/traits/golden
+     * output, with private scratch state so the copy can run
+     * inject() concurrently with the original. Large immutable
+     * buffers (golden outputs, replay checkpoints) are shared
+     * between clones.
+     */
+    virtual std::unique_ptr<Workload> clone() const = 0;
 
     /** @return workload name ("DGEMM", "LavaMD", ...). */
     virtual const std::string &name() const = 0;

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the parallel campaign engine: bit-identical results for
+ * any worker count, single-run replay through simulateRun, ordered
+ * trace emission, and stat-name sanitization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.hh"
+#include "campaign/runner.hh"
+#include "campaign/series.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+CampaignConfig
+config(uint64_t runs, unsigned jobs, uint64_t seed = 7)
+{
+    CampaignConfig cfg;
+    cfg.faultyRuns = runs;
+    cfg.seed = seed;
+    cfg.jobs = jobs;
+    return cfg;
+}
+
+/** One big string of every runRows() cell, for byte comparison. */
+std::string
+flattenRows(const CampaignResult &res)
+{
+    std::string out;
+    for (const auto &row : runRows(res)) {
+        for (const auto &cell : row) {
+            out += cell;
+            out += '\x1f';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+/**
+ * The deterministic subset of a campaign stats snapshot: everything
+ * except wall-clock quantities (".ns" counters and the phase-timer
+ * latency histograms, whose samples are timings).
+ */
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(),
+                  suffix) == 0;
+}
+
+std::vector<StatsSnapshot::Entry>
+deterministicStats(const StatsSnapshot &snap)
+{
+    std::vector<StatsSnapshot::Entry> out;
+    for (const auto &e : snap.entries) {
+        // PhaseTimer emits "<name>.ns" counters and "<name>.hist"
+        // latency histograms; both carry wall-clock samples.
+        bool timing = endsWith(e.name, ".ns") ||
+            endsWith(e.name, ".hist");
+        if (!timing)
+            out.push_back(e);
+    }
+    return out;
+}
+
+void
+expectSameStats(const StatsSnapshot &a, const StatsSnapshot &b)
+{
+    auto da = deterministicStats(a);
+    auto db = deterministicStats(b);
+    ASSERT_EQ(da.size(), db.size());
+    for (size_t i = 0; i < da.size(); ++i) {
+        SCOPED_TRACE(da[i].name);
+        EXPECT_EQ(da[i].name, db[i].name);
+        EXPECT_EQ(da[i].kind, db[i].kind);
+        EXPECT_EQ(da[i].value, db[i].value);
+        EXPECT_EQ(da[i].count, db[i].count);
+        EXPECT_EQ(da[i].sum, db[i].sum);
+        EXPECT_EQ(da[i].min, db[i].min);
+        EXPECT_EQ(da[i].max, db[i].max);
+        EXPECT_EQ(da[i].buckets, db[i].buckets);
+    }
+}
+
+TEST(EngineDeterminism, JobsCountDoesNotChangeResults)
+{
+    DeviceModel device = makeK40();
+    Dgemm serial(device, 64, 42);
+    CampaignResult base =
+        runCampaign(device, serial, config(60, 1));
+    std::string base_rows = flattenRows(base);
+
+    for (unsigned jobs : {2u, 8u}) {
+        Dgemm dgemm(device, 64, 42);
+        CampaignResult res =
+            runCampaign(device, dgemm, config(60, jobs));
+        ASSERT_EQ(res.runs.size(), base.runs.size());
+        for (size_t i = 0; i < res.runs.size(); ++i) {
+            EXPECT_EQ(res.runs[i].index, i);
+            EXPECT_EQ(res.runs[i].outcome, base.runs[i].outcome);
+        }
+        EXPECT_EQ(flattenRows(res), base_rows)
+            << "jobs=" << jobs;
+        expectSameStats(base.stats, res.stats);
+    }
+}
+
+TEST(EngineDeterminism, HotSpotCloneReplaysIdentically)
+{
+    DeviceModel device = makeK40();
+    HotSpot serial(device, 64, 96, 42);
+    CampaignResult base =
+        runCampaign(device, serial, config(40, 1, 11));
+    HotSpot parallel(device, 64, 96, 42);
+    CampaignResult res =
+        runCampaign(device, parallel, config(40, 4, 11));
+    EXPECT_EQ(flattenRows(res), flattenRows(base));
+}
+
+TEST(EngineReplay, SingleRunReproducesCampaignRecord)
+{
+    DeviceModel device = makeK40();
+    Dgemm dgemm(device, 64, 42);
+    CampaignConfig cfg = config(50, 1, 23);
+    CampaignResult res = runCampaign(device, dgemm, cfg);
+
+    KernelLaunch launch = buildLaunch(device, dgemm.traits());
+    StrikeSampler sampler(device, launch);
+    RelativeErrorFilter filter(cfg.filterThresholdPct);
+    for (uint64_t k : {0ull, 17ull, 49ull}) {
+        Rng rng = runRng(cfg, k);
+        RunRecord run = simulateRun(sampler, dgemm, filter, cfg,
+                                    k, rng);
+        EXPECT_EQ(run.index, k);
+        EXPECT_EQ(run.outcome, res.runs[k].outcome);
+        EXPECT_EQ(run.strike.resource,
+                  res.runs[k].strike.resource);
+        EXPECT_EQ(run.strike.manifestation,
+                  res.runs[k].strike.manifestation);
+        EXPECT_EQ(run.strike.timeFraction,
+                  res.runs[k].strike.timeFraction);
+        EXPECT_EQ(run.crit.numIncorrect,
+                  res.runs[k].crit.numIncorrect);
+        EXPECT_EQ(run.crit.meanRelErrPct,
+                  res.runs[k].crit.meanRelErrPct);
+    }
+}
+
+TEST(EngineRng, RunStreamsAreIndependentOfEachOther)
+{
+    CampaignConfig cfg = config(4, 1, 99);
+    Rng a = runRng(cfg, 0);
+    Rng a2 = runRng(cfg, 0);
+    EXPECT_EQ(a.next64(), a2.next64());
+    // Distinct runs draw from distinct streams.
+    Rng c = runRng(cfg, 0);
+    Rng d = runRng(cfg, 1);
+    bool differs = false;
+    for (int i = 0; i < 8; ++i)
+        differs |= c.next64() != d.next64();
+    EXPECT_TRUE(differs);
+}
+
+TEST(EngineTrace, ParallelTraceIsInRunOrder)
+{
+    MemoryTraceSink memory;
+    TraceSink *prev = setTraceSink(&memory);
+    DeviceModel device = makeK40();
+    Dgemm dgemm(device, 64, 42);
+    runCampaign(device, dgemm, config(40, 8));
+    setTraceSink(prev);
+
+    auto strikes = memory.strikes();
+    ASSERT_EQ(strikes.size(), 40u);
+    for (size_t i = 0; i < strikes.size(); ++i)
+        EXPECT_EQ(strikes[i].run, i);
+}
+
+TEST(OrderedSink, ReordersOutOfOrderRecords)
+{
+    MemoryTraceSink memory;
+    OrderedTraceSink ordered(&memory);
+    StrikeTraceRecord rec;
+    for (uint64_t run : {2ull, 0ull, 3ull, 1ull}) {
+        rec.run = run;
+        ordered.strike(rec);
+    }
+    EXPECT_EQ(ordered.pending(), 0u);
+    auto got = memory.strikes();
+    ASSERT_EQ(got.size(), 4u);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(got[i].run, i);
+}
+
+TEST(OrderedSink, DrainFlushesGaps)
+{
+    MemoryTraceSink memory;
+    {
+        OrderedTraceSink ordered(&memory);
+        StrikeTraceRecord rec;
+        rec.run = 5;
+        ordered.strike(rec);
+        rec.run = 3;
+        ordered.strike(rec);
+        EXPECT_EQ(ordered.pending(), 2u);
+        // Destructor drains the remainder in index order.
+    }
+    auto got = memory.strikes();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].run, 3u);
+    EXPECT_EQ(got[1].run, 5u);
+}
+
+TEST(StatToken, SanitizesNonAlphanumerics)
+{
+    EXPECT_EQ(statToken("K40"), "k40");
+    EXPECT_EQ(statToken("Xeon Phi"), "xeon_phi");
+    EXPECT_EQ(statToken("v1.2-rc/3"), "v1_2_rc_3");
+    EXPECT_EQ(statToken(""), "");
+}
+
+} // anonymous namespace
+} // namespace radcrit

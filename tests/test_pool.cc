@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the deterministic worker pool: static chunking math,
+ * job-count resolution (flag and environment), exactly-once
+ * execution, and exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "exec/pool.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(ChunkBounds, PartitionsExactlyOnce)
+{
+    for (uint64_t count : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull}) {
+        for (unsigned workers : {1u, 2u, 3u, 8u, 13u}) {
+            std::vector<int> hits(count, 0);
+            uint64_t expected_begin = 0;
+            for (unsigned w = 0; w < workers; ++w) {
+                auto [begin, end] =
+                    WorkerPool::chunkBounds(count, workers, w);
+                EXPECT_EQ(begin, expected_begin);
+                EXPECT_LE(begin, end);
+                expected_begin = end;
+                for (uint64_t i = begin; i < end; ++i)
+                    hits[i]++;
+            }
+            EXPECT_EQ(expected_begin, count);
+            for (uint64_t i = 0; i < count; ++i)
+                EXPECT_EQ(hits[i], 1) << "index " << i;
+        }
+    }
+}
+
+TEST(ChunkBounds, FirstChunksGetTheRemainder)
+{
+    // 10 items over 4 workers: 3, 3, 2, 2.
+    EXPECT_EQ(WorkerPool::chunkBounds(10, 4, 0),
+              (std::pair<uint64_t, uint64_t>{0, 3}));
+    EXPECT_EQ(WorkerPool::chunkBounds(10, 4, 1),
+              (std::pair<uint64_t, uint64_t>{3, 6}));
+    EXPECT_EQ(WorkerPool::chunkBounds(10, 4, 2),
+              (std::pair<uint64_t, uint64_t>{6, 8}));
+    EXPECT_EQ(WorkerPool::chunkBounds(10, 4, 3),
+              (std::pair<uint64_t, uint64_t>{8, 10}));
+}
+
+TEST(ChunkBounds, MoreWorkersThanItems)
+{
+    // Trailing workers get empty ranges.
+    auto [b2, e2] = WorkerPool::chunkBounds(2, 5, 2);
+    EXPECT_EQ(b2, e2);
+    auto [b0, e0] = WorkerPool::chunkBounds(2, 5, 0);
+    EXPECT_EQ(e0 - b0, 1u);
+}
+
+TEST(ResolveJobs, ZeroSelectsHardware)
+{
+    EXPECT_GE(WorkerPool::resolveJobs(0), 1u);
+    EXPECT_EQ(WorkerPool::resolveJobs(1), 1u);
+    EXPECT_EQ(WorkerPool::resolveJobs(7), 7u);
+}
+
+TEST(EnvJobs, ReadsEnvironmentWithFallback)
+{
+    unsetenv("RADCRIT_JOBS");
+    EXPECT_EQ(WorkerPool::envJobs(3), 3u);
+    setenv("RADCRIT_JOBS", "6", 1);
+    EXPECT_EQ(WorkerPool::envJobs(3), 6u);
+    // 0 means "all hardware threads" and resolves immediately.
+    setenv("RADCRIT_JOBS", "0", 1);
+    EXPECT_EQ(WorkerPool::envJobs(3), WorkerPool::resolveJobs(0));
+    setenv("RADCRIT_JOBS", "not-a-number", 1);
+    EXPECT_EQ(WorkerPool::envJobs(3), 3u);
+    unsetenv("RADCRIT_JOBS");
+}
+
+class PoolTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(PoolTest, EveryIndexRunsExactlyOnce)
+{
+    const uint64_t count = 1000;
+    WorkerPool pool(GetParam());
+    std::vector<std::atomic<int>> hits(count);
+    pool.forChunks(count, [&](unsigned, uint64_t begin,
+                              uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (uint64_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST_P(PoolTest, WorkerIndicesMatchChunkBounds)
+{
+    const uint64_t count = 37;
+    WorkerPool pool(GetParam());
+    auto workers = static_cast<unsigned>(
+        std::min<uint64_t>(pool.jobs(), count));
+    std::mutex mutex;
+    std::vector<std::pair<uint64_t, uint64_t>> seen(workers,
+                                                    {0, 0});
+    pool.forChunks(count, [&](unsigned worker, uint64_t begin,
+                              uint64_t end) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ASSERT_LT(worker, workers);
+        seen[worker] = {begin, end};
+    });
+    for (unsigned w = 0; w < workers; ++w)
+        EXPECT_EQ(seen[w],
+                  WorkerPool::chunkBounds(count, workers, w));
+}
+
+INSTANTIATE_TEST_SUITE_P(JobCounts, PoolTest,
+                         ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(Pool, ZeroCountRunsNothing)
+{
+    WorkerPool pool(4);
+    bool ran = false;
+    pool.forChunks(0,
+                   [&](unsigned, uint64_t, uint64_t)
+                   { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(Pool, MoreJobsThanItems)
+{
+    WorkerPool pool(16);
+    std::vector<std::atomic<int>> hits(3);
+    pool.forChunks(3, [&](unsigned, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i)
+            hits[i].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Pool, BodyExceptionPropagates)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        WorkerPool pool(jobs);
+        EXPECT_THROW(
+            pool.forChunks(8,
+                           [](unsigned, uint64_t begin, uint64_t) {
+                               if (begin == 0)
+                                   throw std::runtime_error("boom");
+                           }),
+            std::runtime_error);
+    }
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "campaign/runner.hh"
 #include "common/logging.hh"
 #include "kernels/dgemm.hh"
@@ -121,6 +123,23 @@ TEST_F(RunnerTest, SdcOverDetectablePositive)
 {
     CampaignResult res = runCampaign(device_, dgemm_, config(300));
     EXPECT_GT(res.sdcOverDetectable(), 0.5);
+}
+
+TEST(CampaignResultTest, SdcOverDetectableNanWithoutDetectable)
+{
+    // With no crash or hang the ratio has no denominator: it must
+    // come back NaN (rendered "n/a"), not the raw SDC count.
+    CampaignResult res;
+    RunRecord sdc;
+    sdc.outcome = Outcome::Sdc;
+    res.runs.push_back(sdc);
+    res.runs.push_back(RunRecord{}); // masked
+    EXPECT_TRUE(std::isnan(res.sdcOverDetectable()));
+
+    RunRecord crash;
+    crash.outcome = Outcome::Crash;
+    res.runs.push_back(crash);
+    EXPECT_DOUBLE_EQ(res.sdcOverDetectable(), 1.0);
 }
 
 TEST_F(RunnerTest, StatsCountersMatchOutcomeCounts)

@@ -8,9 +8,12 @@ Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
 current working directory and validates its shape:
 
-  * schema == 1 and bench matches the binary name
+  * schema == 2 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
+  * jobs (worker threads per campaign) is a positive integer
   * ns_per_op and runs_per_s are positive and mutually consistent
+    (runs_per_s is wall-clock throughput, so it reflects the
+    parallel speedup when jobs > 1)
   * stats is an object of instrument entries, each with a valid
     kind, and the campaign outcome counters sum to the run tally
 
@@ -65,12 +68,12 @@ def validate(path, bench_name):
         except json.JSONDecodeError as e:
             fail("%s is not valid JSON: %s" % (path, e))
 
-    expect(doc.get("schema") == 1,
-           "schema must be 1, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 2,
+           "schema must be 2, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
-    for key in ("campaigns", "runs", "wall_ns"):
+    for key in ("campaigns", "jobs", "runs", "wall_ns"):
         expect(isinstance(doc.get(key), int) and doc[key] > 0,
                "%s must be a positive integer, got %r"
                % (key, doc.get(key)))
@@ -103,8 +106,9 @@ def validate(path, bench_name):
            % (outcome_sum, doc["runs"]))
 
     print("check_bench_json: OK: %s (%d campaigns, %d runs, "
-          "%.0f ns/op)" % (path, doc["campaigns"], doc["runs"],
-                           doc["ns_per_op"]))
+          "%d jobs, %.0f ns/op, %.1f runs/s)"
+          % (path, doc["campaigns"], doc["runs"], doc["jobs"],
+             doc["ns_per_op"], doc["runs_per_s"]))
 
 
 def main(argv):

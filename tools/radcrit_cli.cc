@@ -11,6 +11,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "common/logging.hh"
 #include "common/figure.hh"
 #include "common/table.hh"
+#include "exec/pool.hh"
 #include "logs/beamlog.hh"
 #include "obs/trace.hh"
 
@@ -70,6 +72,11 @@ main(int argc, char **argv)
     cli.addInt("seed", 0, "campaign seed (0 = derived)");
     cli.addDouble("threshold", 2.0,
                   "relative-error tolerance in percent");
+    cli.addInt("jobs",
+               static_cast<int64_t>(WorkerPool::envJobs(1)),
+               "worker threads (1 = serial, 0 = one per hardware "
+               "thread; results are identical for every value; "
+               "default from RADCRIT_JOBS)");
     cli.addString("log", "", "write the beam log here");
     cli.addString("csv", "", "write per-run metrics CSV here");
     cli.addString("trace", "",
@@ -98,6 +105,9 @@ main(int argc, char **argv)
     if (cli.getInt("seed") != 0)
         cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
     cfg.filterThresholdPct = cli.getDouble("threshold");
+    if (cli.getInt("jobs") < 0)
+        fatal("--jobs must be >= 0");
+    cfg.jobs = static_cast<unsigned>(cli.getInt("jobs"));
     if (cli.getFlag("progress")) {
         cfg.progressEvery =
             std::max<uint64_t>(cfg.faultyRuns / 10, 1);
@@ -144,8 +154,11 @@ main(int argc, char **argv)
         res.count(Outcome::Hang))});
     table.addRow({"masked", TextTable::num(
         res.count(Outcome::Masked))});
+    double sdc_ratio = res.sdcOverDetectable();
     table.addRow({"SDC:(crash+hang)",
-                  TextTable::num(res.sdcOverDetectable(), 2)});
+                  std::isnan(sdc_ratio)
+                      ? "n/a"
+                      : TextTable::num(sdc_ratio, 2)});
     table.addRow({"FIT all [a.u.]",
                   TextTable::num(res.fitTotalAu(false), 2)});
     table.addRow({"FIT >" +

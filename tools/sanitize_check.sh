@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tree under a sanitizer and run the concurrency-labelled
+# tests (worker pool + parallel campaign engine determinism).
+#
+# Usage: tools/sanitize_check.sh [thread|address] [build-dir]
+#
+# Defaults to ThreadSanitizer in build-tsan/. Pass "address" to vet
+# the same tests under AddressSanitizer instead.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+case "$SANITIZER" in
+    thread) DEFAULT_DIR=build-tsan ;;
+    address) DEFAULT_DIR=build-asan ;;
+    *)
+        echo "sanitize_check: unknown sanitizer '$SANITIZER'" \
+             "(thread or address)" >&2
+        exit 2
+        ;;
+esac
+BUILD_DIR="${2:-$DEFAULT_DIR}"
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" \
+      -DRADCRIT_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+      --target test_pool test_engine
+ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure
