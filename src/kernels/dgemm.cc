@@ -327,11 +327,15 @@ Dgemm::injectStaleData(const Strike &strike, Rng &rng,
     // Several scattered chunks consume a stale B panel (the panel
     // from the previous k-step) for one rank-kb update.
     (void)strike;
-    constexpr int64_t kb = 64;
+    // The stale panel is the one from the previous k-step, so k0
+    // must start at the second panel; shrink the panel width for
+    // matrices smaller than two default panels.
+    const int64_t kb = std::min<int64_t>(64, n_ / 2);
+    if (kb == 0)
+        return;
     int64_t chunks = rng.uniformRange(2, 6);
-    int64_t k0 = rng.uniformRange(1, std::max<int64_t>(
-        1, n_ / kb - 1)) * kb;
-    if (k0 >= n_)
+    int64_t k0 = rng.uniformRange(1, n_ / kb - 1) * kb;
+    if (k0 + kb > n_)
         k0 = n_ - kb;
     std::vector<std::pair<int64_t, int64_t>> chosen;
     for (int64_t c = 0; c < chunks; ++c) {

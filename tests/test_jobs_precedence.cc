@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Worker-count configuration precedence: an explicit --jobs flag
+ * beats the RADCRIT_JOBS environment variable, which beats the
+ * CampaignConfig default of 1 (serial); 0 resolves to one worker
+ * per hardware thread at every layer. Also pins the property the
+ * whole test suite leans on: a campaign — and therefore every
+ * check:: verdict computed from it — is bit-identical at jobs=1,
+ * 2, and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "campaign/series.hh"
+#include "check/statcheck.hh"
+#include "common/cli.hh"
+#include "exec/pool.hh"
+#include "kernels/dgemm.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+class JobsEnvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *raw = getenv("RADCRIT_JOBS");
+        saved_ = {raw ? raw : "", raw != nullptr};
+    }
+
+    void
+    TearDown() override
+    {
+        if (saved_.second)
+            setenv("RADCRIT_JOBS", saved_.first.c_str(), 1);
+        else
+            unsetenv("RADCRIT_JOBS");
+    }
+
+  private:
+    std::pair<std::string, bool> saved_;
+};
+
+TEST_F(JobsEnvTest, EnvUnsetFallsBackToDefault)
+{
+    unsetenv("RADCRIT_JOBS");
+    EXPECT_EQ(WorkerPool::envJobs(1), 1u);
+    EXPECT_EQ(WorkerPool::envJobs(3), 3u);
+}
+
+TEST_F(JobsEnvTest, EnvValueOverridesDefault)
+{
+    setenv("RADCRIT_JOBS", "5", 1);
+    EXPECT_EQ(WorkerPool::envJobs(1), 5u);
+}
+
+TEST_F(JobsEnvTest, EnvZeroMeansAllHardwareThreads)
+{
+    setenv("RADCRIT_JOBS", "0", 1);
+    EXPECT_EQ(WorkerPool::envJobs(1),
+              WorkerPool::resolveJobs(0));
+}
+
+TEST_F(JobsEnvTest, EnvGarbageFallsBackToDefault)
+{
+    setenv("RADCRIT_JOBS", "not-a-count", 1);
+    EXPECT_EQ(WorkerPool::envJobs(2), 2u);
+}
+
+TEST_F(JobsEnvTest, CliFlagBeatsEnv)
+{
+    // The CLI default is envJobs(1), exactly as radcrit_cli and
+    // the bench harnesses set it up: an explicit --jobs wins, and
+    // without the flag the environment decides.
+    setenv("RADCRIT_JOBS", "2", 1);
+    {
+        CliParser cli("test");
+        cli.addInt("jobs",
+                   static_cast<int64_t>(WorkerPool::envJobs(1)),
+                   "workers");
+        const char *argv[] = {"test", "--jobs", "4"};
+        cli.parse(3, argv);
+        EXPECT_EQ(cli.getInt("jobs"), 4);
+    }
+    {
+        CliParser cli("test");
+        cli.addInt("jobs",
+                   static_cast<int64_t>(WorkerPool::envJobs(1)),
+                   "workers");
+        const char *argv[] = {"test"};
+        cli.parse(1, argv);
+        EXPECT_EQ(cli.getInt("jobs"), 2);
+    }
+}
+
+TEST(JobsResolution, ZeroResolvesToHardwareThreads)
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned resolved = WorkerPool::resolveJobs(0);
+    EXPECT_GE(resolved, 1u);
+    if (hw != 0)
+        EXPECT_EQ(resolved, hw);
+    EXPECT_EQ(WorkerPool::resolveJobs(7), 7u);
+    EXPECT_EQ(WorkerPool(0).jobs(), resolved);
+}
+
+TEST(JobsResolution, CampaignConfigDefaultIsSerial)
+{
+    EXPECT_EQ(CampaignConfig{}.jobs, 1u);
+}
+
+TEST(JobsDeterminism, VerdictsIdenticalAtAnyWorkerCount)
+{
+    // One small campaign per worker count; rows and statistical
+    // verdicts must agree bit-for-bit (this is what lets ctest run
+    // the migrated check:: assertions under any -j).
+    std::map<unsigned, CampaignResult> results;
+    for (unsigned jobs : {1u, 2u, 8u}) {
+        DeviceModel device = makeDevice(DeviceId::K40);
+        Dgemm workload(device, 64, 42);
+        CampaignConfig cfg = defaultCampaign(
+            150, device.name, workload.name(),
+            workload.inputLabel());
+        cfg.jobs = jobs;
+        results.emplace(jobs,
+                        runCampaign(device, workload, cfg));
+    }
+
+    const CampaignResult &serial = results.at(1);
+    auto serial_rows = runRows(serial);
+    std::vector<std::string> verdicts;
+    for (const auto &[jobs, res] : results) {
+        EXPECT_EQ(runRows(res), serial_rows)
+            << "per-run rows differ at jobs=" << jobs;
+        check::CheckResult sdc = check::proportionAtLeast(
+            "sdc_share", res.count(Outcome::Sdc),
+            res.runs.size(), 0.1, 0.01);
+        check::CheckResult ratio = check::ratioAtLeast(
+            "sdc_over_detectable", res.count(Outcome::Sdc),
+            res.count(Outcome::Crash) +
+                res.count(Outcome::Hang),
+            1.0, 0.05);
+        verdicts.push_back(sdc.message + "\n" + ratio.message);
+    }
+    EXPECT_EQ(verdicts[0], verdicts[1]);
+    EXPECT_EQ(verdicts[0], verdicts[2]);
+}
+
+} // anonymous namespace
+} // namespace radcrit

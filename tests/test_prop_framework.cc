@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Self-tests of the property-based testing mini-framework:
+ * generator ranges, shrinking quality, seed replay, and the
+ * environment-variable configuration surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "check/prop.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+using check::Gen;
+using check::PropConfig;
+using check::PropResult;
+
+/** Fixed config so these tests never depend on the environment. */
+PropConfig
+fixedConfig(uint64_t seed = 1, uint64_t cases = 200)
+{
+    PropConfig cfg;
+    cfg.seed = seed;
+    cfg.cases = cases;
+    return cfg;
+}
+
+TEST(PropFramework, PassingPropertyRunsAllCases)
+{
+    PropResult r = check::forAll<int64_t>(
+        "int in range", check::gen::intRange(-5, 9),
+        std::function<bool(const int64_t &)>(
+            [](const int64_t &v) { return v >= -5 && v <= 9; }),
+        fixedConfig());
+    EXPECT_TRUE(r.ok) << r.message;
+    EXPECT_EQ(r.casesRun, 200u);
+    EXPECT_TRUE(r.message.empty());
+}
+
+TEST(PropFramework, FailureReportsReplaySeed)
+{
+    PropResult r = check::forAll<int64_t>(
+        "never 7 or more", check::gen::intRange(0, 1000),
+        std::function<bool(const int64_t &)>(
+            [](const int64_t &v) { return v < 7; }),
+        fixedConfig());
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("RADCRIT_PROPTEST_SEED="),
+              std::string::npos)
+        << r.message;
+    EXPECT_NE(r.message.find("falsified"), std::string::npos);
+}
+
+TEST(PropFramework, ShrinkingFindsMinimalCounterexample)
+{
+    // The minimal violating value of "v < 7" over [0, 1000] is
+    // exactly 7; greedy shrinking must land on it.
+    PropResult r = check::forAll<int64_t>(
+        "never 7 or more", check::gen::intRange(0, 1000),
+        std::function<bool(const int64_t &)>(
+            [](const int64_t &v) { return v < 7; }),
+        fixedConfig());
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("counterexample"),
+              std::string::npos);
+    EXPECT_NE(r.message.find(": 7\n"), std::string::npos)
+        << r.message;
+}
+
+TEST(PropFramework, ReplayReproducesTheExactCase)
+{
+    PropResult first = check::forAll<int64_t>(
+        "no large values", check::gen::intRange(0, 100000),
+        std::function<bool(const int64_t &)>(
+            [](const int64_t &v) { return v < 90000; }),
+        fixedConfig(42, 500));
+    ASSERT_FALSE(first.ok);
+
+    // Extract the advertised seed and replay only that case.
+    std::string key = "RADCRIT_PROPTEST_SEED=";
+    size_t pos = first.message.find(key);
+    ASSERT_NE(pos, std::string::npos);
+    uint64_t seed = std::strtoull(
+        first.message.c_str() + pos + key.size(), nullptr, 10);
+
+    PropConfig replay;
+    replay.replay = true;
+    replay.replaySeed = seed;
+    PropResult again = check::forAll<int64_t>(
+        "no large values", check::gen::intRange(0, 100000),
+        std::function<bool(const int64_t &)>(
+            [](const int64_t &v) { return v < 90000; }),
+        replay);
+    ASSERT_FALSE(again.ok);
+    EXPECT_EQ(again.casesRun, 1u);
+    // Same counterexample line, independent of which case index
+    // originally found it.
+    auto line_of = [](const std::string &msg) {
+        size_t a = msg.find("counterexample");
+        size_t b = msg.find('\n', a);
+        return msg.substr(a, b - a);
+    };
+    EXPECT_EQ(line_of(first.message), line_of(again.message));
+}
+
+TEST(PropFramework, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        return check::forAll<int64_t>(
+            "flaky?", check::gen::intRange(0, 1 << 20),
+            std::function<bool(const int64_t &)>(
+                [](const int64_t &v) { return v % 997 != 3; }),
+            fixedConfig(7, 300));
+    };
+    PropResult a = run();
+    PropResult b = run();
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.casesRun, b.casesRun);
+    EXPECT_EQ(a.message, b.message);
+}
+
+TEST(PropFramework, RealGeneratorStaysInRange)
+{
+    PropResult r = check::forAll<double>(
+        "real range", check::gen::real(-2.5, 4.0),
+        std::function<bool(const double &)>(
+            [](const double &v) { return v >= -2.5 && v < 4.0; }),
+        fixedConfig());
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropFramework, ElementOfPicksOnlyMembers)
+{
+    std::vector<std::string> pool{"K40", "XeonPhi"};
+    PropResult r = check::forAll<std::string>(
+        "member", check::gen::elementOf(pool),
+        std::function<bool(const std::string &)>(
+            [&pool](const std::string &v) {
+                return v == pool[0] || v == pool[1];
+            }),
+        fixedConfig());
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropFramework, VectorOfRespectsLengthBounds)
+{
+    auto g = check::gen::vectorOf(check::gen::intRange(0, 9), 2,
+                                  6);
+    PropResult r = check::forAll<std::vector<int64_t>>(
+        "vector bounds", g,
+        std::function<bool(const std::vector<int64_t> &)>(
+            [](const std::vector<int64_t> &v) {
+                if (v.size() < 2 || v.size() > 6)
+                    return false;
+                for (int64_t x : v) {
+                    if (x < 0 || x > 9)
+                        return false;
+                }
+                return true;
+            }),
+        fixedConfig());
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropFramework, VectorShrinkRemovesIrrelevantElements)
+{
+    // Failing whenever the vector contains a 5: the shrunk
+    // counterexample should be a minimal-length vector.
+    auto g = check::gen::vectorOf(check::gen::intRange(0, 9), 1,
+                                  12);
+    PropResult r = check::forAll<std::vector<int64_t>>(
+        "no fives", g,
+        std::function<bool(const std::vector<int64_t> &)>(
+            [](const std::vector<int64_t> &v) {
+                for (int64_t x : v) {
+                    if (x == 5)
+                        return false;
+                }
+                return true;
+            }),
+        fixedConfig());
+    ASSERT_FALSE(r.ok);
+    EXPECT_NE(r.message.find("[5]"), std::string::npos)
+        << r.message;
+}
+
+TEST(PropFramework, PairShrinksComponentWise)
+{
+    auto g = check::gen::pairOf(check::gen::intRange(0, 100),
+                                check::gen::intRange(0, 100));
+    PropResult r = check::forAll<std::pair<int64_t, int64_t>>(
+        "sum below 50", g,
+        std::function<bool(const std::pair<int64_t, int64_t> &)>(
+            [](const std::pair<int64_t, int64_t> &p) {
+                return p.first + p.second < 50;
+            }),
+        fixedConfig());
+    ASSERT_FALSE(r.ok);
+    // The greedy descent must reach a boundary pair summing to
+    // exactly 50.
+    size_t pos = r.message.find("steps): ");
+    ASSERT_NE(pos, std::string::npos);
+    long a = 0, b = 0;
+    ASSERT_EQ(std::sscanf(r.message.c_str() + pos + 8,
+                          "(%ld, %ld)", &a, &b),
+              2)
+        << r.message;
+    EXPECT_EQ(a + b, 50) << r.message;
+}
+
+TEST(PropFramework, GridRecordHonorsGeometry)
+{
+    auto g = check::gen::gridRecord(3, 8, 20);
+    PropResult r = check::forAll<SdcRecord>(
+        "grid geometry", g,
+        std::function<bool(const SdcRecord &)>(
+            [](const SdcRecord &rec) {
+                if (rec.dims != 3)
+                    return false;
+                for (int a = 0; a < 3; ++a) {
+                    if (rec.extent[a] < 1 || rec.extent[a] > 8)
+                        return false;
+                }
+                for (const auto &e : rec.elements) {
+                    for (int a = 0; a < 3; ++a) {
+                        if (e.coord[a] < 0 ||
+                            e.coord[a] >= rec.extent[a])
+                            return false;
+                    }
+                    if (e.read == e.expected)
+                        return false;
+                }
+                return true;
+            }),
+        fixedConfig());
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(PropFramework, PredicateRngIsStableUnderShrinking)
+{
+    // A property using auxiliary randomness must see the same
+    // stream for the original value and every shrink candidate, so
+    // the minimized counterexample still fails on replay.
+    auto g = check::gen::intRange(0, 1000);
+    auto prop = std::function<bool(const int64_t &, Rng &)>(
+        [](const int64_t &v, Rng &rng) {
+            uint64_t salt = rng.next64() % 100;
+            return static_cast<uint64_t>(v) + salt < 150;
+        });
+    PropResult a =
+        check::forAll<int64_t>("salted", g, prop, fixedConfig());
+    PropResult b =
+        check::forAll<int64_t>("salted", g, prop, fixedConfig());
+    ASSERT_FALSE(a.ok);
+    EXPECT_EQ(a.message, b.message);
+}
+
+class PropEnvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saveEnv("RADCRIT_PROPTEST_SEED");
+        saveEnv("RADCRIT_PROPTEST_CASES");
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &[name, value] : saved_) {
+            if (value.second)
+                setenv(name.c_str(), value.first.c_str(), 1);
+            else
+                unsetenv(name.c_str());
+        }
+    }
+
+  private:
+    void
+    saveEnv(const std::string &name)
+    {
+        const char *raw = getenv(name.c_str());
+        saved_[name] = {raw ? raw : "", raw != nullptr};
+    }
+
+    std::map<std::string, std::pair<std::string, bool>> saved_;
+};
+
+TEST_F(PropEnvTest, SeedEnvSwitchesToReplayMode)
+{
+    setenv("RADCRIT_PROPTEST_SEED", "987654321", 1);
+    PropConfig cfg = check::defaultPropConfig();
+    EXPECT_TRUE(cfg.replay);
+    EXPECT_EQ(cfg.replaySeed, 987654321u);
+}
+
+TEST_F(PropEnvTest, CasesEnvOverridesCaseCount)
+{
+    unsetenv("RADCRIT_PROPTEST_SEED");
+    setenv("RADCRIT_PROPTEST_CASES", "17", 1);
+    PropConfig cfg = check::defaultPropConfig();
+    EXPECT_FALSE(cfg.replay);
+    EXPECT_EQ(cfg.cases, 17u);
+}
+
+TEST_F(PropEnvTest, DefaultsWithoutEnv)
+{
+    unsetenv("RADCRIT_PROPTEST_SEED");
+    unsetenv("RADCRIT_PROPTEST_CASES");
+    PropConfig cfg = check::defaultPropConfig();
+    EXPECT_FALSE(cfg.replay);
+    EXPECT_EQ(cfg.cases, 100u);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Property-based tests of the four kernel injectors. A Strike
+ * generator draws from each device's valid (resource,
+ * manifestation) pairs; the properties assert the contract the
+ * campaign layer depends on:
+ *
+ *  - inject-then-restore: injecting arbitrary strikes leaves no
+ *    residue, so a fixed reference strike keeps producing its
+ *    original record (the scratch output is restored to golden
+ *    between runs);
+ *  - clone independence: a clone answers every strike identically
+ *    to its original, even when their call sequences interleave;
+ *  - geometry invariants: records match emptyRecord() geometry,
+ *    coordinates stay in bounds, and logged reads genuinely
+ *    mismatch.
+ *
+ * A falsified property prints a RADCRIT_PROPTEST_SEED for replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <ostream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "campaign/paperconfigs.hh"
+#include "check/prop.hh"
+#include "common/rng.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+
+namespace radcrit
+{
+
+// Streamed by the framework when a strike falsifies a property.
+static std::ostream &
+operator<<(std::ostream &os, const Strike &s)
+{
+    return os << "Strike{" << resourceKindName(s.resource) << ", "
+              << manifestationName(s.manifestation)
+              << ", t=" << s.timeFraction
+              << ", burst=" << s.burstBits
+              << ", entropy=" << s.entropy << "}";
+}
+
+namespace
+{
+
+enum class Wl { Dgemm, LavaMd, HotSpot, Clamr };
+
+std::unique_ptr<Workload>
+makeSmall(Wl wl, const DeviceModel &device)
+{
+    switch (wl) {
+      case Wl::Dgemm:
+        return std::make_unique<Dgemm>(device, 64, 42);
+      case Wl::LavaMd:
+        return std::make_unique<LavaMd>(device, 5, 42, 2, 4, 11);
+      case Wl::HotSpot:
+        return std::make_unique<HotSpot>(device, 64, 64, 42);
+      case Wl::Clamr:
+        return std::make_unique<Clamr>(device, 64, 64, 42);
+    }
+    return nullptr;
+}
+
+/**
+ * Generator of strikes valid on `device`: every (resource,
+ * manifestation) pair the device model declares, any time fraction,
+ * bursts of 1-4 bits, arbitrary entropy. Shrinks toward the
+ * simplest strike (first pair, t=0, single bit, entropy 0).
+ */
+check::Gen<Strike>
+strikeGen(const DeviceModel &device)
+{
+    using PoolEntry = std::pair<ResourceKind, Manifestation>;
+    auto pool = std::make_shared<std::vector<PoolEntry>>();
+    for (const auto &res : device.resources) {
+        for (const auto &mw : res.manifestations)
+            pool->emplace_back(res.kind, mw.manifestation);
+    }
+    check::Gen<Strike> g;
+    g.sample = [pool](Rng &rng) {
+        const PoolEntry &pick =
+            (*pool)[rng.uniformInt(pool->size())];
+        Strike s;
+        s.resource = pick.first;
+        s.manifestation = pick.second;
+        s.timeFraction = rng.uniform();
+        s.burstBits =
+            1 + static_cast<uint32_t>(rng.uniformInt(4));
+        s.entropy = rng.next64();
+        return s;
+    };
+    g.shrink = [pool](const Strike &s) {
+        std::vector<Strike> out;
+        if (s.entropy != 0) {
+            Strike c = s;
+            c.entropy = 0;
+            out.push_back(c);
+        }
+        if (s.burstBits > 1) {
+            Strike c = s;
+            c.burstBits = 1;
+            out.push_back(c);
+        }
+        if (s.timeFraction != 0.0) {
+            Strike c = s;
+            c.timeFraction = 0.0;
+            out.push_back(c);
+        }
+        const PoolEntry &front = pool->front();
+        if (s.resource != front.first ||
+            s.manifestation != front.second) {
+            Strike c = s;
+            c.resource = front.first;
+            c.manifestation = front.second;
+            out.push_back(c);
+        }
+        return out;
+    };
+    return g;
+}
+
+/** Bit-level record equality, tolerating NaN reads. */
+bool
+sameRecord(const SdcRecord &a, const SdcRecord &b)
+{
+    if (a.dims != b.dims || a.extent != b.extent ||
+        a.elements.size() != b.elements.size())
+        return false;
+    for (size_t i = 0; i < a.elements.size(); ++i) {
+        const auto &ea = a.elements[i];
+        const auto &eb = b.elements[i];
+        if (ea.coord != eb.coord)
+            return false;
+        bool read_equal = ea.read == eb.read ||
+            (std::isnan(ea.read) && std::isnan(eb.read));
+        bool expected_equal = ea.expected == eb.expected ||
+            (std::isnan(ea.expected) && std::isnan(eb.expected));
+        if (!read_equal || !expected_equal)
+            return false;
+    }
+    return true;
+}
+
+using Param = std::tuple<DeviceId, Wl>;
+
+class KernelPropTest : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [device_id, wl] = GetParam();
+        device_ = makeDevice(device_id);
+        workload_ = makeSmall(wl, device_);
+    }
+
+    DeviceModel device_;
+    std::unique_ptr<Workload> workload_;
+};
+
+TEST_P(KernelPropTest, InjectLeavesNoResidue)
+{
+    // The reference strike's record must stay bit-identical no
+    // matter which strikes were injected in between: inject() must
+    // restore its scratch output to golden after every run.
+    Strike ref;
+    ref.resource = device_.resources.front().kind;
+    ref.manifestation = device_.resources.front()
+                            .manifestations.front()
+                            .manifestation;
+    ref.timeFraction = 0.25;
+    ref.burstBits = 2;
+    ref.entropy = 7;
+    Rng rng(1);
+    SdcRecord baseline = workload_->inject(ref, rng);
+
+    check::PropResult r = check::forAll<Strike>(
+        "inject leaves no residue", strikeGen(device_),
+        std::function<bool(const Strike &)>(
+            [&](const Strike &s) {
+                Rng a(2), b(3);
+                workload_->inject(s, a);
+                SdcRecord again = workload_->inject(ref, b);
+                return sameRecord(baseline, again);
+            }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST_P(KernelPropTest, CloneAnswersIdentically)
+{
+    std::unique_ptr<Workload> copy = workload_->clone();
+    Rng scramble(17);
+    check::Gen<Strike> gen = strikeGen(device_);
+
+    check::PropResult r = check::forAll<Strike>(
+        "clone independence", gen,
+        std::function<bool(const Strike &, Rng &)>(
+            [&](const Strike &s, Rng &aux) {
+                // Interleave an unrelated strike on the clone
+                // before querying both: shared state would leak.
+                Strike noise = gen.sample(aux);
+                Rng a(4), b(5), c(6);
+                copy->inject(noise, a);
+                SdcRecord from_orig = workload_->inject(s, b);
+                SdcRecord from_copy = copy->inject(s, c);
+                return sameRecord(from_orig, from_copy);
+            }));
+    EXPECT_TRUE(r.ok) << r.message;
+    (void)scramble;
+}
+
+TEST_P(KernelPropTest, RecordsHonorGeometry)
+{
+    SdcRecord shape = workload_->emptyRecord();
+    check::PropResult r = check::forAll<Strike>(
+        "record geometry", strikeGen(device_),
+        std::function<bool(const Strike &)>(
+            [&](const Strike &s) {
+                Rng a(8);
+                SdcRecord rec = workload_->inject(s, a);
+                if (rec.dims != shape.dims ||
+                    rec.extent != shape.extent)
+                    return false;
+                for (const auto &e : rec.elements) {
+                    for (int axis = 0; axis < 3; ++axis) {
+                        if (e.coord[axis] < 0 ||
+                            e.coord[axis] >= rec.extent[axis])
+                            return false;
+                    }
+                    if (e.read == e.expected &&
+                        !std::isnan(e.read))
+                        return false;
+                }
+                return true;
+            }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    auto [device_id, wl] = info.param;
+    std::string name = deviceIdName(device_id);
+    switch (wl) {
+      case Wl::Dgemm: name += "_DGEMM"; break;
+      case Wl::LavaMd: name += "_LavaMD"; break;
+      case Wl::HotSpot: name += "_HotSpot"; break;
+      case Wl::Clamr: name += "_CLAMR"; break;
+    }
+    return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelPropTest,
+    ::testing::Combine(
+        ::testing::Values(DeviceId::K40, DeviceId::XeonPhi),
+        ::testing::Values(Wl::Dgemm, Wl::LavaMd, Wl::HotSpot,
+                          Wl::Clamr)),
+    paramName);
+
+} // anonymous namespace
+} // namespace radcrit

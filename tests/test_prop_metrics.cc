@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Metamorphic properties of the metrics layer, checked over
+ * generated corrupted-output records:
+ *
+ *  - the relative-error filter is monotone in its threshold: a
+ *    stricter (higher) threshold keeps a subset of what a looser
+ *    one keeps, and never un-removes an execution;
+ *  - filtering at threshold zero only drops exact-zero relative
+ *    errors, and a filtered record re-filtered at the same
+ *    threshold is a fixed point;
+ *  - locality classification is invariant under permuting the
+ *    coordinate axes (it only looks at positions and bounding
+ *    boxes, never at which axis is which).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "check/prop.hh"
+#include "metrics/filter.hh"
+#include "metrics/locality.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+/** Apply an axis permutation to extents and coordinates. */
+SdcRecord
+permuteAxes(const SdcRecord &record,
+            const std::array<int, 3> &perm)
+{
+    SdcRecord out;
+    out.dims = record.dims;
+    for (int a = 0; a < 3; ++a)
+        out.extent[a] = record.extent[perm[a]];
+    out.elements = record.elements;
+    for (auto &e : out.elements) {
+        std::array<int64_t, 3> c = e.coord;
+        for (int a = 0; a < 3; ++a)
+            e.coord[a] = c[perm[a]];
+    }
+    return out;
+}
+
+TEST(FilterProps, StricterThresholdKeepsSubset)
+{
+    auto g = check::gen::pairOf(
+        check::gen::gridRecord(2, 16, 24),
+        check::gen::pairOf(check::gen::real(0.0, 10.0),
+                           check::gen::real(0.0, 10.0)));
+    check::PropResult r = check::forAll<
+        std::pair<SdcRecord, std::pair<double, double>>>(
+        "filter monotone in threshold", g,
+        std::function<bool(
+            const std::pair<SdcRecord,
+                            std::pair<double, double>> &)>(
+            [](const std::pair<SdcRecord,
+                               std::pair<double, double>> &input) {
+                const SdcRecord &rec = input.first;
+                double lo =
+                    std::min(input.second.first,
+                             input.second.second);
+                double hi =
+                    std::max(input.second.first,
+                             input.second.second);
+                SdcRecord loose =
+                    RelativeErrorFilter(lo).apply(rec);
+                SdcRecord strict =
+                    RelativeErrorFilter(hi).apply(rec);
+                if (strict.numIncorrect() > loose.numIncorrect())
+                    return false;
+                // Every survivor of the strict filter must also
+                // survive the loose one (same order, subset).
+                size_t j = 0;
+                for (const auto &e : strict.elements) {
+                    while (j < loose.elements.size() &&
+                           loose.elements[j].coord != e.coord)
+                        ++j;
+                    if (j == loose.elements.size())
+                        return false;
+                    ++j;
+                }
+                // removesExecution is monotone too.
+                if (RelativeErrorFilter(lo).removesExecution(
+                        rec) &&
+                    !RelativeErrorFilter(hi).removesExecution(rec))
+                    return false;
+                return true;
+            }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(FilterProps, FilteringIsIdempotent)
+{
+    auto g = check::gen::pairOf(
+        check::gen::gridRecord(2, 16, 24),
+        check::gen::real(0.0, 10.0));
+    check::PropResult r =
+        check::forAll<std::pair<SdcRecord, double>>(
+            "filter idempotent", g,
+            std::function<bool(
+                const std::pair<SdcRecord, double> &)>(
+                [](const std::pair<SdcRecord, double> &input) {
+                    RelativeErrorFilter f(input.second);
+                    SdcRecord once = f.apply(input.first);
+                    SdcRecord twice = f.apply(once);
+                    return twice.numIncorrect() ==
+                        once.numIncorrect();
+                }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(LocalityProps, ClassInvariantUnderAxisPermutation)
+{
+    const std::array<std::array<int, 3>, 6> perms{{
+        {0, 1, 2},
+        {0, 2, 1},
+        {1, 0, 2},
+        {1, 2, 0},
+        {2, 0, 1},
+        {2, 1, 0},
+    }};
+    auto g = check::gen::gridRecord(3, 10, 16);
+    check::PropResult r = check::forAll<SdcRecord>(
+        "locality axis-permutation invariance", g,
+        std::function<bool(const SdcRecord &)>(
+            [&perms](const SdcRecord &rec) {
+                Pattern base = classifyLocality(rec);
+                size_t unique = uniquePositions(rec);
+                for (const auto &perm : perms) {
+                    SdcRecord p = permuteAxes(rec, perm);
+                    if (classifyLocality(p) != base)
+                        return false;
+                    if (uniquePositions(p) != unique)
+                        return false;
+                }
+                return true;
+            }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(LocalityProps, FilteredRecordNeverUpgradesBeyondUnfiltered)
+{
+    // Filtering only removes elements, so the unique-position
+    // count can only shrink and an empty result must classify as
+    // None.
+    auto g = check::gen::pairOf(
+        check::gen::gridRecord(2, 16, 24),
+        check::gen::real(0.0, 10.0));
+    check::PropResult r =
+        check::forAll<std::pair<SdcRecord, double>>(
+            "filtered locality sane", g,
+            std::function<bool(
+                const std::pair<SdcRecord, double> &)>(
+                [](const std::pair<SdcRecord, double> &input) {
+                    RelativeErrorFilter f(input.second);
+                    SdcRecord filtered = f.apply(input.first);
+                    if (uniquePositions(filtered) >
+                        uniquePositions(input.first))
+                        return false;
+                    if (filtered.empty() &&
+                        classifyLocality(filtered) !=
+                            Pattern::None)
+                        return false;
+                    return true;
+                }));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "campaign/runner.hh"
+#include "check/statcheck.hh"
 #include "common/logging.hh"
 #include "kernels/dgemm.hh"
 
@@ -122,7 +123,11 @@ TEST_F(RunnerTest, BreakdownTotalsMatch)
 TEST_F(RunnerTest, SdcOverDetectablePositive)
 {
     CampaignResult res = runCampaign(device_, dgemm_, config(300));
-    EXPECT_GT(res.sdcOverDetectable(), 0.5);
+    check::CheckResult c = check::ratioAtLeast(
+        "dgemm_sdc_to_detectable", res.count(Outcome::Sdc),
+        res.count(Outcome::Crash) + res.count(Outcome::Hang),
+        0.5, 0.05);
+    EXPECT_TRUE(c) << c.message;
 }
 
 TEST(CampaignResultTest, SdcOverDetectableNanWithoutDetectable)

@@ -7,6 +7,7 @@
 
 #include "campaign/paperconfigs.hh"
 #include "campaign/series.hh"
+#include "check/statcheck.hh"
 #include "kernels/dgemm.hh"
 
 namespace radcrit
@@ -86,6 +87,28 @@ TEST(SeriesTest, RunRowsMatchHeader)
         EXPECT_GE(row.size(), 4u);
         EXPECT_LE(row.size(), header.size());
     }
+}
+
+TEST(SeriesTest, OutcomeDistributionHomogeneousAcrossSeeds)
+{
+    // Different campaign seeds must draw from one underlying
+    // outcome distribution: a chi-squared homogeneity check over
+    // the outcome counts of two seeds passes at alpha = 0.01.
+    DeviceModel device = makeDevice(DeviceId::K40);
+    Dgemm dgemm(device, 64, 42);
+    auto counts = [&](uint64_t seed) {
+        CampaignConfig cfg;
+        cfg.faultyRuns = 300;
+        cfg.seed = seed;
+        CampaignResult res = runCampaign(device, dgemm, cfg);
+        return std::vector<uint64_t>{
+            res.count(Outcome::Masked), res.count(Outcome::Sdc),
+            res.count(Outcome::Crash), res.count(Outcome::Hang)};
+    };
+    check::CheckResult c = check::chiSquaredHomogeneity(
+        "outcome_distribution_across_seeds", counts(17),
+        counts(99), 0.01);
+    EXPECT_TRUE(c) << c.message;
 }
 
 TEST(SeriesTest, SdcRowsAreComplete)

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests of the statistical assertion library: numeric kernels
+ * (inverse normal, Wilson, Katz, KS, incomplete gamma) against
+ * known reference values, and the demonstrate-at-alpha semantics of
+ * the named checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "check/statcheck.hh"
+#include "common/rng.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(NormalQuantile, ReferenceValues)
+{
+    // Table values of the standard normal inverse CDF.
+    EXPECT_NEAR(check::normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(check::normalQuantile(0.975), 1.959963985, 1e-6);
+    EXPECT_NEAR(check::normalQuantile(0.995), 2.575829304, 1e-6);
+    EXPECT_NEAR(check::normalQuantile(0.025), -1.959963985,
+                1e-6);
+    EXPECT_NEAR(check::normalQuantile(0.0001), -3.719016485,
+                1e-5);
+}
+
+TEST(NormalQuantile, Monotone)
+{
+    double prev = -1e9;
+    for (double p = 0.01; p < 1.0; p += 0.01) {
+        double q = check::normalQuantile(p);
+        EXPECT_GT(q, prev);
+        prev = q;
+    }
+}
+
+TEST(WilsonInterval, ReferenceValue)
+{
+    // Classic worked example: 10/50 at 95% gives roughly
+    // [0.112, 0.331] (Wilson score, no continuity correction).
+    check::Interval ci = check::wilsonInterval(10, 50, 0.05);
+    EXPECT_NEAR(ci.lo, 0.1124, 5e-4);
+    EXPECT_NEAR(ci.hi, 0.3304, 5e-4);
+}
+
+TEST(WilsonInterval, DegenerateCountsStayInUnitRange)
+{
+    check::Interval zero = check::wilsonInterval(0, 20, 0.01);
+    EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+    EXPECT_GT(zero.hi, 0.0);
+    EXPECT_LT(zero.hi, 0.5);
+    check::Interval full = check::wilsonInterval(20, 20, 0.01);
+    EXPECT_DOUBLE_EQ(full.hi, 1.0);
+    EXPECT_LT(full.lo, 1.0);
+    EXPECT_GT(full.lo, 0.5);
+}
+
+TEST(WilsonInterval, ShrinksWithSamples)
+{
+    check::Interval small = check::wilsonInterval(20, 40, 0.05);
+    check::Interval large =
+        check::wilsonInterval(2000, 4000, 0.05);
+    EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(ProportionChecks, DemonstrateSemantics)
+{
+    // 560/1000 demonstrates p >= 0.5 at alpha 0.01 (Wilson lower
+    // bound ~0.519) but NOT p >= 0.55.
+    EXPECT_TRUE(
+        check::proportionAtLeast("x", 560, 1000, 0.5, 0.01));
+    EXPECT_FALSE(
+        check::proportionAtLeast("x", 560, 1000, 0.55, 0.01));
+    EXPECT_TRUE(
+        check::proportionAtMost("x", 560, 1000, 0.65, 0.01));
+    EXPECT_FALSE(
+        check::proportionAtMost("x", 560, 1000, 0.57, 0.01));
+    EXPECT_TRUE(check::proportionBetween("x", 560, 1000, 0.5,
+                                         0.65, 0.01));
+    EXPECT_FALSE(check::proportionBetween("x", 560, 1000, 0.57,
+                                          0.65, 0.01));
+}
+
+TEST(ProportionChecks, MessagesSelfDocument)
+{
+    check::CheckResult r =
+        check::proportionAtLeast("sdc_fraction", 56, 100, 0.9,
+                                 0.01);
+    EXPECT_FALSE(r);
+    EXPECT_NE(r.message.find("sdc_fraction"), std::string::npos);
+    EXPECT_NE(r.message.find("56/100"), std::string::npos);
+    EXPECT_NE(r.message.find("alpha=0.01"), std::string::npos);
+    EXPECT_NE(r.message.find("FAIL"), std::string::npos);
+    check::CheckResult ok =
+        check::proportionAtLeast("sdc_fraction", 56, 100, 0.4,
+                                 0.01);
+    EXPECT_TRUE(ok);
+    EXPECT_NE(ok.message.find("PASS"), std::string::npos);
+}
+
+TEST(ProportionGreater, DetectsSeparationOnly)
+{
+    EXPECT_TRUE(
+        check::proportionGreater("g", 700, 1000, 500, 1000,
+                                 0.01));
+    // Close proportions cannot be demonstrated apart.
+    EXPECT_FALSE(
+        check::proportionGreater("g", 510, 1000, 500, 1000,
+                                 0.01));
+    // Order matters.
+    EXPECT_FALSE(
+        check::proportionGreater("g", 500, 1000, 700, 1000,
+                                 0.01));
+}
+
+TEST(RiskRatio, CentersOnObservedRatio)
+{
+    check::Interval ci =
+        check::riskRatioInterval(300, 1000, 100, 1000, 0.05);
+    EXPECT_LT(ci.lo, 3.0);
+    EXPECT_GT(ci.hi, 3.0);
+    EXPECT_GT(ci.lo, 2.0);
+    EXPECT_LT(ci.hi, 4.5);
+    EXPECT_TRUE(check::riskRatioAtLeast("rr", 300, 1000, 100,
+                                        1000, 2.0, 0.05));
+    EXPECT_FALSE(check::riskRatioAtLeast("rr", 300, 1000, 100,
+                                         1000, 3.0, 0.05));
+    EXPECT_TRUE(check::riskRatioAtMost("rr", 300, 1000, 100,
+                                       1000, 4.5, 0.05));
+}
+
+TEST(RiskRatio, SurvivesDegenerateCounts)
+{
+    check::Interval ci =
+        check::riskRatioInterval(0, 100, 50, 100, 0.05);
+    EXPECT_GT(ci.lo, 0.0);
+    EXPECT_TRUE(std::isfinite(ci.hi));
+}
+
+TEST(RatioChecks, MapRatiosToProportions)
+{
+    // 400 SDC vs 100 detectable: ratio 4.0; demonstrable >= 3 at
+    // alpha 0.01 but not >= 4.
+    EXPECT_TRUE(check::ratioAtLeast("sdc", 400, 100, 3.0, 0.01));
+    EXPECT_FALSE(check::ratioAtLeast("sdc", 400, 100, 4.0, 0.01));
+    EXPECT_TRUE(check::ratioAtMost("sdc", 400, 100, 5.5, 0.01));
+}
+
+TEST(MeanChecks, RunningStatIntegration)
+{
+    RunningStat tight;
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i)
+        tight.add(10.0 + rng.normal());
+    EXPECT_TRUE(check::meanAtLeast("m", tight, 9.5, 0.01));
+    EXPECT_FALSE(check::meanAtLeast("m", tight, 10.5, 0.01));
+
+    RunningStat lower;
+    for (int i = 0; i < 2000; ++i)
+        lower.add(8.0 + rng.normal());
+    EXPECT_TRUE(check::meanGreater("m", tight, lower, 0.01));
+    EXPECT_FALSE(check::meanGreater("m", lower, tight, 0.01));
+}
+
+TEST(KolmogorovSmirnov, IdenticalSamplesHaveZeroDistance)
+{
+    std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(check::ksStatistic(a, a), 0.0);
+    EXPECT_NEAR(check::ksPValue(0.0, 4, 4), 1.0, 1e-12);
+}
+
+TEST(KolmogorovSmirnov, DisjointSamplesHaveDistanceOne)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    std::vector<double> b{10.0, 11.0, 12.0};
+    EXPECT_DOUBLE_EQ(check::ksStatistic(a, b), 1.0);
+    EXPECT_LT(check::ksPValue(1.0, 100, 100), 1e-6);
+}
+
+TEST(KolmogorovSmirnov, SameDistributionPasses)
+{
+    Rng rng(11);
+    std::vector<double> a, b;
+    for (int i = 0; i < 400; ++i) {
+        a.push_back(rng.normal());
+        b.push_back(rng.normal());
+    }
+    EXPECT_TRUE(check::ksSameDistribution("same", a, b, 0.01));
+
+    std::vector<double> shifted;
+    for (double v : b)
+        shifted.push_back(v + 1.0);
+    EXPECT_FALSE(
+        check::ksSameDistribution("shifted", a, shifted, 0.01));
+}
+
+TEST(GammaQ, ReferenceValues)
+{
+    // Q(0.5, x) = erfc(sqrt(x)).
+    for (double x : {0.1, 0.5, 1.0, 2.5, 7.0}) {
+        EXPECT_NEAR(check::gammaQ(0.5, x),
+                    std::erfc(std::sqrt(x)), 1e-10);
+    }
+    // Q(1, x) = exp(-x).
+    EXPECT_NEAR(check::gammaQ(1.0, 3.0), std::exp(-3.0), 1e-12);
+    // chi-squared survival reference: P(chi2_1 > 3.841) ~ 0.05.
+    EXPECT_NEAR(check::chiSquaredPValue(3.841459, 1), 0.05, 1e-4);
+    EXPECT_NEAR(check::chiSquaredPValue(9.487729, 4), 0.05, 1e-4);
+}
+
+TEST(ChiSquared, FitAcceptsMatchingDistribution)
+{
+    // 600 draws from a known categorical distribution.
+    std::vector<double> probs{0.5, 0.3, 0.2};
+    Rng rng(5);
+    std::vector<uint64_t> counts(3, 0);
+    for (int i = 0; i < 600; ++i) {
+        double u = rng.uniform();
+        ++counts[u < 0.5 ? 0 : (u < 0.8 ? 1 : 2)];
+    }
+    EXPECT_TRUE(check::chiSquaredFit("fit", counts, probs, 0.01));
+    std::vector<double> wrong{0.1, 0.3, 0.6};
+    EXPECT_FALSE(
+        check::chiSquaredFit("fit", counts, wrong, 0.01));
+}
+
+TEST(ChiSquared, ZeroProbabilityCategoryMustBeEmpty)
+{
+    std::vector<uint64_t> counts{10, 0, 30};
+    std::vector<double> probs{0.25, 0.0, 0.75};
+    EXPECT_TRUE(check::chiSquaredFit("z", counts, probs, 0.01));
+    counts[1] = 1;
+    std::vector<double> probs2{0.25, 0.0, 0.75};
+    EXPECT_FALSE(check::chiSquaredFit("z", counts, probs2, 0.01));
+}
+
+TEST(ChiSquared, HomogeneityAcceptsSameSource)
+{
+    Rng rng(9);
+    std::vector<uint64_t> a(4, 0), b(4, 0);
+    for (int i = 0; i < 500; ++i) {
+        a[rng.uniformInt(4)]++;
+        b[rng.uniformInt(4)]++;
+    }
+    EXPECT_TRUE(check::chiSquaredHomogeneity("h", a, b, 0.01));
+    // A grossly different source fails.
+    std::vector<uint64_t> c{400, 50, 25, 25};
+    EXPECT_FALSE(check::chiSquaredHomogeneity("h", a, c, 0.01));
+}
+
+TEST(ChiSquared, HomogeneityIgnoresJointlyEmptyCategories)
+{
+    std::vector<uint64_t> a{100, 0, 100, 0};
+    std::vector<uint64_t> b{110, 0, 90, 0};
+    check::CheckResult r =
+        check::chiSquaredHomogeneity("h", a, b, 0.01);
+    EXPECT_TRUE(r) << r.message;
+    EXPECT_NE(r.message.find("dof=1"), std::string::npos)
+        << r.message;
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -3,10 +3,17 @@
 
 Usage:
     check_bench_json.py <bench_binary> [extra bench args...]
+    check_bench_json.py --no-run <bench_binary>
 
 Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
-current working directory and validates its shape:
+current working directory and validates its shape. Any stale JSON
+from a previous run is deleted first, so a bench that fails to
+write fresh output fails the check instead of passing vacuously
+against old data. With --no-run the bench is not executed and an
+existing file is validated as-is.
+
+Validated shape:
 
   * schema == 2 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
@@ -61,12 +68,15 @@ def validate_stats(stats):
 
 
 def validate(path, bench_name):
-    expect(os.path.exists(path), "missing output file %s" % path)
+    expect(os.path.exists(path),
+           "missing output file %s (the bench did not write its "
+           "JSON)" % path)
     with open(path) as f:
         try:
             doc = json.load(f)
         except json.JSONDecodeError as e:
-            fail("%s is not valid JSON: %s" % (path, e))
+            fail("%s is truncated or not valid JSON: %s"
+                 % (path, e))
 
     expect(doc.get("schema") == 2,
            "schema must be 2, got %r" % doc.get("schema"))
@@ -112,23 +122,40 @@ def validate(path, bench_name):
 
 
 def main(argv):
-    if len(argv) < 2:
+    argv = argv[1:]
+    no_run = "--no-run" in argv
+    argv = [a for a in argv if a != "--no-run"]
+    if not argv:
         print(__doc__, file=sys.stderr)
         return 2
-    binary = argv[1]
-    args = argv[2:] or ["--runs", "20"]
+    binary = argv[0]
+    args = argv[1:] or ["--runs", "20"]
     bench_name = os.path.basename(binary)
+    path = os.path.join("bench_out", bench_name + ".json")
 
-    proc = subprocess.run([binary] + args,
-                          stdout=subprocess.DEVNULL,
-                          stderr=subprocess.PIPE)
-    if proc.returncode != 0:
-        fail("%s exited with %d:\n%s"
-             % (bench_name, proc.returncode,
-                proc.stderr.decode(errors="replace")))
+    if not no_run:
+        if not os.path.exists(binary):
+            fail("bench binary %s does not exist (build it "
+                 "first)" % binary)
+        # Drop stale output so a bench that fails to write its
+        # JSON is reported as missing, not validated against old
+        # data.
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            pass
+        try:
+            proc = subprocess.run([binary] + args,
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.PIPE)
+        except OSError as e:
+            fail("cannot execute %s: %s" % (binary, e))
+        if proc.returncode != 0:
+            fail("%s exited with %d:\n%s"
+                 % (bench_name, proc.returncode,
+                    proc.stderr.decode(errors="replace")))
 
-    validate(os.path.join("bench_out", bench_name + ".json"),
-             bench_name)
+    validate(path, bench_name)
     return 0
 
 

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Re-bless the golden-snapshot CSVs in tests/goldens/ after an
+# intentional change to campaign output. Runs every ctest with the
+# "golden" label under RADCRIT_REGEN_GOLDENS=1, which makes
+# check::compareGolden() rewrite each golden file from the freshly
+# computed rows instead of comparing. Review the resulting diff
+# before committing: every changed cell is a deliberate behavior
+# change you are signing off on.
+#
+# Usage: tools/regen_goldens.sh [build-dir]   (default: build)
+
+set -eu
+
+build_dir="${1:-build}"
+
+if [ ! -d "$build_dir" ]; then
+    echo "regen_goldens: build directory '$build_dir' not found" \
+         "(run cmake -B $build_dir -S . first)" >&2
+    exit 1
+fi
+
+RADCRIT_REGEN_GOLDENS=1 ctest --test-dir "$build_dir" \
+    -L golden --output-on-failure
+echo "regen_goldens: done; review 'git diff tests/goldens/'"

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Regression tests for check_bench_json.py's failure modes.
+
+Usage:
+    test_check_bench_json.py <mode>
+
+Modes:
+    missing    bench exits 0 but writes no JSON; a stale file from
+               a previous run is present and must NOT rescue the
+               check (the vacuous-pass regression)
+    truncated  bench writes a truncated JSON document
+
+Each mode builds a sandbox with a fake bench binary, runs
+check_bench_json.py against it, and requires a nonzero exit with
+the matching diagnostic on stderr. Exits 0 when the checker
+behaves, 1 otherwise.
+"""
+
+import os
+import stat
+import subprocess
+import sys
+import tempfile
+
+CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                       "check_bench_json.py")
+
+STALE_JSON = """{
+  "schema": 2,
+  "bench": "fake_bench",
+  "campaigns": 1,
+  "jobs": 1,
+  "runs": 4,
+  "wall_ns": 4000,
+  "ns_per_op": 1000,
+  "runs_per_s": 1000000.0,
+  "stats": {
+    "campaign.k40.dgemm.masked": {"kind": "counter", "value": 1},
+    "campaign.k40.dgemm.sdc": {"kind": "counter", "value": 1},
+    "campaign.k40.dgemm.crash": {"kind": "counter", "value": 1},
+    "campaign.k40.dgemm.hang": {"kind": "counter", "value": 1}
+  }
+}
+"""
+
+
+def write_fake_bench(path, body):
+    with open(path, "w") as f:
+        f.write("#!/bin/sh\n" + body)
+    os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR)
+
+
+def run_checker(cwd, bench):
+    return subprocess.run(
+        [sys.executable, CHECKER, bench],
+        cwd=cwd, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True)
+
+
+def expect(cond, msg, proc):
+    if not cond:
+        print("test_check_bench_json: FAIL: %s" % msg,
+              file=sys.stderr)
+        print("checker exit=%d\nstdout:\n%s\nstderr:\n%s"
+              % (proc.returncode, proc.stdout, proc.stderr),
+              file=sys.stderr)
+        sys.exit(1)
+
+
+def mode_missing(sandbox):
+    """Bench writes nothing; stale JSON must not pass the check."""
+    os.makedirs(os.path.join(sandbox, "bench_out"))
+    with open(os.path.join(sandbox, "bench_out",
+                           "fake_bench.json"), "w") as f:
+        f.write(STALE_JSON)
+    bench = os.path.join(sandbox, "fake_bench")
+    write_fake_bench(bench, "exit 0\n")
+    proc = run_checker(sandbox, bench)
+    expect(proc.returncode != 0,
+           "checker passed even though the bench wrote no JSON "
+           "(validated a stale file)", proc)
+    expect("missing output file" in proc.stderr,
+           "diagnostic does not name the missing output file",
+           proc)
+
+
+def mode_truncated(sandbox):
+    """Bench writes half a document; must fail as invalid JSON."""
+    bench = os.path.join(sandbox, "fake_bench")
+    write_fake_bench(
+        bench,
+        "mkdir -p bench_out\n"
+        "printf '{\"schema\": 2, \"bench\": \"fake_b' "
+        "> bench_out/fake_bench.json\n")
+    proc = run_checker(sandbox, bench)
+    expect(proc.returncode != 0,
+           "checker passed on truncated JSON", proc)
+    expect("truncated or not valid JSON" in proc.stderr,
+           "diagnostic does not flag truncated/invalid JSON",
+           proc)
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] not in ("missing", "truncated"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as sandbox:
+        if argv[1] == "missing":
+            mode_missing(sandbox)
+        else:
+            mode_truncated(sandbox)
+    print("test_check_bench_json: OK: %s" % argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
