@@ -22,7 +22,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_abft_coverage", 250);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 
@@ -40,11 +40,12 @@ main(int argc, char **argv)
             CampaignConfig cfg = defaultCampaign(
                 runs, device.name, dgemm.name(),
                 dgemm.inputLabel());
-            CampaignResult res = runCampaign(device, dgemm, cfg);
+            CampaignResult res = runPaperCampaign(device, dgemm,
+                                                  runs);
 
             uint64_t sdc = 0, corrected = 0, detected = 0,
                 missed = 0;
-            Rng rng(cfg.seed);
+            Rng rng(cfg.sim.seed);
             for (const auto &run : res.runs) {
                 if (run.outcome != Outcome::Sdc)
                     continue;

@@ -5,6 +5,11 @@
  * "being conservative" and publishes raw logs so users can apply
  * their own filters; this sweep regenerates the K40-vs-Phi DGEMM
  * comparison under thresholds from 0% to 50%.
+ *
+ * The sweep is the poster child of the simulate/analyze split: each
+ * device's campaign is simulated (or loaded from the store) exactly
+ * once, and every threshold is a pure analyzeCampaign() pass over
+ * the same raw records — zero kernel re-executions.
  */
 
 #include "bench_util.hh"
@@ -17,7 +22,7 @@ main(int argc, char **argv)
     CliParser cli = figureCli("bench_ablation_filter_threshold",
                               400);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 
@@ -26,19 +31,23 @@ main(int argc, char **argv)
     table.setHeader({"threshold%", "K40 FIT", "K40 removed",
                      "Phi FIT", "Phi removed"});
 
+    std::vector<CampaignRaw> raws;
+    for (DeviceId id : allDevices()) {
+        DeviceModel device = makeDevice(id);
+        auto w = makeDgemmWorkload(device, 256);
+        raws.push_back(paperCampaignRaw(device, *w, runs));
+    }
+
     std::vector<double> thresholds{0.0, 0.5, 1.0, 2.0, 4.0, 10.0,
                                    50.0};
     std::vector<std::vector<std::string>> csv_rows;
     for (double threshold : thresholds) {
         std::vector<std::string> row{
             TextTable::num(threshold, 1)};
-        for (DeviceId id : allDevices()) {
-            DeviceModel device = makeDevice(id);
-            auto w = makeDgemmWorkload(device, 256);
-            CampaignConfig cfg = defaultCampaign(
-                runs, device.name, w->name(), w->inputLabel());
-            cfg.filterThresholdPct = threshold;
-            CampaignResult res = runCampaign(device, *w, cfg);
+        for (const CampaignRaw &raw : raws) {
+            AnalysisConfig acfg;
+            acfg.filterThresholdPct = threshold;
+            CampaignResult res = analyzeCampaign(raw, acfg);
             row.push_back(TextTable::num(res.fitTotalAu(true),
                                          1));
             row.push_back(TextTable::num(
@@ -64,5 +73,6 @@ main(int argc, char **argv)
             w.writeRow(row);
         std::printf("[csv] %s\n", path.c_str());
     }
+    writeBenchJson("bench_ablation_filter_threshold");
     return 0;
 }

@@ -41,7 +41,7 @@ main(int argc, char **argv)
     CliParser cli = figureCli("bench_ablation_injection_level",
                               300);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     DeviceModel device = makeDevice(DeviceId::K40);

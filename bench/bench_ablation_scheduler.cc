@@ -35,7 +35,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_ablation_scheduler", 300);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     TextTable table("Ablation: scheduler philosophy vs DGEMM FIT "

@@ -47,7 +47,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_avf_comparison", 400);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     TextTable coverage("Software-injector coverage of the "

@@ -171,7 +171,7 @@ main(int argc, char **argv)
                 auto cfg = defaultCampaign(runs, device.name,
                                            w->name(),
                                            w->inputLabel());
-                cfg.jobs = jobs;
+                cfg.sim.jobs = jobs;
                 auto res = runCampaign(device, *w, cfg);
                 if (want_detail)
                     detail(res);
@@ -185,7 +185,7 @@ main(int argc, char **argv)
                 auto cfg = defaultCampaign(runs, device.name,
                                            w->name(),
                                            w->inputLabel());
-                cfg.jobs = jobs;
+                cfg.sim.jobs = jobs;
                 auto res = runCampaign(device, *w, cfg);
                 if (want_detail)
                     detail(res);
@@ -198,7 +198,7 @@ main(int argc, char **argv)
             auto cfg = defaultCampaign(runs, device.name,
                                        w->name(),
                                        w->inputLabel());
-            cfg.jobs = jobs;
+            cfg.sim.jobs = jobs;
             auto res = runCampaign(device, *w, cfg);
             if (want_detail)
                 detail(res);
@@ -211,7 +211,7 @@ main(int argc, char **argv)
             auto cfg = defaultCampaign(runs, device.name,
                                        w->name(),
                                        w->inputLabel());
-            cfg.jobs = jobs;
+            cfg.sim.jobs = jobs;
             auto res = runCampaign(device, *w, cfg);
             if (want_detail)
                 detail(res);

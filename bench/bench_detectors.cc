@@ -34,10 +34,10 @@ clamrMassStudy(uint64_t runs)
                                          clamr.inputLabel());
     KernelLaunch launch = buildLaunch(device, clamr.traits());
     StrikeSampler sampler(device, launch);
-    Rng rng(cfg.seed);
+    Rng rng(cfg.sim.seed);
 
     uint64_t sdc = 0, detected = 0;
-    for (uint64_t i = 0; i < cfg.faultyRuns; ++i) {
+    for (uint64_t i = 0; i < cfg.sim.faultyRuns; ++i) {
         Strike strike = sampler.sampleStrike(rng);
         if (sampler.sampleOutcome(strike.resource, rng) !=
             Outcome::Sdc) {
@@ -70,11 +70,11 @@ hotspotEntropyStudy(uint64_t runs)
                                          hotspot.inputLabel());
     KernelLaunch launch = buildLaunch(device, hotspot.traits());
     StrikeSampler sampler(device, launch);
-    Rng rng(cfg.seed);
+    Rng rng(cfg.sim.seed);
 
     uint64_t sdc = 0, detected = 0, meaningful = 0,
         meaningful_detected = 0;
-    for (uint64_t i = 0; i < cfg.faultyRuns; ++i) {
+    for (uint64_t i = 0; i < cfg.sim.faultyRuns; ++i) {
         Strike strike = sampler.sampleStrike(rng);
         if (sampler.sampleOutcome(strike.resource, rng) !=
             Outcome::Sdc) {
@@ -116,7 +116,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_detectors", 200);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     std::printf("=== Application-level SDC detectors "

@@ -16,7 +16,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_fig2_dgemm_scatter");
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

@@ -13,7 +13,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_fig5_lavamd_locality");
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

@@ -14,7 +14,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_fig8_clamr_scatter", 150);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

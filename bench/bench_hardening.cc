@@ -85,7 +85,7 @@ main(int argc, char **argv)
     CliParser cli = figureCli("bench_hardening", 300);
     cli.addDouble("budget", 12.0, "area budget in percent");
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     double budget = cli.getDouble("budget");
 

@@ -22,7 +22,7 @@ main(int argc, char **argv)
     cli.addDouble("fit-per-au", 25.0,
                   "absolute FIT per relative-FIT a.u. (anchor)");
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
 
     SystemConfig system;

@@ -45,7 +45,7 @@ main(int argc, char **argv)
 {
     CliParser cli = figureCli("bench_sdc_crash_ratios", 300);
     cli.parse(argc, argv);
-    benchJobs(cli);
+    benchInit(cli);
     auto runs = static_cast<uint64_t>(cli.getInt("runs"));
     bool csv = !cli.getFlag("no-csv");
 

@@ -1,9 +1,11 @@
 /**
  * @file
  * Shared helpers for the per-figure bench harnesses: run campaigns
- * over the canonical paper configurations, render the paper's
- * figure shapes (scatter + stacked bars) to the terminal, and dump
- * machine-readable CSV next to them.
+ * over the canonical paper configurations (through the campaign
+ * store when --cache is given, so paired figures simulate each
+ * campaign once), render the paper's figure shapes (scatter +
+ * stacked bars) to the terminal, and dump machine-readable CSV next
+ * to them.
  */
 
 #ifndef RADCRIT_BENCH_BENCH_UTIL_HH
@@ -11,15 +13,18 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/paperconfigs.hh"
 #include "campaign/runner.hh"
 #include "campaign/series.hh"
+#include "campaign/store.hh"
 #include "common/cli.hh"
 #include "common/csv.hh"
 #include "common/figure.hh"
@@ -39,10 +44,22 @@ benchOutputDir()
     std::string dir = "bench_out";
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        // Warn once up front instead of letting every subsequent
+        // CSV/JSON open fail one by one with a less useful message.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("cannot create bench output directory '%s': %s",
+                 dir.c_str(), ec.message().c_str());
+        }
+    }
     return dir;
 }
 
-/** Standard CLI for figure benches: --runs, --jobs, --csv. */
+/**
+ * Standard CLI for figure benches: --runs, --jobs, --cache, --csv.
+ */
 inline CliParser
 figureCli(const std::string &name, int64_t default_runs = 200)
 {
@@ -53,6 +70,11 @@ figureCli(const std::string &name, int64_t default_runs = 200)
                static_cast<int64_t>(WorkerPool::envJobs(1)),
                "worker threads per campaign (1 = serial, 0 = one "
                "per hardware thread; default from RADCRIT_JOBS)");
+    const char *cache_env = std::getenv("RADCRIT_CAMPAIGN_CACHE");
+    cli.addString("cache", cache_env ? cache_env : "",
+                  "campaign store directory: simulate once, load "
+                  "raw campaigns from cache afterwards (default "
+                  "from RADCRIT_CAMPAIGN_CACHE; empty = off)");
     cli.addFlag("no-csv", "skip CSV side-output");
     return cli;
 }
@@ -69,13 +91,25 @@ struct BenchRecorder
     uint64_t wallNs = 0;
     /** Worker threads per campaign (resolved, so never 0). */
     unsigned jobs = 1;
+    /** Campaigns loaded from the store instead of simulated. */
+    uint64_t cacheHits = 0;
+    /**
+     * Campaigns simulated (cache off, entry absent, or mismatch);
+     * cacheHits + cacheMisses == campaigns always.
+     */
+    uint64_t cacheMisses = 0;
 
     void
-    addCampaign(uint64_t campaign_runs, uint64_t campaign_ns)
+    addCampaign(uint64_t campaign_runs, uint64_t campaign_ns,
+                bool cached)
     {
         ++campaigns;
         runs += campaign_runs;
         wallNs += campaign_ns;
+        if (cached)
+            ++cacheHits;
+        else
+            ++cacheMisses;
     }
 
     /** @return wall nanoseconds per simulated faulty run. */
@@ -108,12 +142,24 @@ benchRecorder()
 }
 
 /**
- * Read --jobs from a figureCli() parser and arm the recorder, so
- * every later runPaperCampaign() runs with that worker count and
- * the bench JSON records it. Call once right after cli.parse().
+ * @return the process-wide campaign store slot (null = cache off).
+ * benchInit() arms it from --cache.
+ */
+inline std::unique_ptr<CampaignStore> &
+benchStore()
+{
+    static std::unique_ptr<CampaignStore> store;
+    return store;
+}
+
+/**
+ * Resolve --jobs and --cache from a figureCli() parser and arm the
+ * recorder and the store, so every later runPaperCampaign() runs
+ * with that worker count / through that cache and the bench JSON
+ * records both. Call once right after cli.parse().
  */
 inline unsigned
-benchJobs(const CliParser &cli)
+benchInit(const CliParser &cli)
 {
     int64_t raw = cli.getInt("jobs");
     if (raw < 0)
@@ -121,7 +167,36 @@ benchJobs(const CliParser &cli)
     unsigned jobs = WorkerPool::resolveJobs(
         static_cast<unsigned>(raw));
     benchRecorder().jobs = jobs;
+    std::string cache = cli.getString("cache");
+    if (!cache.empty())
+        benchStore() = std::make_unique<CampaignStore>(cache);
     return jobs;
+}
+
+/**
+ * Produce the raw canonical campaign for a workload instance:
+ * loaded from the store on a hit, simulated (and saved) otherwise.
+ * Records work and cache traffic into the bench recorder.
+ */
+inline CampaignRaw
+paperCampaignRaw(const DeviceModel &device, Workload &workload,
+                 uint64_t runs)
+{
+    CampaignConfig cfg = defaultCampaign(
+        runs, device.name, workload.name(),
+        workload.inputLabel());
+    cfg.sim.jobs = benchRecorder().jobs;
+    CampaignStore *store = benchStore().get();
+    uint64_t hits_before = store ? store->hits() : 0;
+    auto start = std::chrono::steady_clock::now();
+    CampaignRaw raw = simulateOrLoad(device, workload, cfg.sim,
+                                     store);
+    auto wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+    bool cached = store && store->hits() > hits_before;
+    benchRecorder().addCampaign(raw.runs.size(), wall_ns, cached);
+    return raw;
 }
 
 /** Run the canonical campaign for a workload instance. */
@@ -132,22 +207,16 @@ runPaperCampaign(const DeviceModel &device, Workload &workload,
     CampaignConfig cfg = defaultCampaign(
         runs, device.name, workload.name(),
         workload.inputLabel());
-    cfg.jobs = benchRecorder().jobs;
-    auto start = std::chrono::steady_clock::now();
-    CampaignResult res = runCampaign(device, workload, cfg);
-    auto wall_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start).count());
-    benchRecorder().addCampaign(res.runs.size(), wall_ns);
-    return res;
+    CampaignRaw raw = paperCampaignRaw(device, workload, runs);
+    return analyzeCampaign(raw, cfg.analysis);
 }
 
 /**
  * Emit the bench's machine-readable results as
  * bench_out/<bench_name>.json: schema version, campaign/run
- * tallies with worker count, ns-per-run and (parallel)
- * runs-per-second, and the full stats registry snapshot (phase
- * timers, kernel timers, outcome counters).
+ * tallies with worker count and store hit/miss traffic, ns-per-run
+ * and (parallel) runs-per-second, and the full stats registry
+ * snapshot (phase timers, kernel timers, outcome counters).
  * tools/check_bench_json.py validates the shape in CI.
  */
 inline void
@@ -161,19 +230,23 @@ writeBenchJson(const std::string &bench_name)
         warn("cannot open bench results file '%s'", path.c_str());
         return;
     }
-    out << "{\n"
-        << "  \"schema\": 2,\n"
-        << "  \"bench\": \"" << jsonEscape(bench_name) << "\",\n"
-        << "  \"campaigns\": " << rec.campaigns << ",\n"
-        << "  \"jobs\": " << rec.jobs << ",\n"
-        << "  \"runs\": " << rec.runs << ",\n"
-        << "  \"wall_ns\": " << rec.wallNs << ",\n"
-        << "  \"ns_per_op\": " << jsonNum(rec.nsPerOp()) << ",\n"
-        << "  \"runs_per_s\": " << jsonNum(rec.runsPerSecond())
-        << ",\n"
-        << "  \"stats\": ";
-    StatsRegistry::global().snapshot().writeJson(out, 2);
-    out << "\n}\n";
+    {
+        JsonObjectWriter obj(out);
+        obj.field("schema", uint64_t{3});
+        obj.field("bench", bench_name);
+        obj.field("campaigns", rec.campaigns);
+        obj.field("jobs", static_cast<uint64_t>(rec.jobs));
+        obj.field("runs", rec.runs);
+        obj.field("wall_ns", rec.wallNs);
+        obj.field("cache_hits", rec.cacheHits);
+        obj.field("cache_misses", rec.cacheMisses);
+        obj.field("ns_per_op", rec.nsPerOp());
+        obj.field("runs_per_s", rec.runsPerSecond());
+        obj.beginRawField("stats");
+        StatsRegistry::global().snapshot().writeJson(out, 2);
+        obj.close();
+    }
+    out << "\n";
     std::printf("[json] %s\n", path.c_str());
 }
 

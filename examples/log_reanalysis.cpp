@@ -1,10 +1,11 @@
 /**
  * @file
- * Third-party log re-analysis: runs a campaign, publishes its beam
- * log (the artifact the paper makes public in ref. [1]), reloads
- * it, and re-applies a range of tolerance filters — the workflow
- * the paper enables for users whose applications accept different
- * accuracy margins (e.g. the 4% seismic misfit of ref. [14]).
+ * Third-party log re-analysis: simulates a campaign, publishes its
+ * beam log (the artifact the paper makes public in ref. [1]),
+ * reloads it, and re-applies a range of tolerance filters via
+ * analyzeCampaign() — the workflow the paper enables for users
+ * whose applications accept different accuracy margins (e.g. the
+ * 4% seismic misfit of ref. [14]).
  *
  *   $ log_reanalysis [--runs=150] [--log=mylog.txt]
  */
@@ -29,36 +30,50 @@ main(int argc, char **argv)
                   "log file to write and re-read");
     cli.parse(argc, argv);
 
-    // 1. Run a campaign and publish its log.
+    // 1. Simulate a campaign and publish its raw log. Note the
+    // kernels run exactly once, here.
     DeviceModel device = makeDevice(DeviceId::K40);
     auto dgemm = makeDgemmWorkload(device, 256);
     CampaignConfig cfg = defaultCampaign(
         static_cast<uint64_t>(cli.getInt("runs")), device.name,
         dgemm->name(), dgemm->inputLabel());
-    CampaignResult res = runCampaign(device, *dgemm, cfg);
+    CampaignRaw raw = simulateCampaign(device, *dgemm, cfg.sim);
     std::string path = cli.getString("log");
-    writeBeamLogFile(res, *dgemm, path);
+    writeBeamLogFile(raw, path);
     std::printf("campaign logged to %s (%zu runs, %llu SDCs)\n\n",
-                path.c_str(), res.runs.size(),
+                path.c_str(), raw.runs.size(),
                 static_cast<unsigned long long>(
-                    res.count(Outcome::Sdc)));
+                    raw.count(Outcome::Sdc)));
 
     // 2. A third party reloads the log — no access to the
     // workload or device needed — and applies its own filters.
-    BeamLog log = readBeamLogFile(path);
-    TextTable table("Re-analysis of " + log.device + "/" +
-                    log.workload + " " + log.input +
+    CampaignRaw log = readBeamLogFile(path);
+    TextTable table("Re-analysis of " + log.deviceName + "/" +
+                    log.workloadName + " " + log.inputLabel +
                     " under different tolerances");
     table.setHeader({"tolerance%", "SDC runs", "accepted",
                      "still-critical", "mean relErr%"});
     for (double tol : {0.0, 0.5, 2.0, 4.0, 10.0}) {
-        LogAnalysis a = analyzeBeamLog(log, tol);
+        AnalysisConfig acfg;
+        acfg.filterThresholdPct = tol;
+        CampaignResult res = analyzeCampaign(log, acfg);
+        uint64_t sdc = 0, accepted = 0;
+        double err_sum = 0.0;
+        for (const auto &run : res.runs) {
+            if (run.outcome != Outcome::Sdc)
+                continue;
+            ++sdc;
+            accepted += run.crit.executionFiltered;
+            err_sum += run.crit.meanRelErrPct;
+        }
         table.addRow({TextTable::num(tol, 1),
-                      TextTable::num(a.sdcRuns),
-                      TextTable::num(a.filteredOutRuns),
-                      TextTable::num(a.sdcRuns -
-                                     a.filteredOutRuns),
-                      TextTable::num(a.meanOfMeanRelErrPct, 2)});
+                      TextTable::num(sdc),
+                      TextTable::num(accepted),
+                      TextTable::num(sdc - accepted),
+                      TextTable::num(
+                          sdc ? err_sum /
+                                    static_cast<double>(sdc)
+                              : 0.0, 2)});
     }
     table.render(std::cout);
     std::printf("\nA seismic-imaging user (4%% misfit accepted, "

@@ -22,18 +22,18 @@ timed(PhaseTimer *timer, Fn &&fn)
 } // anonymous namespace
 
 Rng
-runRng(const CampaignConfig &config, uint64_t run_index)
+runRng(const SimConfig &config, uint64_t run_index)
 {
     return Rng(config.seed).split(run_index);
 }
 
-RunRecord
+RawRun
 simulateRun(const StrikeSampler &sampler, Workload &workload,
-            const RelativeErrorFilter &filter,
-            const CampaignConfig &config, uint64_t run_index,
-            Rng &rng, const RunPhaseTimers &timers)
+            const SimConfig &config, uint64_t run_index, Rng &rng,
+            const RunPhaseTimers &timers)
 {
-    RunRecord run;
+    (void)config;
+    RawRun run;
     run.index = run_index;
     timed(timers.sample,
           [&] { run.strike = sampler.sampleStrike(rng); });
@@ -42,18 +42,14 @@ simulateRun(const StrikeSampler &sampler, Workload &workload,
                                             rng);
     });
     if (run.outcome == Outcome::Sdc) {
-        SdcRecord record;
-        timed(timers.replay,
-              [&] { record = workload.inject(run.strike, rng); });
-        if (record.empty()) {
+        timed(timers.replay, [&] {
+            run.record = workload.inject(run.strike, rng);
+        });
+        if (run.record.empty()) {
             // The corruption was digested without an output
             // mismatch: architecturally masked.
             run.outcome = Outcome::Masked;
-        } else {
-            timed(timers.metrics, [&] {
-                run.crit = analyzeCriticality(record, filter,
-                                              config.locality);
-            });
+            run.record = SdcRecord{};
         }
     }
     return run;

@@ -2,9 +2,17 @@
  * @file
  * Campaign engine: the pure per-strike simulation step. A campaign
  * is a deterministic map over independent runs — run k depends only
- * on (device, workload, config, k), never on runs before it — which
- * is what lets the runner execute runs on any number of workers and
- * still produce bit-identical results (see exec/pool.hh).
+ * on (device, workload, sim config, k), never on runs before it —
+ * which is what lets the runner execute runs on any number of
+ * workers and still produce bit-identical results (see
+ * exec/pool.hh).
+ *
+ * The engine stops at the raw record: it samples a strike,
+ * classifies the program-level outcome, and for SDCs replays the
+ * corruption through the kernel to capture the output-mismatch log.
+ * No tolerance filter or locality judgement happens here — that is
+ * analyzeCampaign()'s job, so stored campaigns can be re-analyzed
+ * without re-executing kernels.
  */
 
 #ifndef RADCRIT_CAMPAIGN_ENGINE_HH
@@ -12,10 +20,12 @@
 
 #include <cstdint>
 
-#include "campaign/runner.hh"
+#include "campaign/config.hh"
+#include "campaign/raw.hh"
 #include "common/rng.hh"
 #include "obs/timer.hh"
 #include "sim/sampler.hh"
+#include "sim/workload.hh"
 
 namespace radcrit
 {
@@ -30,7 +40,7 @@ namespace radcrit
  * campaign — a given seed produces different (equally valid)
  * campaigns across that boundary.
  */
-Rng runRng(const CampaignConfig &config, uint64_t run_index);
+Rng runRng(const SimConfig &config, uint64_t run_index);
 
 /**
  * Optional per-phase latency timers for simulateRun. Null entries
@@ -41,13 +51,15 @@ struct RunPhaseTimers
     PhaseTimer *sample = nullptr;
     PhaseTimer *classify = nullptr;
     PhaseTimer *replay = nullptr;
-    PhaseTimer *metrics = nullptr;
 };
 
 /**
  * Simulate one strike: sample it, classify the program-level
  * outcome, and, for SDC outcomes, replay the corruption through the
- * workload and compute the criticality metrics.
+ * workload and capture the raw mismatch record. A corruption the
+ * kernel digests without an output mismatch is reclassified as
+ * Masked, so a RawRun with outcome Sdc always carries a non-empty
+ * record.
  *
  * Pure with respect to campaign state: touches nothing but the
  * passed-in workload's scratch buffers and `rng`, so concurrent
@@ -56,18 +68,15 @@ struct RunPhaseTimers
  *
  * @param sampler Strike sampler for the (device, launch) pair.
  * @param workload Workload replaying SDC strikes (mutated scratch).
- * @param filter Relative-error filter for criticality metrics.
- * @param config Campaign parameters.
+ * @param config Simulation parameters.
  * @param run_index Index of this run within the campaign.
  * @param rng This run's private stream (runRng(config, run_index)).
  * @param timers Optional phase-latency telemetry.
  */
-RunRecord simulateRun(const StrikeSampler &sampler,
-                      Workload &workload,
-                      const RelativeErrorFilter &filter,
-                      const CampaignConfig &config,
-                      uint64_t run_index, Rng &rng,
-                      const RunPhaseTimers &timers = {});
+RawRun simulateRun(const StrikeSampler &sampler,
+                   Workload &workload, const SimConfig &config,
+                   uint64_t run_index, Rng &rng,
+                   const RunPhaseTimers &timers = {});
 
 } // namespace radcrit
 

@@ -102,7 +102,7 @@ defaultCampaign(uint64_t runs, const std::string &device_name,
                 const std::string &input_label)
 {
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
+    cfg.sim.faultyRuns = runs;
     uint64_t h = 0x52414443'52495421ULL; // "RADCRIT!"
     for (char c : device_name)
         h = Rng::hashCombine(h, static_cast<uint64_t>(c));
@@ -110,7 +110,7 @@ defaultCampaign(uint64_t runs, const std::string &device_name,
         h = Rng::hashCombine(h, static_cast<uint64_t>(c));
     for (char c : input_label)
         h = Rng::hashCombine(h, static_cast<uint64_t>(c));
-    cfg.seed = h;
+    cfg.sim.seed = h;
     return cfg;
 }
 

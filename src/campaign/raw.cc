@@ -1,0 +1,56 @@
+#include "campaign/raw.hh"
+
+#include <array>
+
+namespace radcrit
+{
+
+uint64_t
+CampaignRaw::count(Outcome outcome) const
+{
+    uint64_t n = 0;
+    for (const auto &run : runs)
+        n += run.outcome == outcome;
+    return n;
+}
+
+std::string
+campaignStatsPrefix(const std::string &device_name,
+                    const std::string &workload_name)
+{
+    return "campaign." + statToken(device_name) + "." +
+        statToken(workload_name);
+}
+
+StatsSnapshot
+rebuildSimStats(const CampaignRaw &raw, StatsRegistry &into)
+{
+    StatsRegistry reg;
+    std::string prefix =
+        campaignStatsPrefix(raw.deviceName, raw.workloadName);
+    reg.gauge(prefix + ".sensitive_area_au")
+        .set(raw.sensitiveAreaAu);
+    reg.gauge(prefix + ".occupancy").set(raw.launch.occupancy);
+    Counter &runs = reg.counter(prefix + ".runs");
+    LogHistogram &incorrect =
+        reg.histogram(prefix + ".incorrect_elements");
+    std::array<Counter *, numOutcomes> outcome{};
+    for (size_t o = 0; o < numOutcomes; ++o) {
+        outcome[o] = &reg.counter(
+            prefix + "." +
+            statToken(outcomeName(static_cast<Outcome>(o))));
+    }
+    for (const auto &run : raw.runs) {
+        runs.inc();
+        outcome[static_cast<size_t>(run.outcome)]->inc();
+        if (run.outcome == Outcome::Sdc) {
+            incorrect.add(static_cast<double>(
+                run.record.numIncorrect()));
+        }
+    }
+    StatsSnapshot snap = reg.snapshot();
+    into.merge(snap);
+    return snap;
+}
+
+} // namespace radcrit

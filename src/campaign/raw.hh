@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CampaignRaw: the un-analyzed product of a simulation campaign —
+ * the in-memory form of a beam log. It records, per run, the
+ * sampled strike, the program-level outcome, and (for SDCs) the
+ * complete output-mismatch record, with no tolerance filter or
+ * locality judgement applied. Everything the paper's criticality
+ * metrics need is derivable from it, which is what makes "run once,
+ * analyze many" possible: simulateCampaign() produces a
+ * CampaignRaw, logs/beamlog (de)serializes it, campaign/store
+ * caches it on disk, and analyzeCampaign() turns it into a
+ * CampaignResult under any AnalysisConfig.
+ */
+
+#ifndef RADCRIT_CAMPAIGN_RAW_HH
+#define RADCRIT_CAMPAIGN_RAW_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/config.hh"
+#include "exec/launch.hh"
+#include "metrics/sdcrecord.hh"
+#include "obs/stats_registry.hh"
+#include "sim/fault.hh"
+
+namespace radcrit
+{
+
+/**
+ * One simulated strike before analysis.
+ */
+struct RawRun
+{
+    /** Index of this run within its campaign. */
+    uint64_t index = 0;
+    Strike strike;
+    Outcome outcome = Outcome::Masked;
+    /** Output-mismatch log; empty unless outcome == Sdc. */
+    SdcRecord record;
+    /**
+     * Wall time the simulation of this run took. Telemetry only
+     * (fed to strike traces), not serialized: a run reloaded from a
+     * beam log carries 0 here.
+     */
+    uint64_t wallNs = 0;
+};
+
+/**
+ * The raw material of one campaign.
+ */
+struct CampaignRaw
+{
+    std::string deviceName;
+    std::string workloadName;
+    std::string inputLabel;
+    /** The simulation parameters that produced the runs. */
+    SimConfig sim;
+    /**
+     * Launch geometry of the campaign. Derived from (device,
+     * workload), so it is not serialized into beam logs; the store
+     * rebuilds it on load, and a log parsed standalone carries a
+     * default-constructed launch.
+     */
+    KernelLaunch launch;
+    /** Total sensitive area of the launch (a.u.). */
+    double sensitiveAreaAu = 0.0;
+    std::vector<RawRun> runs;
+    /**
+     * Simulation-side telemetry: outcome counters and run tally
+     * under "campaign.<device>.<workload>.*", the
+     * incorrect-elements histogram, phase timers
+     * ("campaign.phase.{sample,classify,replay}", "campaign.total")
+     * and the kernel timers that advanced while simulating.
+     * Rebuilt (counters and histogram only, no timers) when the
+     * campaign is loaded from the store instead of simulated.
+     */
+    StatsSnapshot stats;
+
+    /** @return number of runs with the given outcome. */
+    uint64_t count(Outcome outcome) const;
+};
+
+/**
+ * The stats-registry prefix of a campaign's own instruments:
+ * "campaign.<device-token>.<workload-token>".
+ */
+std::string campaignStatsPrefix(const std::string &device_name,
+                                const std::string &workload_name);
+
+/**
+ * Reconstruct the simulation-side counters of a raw campaign that
+ * was loaded rather than simulated — run tally, outcome counters,
+ * incorrect-elements histogram, sensitive-area and occupancy
+ * gauges — into `into` (typically the global registry, so
+ * process-wide tallies include cache hits). Phase timers are not
+ * reconstructed: no simulation happened.
+ *
+ * @return a snapshot of just the reconstructed instruments,
+ * suitable for CampaignRaw::stats.
+ */
+StatsSnapshot rebuildSimStats(const CampaignRaw &raw,
+                              StatsRegistry &into);
+
+} // namespace radcrit
+
+#endif // RADCRIT_CAMPAIGN_RAW_HH

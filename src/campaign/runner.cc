@@ -11,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "exec/pool.hh"
+#include "metrics/relative_error.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "sim/sampler.hh"
@@ -38,19 +39,16 @@ struct StatsShard
                 statToken(outcomeName(static_cast<Outcome>(o))));
         }
         runs = &reg.counter(prefix + ".runs");
-        filtered = &reg.counter(prefix + ".filtered");
         incorrect = &reg.histogram(prefix + ".incorrect_elements");
     }
 
     StatsRegistry reg;
     std::array<Counter *, numOutcomes> outcome{};
     Counter *runs = nullptr;
-    Counter *filtered = nullptr;
     LogHistogram *incorrect = nullptr;
     PhaseTimer sample{reg, "campaign.phase.sample"};
     PhaseTimer classify{reg, "campaign.phase.classify"};
     PhaseTimer replay{reg, "campaign.phase.replay"};
-    PhaseTimer metrics{reg, "campaign.phase.metrics"};
 };
 
 } // anonymous namespace
@@ -84,7 +82,7 @@ CampaignResult::fitAu(uint64_t event_count) const
         return 0.0;
     double rate = static_cast<double>(event_count) /
         static_cast<double>(runs.size());
-    return sensitiveAreaAu * config.fitScaleAu * rate;
+    return sensitiveAreaAu * config.analysis.fitScaleAu * rate;
 }
 
 double
@@ -138,38 +136,39 @@ CampaignResult::filteredOutFraction() const
         static_cast<double>(sdc);
 }
 
-CampaignResult
-runCampaign(const DeviceModel &device, Workload &workload,
-            const CampaignConfig &config)
+CampaignRaw
+simulateCampaign(const DeviceModel &device, Workload &workload,
+                 const SimConfig &config)
 {
     if (config.faultyRuns == 0)
         fatal("campaign needs at least one run");
 
-    CampaignResult result;
-    result.deviceName = device.name;
-    result.workloadName = workload.name();
-    result.inputLabel = workload.inputLabel();
-    result.config = config;
-    result.launch = buildLaunch(device, workload.traits());
+    CampaignRaw raw;
+    raw.deviceName = device.name;
+    raw.workloadName = workload.name();
+    raw.inputLabel = workload.inputLabel();
+    raw.sim = config;
+    raw.launch = buildLaunch(device, workload.traits());
 
-    StrikeSampler sampler(device, result.launch);
-    result.sensitiveAreaAu = sampler.totalWeight();
+    StrikeSampler sampler(device, raw.launch);
+    raw.sensitiveAreaAu = sampler.totalWeight();
 
     // --- Telemetry. Workers write campaign counters into private
     // shards; kernel instruments (PhaseTimer members of workloads
     // and their clones) land directly in the global registry, whose
     // instruments are thread-safe. The shards plus the global
     // kernel-side diff are folded into a campaign-local registry, so
-    // result.stats carries the same content the old serial diff did.
+    // raw.stats carries the same content the old fused runner did
+    // for the simulation phases.
     StatsRegistry &global = StatsRegistry::global();
     StatsSnapshot globalBefore = global.snapshot();
     StatsRegistry campaignReg;
-    std::string prefix = "campaign." + statToken(device.name) +
-        "." + statToken(workload.name());
+    std::string prefix =
+        campaignStatsPrefix(device.name, workload.name());
     campaignReg.gauge(prefix + ".sensitive_area_au")
-        .set(result.sensitiveAreaAu);
+        .set(raw.sensitiveAreaAu);
     campaignReg.gauge(prefix + ".occupancy")
-        .set(result.launch.occupancy);
+        .set(raw.launch.occupancy);
     PhaseTimer campaignTimer(campaignReg, "campaign.total");
     auto campaign_start = std::chrono::steady_clock::now();
 
@@ -180,7 +179,7 @@ runCampaign(const DeviceModel &device, Workload &workload,
     if (config.progressEvery > 0)
         inform("campaign %s: %s (%u worker%s)",
                device.name.c_str(),
-               describeLaunch(result.launch).c_str(), workers,
+               describeLaunch(raw.launch).c_str(), workers,
                workers == 1 ? "" : "s");
 
     std::vector<std::unique_ptr<StatsShard>> shards;
@@ -188,14 +187,7 @@ runCampaign(const DeviceModel &device, Workload &workload,
     for (unsigned w = 0; w < workers; ++w)
         shards.push_back(std::make_unique<StatsShard>(prefix));
 
-    // Strike-trace records are produced out of order by the
-    // workers; the ordered sink re-serializes them by run index.
-    TraceSink *rawSink = traceSink();
-    OrderedTraceSink orderedSink(rawSink);
-    TraceSink *sink = rawSink ? &orderedSink : nullptr;
-
-    RelativeErrorFilter filter(config.filterThresholdPct);
-    result.runs.resize(config.faultyRuns);
+    raw.runs.resize(config.faultyRuns);
     std::atomic<uint64_t> completed{0};
 
     pool.forChunks(config.faultyRuns, [&](unsigned worker,
@@ -206,7 +198,6 @@ runCampaign(const DeviceModel &device, Workload &workload,
         timers.sample = &shard.sample;
         timers.classify = &shard.classify;
         timers.replay = &shard.replay;
-        timers.metrics = &shard.metrics;
 
         // Worker 0 runs on the caller thread and reuses the caller's
         // workload; the others replay strikes on private clones.
@@ -218,43 +209,22 @@ runCampaign(const DeviceModel &device, Workload &workload,
         for (uint64_t i = begin; i < end; ++i) {
             auto run_start = std::chrono::steady_clock::now();
             Rng rng = runRng(config, i);
-            RunRecord run = simulateRun(sampler, wl, filter,
-                                        config, i, rng, timers);
+            RawRun run = simulateRun(sampler, wl, config, i, rng,
+                                     timers);
+            run.wallNs = static_cast<uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - run_start)
+                    .count());
 
             shard.runs->inc();
             shard.outcome[static_cast<size_t>(run.outcome)]->inc();
             if (run.outcome == Outcome::Sdc) {
-                shard.incorrect->add(
-                    static_cast<double>(run.crit.numIncorrect));
-                if (run.crit.executionFiltered)
-                    shard.filtered->inc();
+                shard.incorrect->add(static_cast<double>(
+                    run.record.numIncorrect()));
             }
 
-            if (sink) {
-                StrikeTraceRecord rec;
-                rec.run = i;
-                rec.device = result.deviceName;
-                rec.workload = result.workloadName;
-                rec.input = result.inputLabel;
-                rec.resource = run.strike.resource;
-                rec.manifestation = run.strike.manifestation;
-                rec.timeFraction = run.strike.timeFraction;
-                rec.burstBits = run.strike.burstBits;
-                rec.outcome = run.outcome;
-                rec.numIncorrect = run.crit.numIncorrect;
-                rec.meanRelErrPct = run.crit.meanRelErrPct;
-                rec.pattern = run.crit.pattern;
-                rec.executionFiltered = run.crit.executionFiltered;
-                rec.wallNs = static_cast<uint64_t>(
-                    std::chrono::duration_cast<
-                        std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() -
-                        run_start)
-                        .count());
-                sink->strike(rec);
-            }
-
-            result.runs[i] = std::move(run);
+            raw.runs[i] = std::move(run);
 
             uint64_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) +
@@ -263,16 +233,15 @@ runCampaign(const DeviceModel &device, Workload &workload,
                 (done % config.progressEvery == 0 ||
                  done == config.faultyRuns)) {
                 inform("campaign %s/%s %s: %llu/%llu runs",
-                       result.deviceName.c_str(),
-                       result.workloadName.c_str(),
-                       result.inputLabel.c_str(),
+                       raw.deviceName.c_str(),
+                       raw.workloadName.c_str(),
+                       raw.inputLabel.c_str(),
                        static_cast<unsigned long long>(done),
                        static_cast<unsigned long long>(
                            config.faultyRuns));
             }
         }
     });
-    orderedSink.drain();
 
     campaignTimer.recordNs(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -290,8 +259,89 @@ runCampaign(const DeviceModel &device, Workload &workload,
         global.snapshot().since(globalBefore);
     global.merge(campaignReg.snapshot());
     campaignReg.merge(kernelDiff);
-    result.stats = campaignReg.snapshot();
+    raw.stats = campaignReg.snapshot();
+    return raw;
+}
+
+CampaignResult
+analyzeCampaign(const CampaignRaw &raw,
+                const AnalysisConfig &config)
+{
+    CampaignResult result;
+    result.deviceName = raw.deviceName;
+    result.workloadName = raw.workloadName;
+    result.inputLabel = raw.inputLabel;
+    result.config.sim = raw.sim;
+    result.config.analysis = config;
+    result.launch = raw.launch;
+    result.sensitiveAreaAu = raw.sensitiveAreaAu;
+
+    std::string prefix =
+        campaignStatsPrefix(raw.deviceName, raw.workloadName);
+    StatsRegistry analysisReg;
+    Counter &filteredCount =
+        analysisReg.counter(prefix + ".filtered");
+    PhaseTimer metricsTimer(analysisReg,
+                            "campaign.phase.metrics");
+
+    TraceSink *sink = traceSink();
+    RelativeErrorFilter filter(config.filterThresholdPct);
+
+    result.runs.resize(raw.runs.size());
+    for (size_t i = 0; i < raw.runs.size(); ++i) {
+        const RawRun &in = raw.runs[i];
+        RunRecord &out = result.runs[i];
+        out.index = in.index;
+        out.strike = in.strike;
+        out.outcome = in.outcome;
+        if (in.outcome == Outcome::Sdc) {
+            ScopedTick tick(metricsTimer);
+            out.crit = analyzeCriticality(in.record, filter,
+                                          config.locality);
+            if (out.crit.executionFiltered)
+                filteredCount.inc();
+        }
+
+        if (sink) {
+            StrikeTraceRecord rec;
+            rec.run = in.index;
+            rec.device = result.deviceName;
+            rec.workload = result.workloadName;
+            rec.input = result.inputLabel;
+            rec.resource = in.strike.resource;
+            rec.manifestation = in.strike.manifestation;
+            rec.timeFraction = in.strike.timeFraction;
+            rec.burstBits = in.strike.burstBits;
+            rec.outcome = in.outcome;
+            rec.numIncorrect = out.crit.numIncorrect;
+            rec.meanRelErrPct = out.crit.meanRelErrPct;
+            rec.pattern = out.crit.pattern;
+            rec.executionFiltered = out.crit.executionFiltered;
+            rec.wallNs = in.wallNs;
+            sink->strike(rec);
+        }
+    }
+
+    // result.stats is the union of the simulation-side telemetry
+    // carried by the raw campaign and this analysis pass; the
+    // analysis share is also published globally so process-wide
+    // tallies stay whole.
+    StatsSnapshot analysisSnap = analysisReg.snapshot();
+    StatsRegistry::global().merge(analysisSnap);
+    StatsRegistry combined;
+    combined.merge(raw.stats);
+    combined.merge(analysisSnap);
+    result.stats = combined.snapshot();
     return result;
+}
+
+CampaignResult
+runCampaign(const DeviceModel &device, Workload &workload,
+            const CampaignConfig &config)
+{
+    CampaignRaw raw = simulateCampaign(device, workload,
+                                       config.sim);
+    return analyzeCampaign(raw, config.analysis);
 }
 
 } // namespace radcrit

@@ -1,10 +1,18 @@
 /**
  * @file
  * Campaign runner: the Monte-Carlo stand-in for a beam test
- * campaign. It samples strikes over a (device, workload) pair,
- * classifies the program-level outcome of each, replays the faulty
- * executions through the real kernel, and aggregates the paper's
- * criticality metrics and relative-FIT breakdowns.
+ * campaign, split along the paper's simulate/analyze seam.
+ *
+ * simulateCampaign() samples strikes over a (device, workload)
+ * pair, classifies the program-level outcome of each, and replays
+ * the faulty executions through the real kernel, producing a
+ * CampaignRaw — strikes, outcomes, and raw mismatch records, the
+ * in-memory form of a beam log. analyzeCampaign() is the pure
+ * second half: it recomputes the paper's criticality metrics,
+ * tolerance filter, locality classes, and relative-FIT breakdowns
+ * from the records alone, so re-analysis under a new threshold
+ * never touches a kernel. runCampaign() is the composition for
+ * callers that want both in one step.
  */
 
 #ifndef RADCRIT_CAMPAIGN_RUNNER_HH
@@ -14,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/config.hh"
+#include "campaign/raw.hh"
 #include "exec/launch.hh"
 #include "metrics/criticality.hh"
 #include "obs/stats_registry.hh"
@@ -24,43 +34,7 @@ namespace radcrit
 {
 
 /**
- * Campaign parameters.
- */
-struct CampaignConfig
-{
-    /** Strikes to simulate (each is one potentially-faulty run). */
-    uint64_t faultyRuns = 200;
-    /** Master seed; identical configs reproduce identically. */
-    uint64_t seed = 12345;
-    /** Relative-error filter threshold in percent (paper: 2). */
-    double filterThresholdPct = 2.0;
-    /** Locality-classifier thresholds. */
-    LocalityParams locality;
-    /**
-     * Conversion from sensitive-area-weighted event rates to
-     * relative FIT in arbitrary units. The same constant is used
-     * for every device and code, preserving cross comparisons as in
-     * the paper (Section V).
-     */
-    double fitScaleAu = 5e-6;
-    /**
-     * Emit an inform() progress line every this many runs (0 =
-     * silent). Long campaigns pair this with radcrit_cli
-     * --progress.
-     */
-    uint64_t progressEvery = 0;
-    /**
-     * Worker threads executing runs (radcrit_cli --jobs /
-     * RADCRIT_JOBS). 1 = serial (default), 0 = one per hardware
-     * thread, N = exactly N workers. Results are bit-identical for
-     * every value: run k always draws from Rng(seed).split(k) and
-     * runs land in the result by index (see campaign/engine.hh).
-     */
-    unsigned jobs = 1;
-};
-
-/**
- * One simulated strike and its consequences.
+ * One simulated strike and its analyzed consequences.
  */
 struct RunRecord
 {
@@ -86,12 +60,14 @@ struct CampaignResult
     double sensitiveAreaAu = 0.0;
     std::vector<RunRecord> runs;
     /**
-     * Telemetry recorded during this campaign: the outcome
-     * counters under "campaign.<device>.<workload>.*" plus the
-     * phase timers ("campaign.phase.{sample,classify,replay,
-     * metrics}") and kernel timers that advanced while it ran (a
-     * diff of the global registry, so concurrent campaigns in one
-     * process stay separable).
+     * Telemetry recorded for this campaign: the outcome counters
+     * under "campaign.<device>.<workload>.*" plus the phase timers
+     * ("campaign.phase.{sample,classify,replay,metrics}") and
+     * kernel timers that advanced while it ran (a diff of the
+     * global registry, so concurrent campaigns in one process stay
+     * separable). When the raw campaign came from the store instead
+     * of a simulation, the sim-side share is the rebuilt counters
+     * (see rebuildSimStats()).
      */
     StatsSnapshot stats;
 
@@ -126,11 +102,33 @@ struct CampaignResult
 };
 
 /**
- * Run one campaign.
+ * Simulate one campaign: the expensive half. Executes every strike
+ * (kernel replays included) and returns the raw records with no
+ * analysis applied.
  *
  * @param device Device model.
  * @param workload Workload bound to the same device.
- * @param config Campaign parameters.
+ * @param config Simulation parameters.
+ */
+CampaignRaw simulateCampaign(const DeviceModel &device,
+                             Workload &workload,
+                             const SimConfig &config);
+
+/**
+ * Analyze a raw campaign: the cheap, re-runnable half. Pure in its
+ * result — the returned CampaignResult depends only on (raw,
+ * config), never on execution order or prior analyses — though it
+ * does publish telemetry (the "campaign.phase.metrics" timer and
+ * the ".filtered" counter) and, when a trace sink is installed,
+ * emits one strike-trace record per run in index order.
+ */
+CampaignResult analyzeCampaign(const CampaignRaw &raw,
+                               const AnalysisConfig &config);
+
+/**
+ * Run one campaign end to end:
+ * analyzeCampaign(simulateCampaign(device, workload, config.sim),
+ * config.analysis).
  */
 CampaignResult runCampaign(const DeviceModel &device,
                            Workload &workload,

@@ -42,7 +42,7 @@ localityBars(const CampaignResult &result,
         filtered.total() != all.total()) {
         StackedBar f_bar;
         f_bar.label = result.inputLabel + " >" +
-            TextTable::num(result.config.filterThresholdPct, 0) +
+            TextTable::num(result.config.analysis.filterThresholdPct, 0) +
             "%";
         for (Pattern p : patterns)
             f_bar.segments.push_back(filtered.of(p));

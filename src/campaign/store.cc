@@ -1,0 +1,169 @@
+#include "campaign/store.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include <unistd.h>
+
+#include "campaign/runner.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "exec/launch.hh"
+#include "logs/beamlog.hh"
+#include "obs/stats_registry.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Chain a length-prefixed string into a hash. */
+uint64_t
+hashString(uint64_t h, const std::string &s)
+{
+    h = Rng::hashCombine(h, s.size());
+    for (char c : s)
+        h = Rng::hashCombine(h, static_cast<uint64_t>(
+                                    static_cast<unsigned char>(c)));
+    return h;
+}
+
+} // anonymous namespace
+
+CampaignKey
+campaignKey(const CampaignRaw &raw)
+{
+    return CampaignKey{raw.deviceName, raw.workloadName,
+                       raw.inputLabel, raw.sim};
+}
+
+uint64_t
+campaignKeyHash(const CampaignKey &key)
+{
+    uint64_t h = 0x5241444353544f52ULL; // "RADCSTOR"
+    h = hashString(h, key.device);
+    h = hashString(h, key.workload);
+    h = hashString(h, key.input);
+    h = Rng::hashCombine(h, key.sim.seed);
+    h = Rng::hashCombine(h, key.sim.faultyRuns);
+    h = Rng::hashCombine(h,
+                         static_cast<uint64_t>(beamLogVersion));
+    return h;
+}
+
+std::string
+campaignKeyFileName(const CampaignKey &key)
+{
+    return statToken(key.device) + "-" + statToken(key.workload) +
+        "-" + statToken(key.input) + "-" +
+        strprintf("%016llx",
+                  static_cast<unsigned long long>(
+                      campaignKeyHash(key))) +
+        ".beamlog";
+}
+
+CampaignStore::CampaignStore(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create campaign cache directory '%s': %s",
+              dir_.c_str(), ec.message().c_str());
+}
+
+std::string
+CampaignStore::pathFor(const CampaignKey &key) const
+{
+    return dir_ + "/" + campaignKeyFileName(key);
+}
+
+std::optional<CampaignRaw>
+CampaignStore::load(const CampaignKey &key)
+{
+    std::string path = pathFor(key);
+    Counter &hit =
+        StatsRegistry::global().counter("campaign.store.hit");
+    Counter &miss =
+        StatsRegistry::global().counter("campaign.store.miss");
+
+    if (!std::filesystem::exists(path)) {
+        ++misses_;
+        miss.inc();
+        return std::nullopt;
+    }
+
+    CampaignRaw raw = readBeamLogFile(path);
+    if (raw.deviceName != key.device ||
+        raw.workloadName != key.workload ||
+        raw.inputLabel != key.input ||
+        raw.sim.seed != key.sim.seed ||
+        raw.runs.size() != key.sim.faultyRuns) {
+        warn("campaign cache entry '%s' does not match its key "
+             "(%s/%s %s seed=%llu runs=%llu); treating as a miss",
+             path.c_str(), key.device.c_str(),
+             key.workload.c_str(), key.input.c_str(),
+             static_cast<unsigned long long>(key.sim.seed),
+             static_cast<unsigned long long>(key.sim.faultyRuns));
+        ++misses_;
+        miss.inc();
+        return std::nullopt;
+    }
+
+    ++hits_;
+    hit.inc();
+    return raw;
+}
+
+void
+CampaignStore::save(const CampaignRaw &raw)
+{
+    std::string path = pathFor(campaignKey(raw));
+    // Write-then-rename so concurrent bench processes sharing a
+    // cache directory never observe a torn entry.
+    std::string tmp = path + strprintf(".tmp.%ld",
+                                       static_cast<long>(getpid()));
+    writeBeamLogFile(raw, tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp);
+        fatal("cannot move campaign cache entry into '%s': %s",
+              path.c_str(), ec.message().c_str());
+    }
+}
+
+std::unique_ptr<CampaignStore>
+storeFromEnv()
+{
+    const char *dir = std::getenv("RADCRIT_CAMPAIGN_CACHE");
+    if (!dir || !*dir)
+        return nullptr;
+    return std::make_unique<CampaignStore>(dir);
+}
+
+CampaignRaw
+simulateOrLoad(const DeviceModel &device, Workload &workload,
+               const SimConfig &config, CampaignStore *store)
+{
+    if (store) {
+        CampaignKey key{device.name, workload.name(),
+                        workload.inputLabel(), config};
+        if (auto cached = store->load(key)) {
+            CampaignRaw raw = std::move(*cached);
+            // jobs/progressEvery are execution details outside the
+            // key; carry the caller's values.
+            raw.sim = config;
+            raw.launch = buildLaunch(device, workload.traits());
+            raw.stats =
+                rebuildSimStats(raw, StatsRegistry::global());
+            return raw;
+        }
+    }
+    CampaignRaw raw = simulateCampaign(device, workload, config);
+    if (store)
+        store->save(raw);
+    return raw;
+}
+
+} // namespace radcrit

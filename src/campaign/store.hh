@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Content-addressed on-disk cache of raw campaigns: "run once,
+ * analyze many" across processes.
+ *
+ * A simulated campaign is fully determined by (device name,
+ * workload name + input label, SimConfig seed + faultyRuns) plus
+ * the beam-log format version — jobs and progressEvery change how a
+ * campaign executes, never what it produces, so they are excluded
+ * from the key. The store hashes that tuple into a stable 64-bit
+ * key and lays entries out flat as
+ *
+ *   <dir>/<device>-<workload>-<input>-<hex key>.beamlog
+ *
+ * where the name prefix is a human-readable statToken'd convenience
+ * and the hex key is the address. Entries are ordinary beam logs
+ * (logs/beamlog.hh), so anything the store wrote can also be fed to
+ * `radcrit_cli analyze` directly.
+ *
+ * The cache is off by default; benches and the CLI enable it with
+ * `--cache <dir>` or the RADCRIT_CAMPAIGN_CACHE environment
+ * variable. Hits and misses are counted in the global stats
+ * registry under "campaign.store.{hit,miss}".
+ */
+
+#ifndef RADCRIT_CAMPAIGN_STORE_HH
+#define RADCRIT_CAMPAIGN_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "campaign/config.hh"
+#include "campaign/raw.hh"
+#include "sim/workload.hh"
+
+namespace radcrit
+{
+
+/**
+ * Identity of one simulated campaign — everything that decides the
+ * bits of its CampaignRaw.
+ */
+struct CampaignKey
+{
+    std::string device;
+    std::string workload;
+    std::string input;
+    SimConfig sim;
+};
+
+/** @return the key of the campaign `raw` came from. */
+CampaignKey campaignKey(const CampaignRaw &raw);
+
+/**
+ * @return the stable 64-bit content address of a key: a hash chain
+ * over the identity strings, seed, run count, and the beam-log
+ * format version (so a format bump invalidates every old entry).
+ */
+uint64_t campaignKeyHash(const CampaignKey &key);
+
+/** @return the cache file name ("k40-dgemm-256x256-<hex>.beamlog"). */
+std::string campaignKeyFileName(const CampaignKey &key);
+
+/**
+ * One cache directory. Construction creates the directory (fatal
+ * if that fails: a cache the user asked for that cannot store
+ * anything is a configuration error, not a soft miss).
+ */
+class CampaignStore
+{
+  public:
+    explicit CampaignStore(const std::string &dir);
+
+    /** @return the cache directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** @return the entry path a key maps to. */
+    std::string pathFor(const CampaignKey &key) const;
+
+    /**
+     * Look a campaign up. A missing entry, or an entry whose header
+     * does not match the key (hash collision, hand-edited file), is
+     * a miss; a present-but-unparseable entry is fatal like any
+     * malformed beam log. Loaded campaigns carry no launch and no
+     * stats — use simulateOrLoad() to get those rebuilt.
+     */
+    std::optional<CampaignRaw> load(const CampaignKey &key);
+
+    /** Write a campaign under its key (atomic rename into place). */
+    void save(const CampaignRaw &raw);
+
+    /** @return hits recorded by this store instance. */
+    uint64_t hits() const { return hits_; }
+
+    /** @return misses recorded by this store instance. */
+    uint64_t misses() const { return misses_; }
+
+  private:
+    std::string dir_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/**
+ * @return a store on $RADCRIT_CAMPAIGN_CACHE, or null when the
+ * variable is unset or empty (cache off, the default).
+ */
+std::unique_ptr<CampaignStore> storeFromEnv();
+
+/**
+ * The store-aware front door to simulation: return the cached raw
+ * campaign if `store` is non-null and has it (with launch and
+ * counters rebuilt, see rebuildSimStats()), otherwise simulate and
+ * — when a store is present — save the result. With store == null
+ * this is exactly simulateCampaign().
+ */
+CampaignRaw simulateOrLoad(const DeviceModel &device,
+                           Workload &workload,
+                           const SimConfig &config,
+                           CampaignStore *store);
+
+} // namespace radcrit
+
+#endif // RADCRIT_CAMPAIGN_STORE_HH

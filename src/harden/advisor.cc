@@ -79,8 +79,8 @@ criticalFit(const DeviceModel &device,
 {
     auto workload = factory(device);
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
-    cfg.seed = seed;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = seed;
     CampaignResult res = runCampaign(device, *workload, cfg);
     return res.fitTotalAu(true);
 }

@@ -5,12 +5,7 @@
 #include <map>
 #include <sstream>
 
-#include "campaign/runner.hh"
 #include "common/logging.hh"
-#include "common/rng.hh"
-#include "metrics/criticality.hh"
-#include "metrics/relative_error.hh"
-#include "sim/workload.hh"
 
 namespace radcrit
 {
@@ -107,6 +102,18 @@ toInt(const std::string &s, const std::string &line)
     return v;
 }
 
+/** Full-range uint64 parse (seeds routinely exceed INT64_MAX). */
+uint64_t
+toUint(const std::string &s, const std::string &line)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str())
+        fatal("bad integer '%s' in line: %s", s.c_str(),
+              line.c_str());
+    return v;
+}
+
 Outcome
 outcomeFromName(const std::string &name, const std::string &line)
 {
@@ -134,27 +141,21 @@ manifestationFromName(const std::string &name,
 
 } // anonymous namespace
 
-uint64_t
-BeamLog::count(Outcome outcome) const
-{
-    uint64_t n = 0;
-    for (const auto &run : runs)
-        n += run.outcome == outcome;
-    return n;
-}
-
 void
-writeBeamLog(const CampaignResult &result, Workload &workload,
-             std::ostream &os)
+writeBeamLog(const CampaignRaw &raw, std::ostream &os)
 {
-    os << "#HEADER device=" << encodeValue(result.deviceName)
-       << " workload=" << encodeValue(result.workloadName)
-       << " input=" << encodeValue(result.inputLabel)
-       << " seed=" << result.config.seed << '\n';
-
     char buf[128];
-    for (size_t i = 0; i < result.runs.size(); ++i) {
-        const RunRecord &run = result.runs[i];
+    std::snprintf(buf, sizeof(buf), "%.17g", raw.sensitiveAreaAu);
+    os << "#HEADER version=" << beamLogVersion
+       << " device=" << encodeValue(raw.deviceName)
+       << " workload=" << encodeValue(raw.workloadName)
+       << " input=" << encodeValue(raw.inputLabel)
+       << " seed=" << raw.sim.seed
+       << " runs=" << raw.runs.size()
+       << " sensitive_area_au=" << buf << '\n';
+
+    for (size_t i = 0; i < raw.runs.size(); ++i) {
+        const RawRun &run = raw.runs[i];
         std::snprintf(buf, sizeof(buf), "%.17g",
                       run.strike.timeFraction);
         os << "#RUN idx=" << i
@@ -167,10 +168,7 @@ writeBeamLog(const CampaignResult &result, Workload &workload,
            << " burst=" << run.strike.burstBits
            << " entropy=" << run.strike.entropy << '\n';
         if (run.outcome == Outcome::Sdc) {
-            // Strikes are deterministic: replay to regenerate the
-            // full corrupted output (paper IV-D host logging).
-            Rng rng(result.config.seed);
-            SdcRecord rec = workload.inject(run.strike, rng);
+            const SdcRecord &rec = run.record;
             os << "#DIMS dims=" << rec.dims
                << " x=" << rec.extent[0]
                << " y=" << rec.extent[1]
@@ -191,22 +189,25 @@ writeBeamLog(const CampaignResult &result, Workload &workload,
 }
 
 void
-writeBeamLogFile(const CampaignResult &result, Workload &workload,
-                 const std::string &path)
+writeBeamLogFile(const CampaignRaw &raw, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
         fatal("cannot open '%s' for beam-log output",
               path.c_str());
-    writeBeamLog(result, workload, out);
+    writeBeamLog(raw, out);
+    out.flush();
+    if (!out)
+        fatal("write error on beam log '%s'", path.c_str());
 }
 
-BeamLog
+CampaignRaw
 readBeamLog(std::istream &is)
 {
-    BeamLog log;
+    CampaignRaw raw;
     std::string line;
-    LoggedRun current;
+    RawRun current;
+    uint64_t declared_runs = 0;
     bool in_run = false;
     bool have_header = false;
 
@@ -218,18 +219,30 @@ readBeamLog(std::istream &is)
         iss >> keyword;
         if (keyword == "#HEADER") {
             auto fields = parseFields(iss, line);
-            log.device = need(fields, "device", line);
-            log.workload = need(fields, "workload", line);
-            log.input = need(fields, "input", line);
-            log.seed = static_cast<uint64_t>(
-                toInt(need(fields, "seed", line), line));
+            int64_t version =
+                toInt(need(fields, "version", line), line);
+            if (version != beamLogVersion)
+                fatal("unsupported beam-log version %lld "
+                      "(expected %d)",
+                      static_cast<long long>(version),
+                      beamLogVersion);
+            raw.deviceName = need(fields, "device", line);
+            raw.workloadName = need(fields, "workload", line);
+            raw.inputLabel = need(fields, "input", line);
+            raw.sim.seed = toUint(need(fields, "seed", line),
+                                  line);
+            declared_runs = toUint(need(fields, "runs", line),
+                                   line);
+            raw.sim.faultyRuns = declared_runs;
+            raw.sensitiveAreaAu = toDouble(
+                need(fields, "sensitive_area_au", line), line);
             have_header = true;
         } else if (keyword == "#RUN") {
             if (in_run)
                 fatal("nested #RUN in beam log: %s",
                       line.c_str());
             auto fields = parseFields(iss, line);
-            current = LoggedRun{};
+            current = RawRun{};
             current.index = static_cast<uint64_t>(
                 toInt(need(fields, "idx", line), line));
             current.outcome = outcomeFromName(
@@ -271,7 +284,7 @@ readBeamLog(std::istream &is)
         } else if (keyword == "#END") {
             if (!in_run)
                 fatal("#END without #RUN: %s", line.c_str());
-            log.runs.push_back(std::move(current));
+            raw.runs.push_back(std::move(current));
             in_run = false;
         } else {
             fatal("unknown beam-log keyword '%s'",
@@ -283,45 +296,20 @@ readBeamLog(std::istream &is)
               static_cast<unsigned long long>(current.index));
     if (!have_header)
         fatal("beam log has no #HEADER");
-    return log;
+    if (raw.runs.size() != declared_runs)
+        fatal("beam log declares %llu runs but contains %llu",
+              static_cast<unsigned long long>(declared_runs),
+              static_cast<unsigned long long>(raw.runs.size()));
+    return raw;
 }
 
-BeamLog
+CampaignRaw
 readBeamLogFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in)
         fatal("cannot open beam log '%s'", path.c_str());
     return readBeamLog(in);
-}
-
-LogAnalysis
-analyzeBeamLog(const BeamLog &log, double threshold_pct)
-{
-    LogAnalysis out;
-    out.patternCounts.assign(numPatterns, 0);
-    out.filteredPatternCounts.assign(numPatterns, 0);
-    RelativeErrorFilter filter(threshold_pct);
-    double err_sum = 0.0;
-    for (const auto &run : log.runs) {
-        if (run.outcome != Outcome::Sdc)
-            continue;
-        ++out.sdcRuns;
-        CriticalityReport crit =
-            analyzeCriticality(run.record, filter);
-        err_sum += crit.meanRelErrPct;
-        out.patternCounts[static_cast<size_t>(crit.pattern)]++;
-        if (crit.executionFiltered) {
-            ++out.filteredOutRuns;
-        } else {
-            out.filteredPatternCounts[static_cast<size_t>(
-                crit.patternFiltered)]++;
-        }
-    }
-    if (out.sdcRuns > 0)
-        out.meanOfMeanRelErrPct = err_sum /
-            static_cast<double>(out.sdcRuns);
-    return out;
 }
 
 } // namespace radcrit

@@ -1,19 +1,25 @@
 /**
  * @file
- * Beam-campaign log format, writer and reader.
+ * Beam-campaign log format: the canonical (de)serialization of
+ * CampaignRaw.
  *
  * The paper's contribution (2) makes all corrupted outputs
  * "publicly available in a repository to ease reproducibility and
  * third party analysis ... so to allow users to apply different
  * filters". This module provides that artifact for radcrit
  * campaigns: a line-oriented text format that captures every run's
- * strike, outcome, and (for SDCs) the complete mismatch log, plus a
- * reader that reloads it so the criticality metrics can be
- * recomputed under any tolerance without rerunning the campaign.
+ * strike, outcome, and (for SDCs) the complete mismatch log, with a
+ * versioned header carrying the device/workload identity and the
+ * simulation config that produced it. readBeamLog() reloads it as a
+ * CampaignRaw, so the criticality metrics can be recomputed via
+ * analyzeCampaign() under any tolerance without rerunning the
+ * campaign — analyze(parse(write(raw))) is bit-identical to
+ * analyze(raw).
  *
  * Format (one record per line, '#'-prefixed keywords):
  *
- *   #HEADER device=K40 workload=DGEMM input=2048x2048 seed=...
+ *   #HEADER version=2 device=K40 workload=DGEMM input=2048x2048 \
+ *        seed=... runs=200 sensitive_area_au=...
  *   #RUN idx=0 outcome=SDC resource=RegisterFile \
  *        manifestation=BitFlipValue t=0.41 burst=1
  *   #DIMS dims=2 x=256 y=256 z=1
@@ -21,94 +27,53 @@
  *   #END idx=0
  *   #RUN idx=1 outcome=Crash ...
  *   #END idx=1
+ *
+ * The launch geometry is not serialized — it is derived from
+ * (device, workload), never consumed by analysis, and the campaign
+ * store rebuilds it on load. A log parsed standalone carries a
+ * default-constructed KernelLaunch.
  */
 
 #ifndef RADCRIT_LOGS_BEAMLOG_HH
 #define RADCRIT_LOGS_BEAMLOG_HH
 
-#include <cstdint>
 #include <iosfwd>
 #include <string>
-#include <vector>
 
-#include "metrics/sdcrecord.hh"
-#include "sim/fault.hh"
+#include "campaign/raw.hh"
 
 namespace radcrit
 {
 
-struct CampaignResult;
-class Workload;
-
-/** One run reloaded from a log. */
-struct LoggedRun
-{
-    uint64_t index = 0;
-    Outcome outcome = Outcome::Masked;
-    Strike strike;
-    /** Mismatch log; empty unless outcome == Sdc. */
-    SdcRecord record;
-};
-
-/** A complete reloaded campaign log. */
-struct BeamLog
-{
-    std::string device;
-    std::string workload;
-    std::string input;
-    uint64_t seed = 0;
-    std::vector<LoggedRun> runs;
-
-    /** @return number of runs with the given outcome. */
-    uint64_t count(Outcome outcome) const;
-};
+/**
+ * Version of the on-disk format. Bumped whenever the header or
+ * record grammar changes; the reader rejects any other version so
+ * stale cache entries and foreign files fail loudly instead of
+ * parsing as garbage. v1 (no version field, header without
+ * sim-config) is no longer read.
+ */
+constexpr int beamLogVersion = 2;
 
 /**
- * Serialize a campaign to the log format.
- *
- * The campaign runner stores only the analyzed metrics, so the
- * writer replays every SDC strike through the workload (which is
- * deterministic per strike) to regenerate the full mismatch logs,
- * exactly like the paper's host logging corrupted outputs.
- *
- * @param result Campaign to serialize.
- * @param workload The workload the campaign ran (same instance or
- * an identical reconstruction).
- * @param os Output stream.
+ * Serialize a raw campaign to the log format. All doubles are
+ * printed with %.17g so a parse round-trip is bit-exact.
  */
-void writeBeamLog(const CampaignResult &result, Workload &workload,
-                  std::ostream &os);
+void writeBeamLog(const CampaignRaw &raw, std::ostream &os);
 
 /** Convenience: write to a file path (fatal on I/O errors). */
-void writeBeamLogFile(const CampaignResult &result,
-                      Workload &workload,
+void writeBeamLogFile(const CampaignRaw &raw,
                       const std::string &path);
 
 /**
- * Parse a log. fatal() on malformed input (user-supplied data).
+ * Parse a log into a CampaignRaw. fatal() on malformed input or a
+ * version mismatch (user-supplied data). RawRun::wallNs and the
+ * stats snapshot are not part of the format; loaded runs carry 0 /
+ * empty there (the store rebuilds counters, see rebuildSimStats()).
  */
-BeamLog readBeamLog(std::istream &is);
+CampaignRaw readBeamLog(std::istream &is);
 
 /** Convenience: read from a file path (fatal if unreadable). */
-BeamLog readBeamLogFile(const std::string &path);
-
-/**
- * Third-party re-analysis: recompute the paper's metrics from a
- * log under a caller-chosen tolerance.
- */
-struct LogAnalysis
-{
-    uint64_t sdcRuns = 0;
-    uint64_t filteredOutRuns = 0;
-    double meanOfMeanRelErrPct = 0.0;
-    /** Pattern counts over surviving (filtered) executions. */
-    std::vector<uint64_t> filteredPatternCounts;
-    /** Pattern counts over all SDC executions. */
-    std::vector<uint64_t> patternCounts;
-};
-
-LogAnalysis analyzeBeamLog(const BeamLog &log,
-                           double threshold_pct);
+CampaignRaw readBeamLogFile(const std::string &path);
 
 } // namespace radcrit
 

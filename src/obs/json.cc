@@ -1,6 +1,7 @@
 #include "obs/json.hh"
 
 #include <cmath>
+#include <ostream>
 
 #include "common/logging.hh"
 
@@ -39,6 +40,77 @@ jsonNum(double v)
     if (v == std::floor(v) && std::fabs(v) < 1e15)
         return strprintf("%.0f", v);
     return strprintf("%.9g", v);
+}
+
+JsonObjectWriter::JsonObjectWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+    os_ << "{";
+}
+
+JsonObjectWriter::~JsonObjectWriter()
+{
+    close();
+}
+
+void
+JsonObjectWriter::startField(const std::string &key)
+{
+    if (!first_)
+        os_ << ",";
+    first_ = false;
+    os_ << "\n" << std::string(static_cast<size_t>(indent_), ' ')
+        << "\"" << jsonEscape(key) << "\": ";
+}
+
+void
+JsonObjectWriter::field(const std::string &key,
+                        const std::string &value)
+{
+    startField(key);
+    os_ << "\"" << jsonEscape(value) << "\"";
+}
+
+void
+JsonObjectWriter::field(const std::string &key, const char *value)
+{
+    field(key, std::string(value));
+}
+
+void
+JsonObjectWriter::field(const std::string &key, uint64_t value)
+{
+    startField(key);
+    os_ << value;
+}
+
+void
+JsonObjectWriter::field(const std::string &key, double value)
+{
+    startField(key);
+    os_ << jsonNum(value);
+}
+
+void
+JsonObjectWriter::beginRawField(const std::string &key)
+{
+    startField(key);
+}
+
+void
+JsonObjectWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (first_) {
+        os_ << "}";
+        return;
+    }
+    os_ << "\n";
+    if (indent_ > 2)
+        os_ << std::string(static_cast<size_t>(indent_ - 2), ' ');
+    os_ << "}";
 }
 
 } // namespace radcrit

@@ -9,6 +9,8 @@
 #ifndef RADCRIT_OBS_JSON_HH
 #define RADCRIT_OBS_JSON_HH
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 
 namespace radcrit
@@ -23,6 +25,69 @@ std::string jsonEscape(const std::string &s);
  * them.
  */
 std::string jsonNum(double v);
+
+/**
+ * Stream writer for one pretty-printed JSON object: handles the
+ * braces, commas, indentation, key quoting/escaping and value
+ * formatting so emitters cannot produce inconsistent escaping or
+ * trailing-comma bugs by hand-assembling the syntax.
+ *
+ * Usage:
+ *
+ *   JsonObjectWriter obj(out);
+ *   obj.field("bench", name);      // string value, escaped
+ *   obj.field("runs", runs);       // integer value
+ *   obj.field("ns_per_op", ns);    // double via jsonNum()
+ *   obj.beginRawField("stats");    // caller streams the value
+ *   snapshot.writeJson(out, 2);
+ *   obj.close();                   // or let the destructor close
+ */
+class JsonObjectWriter
+{
+  public:
+    /**
+     * Open an object on `os`.
+     *
+     * @param os Output stream; must outlive the writer.
+     * @param indent Indentation of the object's fields in spaces
+     * (the closing brace sits one level shallower).
+     */
+    explicit JsonObjectWriter(std::ostream &os, int indent = 2);
+
+    /** Closes the object if close() was not called. */
+    ~JsonObjectWriter();
+
+    JsonObjectWriter(const JsonObjectWriter &) = delete;
+    JsonObjectWriter &operator=(const JsonObjectWriter &) = delete;
+
+    /** Emit a string field (value escaped and quoted). */
+    void field(const std::string &key, const std::string &value);
+    void field(const std::string &key, const char *value);
+
+    /** Emit an integer field. */
+    void field(const std::string &key, uint64_t value);
+
+    /** Emit a numeric field rendered via jsonNum(). */
+    void field(const std::string &key, double value);
+
+    /**
+     * Emit the key and separator of a field whose value the caller
+     * streams directly afterwards (nested objects like the stats
+     * snapshot).
+     */
+    void beginRawField(const std::string &key);
+
+    /** Close the object (idempotent). */
+    void close();
+
+  private:
+    void startField(const std::string &key);
+
+    std::ostream &os_;
+    int indent_;
+    bool first_ = true;
+    bool closed_ = false;
+};
 
 } // namespace radcrit
 

@@ -20,8 +20,8 @@ campaign(const DeviceModel &device, Workload &w,
          uint64_t runs = 300)
 {
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
-    cfg.seed = 13;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = 13;
     return runCampaign(device, w, cfg);
 }
 

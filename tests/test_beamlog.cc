@@ -1,7 +1,10 @@
 /**
  * @file
- * Tests for the beam-log writer/reader and third-party
- * re-analysis (paper contribution 2).
+ * Tests for the beam-log writer/reader — the canonical
+ * (de)serialization of CampaignRaw (paper contribution 2). The key
+ * property: analyze(parse(write(raw))) is bit-identical to
+ * analyze(raw), so a third party with only the log reproduces every
+ * published metric.
  */
 
 #include <gtest/gtest.h>
@@ -26,106 +29,121 @@ class BeamLogTest : public ::testing::Test
     DeviceModel device_ = makeK40();
     Dgemm dgemm_{device_, 64, 42};
 
-    CampaignResult
+    CampaignRaw
     campaign(uint64_t runs = 60)
     {
-        CampaignConfig cfg;
+        SimConfig cfg;
         cfg.faultyRuns = runs;
         cfg.seed = 11;
-        return runCampaign(device_, dgemm_, cfg);
+        return simulateCampaign(device_, dgemm_, cfg);
+    }
+
+    static CampaignRaw
+    roundTrip(const CampaignRaw &raw)
+    {
+        std::stringstream ss;
+        writeBeamLog(raw, ss);
+        return readBeamLog(ss);
     }
 };
 
 TEST_F(BeamLogTest, RoundTripPreservesRuns)
 {
-    CampaignResult res = campaign();
-    std::stringstream ss;
-    writeBeamLog(res, dgemm_, ss);
-    BeamLog log = readBeamLog(ss);
+    CampaignRaw raw = campaign();
+    CampaignRaw log = roundTrip(raw);
 
-    EXPECT_EQ(log.device, "K40");
-    EXPECT_EQ(log.workload, "DGEMM");
-    EXPECT_EQ(log.seed, 11u);
-    ASSERT_EQ(log.runs.size(), res.runs.size());
-    for (size_t i = 0; i < res.runs.size(); ++i) {
-        EXPECT_EQ(log.runs[i].outcome, res.runs[i].outcome);
+    EXPECT_EQ(log.deviceName, "K40");
+    EXPECT_EQ(log.workloadName, "DGEMM");
+    EXPECT_EQ(log.sim.seed, 11u);
+    EXPECT_EQ(log.sim.faultyRuns, raw.sim.faultyRuns);
+    EXPECT_DOUBLE_EQ(log.sensitiveAreaAu, raw.sensitiveAreaAu);
+    ASSERT_EQ(log.runs.size(), raw.runs.size());
+    for (size_t i = 0; i < raw.runs.size(); ++i) {
+        EXPECT_EQ(log.runs[i].index, raw.runs[i].index);
+        EXPECT_EQ(log.runs[i].outcome, raw.runs[i].outcome);
         EXPECT_EQ(log.runs[i].strike.resource,
-                  res.runs[i].strike.resource);
+                  raw.runs[i].strike.resource);
         EXPECT_EQ(log.runs[i].strike.manifestation,
-                  res.runs[i].strike.manifestation);
+                  raw.runs[i].strike.manifestation);
         EXPECT_DOUBLE_EQ(log.runs[i].strike.timeFraction,
-                         res.runs[i].strike.timeFraction);
+                         raw.runs[i].strike.timeFraction);
     }
+}
+
+TEST_F(BeamLogTest, SerializationIsAFixedPoint)
+{
+    // write(parse(write(raw))) == write(raw): %.17g printing makes
+    // the textual form a fixed point of the round trip.
+    CampaignRaw raw = campaign();
+    std::stringstream first;
+    writeBeamLog(raw, first);
+    std::stringstream second;
+    writeBeamLog(roundTrip(raw), second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(BeamLogTest, ReanalysisIsBitIdentical)
+{
+    // The headline guarantee: analysis of the reloaded log matches
+    // analysis of the in-memory campaign bit for bit.
+    CampaignRaw raw = campaign(100);
+    CampaignRaw log = roundTrip(raw);
+    AnalysisConfig acfg;
+    CampaignResult a = analyzeCampaign(raw, acfg);
+    CampaignResult b = analyzeCampaign(log, acfg);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome);
+        EXPECT_EQ(a.runs[i].crit.numIncorrect,
+                  b.runs[i].crit.numIncorrect);
+        EXPECT_EQ(a.runs[i].crit.meanRelErrPct,
+                  b.runs[i].crit.meanRelErrPct);
+        EXPECT_EQ(a.runs[i].crit.pattern, b.runs[i].crit.pattern);
+        EXPECT_EQ(a.runs[i].crit.executionFiltered,
+                  b.runs[i].crit.executionFiltered);
+    }
+    EXPECT_EQ(a.fitTotalAu(true), b.fitTotalAu(true));
+    EXPECT_EQ(a.fitTotalAu(false), b.fitTotalAu(false));
 }
 
 TEST_F(BeamLogTest, LoggedRecordsMatchCampaignMetrics)
 {
-    // Injection is a pure function of the strike, so the logged
-    // mismatch records reproduce the campaign's metrics exactly.
-    CampaignResult res = campaign();
-    std::stringstream ss;
-    writeBeamLog(res, dgemm_, ss);
-    BeamLog log = readBeamLog(ss);
-    for (size_t i = 0; i < res.runs.size(); ++i) {
-        if (res.runs[i].outcome != Outcome::Sdc)
+    // Stored mismatch records carry the analysis-independent
+    // corruption counts verbatim.
+    CampaignRaw raw = campaign();
+    CampaignRaw log = roundTrip(raw);
+    for (size_t i = 0; i < raw.runs.size(); ++i) {
+        if (raw.runs[i].outcome != Outcome::Sdc)
             continue;
         EXPECT_EQ(log.runs[i].record.numIncorrect(),
-                  res.runs[i].crit.numIncorrect);
-    }
-}
-
-TEST_F(BeamLogTest, ValuesRoundTripBitExact)
-{
-    CampaignResult res = campaign();
-    std::stringstream ss;
-    writeBeamLog(res, dgemm_, ss);
-    BeamLog log = readBeamLog(ss);
-    std::stringstream ss2;
-    // Re-serializing the parsed log through a second write must
-    // keep element values identical (printed with %.17g).
-    for (const auto &run : log.runs) {
-        for (const auto &e : run.record.elements) {
+                  raw.runs[i].record.numIncorrect());
+        for (const auto &e : log.runs[i].record.elements)
             EXPECT_TRUE(std::isfinite(e.expected));
-            (void)e;
-        }
     }
-    EXPECT_EQ(log.count(Outcome::Sdc),
-              res.count(Outcome::Sdc));
+    EXPECT_EQ(log.count(Outcome::Sdc), raw.count(Outcome::Sdc));
     EXPECT_EQ(log.count(Outcome::Crash),
-              res.count(Outcome::Crash));
-}
-
-TEST_F(BeamLogTest, ReanalysisMatchesCampaignFilter)
-{
-    CampaignResult res = campaign(100);
-    std::stringstream ss;
-    writeBeamLog(res, dgemm_, ss);
-    BeamLog log = readBeamLog(ss);
-
-    LogAnalysis analysis = analyzeBeamLog(log, 2.0);
-    EXPECT_EQ(analysis.sdcRuns, res.count(Outcome::Sdc));
-    uint64_t filtered = 0;
-    for (const auto &run : res.runs) {
-        if (run.outcome == Outcome::Sdc &&
-            run.crit.executionFiltered) {
-            ++filtered;
-        }
-    }
-    EXPECT_EQ(analysis.filteredOutRuns, filtered);
+              raw.count(Outcome::Crash));
 }
 
 TEST_F(BeamLogTest, DifferentThresholdsDiffer)
 {
     // The whole point of publishing logs: users can apply their
-    // own filters.
-    CampaignResult res = campaign(100);
-    std::stringstream ss;
-    writeBeamLog(res, dgemm_, ss);
-    BeamLog log = readBeamLog(ss);
-    LogAnalysis strict = analyzeBeamLog(log, 0.0);
-    LogAnalysis loose = analyzeBeamLog(log, 50.0);
-    EXPECT_LE(strict.filteredOutRuns, loose.filteredOutRuns);
-    EXPECT_EQ(strict.filteredOutRuns, 0u);
+    // own filters, without re-running a kernel.
+    CampaignRaw log = roundTrip(campaign(100));
+    AnalysisConfig strict_cfg;
+    strict_cfg.filterThresholdPct = 0.0;
+    AnalysisConfig loose_cfg;
+    loose_cfg.filterThresholdPct = 50.0;
+    CampaignResult strict = analyzeCampaign(log, strict_cfg);
+    CampaignResult loose = analyzeCampaign(log, loose_cfg);
+    uint64_t strict_filtered = 0, loose_filtered = 0;
+    for (size_t i = 0; i < strict.runs.size(); ++i) {
+        strict_filtered += strict.runs[i].crit.executionFiltered;
+        loose_filtered += loose.runs[i].crit.executionFiltered;
+    }
+    EXPECT_EQ(strict_filtered, 0u);
+    EXPECT_LE(strict_filtered, loose_filtered);
+    EXPECT_GE(strict.fitTotalAu(true), loose.fitTotalAu(true));
 }
 
 TEST(BeamLog3dTest, LavaMdRoundTripKeepsBoxCoordinates)
@@ -134,18 +152,19 @@ TEST(BeamLog3dTest, LavaMdRoundTripKeepsBoxCoordinates)
     // particles sharing a box) must survive the log round trip.
     DeviceModel device = makeXeonPhi();
     LavaMd lava(device, 5, 42, 2, 4, 11);
-    CampaignConfig cfg;
+    SimConfig cfg;
     cfg.faultyRuns = 60;
     cfg.seed = 23;
-    CampaignResult res = runCampaign(device, lava, cfg);
+    CampaignRaw raw = simulateCampaign(device, lava, cfg);
+    CampaignResult res = analyzeCampaign(raw, AnalysisConfig{});
 
     std::stringstream ss;
-    writeBeamLog(res, lava, ss);
-    BeamLog log = readBeamLog(ss);
-    ASSERT_EQ(log.runs.size(), res.runs.size());
+    writeBeamLog(raw, ss);
+    CampaignRaw log = readBeamLog(ss);
+    ASSERT_EQ(log.runs.size(), raw.runs.size());
     bool saw_sdc = false;
-    for (size_t i = 0; i < res.runs.size(); ++i) {
-        if (res.runs[i].outcome != Outcome::Sdc)
+    for (size_t i = 0; i < raw.runs.size(); ++i) {
+        if (raw.runs[i].outcome != Outcome::Sdc)
             continue;
         saw_sdc = true;
         const SdcRecord &rec = log.runs[i].record;
@@ -174,20 +193,43 @@ TEST(BeamLogParseDeathTest, MissingHeaderFatal)
                 "no #HEADER");
 }
 
+TEST(BeamLogParseDeathTest, VersionMismatchFatal)
+{
+    std::stringstream ss(
+        "#HEADER version=1 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=0 sensitive_area_au=1\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "unsupported beam-log version 1");
+}
+
 TEST(BeamLogParseDeathTest, TruncatedRunFatal)
 {
     std::stringstream ss(
-        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=1 sensitive_area_au=1\n"
         "#RUN idx=0 outcome=SDC resource=RegisterFile "
         "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n");
     EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
                 "truncated");
 }
 
+TEST(BeamLogParseDeathTest, RunCountMismatchFatal)
+{
+    std::stringstream ss(
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=2 sensitive_area_au=1\n"
+        "#RUN idx=0 outcome=Masked resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n"
+        "#END idx=0\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "declares 2 runs but contains 1");
+}
+
 TEST(BeamLogParseDeathTest, UnknownKeywordFatal)
 {
     std::stringstream ss(
-        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=0 sensitive_area_au=1\n"
         "#WHAT is=this\n");
     EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
                 "unknown beam-log keyword");
@@ -196,7 +238,8 @@ TEST(BeamLogParseDeathTest, UnknownKeywordFatal)
 TEST(BeamLogParseDeathTest, MalformedFieldFatal)
 {
     std::stringstream ss(
-        "#HEADER device=K40 workload=DGEMM input=x seed=1\n"
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=1 sensitive_area_au=1\n"
         "#RUN idx=0 outcome=Nonsense resource=RegisterFile "
         "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n"
         "#END idx=0\n");

@@ -28,9 +28,9 @@ CampaignConfig
 config(uint64_t runs, unsigned jobs, uint64_t seed = 7)
 {
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
-    cfg.seed = seed;
-    cfg.jobs = jobs;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = seed;
+    cfg.sim.jobs = jobs;
     return cfg;
 }
 
@@ -140,11 +140,11 @@ TEST(EngineReplay, SingleRunReproducesCampaignRecord)
 
     KernelLaunch launch = buildLaunch(device, dgemm.traits());
     StrikeSampler sampler(device, launch);
-    RelativeErrorFilter filter(cfg.filterThresholdPct);
+    RelativeErrorFilter filter(
+        cfg.analysis.filterThresholdPct);
     for (uint64_t k : {0ull, 17ull, 49ull}) {
-        Rng rng = runRng(cfg, k);
-        RunRecord run = simulateRun(sampler, dgemm, filter, cfg,
-                                    k, rng);
+        Rng rng = runRng(cfg.sim, k);
+        RawRun run = simulateRun(sampler, dgemm, cfg.sim, k, rng);
         EXPECT_EQ(run.index, k);
         EXPECT_EQ(run.outcome, res.runs[k].outcome);
         EXPECT_EQ(run.strike.resource,
@@ -153,22 +153,26 @@ TEST(EngineReplay, SingleRunReproducesCampaignRecord)
                   res.runs[k].strike.manifestation);
         EXPECT_EQ(run.strike.timeFraction,
                   res.runs[k].strike.timeFraction);
-        EXPECT_EQ(run.crit.numIncorrect,
-                  res.runs[k].crit.numIncorrect);
-        EXPECT_EQ(run.crit.meanRelErrPct,
-                  res.runs[k].crit.meanRelErrPct);
+        if (run.outcome == Outcome::Sdc) {
+            CriticalityReport crit = analyzeCriticality(
+                run.record, filter, cfg.analysis.locality);
+            EXPECT_EQ(crit.numIncorrect,
+                      res.runs[k].crit.numIncorrect);
+            EXPECT_EQ(crit.meanRelErrPct,
+                      res.runs[k].crit.meanRelErrPct);
+        }
     }
 }
 
 TEST(EngineRng, RunStreamsAreIndependentOfEachOther)
 {
     CampaignConfig cfg = config(4, 1, 99);
-    Rng a = runRng(cfg, 0);
-    Rng a2 = runRng(cfg, 0);
+    Rng a = runRng(cfg.sim, 0);
+    Rng a2 = runRng(cfg.sim, 0);
     EXPECT_EQ(a.next64(), a2.next64());
     // Distinct runs draw from distinct streams.
-    Rng c = runRng(cfg, 0);
-    Rng d = runRng(cfg, 1);
+    Rng c = runRng(cfg.sim, 0);
+    Rng d = runRng(cfg.sim, 1);
     bool differs = false;
     for (int i = 0; i < 8; ++i)
         differs |= c.next64() != d.next64();

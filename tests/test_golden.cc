@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "campaign/series.hh"
 #include "check/golden.hh"
 #include "common/table.hh"
+#include "logs/beamlog.hh"
 #include "kernels/clamr.hh"
 #include "kernels/dgemm.hh"
 #include "kernels/hotspot.hh"
@@ -190,6 +192,27 @@ TEST(GoldenRunRows, DgemmK40PerRunCsv)
     for (auto &row : runRows(res))
         rows.push_back(std::move(row));
     expectGolden("runrows_dgemm_k40.csv", rows);
+}
+
+TEST(GoldenBeamLog, DgemmK40Artifact)
+{
+    // The serialized beam log is itself a published artifact
+    // (paper contribution 2): its textual form must stay stable
+    // line for line, not just analysis-equivalent.
+    DeviceModel device = makeDevice(DeviceId::K40);
+    auto workload = makeSmall("DGEMM", device);
+    CampaignConfig cfg = defaultCampaign(
+        30, device.name, workload->name(),
+        workload->inputLabel());
+    CampaignRaw raw = simulateCampaign(device, *workload,
+                                       cfg.sim);
+    std::stringstream ss;
+    writeBeamLog(raw, ss);
+    check::Table rows;
+    std::string line;
+    while (std::getline(ss, line))
+        rows.push_back({line});
+    expectGolden("beamlog_dgemm_k40.beamlog", rows);
 }
 
 TEST(GoldenHarness, MissingGoldenExplainsItself)

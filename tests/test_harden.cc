@@ -20,8 +20,8 @@ dgemmCampaign(const DeviceModel &device, uint64_t runs = 250)
 {
     Dgemm dgemm(device, 128, 42);
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
-    cfg.seed = 5;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = 5;
     return runCampaign(device, dgemm, cfg);
 }
 

@@ -119,7 +119,7 @@ TEST(JobsResolution, ZeroResolvesToHardwareThreads)
 
 TEST(JobsResolution, CampaignConfigDefaultIsSerial)
 {
-    EXPECT_EQ(CampaignConfig{}.jobs, 1u);
+    EXPECT_EQ(CampaignConfig{}.sim.jobs, 1u);
 }
 
 TEST(JobsDeterminism, VerdictsIdenticalAtAnyWorkerCount)
@@ -134,7 +134,7 @@ TEST(JobsDeterminism, VerdictsIdenticalAtAnyWorkerCount)
         CampaignConfig cfg = defaultCampaign(
             150, device.name, workload.name(),
             workload.inputLabel());
-        cfg.jobs = jobs;
+        cfg.sim.jobs = jobs;
         results.emplace(jobs,
                         runCampaign(device, workload, cfg));
     }

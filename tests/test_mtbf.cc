@@ -23,8 +23,8 @@ campaign(uint64_t runs = 300)
     DeviceModel device = makeK40();
     static Dgemm dgemm(device, 128, 42);
     CampaignConfig cfg;
-    cfg.faultyRuns = runs;
-    cfg.seed = 21;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = 21;
     return runCampaign(device, dgemm, cfg);
 }
 

@@ -66,11 +66,11 @@ TEST(PaperConfigsTest, CampaignSeedsIndependent)
     CampaignConfig b = defaultCampaign(10, "K40", "DGEMM", "2048");
     CampaignConfig c = defaultCampaign(10, "XeonPhi", "DGEMM",
                                        "1024");
-    EXPECT_NE(a.seed, b.seed);
-    EXPECT_NE(a.seed, c.seed);
-    EXPECT_EQ(a.seed,
-              defaultCampaign(10, "K40", "DGEMM", "1024").seed);
-    EXPECT_EQ(a.faultyRuns, 10u);
+    EXPECT_NE(a.sim.seed, b.sim.seed);
+    EXPECT_NE(a.sim.seed, c.sim.seed);
+    EXPECT_EQ(a.sim.seed,
+              defaultCampaign(10, "K40", "DGEMM", "1024").sim.seed);
+    EXPECT_EQ(a.sim.faultyRuns, 10u);
 }
 
 } // anonymous namespace

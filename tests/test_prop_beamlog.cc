@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Property-based tests of the simulate/analyze split:
+ *
+ *  - beam-log round trip: for arbitrary campaign seeds, on all four
+ *    kernels, analyze(parse(write(raw))) is bit-identical to
+ *    analyze(raw) — the serialized log loses nothing the analysis
+ *    can see;
+ *  - analysis purity: analyzeCampaign() is a pure function of
+ *    (raw, AnalysisConfig) — re-analysis under arbitrary pairs of
+ *    tolerances never mutates the raw campaign, so applying configs
+ *    in any order reproduces the same bits.
+ *
+ * A falsified property prints a RADCRIT_PROPTEST_SEED for replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "check/prop.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+#include "logs/beamlog.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+enum class Wl { Dgemm, LavaMd, HotSpot, Clamr };
+
+std::unique_ptr<Workload>
+makeSmall(Wl wl, const DeviceModel &device)
+{
+    switch (wl) {
+      case Wl::Dgemm:
+        return std::make_unique<Dgemm>(device, 64, 42);
+      case Wl::LavaMd:
+        return std::make_unique<LavaMd>(device, 5, 42, 2, 4, 11);
+      case Wl::HotSpot:
+        return std::make_unique<HotSpot>(device, 64, 64, 42);
+      case Wl::Clamr:
+        return std::make_unique<Clamr>(device, 64, 64, 42);
+    }
+    return nullptr;
+}
+
+/** Bit-level equality of two double values, NaN-tolerant. */
+bool
+sameDouble(double a, double b)
+{
+    return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+/** Bit-level equality of everything an analysis produces. */
+bool
+sameAnalysis(const CampaignResult &a, const CampaignResult &b)
+{
+    if (a.runs.size() != b.runs.size())
+        return false;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        const RunRecord &ra = a.runs[i];
+        const RunRecord &rb = b.runs[i];
+        if (ra.outcome != rb.outcome ||
+            ra.crit.numIncorrect != rb.crit.numIncorrect ||
+            ra.crit.pattern != rb.crit.pattern ||
+            ra.crit.executionFiltered !=
+                rb.crit.executionFiltered ||
+            !sameDouble(ra.crit.meanRelErrPct,
+                        rb.crit.meanRelErrPct)) {
+            return false;
+        }
+    }
+    return sameDouble(a.fitTotalAu(false), b.fitTotalAu(false)) &&
+        sameDouble(a.fitTotalAu(true), b.fitTotalAu(true));
+}
+
+/** Modest case counts: each case simulates a small campaign. */
+check::PropConfig
+fixedConfig(uint64_t cases)
+{
+    check::PropConfig cfg;
+    cfg.seed = 20260806;
+    cfg.cases = cases;
+    return cfg;
+}
+
+using Param = std::tuple<DeviceId, Wl>;
+
+class BeamLogPropTest : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [device_id, wl] = GetParam();
+        device_ = makeDevice(device_id);
+        workload_ = makeSmall(wl, device_);
+    }
+
+    DeviceModel device_;
+    std::unique_ptr<Workload> workload_;
+};
+
+TEST_P(BeamLogPropTest, RoundTripAnalysisBitIdentical)
+{
+    check::PropResult r = check::forAll<uint64_t>(
+        "beamlog round trip keeps analysis bit-identical",
+        check::gen::seed(),
+        std::function<bool(const uint64_t &)>(
+            [&](const uint64_t &seed) {
+                SimConfig cfg;
+                cfg.faultyRuns = 8;
+                cfg.seed = seed;
+                CampaignRaw raw =
+                    simulateCampaign(device_, *workload_, cfg);
+                std::stringstream ss;
+                writeBeamLog(raw, ss);
+                CampaignRaw back = readBeamLog(ss);
+                AnalysisConfig acfg;
+                return sameAnalysis(analyzeCampaign(raw, acfg),
+                                    analyzeCampaign(back, acfg));
+            }),
+        fixedConfig(10));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST_P(BeamLogPropTest, AnalysisIsPureAndOrderIndependent)
+{
+    SimConfig cfg;
+    cfg.faultyRuns = 24;
+    cfg.seed = 77;
+    CampaignRaw raw = simulateCampaign(device_, *workload_, cfg);
+
+    check::PropResult r = check::forAll<std::pair<double, double>>(
+        "re-analysis never disturbs the raw campaign",
+        check::gen::pairOf(check::gen::real(0.0, 50.0),
+                           check::gen::real(0.0, 50.0)),
+        std::function<bool(const std::pair<double, double> &)>(
+            [&](const std::pair<double, double> &thresholds) {
+                AnalysisConfig first;
+                first.filterThresholdPct = thresholds.first;
+                AnalysisConfig second;
+                second.filterThresholdPct = thresholds.second;
+                CampaignResult before =
+                    analyzeCampaign(raw, first);
+                // An intervening analysis under a different config
+                // must leave the next one untouched.
+                analyzeCampaign(raw, second);
+                CampaignResult after = analyzeCampaign(raw, first);
+                return sameAnalysis(before, after);
+            }),
+        fixedConfig(20));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, BeamLogPropTest,
+    ::testing::Values(
+        Param{DeviceId::K40, Wl::Dgemm},
+        Param{DeviceId::XeonPhi, Wl::LavaMd},
+        Param{DeviceId::K40, Wl::HotSpot},
+        Param{DeviceId::XeonPhi, Wl::Clamr}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        switch (std::get<1>(info.param)) {
+          case Wl::Dgemm:
+            return std::string("Dgemm");
+          case Wl::LavaMd:
+            return std::string("LavaMd");
+          case Wl::HotSpot:
+            return std::string("HotSpot");
+          case Wl::Clamr:
+            return std::string("Clamr");
+        }
+        return std::string("Unknown");
+    });
+
+} // anonymous namespace
+} // namespace radcrit

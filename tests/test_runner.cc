@@ -27,8 +27,8 @@ class RunnerTest : public ::testing::Test
     config(uint64_t runs, uint64_t seed = 7)
     {
         CampaignConfig cfg;
-        cfg.faultyRuns = runs;
-        cfg.seed = seed;
+        cfg.sim.faultyRuns = runs;
+        cfg.sim.seed = seed;
         return cfg;
     }
 };
@@ -196,7 +196,7 @@ TEST_F(RunnerTest, StatsCarryPhaseTimers)
 TEST_F(RunnerTest, ProgressReportingKeepsResultsIdentical)
 {
     CampaignConfig with = config(30, 11);
-    with.progressEvery = 10;
+    with.sim.progressEvery = 10;
     bool quiet = isQuiet();
     setQuiet(true);
     CampaignResult a = runCampaign(device_, dgemm_, with);
@@ -213,7 +213,7 @@ TEST(RunnerDeathTest, ZeroRunsFatal)
     DeviceModel d = makeK40();
     Dgemm dgemm(d, 64, 42);
     CampaignConfig cfg;
-    cfg.faultyRuns = 0;
+    cfg.sim.faultyRuns = 0;
     EXPECT_EXIT(runCampaign(d, dgemm, cfg),
                 ::testing::ExitedWithCode(1), "at least one");
 }

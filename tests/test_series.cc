@@ -21,8 +21,8 @@ smallCampaign()
     DeviceModel device = makeDevice(DeviceId::K40);
     Dgemm dgemm(device, 64, 42);
     CampaignConfig cfg;
-    cfg.faultyRuns = 150;
-    cfg.seed = 17;
+    cfg.sim.faultyRuns = 150;
+    cfg.sim.seed = 17;
     return runCampaign(device, dgemm, cfg);
 }
 
@@ -98,8 +98,8 @@ TEST(SeriesTest, OutcomeDistributionHomogeneousAcrossSeeds)
     Dgemm dgemm(device, 64, 42);
     auto counts = [&](uint64_t seed) {
         CampaignConfig cfg;
-        cfg.faultyRuns = 300;
-        cfg.seed = seed;
+        cfg.sim.faultyRuns = 300;
+        cfg.sim.seed = seed;
         CampaignResult res = runCampaign(device, dgemm, cfg);
         return std::vector<uint64_t>{
             res.count(Outcome::Masked), res.count(Outcome::Sdc),

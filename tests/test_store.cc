@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the content-addressed campaign store: key hashing
+ * (stable, execution-parameter-blind), entry naming, save/load
+ * round trips, mismatch handling, the hit/miss counters, and the
+ * simulateOrLoad() front door.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+
+#include "campaign/runner.hh"
+#include "campaign/store.hh"
+#include "common/logging.hh"
+#include "kernels/dgemm.hh"
+#include "logs/beamlog.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = ::testing::TempDir() + "radcrit_store_" +
+            info->name();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        setTraceSink(nullptr);
+        std::filesystem::remove_all(dir_);
+    }
+
+    CampaignRaw
+    campaign(uint64_t runs = 40, uint64_t seed = 11)
+    {
+        SimConfig cfg;
+        cfg.faultyRuns = runs;
+        cfg.seed = seed;
+        return simulateCampaign(device_, dgemm_, cfg);
+    }
+
+    static bool
+    sameRuns(const CampaignRaw &a, const CampaignRaw &b)
+    {
+        if (a.runs.size() != b.runs.size())
+            return false;
+        for (size_t i = 0; i < a.runs.size(); ++i) {
+            if (a.runs[i].outcome != b.runs[i].outcome ||
+                a.runs[i].strike.resource !=
+                    b.runs[i].strike.resource ||
+                a.runs[i].record.numIncorrect() !=
+                    b.runs[i].record.numIncorrect()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    DeviceModel device_ = makeK40();
+    Dgemm dgemm_{device_, 64, 42};
+    std::string dir_;
+};
+
+TEST_F(StoreTest, KeyHashStableAndExecutionBlind)
+{
+    CampaignKey key{"K40", "DGEMM", "256x256", SimConfig{}};
+    uint64_t h = campaignKeyHash(key);
+    EXPECT_EQ(campaignKeyHash(key), h);
+
+    // jobs and progressEvery change how a campaign executes, never
+    // what it produces: they must not move the address.
+    CampaignKey exec = key;
+    exec.sim.jobs = 8;
+    exec.sim.progressEvery = 5;
+    EXPECT_EQ(campaignKeyHash(exec), h);
+
+    // Every identity field must move it.
+    CampaignKey device = key;
+    device.device = "XeonPhi";
+    EXPECT_NE(campaignKeyHash(device), h);
+    CampaignKey workload = key;
+    workload.workload = "LavaMD";
+    EXPECT_NE(campaignKeyHash(workload), h);
+    CampaignKey input = key;
+    input.input = "512x512";
+    EXPECT_NE(campaignKeyHash(input), h);
+    CampaignKey seed = key;
+    seed.sim.seed += 1;
+    EXPECT_NE(campaignKeyHash(seed), h);
+    CampaignKey runs = key;
+    runs.sim.faultyRuns += 1;
+    EXPECT_NE(campaignKeyHash(runs), h);
+}
+
+TEST_F(StoreTest, FileNameCombinesTokensAndAddress)
+{
+    CampaignKey key{"Xeon Phi", "DGEMM", "256x256", SimConfig{}};
+    std::string name = campaignKeyFileName(key);
+    std::string expect = "xeon_phi-dgemm-256x256-" +
+        strprintf("%016llx",
+                  static_cast<unsigned long long>(
+                      campaignKeyHash(key))) +
+        ".beamlog";
+    EXPECT_EQ(name, expect);
+}
+
+TEST_F(StoreTest, SaveThenLoadRoundTrips)
+{
+    CampaignRaw raw = campaign();
+    CampaignStore store(dir_);
+    store.save(raw);
+    EXPECT_TRUE(
+        std::filesystem::exists(store.pathFor(campaignKey(raw))));
+
+    std::optional<CampaignRaw> back =
+        store.load(campaignKey(raw));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 0u);
+    EXPECT_TRUE(sameRuns(raw, *back));
+
+    // Analysis of the cached campaign is bit-identical.
+    AnalysisConfig acfg;
+    CampaignResult a = analyzeCampaign(raw, acfg);
+    CampaignResult b = analyzeCampaign(*back, acfg);
+    EXPECT_EQ(a.fitTotalAu(true), b.fitTotalAu(true));
+    EXPECT_EQ(a.fitTotalAu(false), b.fitTotalAu(false));
+}
+
+TEST_F(StoreTest, MissingEntryIsAMissAndCounts)
+{
+    CampaignStore store(dir_);
+    uint64_t global_miss = StatsRegistry::global()
+                               .counter("campaign.store.miss")
+                               .value();
+    CampaignKey key{"K40", "DGEMM", "64x64", SimConfig{}};
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(StatsRegistry::global()
+                  .counter("campaign.store.miss")
+                  .value(),
+              global_miss + 1);
+}
+
+TEST_F(StoreTest, MismatchedEntryWarnsAndMisses)
+{
+    // An entry whose header does not match its key (hash collision
+    // or hand-edited cache) must be a warned miss, not bad data.
+    CampaignRaw raw = campaign(40, 11);
+    CampaignStore store(dir_);
+    CampaignKey other = campaignKey(raw);
+    other.sim.seed = 13;
+    writeBeamLogFile(raw, store.pathFor(other));
+
+    MemoryTraceSink sink;
+    setTraceSink(&sink);
+    bool quiet = isQuiet();
+    setQuiet(true);
+    std::optional<CampaignRaw> r = store.load(other);
+    setQuiet(quiet);
+    setTraceSink(nullptr);
+
+    EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(store.misses(), 1u);
+    ASSERT_EQ(sink.logs().size(), 1u);
+    EXPECT_EQ(sink.logs()[0].first, "warn");
+    EXPECT_NE(sink.logs()[0].second.find(
+                  "does not match its key"),
+              std::string::npos);
+}
+
+TEST_F(StoreTest, SimulateOrLoadHitsOnSecondCall)
+{
+    CampaignStore store(dir_);
+    SimConfig cfg;
+    cfg.faultyRuns = 40;
+    cfg.seed = 11;
+    uint64_t global_hit = StatsRegistry::global()
+                              .counter("campaign.store.hit")
+                              .value();
+
+    CampaignRaw first =
+        simulateOrLoad(device_, dgemm_, cfg, &store);
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.misses(), 1u);
+
+    CampaignRaw second =
+        simulateOrLoad(device_, dgemm_, cfg, &store);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(StatsRegistry::global()
+                  .counter("campaign.store.hit")
+                  .value(),
+              global_hit + 1);
+    EXPECT_TRUE(sameRuns(first, second));
+
+    // The loaded campaign carries a rebuilt launch and sim-side
+    // stats, and analyzes bit-identically to the simulated one.
+    EXPECT_EQ(second.launch.traits.totalThreads,
+              first.launch.traits.totalThreads);
+    EXPECT_DOUBLE_EQ(second.launch.occupancy,
+                     first.launch.occupancy);
+    EXPECT_FALSE(second.stats.entries.empty());
+    AnalysisConfig acfg;
+    CampaignResult a = analyzeCampaign(first, acfg);
+    CampaignResult b = analyzeCampaign(second, acfg);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        EXPECT_EQ(a.runs[i].crit.numIncorrect,
+                  b.runs[i].crit.numIncorrect);
+        EXPECT_EQ(a.runs[i].crit.meanRelErrPct,
+                  b.runs[i].crit.meanRelErrPct);
+    }
+    EXPECT_EQ(a.fitTotalAu(true), b.fitTotalAu(true));
+}
+
+TEST_F(StoreTest, NullStoreIsPlainSimulation)
+{
+    SimConfig cfg;
+    cfg.faultyRuns = 30;
+    cfg.seed = 5;
+    CampaignRaw direct = simulateCampaign(device_, dgemm_, cfg);
+    CampaignRaw via = simulateOrLoad(device_, dgemm_, cfg,
+                                     nullptr);
+    EXPECT_TRUE(sameRuns(direct, via));
+}
+
+} // anonymous namespace
+} // namespace radcrit

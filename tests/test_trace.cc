@@ -34,8 +34,8 @@ class TraceTest : public ::testing::Test
     config(uint64_t runs, uint64_t seed = 7)
     {
         CampaignConfig cfg;
-        cfg.faultyRuns = runs;
-        cfg.seed = seed;
+        cfg.sim.faultyRuns = runs;
+        cfg.sim.seed = seed;
         return cfg;
     }
 };

@@ -15,9 +15,12 @@ existing file is validated as-is.
 
 Validated shape:
 
-  * schema == 2 and bench matches the binary name
+  * schema == 3 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
   * jobs (worker threads per campaign) is a positive integer
+  * cache_hits/cache_misses are non-negative integers and account
+    for every campaign (hits + misses == campaigns; without
+    --cache every campaign is a miss)
   * ns_per_op and runs_per_s are positive and mutually consistent
     (runs_per_s is wall-clock throughput, so it reflects the
     parallel speedup when jobs > 1)
@@ -78,8 +81,8 @@ def validate(path, bench_name):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
 
-    expect(doc.get("schema") == 2,
-           "schema must be 2, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 3,
+           "schema must be 3, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
@@ -87,6 +90,16 @@ def validate(path, bench_name):
         expect(isinstance(doc.get(key), int) and doc[key] > 0,
                "%s must be a positive integer, got %r"
                % (key, doc.get(key)))
+    for key in ("cache_hits", "cache_misses"):
+        expect(isinstance(doc.get(key), int) and doc[key] >= 0,
+               "%s must be a non-negative integer, got %r"
+               % (key, doc.get(key)))
+    expect(doc["cache_hits"] + doc["cache_misses"]
+           == doc["campaigns"],
+           "cache_hits (%d) + cache_misses (%d) must account for "
+           "every campaign (%d)"
+           % (doc["cache_hits"], doc["cache_misses"],
+              doc["campaigns"]))
     for key in ("ns_per_op", "runs_per_s"):
         expect(isinstance(doc.get(key), (int, float))
                and doc[key] > 0,

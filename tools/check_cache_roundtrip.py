@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""End-to-end check of the campaign store ("run once, analyze many").
+
+Usage:
+    check_cache_roundtrip.py <bench_binary> [extra bench args...]
+
+Runs the given figure bench twice in two separate sandboxes that
+share one campaign cache directory (passed via --cache), then
+asserts from the bench JSON and CSV side-outputs that:
+
+  * run 1 simulates every campaign (cache_misses == campaigns,
+    cache_hits == 0) and populates the cache;
+  * run 2 loads every campaign from the cache (cache_hits ==
+    campaigns, cache_misses == 0);
+  * run 2 executes no fault-injection kernels at all: every
+    "kernel.*.inject.calls" counter in its stats snapshot is zero
+    or absent (the golden computation at workload construction is
+    allowed);
+  * both runs produce byte-identical CSV artifacts — analysis of a
+    cached campaign loses nothing.
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("check_cache_roundtrip: FAIL: %s" % msg,
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def run_bench(binary, args, cwd):
+    proc = subprocess.run([binary] + args, cwd=cwd,
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE)
+    if proc.returncode != 0:
+        fail("%s exited with %d in %s:\n%s"
+             % (os.path.basename(binary), proc.returncode, cwd,
+                proc.stderr.decode(errors="replace")))
+
+
+def load_json(cwd, bench_name):
+    path = os.path.join(cwd, "bench_out", bench_name + ".json")
+    expect(os.path.exists(path),
+           "missing bench JSON %s" % path)
+    with open(path) as f:
+        try:
+            return json.load(f)
+        except json.JSONDecodeError as e:
+            fail("%s is not valid JSON: %s" % (path, e))
+
+
+def csv_artifacts(cwd):
+    """Map of CSV name -> bytes under <cwd>/bench_out."""
+    out = {}
+    bench_out = os.path.join(cwd, "bench_out")
+    if os.path.isdir(bench_out):
+        for name in sorted(os.listdir(bench_out)):
+            if name.endswith(".csv"):
+                with open(os.path.join(bench_out, name),
+                          "rb") as f:
+                    out[name] = f.read()
+    return out
+
+
+def inject_calls(doc):
+    """Total kernel fault-injection calls in a stats snapshot."""
+    total = 0
+    for name, entry in doc.get("stats", {}).items():
+        if (name.startswith("kernel.")
+                and name.endswith(".inject.calls")):
+            total += int(entry.get("value", 0))
+    return total
+
+
+def main(argv):
+    argv = argv[1:]
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = os.path.abspath(argv[0])
+    extra = argv[1:] or ["--runs", "20"]
+    bench_name = os.path.basename(binary)
+    expect(os.path.exists(binary),
+           "bench binary %s does not exist (build it first)"
+           % binary)
+
+    with tempfile.TemporaryDirectory() as sandbox:
+        cache = os.path.join(sandbox, "cache")
+        run1 = os.path.join(sandbox, "run1")
+        run2 = os.path.join(sandbox, "run2")
+        os.makedirs(run1)
+        os.makedirs(run2)
+        args = extra + ["--cache", cache]
+
+        run_bench(binary, args, run1)
+        doc1 = load_json(run1, bench_name)
+        expect(doc1["campaigns"] > 0, "run 1 ran no campaigns")
+        expect(doc1["cache_hits"] == 0,
+               "run 1 hit a cache that should have been empty "
+               "(%d hits)" % doc1["cache_hits"])
+        expect(doc1["cache_misses"] == doc1["campaigns"],
+               "run 1 misses (%d) != campaigns (%d)"
+               % (doc1["cache_misses"], doc1["campaigns"]))
+        expect(os.listdir(cache),
+               "run 1 left the cache directory empty")
+
+        run_bench(binary, args, run2)
+        doc2 = load_json(run2, bench_name)
+        expect(doc2["campaigns"] == doc1["campaigns"],
+               "run 2 campaign count %d != run 1's %d"
+               % (doc2["campaigns"], doc1["campaigns"]))
+        expect(doc2["cache_hits"] == doc2["campaigns"],
+               "run 2 hits (%d) != campaigns (%d): the store "
+               "re-simulated cached work"
+               % (doc2["cache_hits"], doc2["campaigns"]))
+        expect(doc2["cache_misses"] == 0,
+               "run 2 had %d cache misses, expected 0"
+               % doc2["cache_misses"])
+        expect(inject_calls(doc2) == 0,
+               "run 2 executed %d fault-injection kernel calls; "
+               "a fully cached run must execute none"
+               % inject_calls(doc2))
+
+        csv1 = csv_artifacts(run1)
+        csv2 = csv_artifacts(run2)
+        expect(csv1, "run 1 wrote no CSV artifacts to compare")
+        expect(set(csv1) == set(csv2),
+               "runs wrote different CSV sets: %s vs %s"
+               % (sorted(csv1), sorted(csv2)))
+        for name in sorted(csv1):
+            expect(csv1[name] == csv2[name],
+                   "%s differs between the simulated and the "
+                   "cached run" % name)
+
+    print("check_cache_roundtrip: OK: %s (%d campaigns cached, "
+          "%d CSVs byte-identical, 0 kernel injections on the "
+          "cached run)"
+          % (bench_name, doc1["campaigns"], len(csv1)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

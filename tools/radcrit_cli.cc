@@ -8,11 +8,22 @@
  *   $ radcrit_cli --device=XeonPhi --workload=LavaMD \
  *       --size=15 --runs=400 --threshold=4 \
  *       --log=lavamd.beamlog --csv=lavamd.csv --figures
+ *
+ * The `analyze` subcommand is the other half of "run once, analyze
+ * many": it loads a saved beam log (written by --log, or an entry
+ * from a --cache directory) and re-renders the metrics under
+ * arbitrary tolerance/locality parameters without touching a
+ * kernel:
+ *
+ *   $ radcrit_cli analyze --log=lavamd.beamlog --filter-pct=10 \
+ *       --csv=lavamd_10pct.csv --figures
  */
 
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -20,6 +31,7 @@
 #include "campaign/paperconfigs.hh"
 #include "campaign/runner.hh"
 #include "campaign/series.hh"
+#include "campaign/store.hh"
 #include "common/cli.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
@@ -56,11 +68,142 @@ buildWorkload(const DeviceModel &device, const std::string &name,
           name.c_str());
 }
 
+/** Print the campaign summary table. */
+void
+printSummary(const CampaignResult &res)
+{
+    TextTable table("radcrit campaign: " + res.deviceName + " / " +
+                    res.workloadName + " " + res.inputLabel);
+    table.setHeader({"quantity", "value"});
+    table.addRow({"faulty runs",
+                  TextTable::num(
+                      static_cast<uint64_t>(res.runs.size()))});
+    table.addRow({"SDC", TextTable::num(
+        res.count(Outcome::Sdc))});
+    table.addRow({"crash", TextTable::num(
+        res.count(Outcome::Crash))});
+    table.addRow({"hang", TextTable::num(
+        res.count(Outcome::Hang))});
+    table.addRow({"masked", TextTable::num(
+        res.count(Outcome::Masked))});
+    double sdc_ratio = res.sdcOverDetectable();
+    table.addRow({"SDC:(crash+hang)",
+                  std::isnan(sdc_ratio)
+                      ? "n/a"
+                      : TextTable::num(sdc_ratio, 2)});
+    table.addRow({"FIT all [a.u.]",
+                  TextTable::num(res.fitTotalAu(false), 2)});
+    table.addRow({"FIT >" +
+                  TextTable::num(
+                      res.config.analysis.filterThresholdPct, 1) +
+                  "% [a.u.]",
+                  TextTable::num(res.fitTotalAu(true), 2)});
+    table.addRow({"executions under tolerance",
+                  TextTable::num(100.0 *
+                                 res.filteredOutFraction(), 1) +
+                  "%"});
+    table.render(std::cout);
+}
+
+/** Render the scatter + locality figures for one result. */
+void
+renderFigures(const CampaignResult &res, bool volumetric)
+{
+    ScatterPlot plot("mean relative error vs incorrect "
+                     "elements",
+                     "Number of Incorrect Elements",
+                     "Average Relative Error (%)");
+    plot.setYClamp(1000.0);
+    plot.addSeries(scatterSeries(res));
+    plot.render(std::cout);
+
+    auto patterns = volumetric ? patterns3d() : patterns2d();
+    std::vector<std::string> names;
+    for (Pattern p : patterns)
+        names.push_back(patternName(p));
+    StackedBarChart chart("relative FIT by error pattern", names);
+    for (auto &bar : localityBars(res, patterns).bars)
+        chart.addBar(std::move(bar));
+    chart.render(std::cout);
+}
+
+/** Write the per-run metrics CSV. */
+void
+writeRunCsv(const CampaignResult &res, const std::string &path)
+{
+    CsvWriter csv(path);
+    csv.writeRow(runRowsHeader());
+    for (const auto &row : runRows(res))
+        csv.writeRow(row);
+    std::printf("[csv] %s\n", path.c_str());
+}
+
+/** @return true when any SDC record in the campaign is 3-D. */
+bool
+rawIsVolumetric(const CampaignRaw &raw)
+{
+    for (const auto &run : raw.runs) {
+        if (run.outcome == Outcome::Sdc)
+            return run.record.dims == 3;
+    }
+    return false;
+}
+
+/**
+ * `radcrit_cli analyze`: load a beam log, re-analyze under the
+ * given tolerance/locality parameters, render.
+ */
+int
+analyzeMain(int argc, char **argv)
+{
+    CliParser cli("radcrit_cli analyze");
+    cli.addString("log", "",
+                  "beam log to analyze (written by --log or a "
+                  "campaign store entry; required)");
+    cli.addDouble("filter-pct", 2.0,
+                  "relative-error tolerance in percent");
+    cli.addDouble("square-density", LocalityParams{}.squareDensity,
+                  "locality classifier: min corrupted-element "
+                  "density of a square pattern");
+    cli.addDouble("cubic-density", LocalityParams{}.cubicDensity,
+                  "locality classifier: min corrupted-element "
+                  "density of a cubic pattern");
+    cli.addDouble("fit-scale", AnalysisConfig{}.fitScaleAu,
+                  "sensitive-area-to-FIT conversion (a.u.)");
+    cli.addString("csv", "", "write per-run metrics CSV here");
+    cli.addFlag("figures", "render scatter + locality figures");
+    cli.parse(argc, argv);
+
+    if (cli.getString("log").empty())
+        fatal("analyze needs --log=<beamlog file>");
+
+    CampaignRaw raw = readBeamLogFile(cli.getString("log"));
+
+    AnalysisConfig acfg;
+    acfg.filterThresholdPct = cli.getDouble("filter-pct");
+    acfg.locality.squareDensity = cli.getDouble("square-density");
+    acfg.locality.cubicDensity = cli.getDouble("cubic-density");
+    acfg.fitScaleAu = cli.getDouble("fit-scale");
+
+    CampaignResult res = analyzeCampaign(raw, acfg);
+    printSummary(res);
+
+    if (cli.getFlag("figures"))
+        renderFigures(res, rawIsVolumetric(raw));
+
+    if (!cli.getString("csv").empty())
+        writeRunCsv(res, cli.getString("csv"));
+    return 0;
+}
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "analyze") == 0)
+        return analyzeMain(argc - 1, argv + 1);
+
     CliParser cli("radcrit_cli");
     cli.addString("device", "K40", "K40 or XeonPhi");
     cli.addString("workload", "DGEMM",
@@ -77,6 +220,12 @@ main(int argc, char **argv)
                "worker threads (1 = serial, 0 = one per hardware "
                "thread; results are identical for every value; "
                "default from RADCRIT_JOBS)");
+    const char *cache_env = std::getenv("RADCRIT_CAMPAIGN_CACHE");
+    cli.addString("cache", cache_env ? cache_env : "",
+                  "campaign store directory: load the raw campaign "
+                  "from cache when present, save it after "
+                  "simulating (default from "
+                  "RADCRIT_CAMPAIGN_CACHE; empty = off)");
     cli.addString("log", "", "write the beam log here");
     cli.addString("csv", "", "write per-run metrics CSV here");
     cli.addString("trace", "",
@@ -103,14 +252,20 @@ main(int argc, char **argv)
         static_cast<uint64_t>(cli.getInt("runs")), device.name,
         workload->name(), workload->inputLabel());
     if (cli.getInt("seed") != 0)
-        cfg.seed = static_cast<uint64_t>(cli.getInt("seed"));
-    cfg.filterThresholdPct = cli.getDouble("threshold");
+        cfg.sim.seed = static_cast<uint64_t>(cli.getInt("seed"));
+    cfg.analysis.filterThresholdPct = cli.getDouble("threshold");
     if (cli.getInt("jobs") < 0)
         fatal("--jobs must be >= 0");
-    cfg.jobs = static_cast<unsigned>(cli.getInt("jobs"));
+    cfg.sim.jobs = static_cast<unsigned>(cli.getInt("jobs"));
     if (cli.getFlag("progress")) {
-        cfg.progressEvery =
-            std::max<uint64_t>(cfg.faultyRuns / 10, 1);
+        cfg.sim.progressEvery =
+            std::max<uint64_t>(cfg.sim.faultyRuns / 10, 1);
+    }
+
+    std::unique_ptr<CampaignStore> store;
+    if (!cli.getString("cache").empty()) {
+        store = std::make_unique<CampaignStore>(
+            cli.getString("cache"));
     }
 
     std::unique_ptr<JsonlTraceSink> trace;
@@ -120,7 +275,9 @@ main(int argc, char **argv)
         setTraceSink(trace.get());
     }
 
-    CampaignResult res = runCampaign(device, *workload, cfg);
+    CampaignRaw raw = simulateOrLoad(device, *workload, cfg.sim,
+                                     store.get());
+    CampaignResult res = analyzeCampaign(raw, cfg.analysis);
 
     if (trace) {
         setTraceSink(nullptr);
@@ -139,69 +296,16 @@ main(int argc, char **argv)
                     cli.getString("stats-out").c_str());
     }
 
-    TextTable table("radcrit campaign: " + device.name + " / " +
-                    workload->name() + " " +
-                    workload->inputLabel());
-    table.setHeader({"quantity", "value"});
-    table.addRow({"faulty runs",
-                  TextTable::num(
-                      static_cast<uint64_t>(res.runs.size()))});
-    table.addRow({"SDC", TextTable::num(
-        res.count(Outcome::Sdc))});
-    table.addRow({"crash", TextTable::num(
-        res.count(Outcome::Crash))});
-    table.addRow({"hang", TextTable::num(
-        res.count(Outcome::Hang))});
-    table.addRow({"masked", TextTable::num(
-        res.count(Outcome::Masked))});
-    double sdc_ratio = res.sdcOverDetectable();
-    table.addRow({"SDC:(crash+hang)",
-                  std::isnan(sdc_ratio)
-                      ? "n/a"
-                      : TextTable::num(sdc_ratio, 2)});
-    table.addRow({"FIT all [a.u.]",
-                  TextTable::num(res.fitTotalAu(false), 2)});
-    table.addRow({"FIT >" +
-                  TextTable::num(cfg.filterThresholdPct, 1) +
-                  "% [a.u.]",
-                  TextTable::num(res.fitTotalAu(true), 2)});
-    table.addRow({"executions under tolerance",
-                  TextTable::num(100.0 *
-                                 res.filteredOutFraction(), 1) +
-                  "%"});
-    table.render(std::cout);
+    printSummary(res);
 
-    if (cli.getFlag("figures")) {
-        ScatterPlot plot("mean relative error vs incorrect "
-                         "elements",
-                         "Number of Incorrect Elements",
-                         "Average Relative Error (%)");
-        plot.setYClamp(1000.0);
-        plot.addSeries(scatterSeries(res));
-        plot.render(std::cout);
+    if (cli.getFlag("figures"))
+        renderFigures(res, workload->emptyRecord().dims == 3);
 
-        bool volumetric = workload->emptyRecord().dims == 3;
-        auto patterns = volumetric ? patterns3d() : patterns2d();
-        std::vector<std::string> names;
-        for (Pattern p : patterns)
-            names.push_back(patternName(p));
-        StackedBarChart chart("relative FIT by error pattern",
-                              names);
-        for (auto &bar : localityBars(res, patterns).bars)
-            chart.addBar(std::move(bar));
-        chart.render(std::cout);
-    }
-
-    if (!cli.getString("csv").empty()) {
-        CsvWriter csv(cli.getString("csv"));
-        csv.writeRow(runRowsHeader());
-        for (const auto &row : runRows(res))
-            csv.writeRow(row);
-        std::printf("[csv] %s\n", cli.getString("csv").c_str());
-    }
+    if (!cli.getString("csv").empty())
+        writeRunCsv(res, cli.getString("csv"));
 
     if (!cli.getString("log").empty()) {
-        writeBeamLogFile(res, *workload, cli.getString("log"));
+        writeBeamLogFile(raw, cli.getString("log"));
         std::printf("[beamlog] %s\n",
                     cli.getString("log").c_str());
     }

@@ -9,6 +9,9 @@ Modes:
                a previous run is present and must NOT rescue the
                check (the vacuous-pass regression)
     truncated  bench writes a truncated JSON document
+    schema     bench writes a well-formed but outdated schema-2
+               document (no cache counters); the checker must
+               reject it, not silently accept old producers
 
 Each mode builds a sandbox with a fake bench binary, runs
 check_bench_json.py against it, and requires a nonzero exit with
@@ -26,12 +29,14 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "check_bench_json.py")
 
 STALE_JSON = """{
-  "schema": 2,
+  "schema": 3,
   "bench": "fake_bench",
   "campaigns": 1,
   "jobs": 1,
   "runs": 4,
   "wall_ns": 4000,
+  "cache_hits": 0,
+  "cache_misses": 1,
   "ns_per_op": 1000,
   "runs_per_s": 1000000.0,
   "stats": {
@@ -42,6 +47,12 @@ STALE_JSON = """{
   }
 }
 """
+
+# A document an old (pre-cache-counters) bench would emit.
+SCHEMA2_JSON = STALE_JSON.replace('"schema": 3', '"schema": 2')
+SCHEMA2_JSON = "\n".join(
+    line for line in SCHEMA2_JSON.splitlines()
+    if "cache_" not in line) + "\n"
 
 
 def write_fake_bench(path, body):
@@ -100,15 +111,34 @@ def mode_truncated(sandbox):
            proc)
 
 
+def mode_schema(sandbox):
+    """A schema-2 document (old producer) must be rejected."""
+    bench = os.path.join(sandbox, "fake_bench")
+    write_fake_bench(
+        bench,
+        "mkdir -p bench_out\n"
+        "cat > bench_out/fake_bench.json <<'JSON'\n"
+        + SCHEMA2_JSON + "JSON\n")
+    proc = run_checker(sandbox, bench)
+    expect(proc.returncode != 0,
+           "checker accepted an outdated schema-2 document", proc)
+    expect("schema must be 3" in proc.stderr,
+           "diagnostic does not name the expected schema", proc)
+
+
+MODES = {
+    "missing": mode_missing,
+    "truncated": mode_truncated,
+    "schema": mode_schema,
+}
+
+
 def main(argv):
-    if len(argv) != 2 or argv[1] not in ("missing", "truncated"):
+    if len(argv) != 2 or argv[1] not in MODES:
         print(__doc__, file=sys.stderr)
         return 2
     with tempfile.TemporaryDirectory() as sandbox:
-        if argv[1] == "missing":
-            mode_missing(sandbox)
-        else:
-            mode_truncated(sandbox)
+        MODES[argv[1]](sandbox)
     print("test_check_bench_json: OK: %s" % argv[1])
     return 0
 
