@@ -215,8 +215,10 @@ runPaperCampaign(const DeviceModel &device, Workload &workload,
  * Emit the bench's machine-readable results as
  * bench_out/<bench_name>.json: schema version, campaign/run
  * tallies with worker count and store hit/miss traffic, ns-per-run
- * and (parallel) runs-per-second, and the full stats registry
- * snapshot (phase timers, kernel timers, outcome counters).
+ * and (parallel) runs-per-second, a "timings" block carrying the
+ * perf trajectory (per-phase wall ns, throughput, pool
+ * utilization), and the full stats registry snapshot (phase
+ * timers, kernel timers, outcome counters).
  * tools/check_bench_json.py validates the shape in CI.
  */
 inline void
@@ -230,9 +232,10 @@ writeBenchJson(const std::string &bench_name)
         warn("cannot open bench results file '%s'", path.c_str());
         return;
     }
+    StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{3});
+        obj.field("schema", uint64_t{4});
         obj.field("bench", bench_name);
         obj.field("campaigns", rec.campaigns);
         obj.field("jobs", static_cast<uint64_t>(rec.jobs));
@@ -242,8 +245,38 @@ writeBenchJson(const std::string &bench_name)
         obj.field("cache_misses", rec.cacheMisses);
         obj.field("ns_per_op", rec.nsPerOp());
         obj.field("runs_per_s", rec.runsPerSecond());
+        obj.beginRawField("timings");
+        {
+            // The perf trajectory: wall clock, throughput, where
+            // the time went (phase timers), and how well the worker
+            // pool was used. All-cache-hit runs legitimately report
+            // zero phase time: no simulation happened.
+            JsonObjectWriter timings(out, 4);
+            timings.field("wall_ns", rec.wallNs);
+            timings.field("runs_per_s", rec.runsPerSecond());
+            timings.field("pool_busy_ns", static_cast<uint64_t>(
+                snap.value("pool.busy.ns")));
+            timings.field("pool_idle_ns", static_cast<uint64_t>(
+                snap.value("pool.idle.ns")));
+            timings.field("pool_utilization",
+                          snap.value("pool.utilization"));
+            timings.beginRawField("phase_ns");
+            {
+                JsonObjectWriter phases(out, 6);
+                for (const char *phase :
+                     {"sample", "classify", "replay", "metrics"}) {
+                    phases.field(
+                        phase,
+                        static_cast<uint64_t>(snap.value(
+                            std::string("campaign.phase.") +
+                            phase + ".ns")));
+                }
+                phases.field("total", static_cast<uint64_t>(
+                    snap.value("campaign.total.ns")));
+            }
+        }
         obj.beginRawField("stats");
-        StatsRegistry::global().snapshot().writeJson(out, 2);
+        snap.writeJson(out, 2);
         obj.close();
     }
     out << "\n";

@@ -1,0 +1,195 @@
+#include "campaign/report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "obs/report.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+std::string
+fmtCount(uint64_t v)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+fmtPct(double v)
+{
+    return std::isfinite(v) ? strprintf("%.1f%%", v) : "n/a";
+}
+
+std::string
+fmtFit(double v)
+{
+    return strprintf("%.3f", v);
+}
+
+void
+campaignSection(HtmlReport &report, const CampaignResult &res)
+{
+    report.section("Campaign");
+    report.keyValues({
+        {"device", res.deviceName},
+        {"workload", res.workloadName},
+        {"input", res.inputLabel},
+        {"faulty runs", fmtCount(res.runs.size())},
+        {"seed", fmtCount(res.config.sim.seed)},
+        {"workers", fmtCount(res.config.sim.jobs)},
+        {"sensitive area [a.u.]",
+         strprintf("%.4f", res.sensitiveAreaAu)},
+        {"occupancy", strprintf("%.3f", res.launch.occupancy)},
+        {"tolerance filter",
+         strprintf("%.2f%%",
+                   res.config.analysis.filterThresholdPct)},
+    });
+}
+
+void
+outcomeSection(HtmlReport &report, const CampaignResult &res)
+{
+    report.section("Outcome breakdown");
+    double runs = static_cast<double>(res.runs.size());
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::pair<std::string, double>> bars;
+    for (size_t o = 0; o < numOutcomes; ++o) {
+        Outcome outcome = static_cast<Outcome>(o);
+        uint64_t n = res.count(outcome);
+        rows.push_back(
+            {outcomeName(outcome), fmtCount(n),
+             fmtPct(runs > 0.0 ? 100.0 * static_cast<double>(n) /
+                        runs : 0.0)});
+        bars.emplace_back(outcomeName(outcome),
+                          static_cast<double>(n));
+    }
+    report.table({"outcome", "runs", "fraction"}, rows);
+    report.barChart("runs per outcome", bars);
+
+    double ratio = res.sdcOverDetectable();
+    report.keyValues(
+        {{"SDC : (crash + hang)",
+          std::isnan(ratio) ? "n/a" : strprintf("%.2f", ratio)}});
+}
+
+void
+criticalitySection(HtmlReport &report, const CampaignResult &res)
+{
+    report.section("Criticality and FIT");
+    report.keyValues({
+        {"FIT all [a.u.]", fmtFit(res.fitTotalAu(false))},
+        {strprintf("FIT > %.1f%% [a.u.]",
+                   res.config.analysis.filterThresholdPct),
+         fmtFit(res.fitTotalAu(true))},
+        {"executions under tolerance",
+         fmtPct(100.0 * res.filteredOutFraction())},
+    });
+
+    FitBreakdown all = res.fitByPattern(false);
+    FitBreakdown filtered = res.fitByPattern(true);
+    std::vector<std::vector<std::string>> rows;
+    for (size_t p = 0; p < numPatterns; ++p) {
+        Pattern pattern = static_cast<Pattern>(p);
+        if (pattern == Pattern::None)
+            continue;
+        if (all.of(pattern) == 0.0 && filtered.of(pattern) == 0.0)
+            continue;
+        rows.push_back({patternName(pattern),
+                        fmtFit(all.of(pattern)),
+                        fmtFit(filtered.of(pattern))});
+    }
+    rows.push_back({"total", fmtFit(all.total()),
+                    fmtFit(filtered.total())});
+    report.table({"pattern", "FIT all [a.u.]",
+                  "FIT filtered [a.u.]"},
+                 rows);
+}
+
+void
+wallClockSection(HtmlReport &report, const CampaignResult &res)
+{
+    report.section("Wall-clock attribution");
+    report.phaseAttribution(res.stats,
+                            {"campaign.phase.sample",
+                             "campaign.phase.classify",
+                             "campaign.phase.replay",
+                             "campaign.phase.metrics"});
+    double total = res.stats.value("campaign.total.ns");
+    report.keyValues(
+        {{"campaign total [ms]",
+          strprintf("%.3f", total / 1e6)}});
+}
+
+void
+histogramSection(HtmlReport &report, const CampaignResult &res)
+{
+    report.section("Distributions");
+    bool any = false;
+    for (const auto &entry : res.stats.entries) {
+        if (entry.kind != StatKind::Histogram)
+            continue;
+        any = true;
+        report.logHistogram(entry.name, entry);
+    }
+    if (!any)
+        report.paragraph("No histograms were recorded for this "
+                         "campaign.");
+}
+
+void
+workerSection(HtmlReport &report, const Timeline &timeline)
+{
+    report.section("Workers");
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::pair<std::string, double>> bars;
+    for (const TimelineLane *lane : timeline.lanes()) {
+        rows.push_back(
+            {lane->label(), fmtCount(lane->events().size()),
+             strprintf("%.3f",
+                       static_cast<double>(lane->busyNs()) /
+                           1e6)});
+        bars.emplace_back(lane->label(),
+                          static_cast<double>(lane->busyNs()) /
+                              1e6);
+    }
+    report.table({"lane", "events", "busy [ms]"}, rows);
+    report.barChart("busy wall-clock per lane [ms]", bars);
+}
+
+} // anonymous namespace
+
+void
+writeCampaignReport(std::ostream &os, const CampaignResult &result,
+                    const Timeline *timeline)
+{
+    HtmlReport report("radcrit campaign report: " +
+                      result.deviceName + " / " +
+                      result.workloadName + " " +
+                      result.inputLabel);
+    campaignSection(report, result);
+    outcomeSection(report, result);
+    criticalitySection(report, result);
+    wallClockSection(report, result);
+    histogramSection(report, result);
+    if (timeline)
+        workerSection(report, *timeline);
+    report.render(os);
+}
+
+void
+writeCampaignReportFile(const CampaignResult &result,
+                        const std::string &path,
+                        const Timeline *timeline)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open report file '%s'", path.c_str());
+    writeCampaignReport(out, result, timeline);
+}
+
+} // namespace radcrit

@@ -1,5 +1,6 @@
 #include "campaign/runner.hh"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -12,6 +13,7 @@
 #include "common/rng.hh"
 #include "exec/pool.hh"
 #include "metrics/relative_error.hh"
+#include "obs/timeline.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
 #include "sim/sampler.hh"
@@ -21,6 +23,30 @@ namespace radcrit
 
 namespace
 {
+
+/**
+ * Publish one pool dispatch's utilization accounting into a
+ * registry under "pool.*". These are execution-shape telemetry
+ * (they depend on the worker count and on timing), so they go to
+ * the global registry only — never into a campaign's own stats
+ * snapshot, which must stay identical across --jobs values.
+ */
+void
+publishPoolStats(const PoolRunStats &ps, StatsRegistry &reg)
+{
+    reg.counter("pool.dispatches").inc();
+    reg.counter("pool.busy.ns").inc(ps.busyNs());
+    reg.counter("pool.idle.ns").inc(ps.idleNs());
+    reg.counter("pool.wall.ns").inc(ps.wallNs);
+    reg.gauge("pool.utilization").set(ps.utilization());
+    LogHistogram &chunk_items = reg.histogram("pool.chunk_items");
+    for (size_t w = 0; w < ps.workers.size(); ++w) {
+        chunk_items.add(
+            static_cast<double>(ps.workers[w].items));
+        reg.counter("pool.worker." + std::to_string(w) + ".runs")
+            .inc(ps.workers[w].items);
+    }
+}
 
 /**
  * Per-worker telemetry shard: a private registry plus cached
@@ -190,6 +216,14 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     raw.runs.resize(config.faultyRuns);
     std::atomic<uint64_t> completed{0};
 
+    // Flight recorder: the control flow records on lane 0, worker w
+    // on lane w+1. Recording only observes — with the recorder
+    // detached nothing below changes, and runs/CSV/stats stay
+    // bit-identical either way.
+    Timeline *tl = timeline();
+    uint64_t simulate_begin = tl ? tl->nowNs() : 0;
+
+    PoolRunStats poolStats;
     pool.forChunks(config.faultyRuns, [&](unsigned worker,
                                           uint64_t begin,
                                           uint64_t end) {
@@ -199,6 +233,11 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
         timers.classify = &shard.classify;
         timers.replay = &shard.replay;
 
+        TimelineLane *lane = tl
+            ? &tl->lane(worker + 1,
+                        "worker " + std::to_string(worker))
+            : nullptr;
+
         // Worker 0 runs on the caller thread and reuses the caller's
         // workload; the others replay strikes on private clones.
         std::unique_ptr<Workload> local;
@@ -207,6 +246,7 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
         Workload &wl = local ? *local : workload;
 
         for (uint64_t i = begin; i < end; ++i) {
+            uint64_t span_begin = lane ? tl->nowNs() : 0;
             auto run_start = std::chrono::steady_clock::now();
             Rng rng = runRng(config, i);
             RawRun run = simulateRun(sampler, wl, config, i, rng,
@@ -224,6 +264,16 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
                     run.record.numIncorrect()));
             }
 
+            if (lane) {
+                lane->span(
+                    "run " + std::to_string(i), "run", span_begin,
+                    tl->nowNs() - span_begin,
+                    {{"run", std::to_string(i)},
+                     {"worker", std::to_string(worker)},
+                     {"kernel", raw.workloadName},
+                     {"outcome", outcomeName(run.outcome)}});
+            }
+
             raw.runs[i] = std::move(run);
 
             uint64_t done =
@@ -232,34 +282,79 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
             if (config.progressEvery > 0 &&
                 (done % config.progressEvery == 0 ||
                  done == config.faultyRuns)) {
-                inform("campaign %s/%s %s: %llu/%llu runs",
+                // Throughput and ETA from the same monotonic clock
+                // the campaign timer uses; progress formatting
+                // never feeds results or the store's cache key.
+                double elapsed_s =
+                    std::chrono::duration_cast<
+                        std::chrono::duration<double>>(
+                        std::chrono::steady_clock::now() -
+                        campaign_start)
+                        .count();
+                double rate = elapsed_s > 0.0
+                    ? static_cast<double>(done) / elapsed_s
+                    : 0.0;
+                double eta_s = rate > 0.0
+                    ? static_cast<double>(
+                          config.faultyRuns - done) / rate
+                    : 0.0;
+                inform("campaign %s/%s %s: %llu/%llu runs "
+                       "(%.1f runs/s, ETA %.1fs)",
                        raw.deviceName.c_str(),
                        raw.workloadName.c_str(),
                        raw.inputLabel.c_str(),
                        static_cast<unsigned long long>(done),
                        static_cast<unsigned long long>(
-                           config.faultyRuns));
+                           config.faultyRuns),
+                       rate, eta_s);
             }
         }
-    });
+    }, &poolStats);
 
     campaignTimer.recordNs(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - campaign_start)
             .count()));
 
+    if (tl) {
+        tl->lane(0, "campaign")
+            .span("simulate", "campaign", simulate_begin,
+                  tl->nowNs() - simulate_begin,
+                  {{"device", raw.deviceName},
+                   {"workload", raw.workloadName},
+                   {"input", raw.inputLabel},
+                   {"runs",
+                    std::to_string(config.faultyRuns)},
+                   {"workers", std::to_string(workers)}});
+    }
+
     // Fold the shards (worker order, so the aggregate is
     // deterministic up to timing values), pick up the kernel-side
     // instruments that advanced in the global registry, and publish
     // the campaign's own contribution back into the global registry
-    // so process-wide tallies stay whole.
+    // so process-wide tallies stay whole. Pool utilization is
+    // published after the kernel diff is taken: it describes the
+    // execution shape (worker count, chunking), which must never
+    // leak into the campaign's own jobs-independent snapshot.
     for (auto &shard : shards)
         campaignReg.merge(shard->reg.snapshot());
     StatsSnapshot kernelDiff =
         global.snapshot().since(globalBefore);
+    // Gauges always survive a snapshot diff, so an earlier
+    // campaign's "pool.*" telemetry would ride the kernel diff into
+    // this campaign's snapshot; strip it — pool accounting is
+    // global-only by design.
+    kernelDiff.entries.erase(
+        std::remove_if(kernelDiff.entries.begin(),
+                       kernelDiff.entries.end(),
+                       [](const StatsSnapshot::Entry &e) {
+                           return e.name.rfind("pool.", 0) == 0;
+                       }),
+        kernelDiff.entries.end());
     global.merge(campaignReg.snapshot());
     campaignReg.merge(kernelDiff);
     raw.stats = campaignReg.snapshot();
+    publishPoolStats(poolStats, global);
     return raw;
 }
 
@@ -286,6 +381,9 @@ analyzeCampaign(const CampaignRaw &raw,
 
     TraceSink *sink = traceSink();
     RelativeErrorFilter filter(config.filterThresholdPct);
+
+    Timeline *tl = timeline();
+    uint64_t analyze_begin = tl ? tl->nowNs() : 0;
 
     result.runs.resize(raw.runs.size());
     for (size_t i = 0; i < raw.runs.size(); ++i) {
@@ -320,6 +418,16 @@ analyzeCampaign(const CampaignRaw &raw,
             rec.wallNs = in.wallNs;
             sink->strike(rec);
         }
+    }
+
+    if (tl) {
+        tl->lane(0, "campaign")
+            .span("analyze", "campaign", analyze_begin,
+                  tl->nowNs() - analyze_begin,
+                  {{"device", result.deviceName},
+                   {"workload", result.workloadName},
+                   {"runs",
+                    std::to_string(result.runs.size())}});
     }
 
     // result.stats is the union of the simulation-side telemetry

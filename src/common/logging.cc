@@ -21,12 +21,19 @@ LogLevel
 initialLogLevel()
 {
     const char *env = std::getenv("RADCRIT_LOG_LEVEL");
-    LogLevel level = LogLevel::Info;
-    if (env && *env && !parseLogLevel(env, level)) {
-        std::fprintf(stderr,
-                     "warn: RADCRIT_LOG_LEVEL '%s' is not a level "
-                     "(silent, error, warn, info); using info\n",
-                     env);
+    bool recognized = false;
+    LogLevel level = logLevelFromEnv(env, &recognized);
+    if (env && *env && !recognized) {
+        // Warn exactly once, straight to stderr: warn() itself
+        // consults the log level, which is being initialized here.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::fprintf(
+                stderr,
+                "warn: RADCRIT_LOG_LEVEL '%s' is not a level "
+                "(silent, error, warn, info); using info\n", env);
+        }
     }
     return level;
 }
@@ -155,6 +162,18 @@ parseLogLevel(const char *name, LogLevel &out)
     else
         return false;
     return true;
+}
+
+LogLevel
+logLevelFromEnv(const char *value, bool *recognized)
+{
+    LogLevel level = LogLevel::Info;
+    bool ok = value && *value && parseLogLevel(value, level);
+    if (!ok)
+        level = LogLevel::Info;
+    if (recognized)
+        *recognized = ok;
+    return level;
 }
 
 LogLevel

@@ -75,6 +75,20 @@ enum class LogLevel : uint8_t { Silent = 0, Error, Warn, Info };
  */
 bool parseLogLevel(const char *name, LogLevel &out);
 
+/**
+ * Resolve a RADCRIT_LOG_LEVEL-style value into a level:
+ * case-insensitive level names as in parseLogLevel(); null, empty
+ * or unrecognized values resolve to Info. The process startup path
+ * warns exactly once on an unrecognized value instead of silently
+ * defaulting; this helper is exposed so that behavior is testable.
+ *
+ * @param value The environment value (may be null).
+ * @param recognized When non-null, set to whether `value` named a
+ * level (null/empty count as not recognized).
+ */
+LogLevel logLevelFromEnv(const char *value,
+                         bool *recognized = nullptr);
+
 /** @return the current console verbosity level. */
 LogLevel logLevel();
 

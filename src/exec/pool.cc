@@ -1,6 +1,7 @@
 #include "exec/pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -11,6 +12,50 @@
 
 namespace radcrit
 {
+
+namespace
+{
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    auto dt = std::chrono::steady_clock::now() - since;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+            .count());
+}
+
+} // anonymous namespace
+
+uint64_t
+PoolRunStats::busyNs() const
+{
+    uint64_t total = 0;
+    for (const auto &worker : workers)
+        total += worker.busyNs;
+    return total;
+}
+
+uint64_t
+PoolRunStats::idleNs() const
+{
+    uint64_t total = 0;
+    for (const auto &worker : workers) {
+        if (wallNs > worker.busyNs)
+            total += wallNs - worker.busyNs;
+    }
+    return total;
+}
+
+double
+PoolRunStats::utilization() const
+{
+    if (workers.empty() || wallNs == 0)
+        return 0.0;
+    double capacity = static_cast<double>(wallNs) *
+        static_cast<double>(workers.size());
+    return std::min(static_cast<double>(busyNs()) / capacity, 1.0);
+}
 
 WorkerPool::WorkerPool(unsigned jobs)
     : jobs_(resolveJobs(jobs))
@@ -58,28 +103,47 @@ WorkerPool::chunkBounds(uint64_t count, unsigned workers,
 }
 
 void
-WorkerPool::forChunks(uint64_t count, const ChunkBody &body) const
+WorkerPool::forChunks(uint64_t count, const ChunkBody &body,
+                      PoolRunStats *stats) const
 {
+    if (stats)
+        *stats = PoolRunStats{};
     if (count == 0)
         return;
     unsigned workers = static_cast<unsigned>(
         std::min<uint64_t>(jobs_, count));
+    if (stats)
+        stats->workers.resize(workers);
+    auto dispatch_start = std::chrono::steady_clock::now();
 
     if (workers == 1) {
         body(0, 0, count);
+        if (stats) {
+            stats->wallNs = elapsedNs(dispatch_start);
+            stats->workers[0].busyNs = stats->wallNs;
+            stats->workers[0].items = count;
+        }
         return;
     }
 
     std::exception_ptr first_error;
     std::mutex error_mutex;
+    // Each worker writes only its own stats slot (the vector is
+    // sized before any thread starts), so accounting needs no lock.
     auto guarded = [&](unsigned worker) {
         auto [begin, end] = chunkBounds(count, workers, worker);
+        auto chunk_start = std::chrono::steady_clock::now();
         try {
             body(worker, begin, end);
         } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error)
                 first_error = std::current_exception();
+        }
+        if (stats) {
+            stats->workers[worker].busyNs =
+                elapsedNs(chunk_start);
+            stats->workers[worker].items = end - begin;
         }
     };
 
@@ -90,6 +154,8 @@ WorkerPool::forChunks(uint64_t count, const ChunkBody &body) const
     guarded(0);
     for (auto &t : threads)
         t.join();
+    if (stats)
+        stats->wallNs = elapsedNs(dispatch_start);
 
     if (first_error)
         std::rethrow_exception(first_error);

@@ -18,9 +18,50 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
+#include <vector>
 
 namespace radcrit
 {
+
+/**
+ * Utilization accounting of one forChunks() dispatch: how long the
+ * dispatch took wall-clock, and how much of it each worker spent
+ * inside the body versus idle (its chunk finished before the
+ * slowest worker's). Filled by the pool itself so the numbers are
+ * measured around exactly the code the pool ran; the campaign
+ * runner publishes them into the stats registry under "pool.*".
+ */
+struct PoolRunStats
+{
+    /** Per-worker share of the dispatch. */
+    struct Worker
+    {
+        /** Nanoseconds this worker spent inside the body. */
+        uint64_t busyNs = 0;
+        /** Items in this worker's chunk. */
+        uint64_t items = 0;
+    };
+
+    /** Wall nanoseconds of the whole dispatch (dispatch to join). */
+    uint64_t wallNs = 0;
+    /** One entry per participating worker, indexed by worker id. */
+    std::vector<Worker> workers;
+
+    /** @return summed busy nanoseconds across workers. */
+    uint64_t busyNs() const;
+
+    /**
+     * @return summed idle nanoseconds: wall time each worker was
+     * alive but not executing its chunk (clamped at 0 per worker).
+     */
+    uint64_t idleNs() const;
+
+    /**
+     * @return busy / (workers * wall) in [0, 1]; 1.0 means every
+     * worker computed for the full dispatch. 0 when no work ran.
+     */
+    double utilization() const;
+};
 
 /**
  * Fixed-width thread pool over static contiguous chunks.
@@ -56,8 +97,13 @@ class WorkerPool
      * plain loop. Blocks until every chunk completed. The first
      * exception thrown by a body is rethrown on the caller after
      * all workers joined.
+     *
+     * @param stats When non-null, overwritten with the dispatch's
+     * utilization accounting (valid once forChunks returns; an
+     * empty dispatch leaves it zeroed with no workers).
      */
-    void forChunks(uint64_t count, const ChunkBody &body) const;
+    void forChunks(uint64_t count, const ChunkBody &body,
+                   PoolRunStats *stats = nullptr) const;
 
     /**
      * Resolve a requested job count: 0 becomes

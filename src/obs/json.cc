@@ -56,6 +56,9 @@ JsonObjectWriter::~JsonObjectWriter()
 void
 JsonObjectWriter::startField(const std::string &key)
 {
+    if (closed_)
+        panic("JsonObjectWriter: field '%s' added after close()",
+              key.c_str());
     if (!first_)
         os_ << ",";
     first_ = false;

@@ -77,7 +77,11 @@ class JsonObjectWriter
      */
     void beginRawField(const std::string &key);
 
-    /** Close the object (idempotent). */
+    /**
+     * Close the object (idempotent). Adding a field after close()
+     * is a panic(): the writer cannot emit valid JSON past its own
+     * closing brace.
+     */
     void close();
 
   private:

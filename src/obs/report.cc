@@ -1,0 +1,239 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Shared inline stylesheet; keeps the document self-contained. */
+const char *reportCss = R"css(
+body { font-family: system-ui, sans-serif; margin: 2em auto;
+       max-width: 60em; color: #1a1a2e; background: #fbfbfd; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #4a5a8a;
+     padding-bottom: .3em; }
+h2 { font-size: 1.15em; color: #2e3a5e; margin-top: 1.6em; }
+table { border-collapse: collapse; margin: .6em 0; }
+th, td { border: 1px solid #c8cde0; padding: .25em .7em;
+         text-align: left; font-size: .92em; }
+th { background: #e8ebf5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+dl.kv { display: grid; grid-template-columns: max-content auto;
+        gap: .15em 1.2em; margin: .6em 0; }
+dl.kv dt { font-weight: 600; }
+dl.kv dd { margin: 0; }
+figure { margin: .8em 0; }
+figcaption { font-size: .85em; color: #555; margin-bottom: .3em; }
+svg text { font-family: system-ui, sans-serif; }
+)css";
+
+/** Format a value for bar labels: integral without a fraction. */
+std::string
+barNum(double v)
+{
+    if (!std::isfinite(v))
+        return "n/a";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return strprintf("%.0f", v);
+    return strprintf("%.3g", v);
+}
+
+} // anonymous namespace
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          case '\'': out += "&#39;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+HtmlReport::HtmlReport(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+HtmlReport::section(const std::string &heading)
+{
+    blocks_.push_back("<h2>" + htmlEscape(heading) + "</h2>\n");
+}
+
+void
+HtmlReport::paragraph(const std::string &text)
+{
+    blocks_.push_back("<p>" + htmlEscape(text) + "</p>\n");
+}
+
+void
+HtmlReport::keyValues(
+    const std::vector<std::pair<std::string, std::string>> &rows)
+{
+    std::ostringstream os;
+    os << "<dl class=\"kv\">\n";
+    for (const auto &[key, value] : rows) {
+        os << "<dt>" << htmlEscape(key) << "</dt><dd>"
+           << htmlEscape(value) << "</dd>\n";
+    }
+    os << "</dl>\n";
+    blocks_.push_back(os.str());
+}
+
+void
+HtmlReport::table(const std::vector<std::string> &header,
+                  const std::vector<std::vector<std::string>> &rows)
+{
+    std::ostringstream os;
+    os << "<table>\n<tr>";
+    for (const auto &cell : header)
+        os << "<th>" << htmlEscape(cell) << "</th>";
+    os << "</tr>\n";
+    for (const auto &row : rows) {
+        os << "<tr>";
+        for (size_t i = 0; i < row.size(); ++i) {
+            // First column is the label; the rest are numbers by
+            // convention and right-align.
+            os << (i == 0 ? "<td>" : "<td class=\"num\">")
+               << htmlEscape(row[i]) << "</td>";
+        }
+        os << "</tr>\n";
+    }
+    os << "</table>\n";
+    blocks_.push_back(os.str());
+}
+
+void
+HtmlReport::barChart(
+    const std::string &caption,
+    const std::vector<std::pair<std::string, double>> &bars)
+{
+    double peak = 0.0;
+    for (const auto &[name, value] : bars) {
+        if (std::isfinite(value))
+            peak = std::max(peak, value);
+    }
+
+    const int labelWidth = 170;
+    const int plotWidth = 360;
+    const int rowHeight = 22;
+    int height = rowHeight * static_cast<int>(bars.size()) + 6;
+
+    std::ostringstream os;
+    os << "<figure>\n<figcaption>" << htmlEscape(caption)
+       << "</figcaption>\n"
+       << "<svg width=\""
+       << labelWidth + plotWidth + 90 << "\" height=\"" << height
+       << "\" role=\"img\">\n";
+    for (size_t i = 0; i < bars.size(); ++i) {
+        const auto &[name, value] = bars[i];
+        int y = static_cast<int>(i) * rowHeight + 4;
+        double frac = (peak > 0.0 && std::isfinite(value))
+            ? std::max(value, 0.0) / peak
+            : 0.0;
+        int w = static_cast<int>(frac * plotWidth + 0.5);
+        os << "<text x=\"" << labelWidth - 6 << "\" y=\""
+           << y + 12 << "\" text-anchor=\"end\" font-size=\"12\">"
+           << htmlEscape(name) << "</text>\n"
+           << "<rect x=\"" << labelWidth << "\" y=\"" << y
+           << "\" width=\"" << std::max(w, 1) << "\" height=\""
+           << rowHeight - 8 << "\" fill=\"#5a74b8\"/>\n"
+           << "<text x=\"" << labelWidth + std::max(w, 1) + 5
+           << "\" y=\"" << y + 12 << "\" font-size=\"11\">"
+           << htmlEscape(barNum(value)) << "</text>\n";
+    }
+    os << "</svg>\n</figure>\n";
+    blocks_.push_back(os.str());
+}
+
+void
+HtmlReport::logHistogram(const std::string &caption,
+                         const StatsSnapshot::Entry &hist)
+{
+    std::vector<std::pair<std::string, double>> bars;
+    for (const auto &[bucket, count] : hist.buckets) {
+        std::string label = bucket == 0
+            ? "< 1"
+            : strprintf("[%.0f, %.0f)",
+                        LogHistogram::bucketLo(bucket),
+                        LogHistogram::bucketLo(bucket) * 2.0);
+        bars.emplace_back(label, static_cast<double>(count));
+    }
+    if (bars.empty())
+        bars.emplace_back("(empty)", 0.0);
+    barChart(caption +
+             strprintf(" — %llu samples, mean %s, max %s",
+                       static_cast<unsigned long long>(hist.count),
+                       barNum(hist.count
+                              ? hist.sum /
+                                  static_cast<double>(hist.count)
+                              : 0.0).c_str(),
+                       barNum(hist.max).c_str()),
+             bars);
+}
+
+void
+HtmlReport::phaseAttribution(const StatsSnapshot &stats,
+                             const std::vector<std::string> &phases)
+{
+    double total = 0.0;
+    std::vector<std::pair<std::string, double>> ns;
+    for (const auto &phase : phases) {
+        double v = stats.value(phase + ".ns");
+        ns.emplace_back(phase, v);
+        total += v;
+    }
+
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::pair<std::string, double>> bars;
+    for (const auto &[phase, v] : ns) {
+        rows.push_back(
+            {phase, strprintf("%.3f", v / 1e6),
+             total > 0.0 ? strprintf("%.1f%%", 100.0 * v / total)
+                         : "n/a"});
+        bars.emplace_back(phase, v / 1e6);
+    }
+    rows.push_back({"(listed total)",
+                    strprintf("%.3f", total / 1e6), "100.0%"});
+    table({"phase", "wall [ms]", "share"}, rows);
+    barChart("wall-clock per phase [ms]", bars);
+}
+
+void
+HtmlReport::render(std::ostream &os) const
+{
+    os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+       << "<meta charset=\"utf-8\">\n<title>"
+       << htmlEscape(title_) << "</title>\n<style>" << reportCss
+       << "</style>\n</head>\n<body>\n<h1>" << htmlEscape(title_)
+       << "</h1>\n";
+    for (const auto &block : blocks_)
+        os << block;
+    os << "</body>\n</html>\n";
+}
+
+std::string
+HtmlReport::str() const
+{
+    std::ostringstream os;
+    render(os);
+    return os.str();
+}
+
+} // namespace radcrit

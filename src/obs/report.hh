@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Self-contained HTML report builder for the observability layer.
+ *
+ * HtmlReport assembles a single-file HTML document — inline CSS,
+ * inline SVG charts, zero external fetches — from sections of
+ * key/value grids, tables, horizontal bar charts and log-scale
+ * histogram plots. The campaign layer composes it into the
+ * per-campaign report (campaign/report.hh); keeping the builder
+ * here means it only depends on StatsSnapshot and can be reused by
+ * any emitter.
+ *
+ * Rendering is a pure function of the data fed in: the same inputs
+ * produce byte-identical documents, which is what lets tests golden
+ * the report and lets users diff reports across runs.
+ */
+
+#ifndef RADCRIT_OBS_REPORT_HH
+#define RADCRIT_OBS_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/stats_registry.hh"
+
+namespace radcrit
+{
+
+/** Escape text for embedding in HTML (and inline SVG) content. */
+std::string htmlEscape(const std::string &s);
+
+/**
+ * Builder for one self-contained HTML document.
+ */
+class HtmlReport
+{
+  public:
+    /** @param title Document title and top heading. */
+    explicit HtmlReport(std::string title);
+
+    /** Open a new section with the given heading. */
+    void section(const std::string &heading);
+
+    /** Add a paragraph of plain text. */
+    void paragraph(const std::string &text);
+
+    /** Add a two-column key/value grid. */
+    void keyValues(
+        const std::vector<std::pair<std::string, std::string>>
+            &rows);
+
+    /** Add a table; the first row style is the header. */
+    void table(const std::vector<std::string> &header,
+               const std::vector<std::vector<std::string>> &rows);
+
+    /**
+     * Add a horizontal bar chart as inline SVG. Bar lengths are
+     * scaled to the largest value; each bar is labelled with its
+     * name and formatted value.
+     */
+    void barChart(
+        const std::string &caption,
+        const std::vector<std::pair<std::string, double>> &bars);
+
+    /**
+     * Add a log-scale histogram (one bar per occupied power-of-two
+     * bucket) as inline SVG, from a histogram snapshot entry.
+     */
+    void logHistogram(const std::string &caption,
+                      const StatsSnapshot::Entry &hist);
+
+    /**
+     * Add the wall-clock attribution block for a set of phase
+     * timers: a table (phase, wall ms, share of the listed total)
+     * plus a bar chart, reading "<phase>.ns" counters from the
+     * snapshot. Phases missing from the snapshot render as 0.
+     *
+     * @param stats Snapshot holding the timers.
+     * @param phases Timer names ("campaign.phase.replay", ...).
+     */
+    void phaseAttribution(const StatsSnapshot &stats,
+                          const std::vector<std::string> &phases);
+
+    /** Render the complete document. */
+    void render(std::ostream &os) const;
+
+    /** @return the complete document as a string. */
+    std::string str() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> blocks_;
+};
+
+} // namespace radcrit
+
+#endif // RADCRIT_OBS_REPORT_HH

@@ -1,0 +1,204 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+std::atomic<Timeline *> globalTimeline{nullptr};
+
+/** Render ns as trace-event microseconds ("12345.678"). */
+std::string
+traceUs(uint64_t ns)
+{
+    return strprintf("%llu.%03llu",
+                     static_cast<unsigned long long>(ns / 1000),
+                     static_cast<unsigned long long>(ns % 1000));
+}
+
+void
+writeArgs(std::ostream &os, const std::vector<TimelineArg> &args)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "\"" << jsonEscape(key) << "\": \""
+           << jsonEscape(value) << "\"";
+    }
+    os << "}";
+}
+
+void
+writeEvent(std::ostream &os, uint32_t tid,
+           const TimelineEvent &event)
+{
+    os << "{\"name\": \"" << jsonEscape(event.name)
+       << "\", \"cat\": \"" << jsonEscape(event.category)
+       << "\", \"ph\": \"" << (event.instant ? "i" : "X")
+       << "\", \"pid\": 1, \"tid\": " << tid
+       << ", \"ts\": " << traceUs(event.tsNs);
+    if (event.instant)
+        os << ", \"s\": \"t\"";
+    else
+        os << ", \"dur\": " << traceUs(event.durNs);
+    if (!event.args.empty()) {
+        os << ", \"args\": ";
+        writeArgs(os, event.args);
+    }
+    os << "}";
+}
+
+void
+writeThreadName(std::ostream &os, uint32_t tid,
+                const std::string &label)
+{
+    os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": " << tid << ", \"args\": {\"name\": \""
+       << jsonEscape(label) << "\"}}";
+}
+
+} // anonymous namespace
+
+void
+TimelineLane::span(std::string name, std::string category,
+                   uint64_t ts_ns, uint64_t dur_ns,
+                   std::vector<TimelineArg> args)
+{
+    TimelineEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.instant = false;
+    event.tsNs = ts_ns;
+    event.durNs = dur_ns;
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+void
+TimelineLane::instant(std::string name, std::string category,
+                      uint64_t ts_ns,
+                      std::vector<TimelineArg> args)
+{
+    TimelineEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.instant = true;
+    event.tsNs = ts_ns;
+    event.args = std::move(args);
+    events_.push_back(std::move(event));
+}
+
+uint64_t
+TimelineLane::busyNs() const
+{
+    uint64_t total = 0;
+    for (const auto &event : events_)
+        total += event.durNs;
+    return total;
+}
+
+Timeline::Timeline()
+    : epoch_(std::chrono::steady_clock::now())
+{
+}
+
+TimelineLane &
+Timeline::lane(uint32_t tid, const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &lane : lanes_) {
+        if (lane->tid() == tid)
+            return *lane;
+    }
+    lanes_.push_back(std::unique_ptr<TimelineLane>(
+        new TimelineLane(tid, label)));
+    return *lanes_.back();
+}
+
+uint64_t
+Timeline::nowNs() const
+{
+    auto dt = std::chrono::steady_clock::now() - epoch_;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+            .count());
+}
+
+std::vector<const TimelineLane *>
+Timeline::lanes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<const TimelineLane *> out;
+    out.reserve(lanes_.size());
+    for (const auto &lane : lanes_)
+        out.push_back(lane.get());
+    std::sort(out.begin(), out.end(),
+              [](const TimelineLane *a, const TimelineLane *b)
+              { return a->tid() < b->tid(); });
+    return out;
+}
+
+size_t
+Timeline::eventCount() const
+{
+    size_t count = 0;
+    for (const TimelineLane *lane : lanes())
+        count += lane->events().size();
+    return count;
+}
+
+void
+Timeline::writeJson(std::ostream &os) const
+{
+    std::vector<const TimelineLane *> sorted = lanes();
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+       << "\"tid\": 0, \"args\": {\"name\": \"radcrit\"}}";
+    for (const TimelineLane *lane : sorted) {
+        os << ",\n";
+        writeThreadName(os, lane->tid(), lane->label());
+    }
+    for (const TimelineLane *lane : sorted) {
+        for (const auto &event : lane->events()) {
+            os << ",\n";
+            writeEvent(os, lane->tid(), event);
+        }
+    }
+    os << "\n]\n}\n";
+}
+
+void
+Timeline::writeJsonFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open timeline file '%s'", path.c_str());
+    writeJson(out);
+}
+
+Timeline *
+setTimeline(Timeline *timeline)
+{
+    return globalTimeline.exchange(timeline,
+                                   std::memory_order_acq_rel);
+}
+
+Timeline *
+timeline()
+{
+    return globalTimeline.load(std::memory_order_acquire);
+}
+
+} // namespace radcrit

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the JSON rendering helpers: escaping of control and
+ * metacharacters, non-finite number handling, empty and nested
+ * objects, and misuse of the object writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndWhitespace)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(jsonEscape("cr\rtab\t"), "cr\\rtab\\t");
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes)
+{
+    EXPECT_EQ(jsonEscape("\x01"), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+    EXPECT_EQ(jsonEscape("\x1f"), "\\u001f");
+    EXPECT_EQ(jsonEscape("a\x02z"), "a\\u0002z");
+    // 0x20 and above pass through.
+    EXPECT_EQ(jsonEscape(" ~"), " ~");
+}
+
+TEST(JsonNum, NonFiniteValuesRenderAsZero)
+{
+    EXPECT_EQ(jsonNum(std::nan("")), "0");
+    EXPECT_EQ(jsonNum(std::numeric_limits<double>::infinity()),
+              "0");
+    EXPECT_EQ(jsonNum(-std::numeric_limits<double>::infinity()),
+              "0");
+}
+
+TEST(JsonNum, IntegralValuesDropTheFraction)
+{
+    EXPECT_EQ(jsonNum(0.0), "0");
+    EXPECT_EQ(jsonNum(42.0), "42");
+    EXPECT_EQ(jsonNum(-7.0), "-7");
+    EXPECT_EQ(jsonNum(1.5), "1.5");
+}
+
+TEST(JsonObjectWriterTest, EmptyObjectRendersBraces)
+{
+    std::ostringstream os;
+    {
+        JsonObjectWriter obj(os);
+    }
+    EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(JsonObjectWriterTest, FieldsAreCommaSeparatedAndEscaped)
+{
+    std::ostringstream os;
+    {
+        JsonObjectWriter obj(os);
+        obj.field("name", "va\"lue");
+        obj.field("count", uint64_t{3});
+        obj.field("ratio", 0.5);
+    }
+    EXPECT_EQ(os.str(),
+              "{\n  \"name\": \"va\\\"lue\",\n  \"count\": 3,\n"
+              "  \"ratio\": 0.5\n}");
+}
+
+TEST(JsonObjectWriterTest, NestedWritersIndentAndClose)
+{
+    std::ostringstream os;
+    {
+        JsonObjectWriter obj(os);
+        obj.field("a", uint64_t{1});
+        obj.beginRawField("inner");
+        {
+            JsonObjectWriter inner(os, 4);
+            inner.field("b", uint64_t{2});
+        }
+        obj.field("c", uint64_t{3});
+    }
+    EXPECT_EQ(os.str(),
+              "{\n  \"a\": 1,\n  \"inner\": {\n    \"b\": 2\n  },"
+              "\n  \"c\": 3\n}");
+}
+
+TEST(JsonObjectWriterTest, CloseIsIdempotent)
+{
+    std::ostringstream os;
+    JsonObjectWriter obj(os);
+    obj.field("x", uint64_t{1});
+    obj.close();
+    obj.close();
+    EXPECT_EQ(os.str(), "{\n  \"x\": 1\n}");
+}
+
+TEST(JsonObjectWriterDeath, FieldAfterCloseIsAPanic)
+{
+    std::ostringstream os;
+    JsonObjectWriter obj(os);
+    obj.close();
+    EXPECT_DEATH(obj.field("late", uint64_t{1}),
+                 "field 'late' added after close");
+}
+
+} // anonymous namespace
+} // namespace radcrit

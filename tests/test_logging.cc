@@ -67,6 +67,37 @@ TEST(LoggingTest, ParseLogLevelNames)
     EXPECT_EQ(level, LogLevel::Info); // unchanged on failure
 }
 
+TEST(LoggingTest, LogLevelFromEnvRecognizesCaseInsensitively)
+{
+    bool recognized = false;
+    EXPECT_EQ(logLevelFromEnv("WARN", &recognized),
+              LogLevel::Warn);
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(logLevelFromEnv("Quiet", &recognized),
+              LogLevel::Silent);
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(logLevelFromEnv("error", &recognized),
+              LogLevel::Error);
+    EXPECT_TRUE(recognized);
+}
+
+TEST(LoggingTest, LogLevelFromEnvFallsBackToInfo)
+{
+    bool recognized = true;
+    EXPECT_EQ(logLevelFromEnv("bogus", &recognized),
+              LogLevel::Info);
+    EXPECT_FALSE(recognized);
+    recognized = true;
+    EXPECT_EQ(logLevelFromEnv(nullptr, &recognized),
+              LogLevel::Info);
+    EXPECT_FALSE(recognized);
+    recognized = true;
+    EXPECT_EQ(logLevelFromEnv("", &recognized), LogLevel::Info);
+    EXPECT_FALSE(recognized);
+    // The out-parameter is optional.
+    EXPECT_EQ(logLevelFromEnv("info"), LogLevel::Info);
+}
+
 TEST(LoggingTest, LogLevelRoundTrip)
 {
     LogLevel before = logLevel();

@@ -150,6 +150,53 @@ TEST(Pool, MoreJobsThanItems)
         EXPECT_EQ(h.load(), 1);
 }
 
+TEST(PoolStats, WorkersSizedAndItemsAccounted)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        WorkerPool pool(jobs);
+        PoolRunStats stats;
+        pool.forChunks(100, [](unsigned, uint64_t, uint64_t) {},
+                       &stats);
+        auto workers = static_cast<unsigned>(
+            std::min<uint64_t>(pool.jobs(), 100));
+        ASSERT_EQ(stats.workers.size(), workers);
+        uint64_t items = 0;
+        for (const auto &w : stats.workers)
+            items += w.items;
+        EXPECT_EQ(items, 100u);
+        EXPECT_EQ(stats.busyNs() + stats.idleNs(),
+                  stats.wallNs * workers);
+        EXPECT_GT(stats.utilization(), 0.0);
+        EXPECT_LE(stats.utilization(), 1.0);
+    }
+}
+
+TEST(PoolStats, SerialPathIsFullyUtilized)
+{
+    WorkerPool pool(1);
+    PoolRunStats stats;
+    pool.forChunks(10, [](unsigned, uint64_t, uint64_t) {},
+                   &stats);
+    ASSERT_EQ(stats.workers.size(), 1u);
+    EXPECT_EQ(stats.workers[0].items, 10u);
+    EXPECT_EQ(stats.busyNs(), stats.wallNs);
+    EXPECT_EQ(stats.idleNs(), 0u);
+    EXPECT_DOUBLE_EQ(stats.utilization(), 1.0);
+}
+
+TEST(PoolStats, ZeroCountLeavesStatsEmpty)
+{
+    WorkerPool pool(4);
+    PoolRunStats stats;
+    stats.wallNs = 123; // must be reset by forChunks
+    pool.forChunks(0, [](unsigned, uint64_t, uint64_t) {},
+                   &stats);
+    EXPECT_TRUE(stats.workers.empty());
+    EXPECT_EQ(stats.wallNs, 0u);
+    EXPECT_EQ(stats.busyNs(), 0u);
+    EXPECT_DOUBLE_EQ(stats.utilization(), 0.0);
+}
+
 TEST(Pool, BodyExceptionPropagates)
 {
     for (unsigned jobs : {1u, 4u}) {

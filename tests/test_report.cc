@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the HTML report builder and the campaign report: HTML
+ * escaping, self-containment (no external fetches), deterministic
+ * rendering, and the report rendered from the golden beam log.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "campaign/report.hh"
+#include "campaign/runner.hh"
+#include "logs/beamlog.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+TEST(HtmlEscape, EscapesMarkupMetacharacters)
+{
+    EXPECT_EQ(htmlEscape("a < b && c > d"),
+              "a &lt; b &amp;&amp; c &gt; d");
+    EXPECT_EQ(htmlEscape("\"quoted\" & 'single'"),
+              "&quot;quoted&quot; &amp; &#39;single&#39;");
+    EXPECT_EQ(htmlEscape("plain text 123"), "plain text 123");
+    EXPECT_EQ(htmlEscape(""), "");
+}
+
+TEST(HtmlReportBuilder, SectionsTablesAndChartsRender)
+{
+    HtmlReport report("unit <report>");
+    report.section("Numbers & things");
+    report.paragraph("hello <world>");
+    report.keyValues({{"key", "value"}, {"k2", "v2"}});
+    report.table({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+    report.barChart("bars", {{"x", 2.0}, {"y", 1.0}});
+
+    std::string html = report.str();
+    // Title and headings are escaped.
+    EXPECT_NE(html.find("unit &lt;report&gt;"), std::string::npos);
+    EXPECT_NE(html.find("Numbers &amp; things"),
+              std::string::npos);
+    EXPECT_NE(html.find("hello &lt;world&gt;"), std::string::npos);
+    EXPECT_EQ(html.find("<world>"), std::string::npos);
+    // Structure: one table, one inline SVG chart.
+    EXPECT_NE(html.find("<table>"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST(HtmlReportBuilder, RenderingIsDeterministic)
+{
+    auto build = []() {
+        HtmlReport report("same");
+        report.section("s");
+        report.barChart("c", {{"a", 1.0}, {"b", 0.5}});
+        return report.str();
+    };
+    EXPECT_EQ(build(), build());
+}
+
+TEST(HtmlReportBuilder, LogHistogramPlotsOccupiedBuckets)
+{
+    StatsSnapshot::Entry hist;
+    hist.name = "campaign.test.hist";
+    hist.kind = StatKind::Histogram;
+    hist.count = 7;
+    hist.buckets = {{0, 3}, {4, 4}};
+
+    HtmlReport report("hist");
+    report.logHistogram("campaign.test.hist", hist);
+    std::string html = report.str();
+    EXPECT_NE(html.find("campaign.test.hist"), std::string::npos);
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+TEST(HtmlReportBuilder, PhaseAttributionSharesSumToTotal)
+{
+    StatsSnapshot snap;
+    StatsSnapshot::Entry a;
+    a.name = "phase.one.ns";
+    a.kind = StatKind::Counter;
+    a.value = 750.0 * 1e6;
+    StatsSnapshot::Entry b;
+    b.name = "phase.two.ns";
+    b.kind = StatKind::Counter;
+    b.value = 250.0 * 1e6;
+    snap.entries = {a, b};
+
+    HtmlReport report("phases");
+    report.phaseAttribution(snap, {"phase.one", "phase.two"});
+    std::string html = report.str();
+    EXPECT_NE(html.find("phase.one"), std::string::npos);
+    EXPECT_NE(html.find("75.0%"), std::string::npos);
+    EXPECT_NE(html.find("25.0%"), std::string::npos);
+}
+
+/** The golden-beamlog campaign report, built once per test. */
+std::string
+goldenReport(const Timeline *timeline = nullptr)
+{
+    CampaignRaw raw = readBeamLogFile(
+        RADCRIT_GOLDEN_DIR "/beamlog_dgemm_k40.beamlog");
+    CampaignResult res = analyzeCampaign(raw, AnalysisConfig{});
+    std::ostringstream os;
+    writeCampaignReport(os, res, timeline);
+    return os.str();
+}
+
+TEST(CampaignReport, GoldenBeamlogRendersCompleteDocument)
+{
+    std::string html = goldenReport();
+    EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    // Campaign identity and every section heading.
+    EXPECT_NE(html.find("K40"), std::string::npos);
+    EXPECT_NE(html.find("DGEMM"), std::string::npos);
+    for (const char *heading :
+         {"Campaign", "Outcome breakdown", "Criticality and FIT",
+          "Wall-clock attribution", "Distributions"}) {
+        SCOPED_TRACE(heading);
+        EXPECT_NE(html.find(heading), std::string::npos);
+    }
+    EXPECT_NE(html.find("<svg"), std::string::npos);
+}
+
+TEST(CampaignReport, DocumentIsSelfContained)
+{
+    std::string html = goldenReport();
+    // Single-file contract: no scripts, no external fetches, no
+    // resource references of any kind.
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("src="), std::string::npos);
+    EXPECT_EQ(html.find("<link"), std::string::npos);
+    EXPECT_EQ(html.find("@import"), std::string::npos);
+}
+
+TEST(CampaignReport, RenderingIsDeterministic)
+{
+    // Same result, same bytes: rendering is a pure function of the
+    // analysis data (a fresh analyzeCampaign() carries fresh phase
+    // timings, so determinism is per-result, modulo timestamps).
+    CampaignRaw raw = readBeamLogFile(
+        RADCRIT_GOLDEN_DIR "/beamlog_dgemm_k40.beamlog");
+    CampaignResult res = analyzeCampaign(raw, AnalysisConfig{});
+    std::ostringstream a, b;
+    writeCampaignReport(a, res, nullptr);
+    writeCampaignReport(b, res, nullptr);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CampaignReport, TimelineAddsWorkerSection)
+{
+    EXPECT_EQ(goldenReport().find("Workers"), std::string::npos);
+
+    Timeline tl;
+    tl.lane(0, "campaign").span("simulate", "campaign", 0, 1000);
+    tl.lane(1, "worker 0").span("run 0", "run", 10, 400);
+    std::string html = goldenReport(&tl);
+    EXPECT_NE(html.find("Workers"), std::string::npos);
+    EXPECT_NE(html.find("worker 0"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "campaign/runner.hh"
 #include "check/statcheck.hh"
@@ -206,6 +208,44 @@ TEST_F(RunnerTest, ProgressReportingKeepsResultsIdentical)
     ASSERT_EQ(a.runs.size(), b.runs.size());
     for (size_t i = 0; i < a.runs.size(); ++i)
         EXPECT_EQ(a.runs[i].outcome, b.runs[i].outcome);
+}
+
+std::vector<std::string> progressLines;
+
+void
+progressHook(const char *level, const std::string &msg)
+{
+    // Keep per-run progress lines; skip the launch banner.
+    if (std::string(level) == "info" &&
+        msg.rfind("campaign ", 0) == 0 &&
+        msg.find(" runs (") != std::string::npos)
+        progressLines.push_back(msg);
+}
+
+TEST_F(RunnerTest, ProgressLinesCarryThroughputAndEta)
+{
+    CampaignConfig cfg = config(30, 11);
+    cfg.sim.progressEvery = 10;
+    progressLines.clear();
+    bool quiet = isQuiet();
+    setQuiet(true);
+    setLogHook(progressHook);
+    runCampaign(device_, dgemm_, cfg);
+    setLogHook(nullptr);
+    setQuiet(quiet);
+
+    ASSERT_FALSE(progressLines.empty());
+    for (const std::string &line : progressLines) {
+        SCOPED_TRACE(line);
+        EXPECT_NE(line.find(" runs ("), std::string::npos);
+        EXPECT_NE(line.find("runs/s"), std::string::npos);
+        EXPECT_NE(line.find("ETA"), std::string::npos);
+    }
+    // The final report covers all runs and has nothing left to do.
+    EXPECT_NE(progressLines.back().find("30/30 runs"),
+              std::string::npos);
+    EXPECT_NE(progressLines.back().find("ETA 0.0s"),
+              std::string::npos);
 }
 
 TEST(RunnerDeathTest, ZeroRunsFatal)

@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the campaign flight recorder: lane recording, lock-free
+ * concurrent writers, campaign integration (one span per run), the
+ * recorder's zero-impact guarantee, and the trace-event JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "campaign/series.hh"
+#include "kernels/dgemm.hh"
+#include "obs/timeline.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+CampaignConfig
+config(uint64_t runs, unsigned jobs, uint64_t seed = 7)
+{
+    CampaignConfig cfg;
+    cfg.sim.faultyRuns = runs;
+    cfg.sim.seed = seed;
+    cfg.sim.jobs = jobs;
+    return cfg;
+}
+
+/** One big string of every runRows() cell, for byte comparison. */
+std::string
+flattenRows(const CampaignResult &res)
+{
+    std::string out;
+    for (const auto &row : runRows(res)) {
+        for (const auto &cell : row) {
+            out += cell;
+            out += '\x1f';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+/** RAII attach/detach so a failing test cannot leak the recorder. */
+class ScopedTimeline
+{
+  public:
+    explicit ScopedTimeline(Timeline *tl) : prev_(setTimeline(tl)) {}
+    ~ScopedTimeline() { setTimeline(prev_); }
+
+  private:
+    Timeline *prev_;
+};
+
+TEST(TimelineLaneTest, RecordsSpansAndInstantsInOrder)
+{
+    Timeline tl;
+    TimelineLane &lane = tl.lane(3, "worker 2");
+    lane.span("run 0", "run", 100, 50, {{"run", "0"}});
+    lane.instant("checkpoint", "campaign", 160);
+    lane.span("run 1", "run", 170, 30);
+
+    EXPECT_EQ(lane.tid(), 3u);
+    EXPECT_EQ(lane.label(), "worker 2");
+    ASSERT_EQ(lane.events().size(), 3u);
+    EXPECT_EQ(lane.events()[0].name, "run 0");
+    EXPECT_FALSE(lane.events()[0].instant);
+    EXPECT_EQ(lane.events()[0].tsNs, 100u);
+    EXPECT_EQ(lane.events()[0].durNs, 50u);
+    ASSERT_EQ(lane.events()[0].args.size(), 1u);
+    EXPECT_EQ(lane.events()[0].args[0].first, "run");
+    EXPECT_TRUE(lane.events()[1].instant);
+    EXPECT_EQ(lane.busyNs(), 80u);
+}
+
+TEST(TimelineLaneTest, LaneIsCreatedOnceLabelFromFirstUse)
+{
+    Timeline tl;
+    TimelineLane &a = tl.lane(1, "worker 0");
+    TimelineLane &b = tl.lane(1, "ignored later label");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.label(), "worker 0");
+    EXPECT_EQ(tl.lanes().size(), 1u);
+}
+
+TEST(TimelineTest, LanesSortedByTidAndEventCountTallies)
+{
+    Timeline tl;
+    tl.lane(5, "worker 4").span("a", "run", 0, 1);
+    tl.lane(0, "campaign").span("b", "campaign", 0, 1);
+    tl.lane(2, "worker 1").span("c", "run", 0, 1);
+    tl.lane(2, "worker 1").span("d", "run", 1, 1);
+
+    auto lanes = tl.lanes();
+    ASSERT_EQ(lanes.size(), 3u);
+    EXPECT_EQ(lanes[0]->tid(), 0u);
+    EXPECT_EQ(lanes[1]->tid(), 2u);
+    EXPECT_EQ(lanes[2]->tid(), 5u);
+    EXPECT_EQ(tl.eventCount(), 4u);
+}
+
+TEST(TimelineTest, NowNsIsMonotonic)
+{
+    Timeline tl;
+    uint64_t a = tl.nowNs();
+    uint64_t b = tl.nowNs();
+    EXPECT_LE(a, b);
+}
+
+// The concurrency contract: each thread owns its lane, so eight
+// threads recording simultaneously need no per-event lock. Run
+// under TSan via the concurrency label.
+TEST(TimelineConcurrency, ParallelWritersOnDistinctLanes)
+{
+    Timeline tl;
+    constexpr unsigned threads = 8;
+    constexpr unsigned per_thread = 500;
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&tl, t]() {
+            TimelineLane &lane =
+                tl.lane(t + 1, "worker " + std::to_string(t));
+            for (unsigned i = 0; i < per_thread; ++i) {
+                lane.span("run " + std::to_string(i), "run",
+                          tl.nowNs(), 10,
+                          {{"worker", std::to_string(t)}});
+            }
+        });
+    }
+    for (auto &thread : pool)
+        thread.join();
+
+    EXPECT_EQ(tl.eventCount(), threads * per_thread);
+    for (const TimelineLane *lane : tl.lanes()) {
+        EXPECT_EQ(lane->events().size(), per_thread);
+        // Append-only: per-lane timestamps never go backwards.
+        for (size_t i = 1; i < lane->events().size(); ++i) {
+            EXPECT_LE(lane->events()[i - 1].tsNs,
+                      lane->events()[i].tsNs);
+        }
+    }
+}
+
+TEST(TimelineAttach, SetTimelineReturnsPrevious)
+{
+    Timeline a, b;
+    Timeline *before = setTimeline(&a);
+    EXPECT_EQ(timeline(), &a);
+    EXPECT_EQ(setTimeline(&b), &a);
+    EXPECT_EQ(timeline(), &b);
+    EXPECT_EQ(setTimeline(before), &b);
+}
+
+TEST(TimelineCampaign, RecordsOneSpanPerRunPlusPhases)
+{
+    constexpr uint64_t runs = 40;
+    Timeline tl;
+    ScopedTimeline attach(&tl);
+    DeviceModel device = makeK40();
+    Dgemm dgemm(device, 64, 42);
+    runCampaign(device, dgemm, config(runs, 4));
+
+    // Lane 0 is campaign control flow: simulate + analyze spans.
+    auto lanes = tl.lanes();
+    ASSERT_GE(lanes.size(), 2u);
+    EXPECT_EQ(lanes[0]->tid(), 0u);
+    EXPECT_EQ(lanes[0]->label(), "campaign");
+    std::vector<std::string> control;
+    for (const auto &event : lanes[0]->events())
+        control.push_back(event.name);
+    EXPECT_NE(std::find(control.begin(), control.end(),
+                        "simulate"), control.end());
+    EXPECT_NE(std::find(control.begin(), control.end(),
+                        "analyze"), control.end());
+
+    // Every simulated run shows up as exactly one "run" span, with
+    // its index in the args, spread over the worker lanes.
+    std::map<std::string, unsigned> run_spans;
+    for (const TimelineLane *lane : lanes) {
+        if (lane->tid() == 0)
+            continue;
+        EXPECT_EQ(lane->label().rfind("worker ", 0), 0u);
+        for (const auto &event : lane->events()) {
+            if (event.category != "run")
+                continue;
+            EXPECT_FALSE(event.instant);
+            std::string run, kernel, outcome;
+            for (const auto &[key, value] : event.args) {
+                if (key == "run")
+                    run = value;
+                else if (key == "kernel")
+                    kernel = value;
+                else if (key == "outcome")
+                    outcome = value;
+            }
+            EXPECT_EQ(kernel, "DGEMM");
+            EXPECT_FALSE(outcome.empty());
+            ++run_spans[run];
+        }
+    }
+    EXPECT_EQ(run_spans.size(), runs);
+    for (uint64_t i = 0; i < runs; ++i) {
+        SCOPED_TRACE(i);
+        EXPECT_EQ(run_spans[std::to_string(i)], 1u);
+    }
+}
+
+TEST(TimelineCampaign, RecorderDoesNotChangeResults)
+{
+    DeviceModel device = makeK40();
+    Dgemm plain(device, 64, 42);
+    CampaignResult base =
+        runCampaign(device, plain, config(50, 2));
+
+    Timeline tl;
+    ScopedTimeline attach(&tl);
+    Dgemm recorded(device, 64, 42);
+    CampaignResult res =
+        runCampaign(device, recorded, config(50, 2));
+
+    ASSERT_EQ(res.runs.size(), base.runs.size());
+    for (size_t i = 0; i < res.runs.size(); ++i)
+        EXPECT_EQ(res.runs[i].outcome, base.runs[i].outcome);
+    EXPECT_EQ(flattenRows(res), flattenRows(base));
+}
+
+TEST(TimelineCampaign, SpanMultisetIsIndependentOfJobs)
+{
+    auto spans = [](unsigned jobs) {
+        Timeline tl;
+        ScopedTimeline attach(&tl);
+        DeviceModel device = makeK40();
+        Dgemm dgemm(device, 64, 42);
+        runCampaign(device, dgemm, config(30, jobs));
+        std::vector<std::string> out;
+        for (const TimelineLane *lane : tl.lanes()) {
+            for (const auto &event : lane->events()) {
+                if (event.category != "run")
+                    continue;
+                std::string outcome;
+                for (const auto &[key, value] : event.args) {
+                    if (key == "outcome")
+                        outcome = value;
+                }
+                out.push_back(event.name + "/" + outcome);
+            }
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    EXPECT_EQ(spans(1), spans(4));
+}
+
+TEST(TimelineJson, ExportsTraceEventShape)
+{
+    Timeline tl;
+    tl.lane(0, "campaign").span("simulate", "campaign", 1000, 2000,
+                                {{"runs", "2"}});
+    tl.lane(1, "worker 0").span("run 0", "run", 1100, 300);
+    tl.lane(1, "worker 0").instant("note", "campaign", 1500);
+
+    std::ostringstream os;
+    tl.writeJson(os);
+    std::string json = os.str();
+
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find(
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 1, \"args\": {\"name\": \"worker 0\"}}"),
+        std::string::npos);
+    // Span: µs timestamps (ns / 1000 with 3 decimals), dur, args.
+    EXPECT_NE(json.find(
+        "{\"name\": \"simulate\", \"cat\": \"campaign\", "
+        "\"ph\": \"X\", \"pid\": 1, \"tid\": 0, \"ts\": 1.000, "
+        "\"dur\": 2.000, \"args\": {\"runs\": \"2\"}}"),
+        std::string::npos);
+    // Instant: thread scope, no dur.
+    EXPECT_NE(json.find(
+        "{\"name\": \"note\", \"cat\": \"campaign\", \"ph\": "
+        "\"i\", \"pid\": 1, \"tid\": 1, \"ts\": 1.500, "
+        "\"s\": \"t\"}"),
+        std::string::npos);
+}
+
+TEST(TimelineJson, EmptyTimelineStillValid)
+{
+    Timeline tl;
+    std::ostringstream os;
+    tl.writeJson(os);
+    EXPECT_NE(os.str().find("\"traceEvents\": ["),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"process_name\""),
+              std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -15,7 +15,7 @@ existing file is validated as-is.
 
 Validated shape:
 
-  * schema == 3 and bench matches the binary name
+  * schema == 4 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
   * jobs (worker threads per campaign) is a positive integer
   * cache_hits/cache_misses are non-negative integers and account
@@ -24,6 +24,12 @@ Validated shape:
   * ns_per_op and runs_per_s are positive and mutually consistent
     (runs_per_s is wall-clock throughput, so it reflects the
     parallel speedup when jobs > 1)
+  * timings is the perf-trajectory block: wall_ns/runs_per_s
+    mirror the top level, pool_busy_ns/pool_idle_ns are
+    non-negative, pool_utilization is in [0, 1], and phase_ns
+    holds non-negative per-phase wall nanosecond totals whose
+    "total" is positive whenever at least one campaign was
+    actually simulated (cache_misses > 0)
   * stats is an object of instrument entries, each with a valid
     kind, and the campaign outcome counters sum to the run tally
 
@@ -70,6 +76,46 @@ def validate_stats(stats):
             fail("%s: unknown kind %r" % (name, kind))
 
 
+PHASES = ("sample", "classify", "replay", "metrics", "total")
+
+
+def validate_timings(doc):
+    """Check the schema-4 perf-trajectory block."""
+    timings = doc.get("timings")
+    expect(isinstance(timings, dict),
+           "timings must be an object, got %r" % timings)
+    expect(timings.get("wall_ns") == doc["wall_ns"],
+           "timings.wall_ns (%r) != top-level wall_ns (%r)"
+           % (timings.get("wall_ns"), doc["wall_ns"]))
+    expect(timings.get("runs_per_s") == doc["runs_per_s"],
+           "timings.runs_per_s (%r) != top-level runs_per_s (%r)"
+           % (timings.get("runs_per_s"), doc["runs_per_s"]))
+    for key in ("pool_busy_ns", "pool_idle_ns"):
+        expect(isinstance(timings.get(key), int)
+               and timings[key] >= 0,
+               "timings.%s must be a non-negative integer, got %r"
+               % (key, timings.get(key)))
+    util = timings.get("pool_utilization")
+    expect(isinstance(util, (int, float)) and 0.0 <= util <= 1.0,
+           "timings.pool_utilization must be in [0, 1], got %r"
+           % util)
+    phases = timings.get("phase_ns")
+    expect(isinstance(phases, dict),
+           "timings.phase_ns must be an object, got %r" % phases)
+    for phase in PHASES:
+        expect(isinstance(phases.get(phase), int)
+               and phases[phase] >= 0,
+               "timings.phase_ns.%s must be a non-negative "
+               "integer, got %r" % (phase, phases.get(phase)))
+    if doc["cache_misses"] > 0:
+        expect(phases["total"] > 0,
+               "campaigns were simulated (cache_misses=%d) but "
+               "phase_ns.total is 0: the timings block carries no "
+               "trajectory" % doc["cache_misses"])
+        expect(timings["pool_busy_ns"] > 0,
+               "campaigns were simulated but pool_busy_ns is 0")
+
+
 def validate(path, bench_name):
     expect(os.path.exists(path),
            "missing output file %s (the bench did not write its "
@@ -81,8 +127,8 @@ def validate(path, bench_name):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
 
-    expect(doc.get("schema") == 3,
-           "schema must be 3, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 4,
+           "schema must be 4, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
@@ -114,6 +160,7 @@ def validate(path, bench_name):
            < max(1e-6 * doc["ns_per_op"], 1e-3),
            "ns_per_op does not match wall_ns / runs")
 
+    validate_timings(doc)
     validate_stats(doc.get("stats"))
 
     # The per-campaign outcome counters in the snapshot must tally

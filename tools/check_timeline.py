@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Validate a flight-recorder timeline (Chrome trace-event JSON).
+
+Usage:
+    check_timeline.py <timeline.json> [--expect-runs N]
+    check_timeline.py --cli <radcrit_cli> [--runs N] [--jobs N]
+
+In the first form an existing timeline file is validated. In the
+second form radcrit_cli is run in a temporary directory with
+--timeline (and --expect-runs is implied by --runs), so the check
+exercises the full producer path.
+
+Validated shape (what Perfetto needs to load the file and what the
+flight recorder promises):
+
+  * top level is an object with displayTimeUnit and a traceEvents
+    array
+  * every event has a ph in {M, X, i}; pid == 1 throughout; tid is
+    a non-negative integer
+  * metadata (M) events carry process_name/thread_name args; every
+    tid that emits spans/instants has a thread_name
+  * complete (X) events have non-negative numeric ts and dur;
+    instant (i) events have ts and scope "t"
+  * within each tid, span start timestamps are monotonically
+    non-decreasing (lanes are append-only, single-writer)
+  * with --expect-runs N: there are exactly N spans with category
+    "run", their "run" args cover 0..N-1 exactly once, and every
+    one carries kernel and outcome args
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("check_timeline: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate(path, expect_runs=None):
+    expect(os.path.exists(path),
+           "timeline file %s does not exist" % path)
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail("%s is truncated or not valid JSON: %s"
+                 % (path, e))
+
+    expect(isinstance(doc, dict),
+           "top level must be an object, got %s"
+           % type(doc).__name__)
+    expect(doc.get("displayTimeUnit") == "ms",
+           "displayTimeUnit must be 'ms', got %r"
+           % doc.get("displayTimeUnit"))
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list),
+           "traceEvents must be an array, got %r" % type(events))
+    expect(events, "traceEvents is empty")
+
+    named_tids = set()
+    last_ts = {}
+    run_args = []
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        expect(isinstance(ev, dict),
+               "%s is not an object" % where)
+        ph = ev.get("ph")
+        expect(ph in ("M", "X", "i"),
+               "%s: unexpected ph %r" % (where, ph))
+        expect(ev.get("pid") == 1,
+               "%s: pid must be 1, got %r" % (where, ev.get("pid")))
+        tid = ev.get("tid")
+        expect(isinstance(tid, int) and not isinstance(tid, bool)
+               and tid >= 0,
+               "%s: tid must be a non-negative integer, got %r"
+               % (where, tid))
+
+        if ph == "M":
+            expect(ev.get("name")
+                   in ("process_name", "thread_name"),
+                   "%s: metadata name %r" % (where, ev.get("name")))
+            args = ev.get("args")
+            expect(isinstance(args, dict)
+                   and isinstance(args.get("name"), str)
+                   and args["name"],
+                   "%s: metadata without args.name" % where)
+            if ev["name"] == "thread_name":
+                named_tids.add(tid)
+            continue
+
+        ts = ev.get("ts")
+        expect(is_num(ts) and ts >= 0,
+               "%s: ts must be a non-negative number, got %r"
+               % (where, ts))
+        # Lanes are single-writer and append-only, so each tid's
+        # events must come out in non-decreasing start order.
+        expect(ts >= last_ts.get(tid, 0.0),
+               "%s: ts %r goes backwards within tid %d"
+               % (where, ts, tid))
+        last_ts[tid] = ts
+
+        if ph == "X":
+            dur = ev.get("dur")
+            expect(is_num(dur) and dur >= 0,
+                   "%s: complete event without non-negative dur, "
+                   "got %r" % (where, dur))
+        else:
+            expect(ev.get("s") == "t",
+                   "%s: instant event must have thread scope "
+                   "('s': 't'), got %r" % (where, ev.get("s")))
+
+        if ev.get("cat") == "run":
+            args = ev.get("args")
+            expect(isinstance(args, dict),
+                   "%s: run span without args" % where)
+            for key in ("run", "worker", "kernel", "outcome"):
+                expect(key in args,
+                       "%s: run span missing %r arg" % (where, key))
+            expect(ph == "X",
+                   "%s: run events must be complete spans" % where)
+            run_args.append((args["run"], tid))
+
+    used_tids = set(last_ts)
+    unnamed = used_tids - named_tids
+    expect(not unnamed,
+           "tids %s emit events but have no thread_name metadata"
+           % sorted(unnamed))
+
+    if expect_runs is not None:
+        expect(len(run_args) == expect_runs,
+               "expected %d run spans, found %d"
+               % (expect_runs, len(run_args)))
+        seen = sorted(int(run) for run, _ in run_args)
+        expect(seen == list(range(expect_runs)),
+               "run args do not cover 0..%d exactly once"
+               % (expect_runs - 1))
+
+    print("check_timeline: OK: %s (%d events, %d lanes, %d run "
+          "spans)" % (path, len(events), len(used_tids),
+                      len(run_args)))
+
+
+def run_cli(cli, runs, jobs):
+    """Run radcrit_cli with --timeline in a sandbox and validate."""
+    expect(os.path.exists(cli),
+           "radcrit_cli binary %s does not exist (build it first)"
+           % cli)
+    with tempfile.TemporaryDirectory() as sandbox:
+        path = os.path.join(sandbox, "timeline.json")
+        proc = subprocess.run(
+            [cli, "--runs", str(runs), "--jobs", str(jobs),
+             "--timeline", path],
+            cwd=sandbox, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE)
+        if proc.returncode != 0:
+            fail("radcrit_cli exited with %d:\n%s"
+                 % (proc.returncode,
+                    proc.stderr.decode(errors="replace")))
+        validate(path, expect_runs=runs)
+
+
+def main(argv):
+    argv = argv[1:]
+    cli = None
+    runs = 24
+    jobs = 4
+    expect_runs = None
+    paths = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--cli":
+            i += 1
+            cli = argv[i]
+        elif arg == "--runs":
+            i += 1
+            runs = int(argv[i])
+        elif arg == "--jobs":
+            i += 1
+            jobs = int(argv[i])
+        elif arg == "--expect-runs":
+            i += 1
+            expect_runs = int(argv[i])
+        else:
+            paths.append(arg)
+        i += 1
+
+    if cli is None and not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if cli is not None:
+        run_cli(cli, runs, jobs)
+    for path in paths:
+        validate(path, expect_runs=expect_runs)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,16 @@
  *
  *   $ radcrit_cli analyze --log=lavamd.beamlog --filter-pct=10 \
  *       --csv=lavamd_10pct.csv --figures
+ *
+ * The flight recorder rides along on `run`: --timeline writes a
+ * Chrome trace-event JSON of the campaign (one lane per worker,
+ * one span per run; load it in Perfetto), and --report writes a
+ * self-contained HTML campaign report. `radcrit_cli report
+ * <beamlog>` renders the same report from a saved log:
+ *
+ *   $ radcrit_cli --runs=2000 --jobs=8 --timeline=t.json \
+ *       --report=r.html
+ *   $ radcrit_cli report lavamd.beamlog --out=lavamd.html
  */
 
 #include <algorithm>
@@ -29,6 +39,7 @@
 #include <memory>
 
 #include "campaign/paperconfigs.hh"
+#include "campaign/report.hh"
 #include "campaign/runner.hh"
 #include "campaign/series.hh"
 #include "campaign/store.hh"
@@ -39,6 +50,7 @@
 #include "common/table.hh"
 #include "exec/pool.hh"
 #include "logs/beamlog.hh"
+#include "obs/timeline.hh"
 #include "obs/trace.hh"
 
 using namespace radcrit;
@@ -171,6 +183,9 @@ analyzeMain(int argc, char **argv)
     cli.addDouble("fit-scale", AnalysisConfig{}.fitScaleAu,
                   "sensitive-area-to-FIT conversion (a.u.)");
     cli.addString("csv", "", "write per-run metrics CSV here");
+    cli.addString("report", "",
+                  "write a self-contained HTML campaign report "
+                  "here");
     cli.addFlag("figures", "render scatter + locality figures");
     cli.parse(argc, argv);
 
@@ -193,6 +208,50 @@ analyzeMain(int argc, char **argv)
 
     if (!cli.getString("csv").empty())
         writeRunCsv(res, cli.getString("csv"));
+
+    if (!cli.getString("report").empty()) {
+        writeCampaignReportFile(res, cli.getString("report"));
+        std::printf("[report] %s\n",
+                    cli.getString("report").c_str());
+    }
+    return 0;
+}
+
+/**
+ * `radcrit_cli report <beamlog>`: load a beam log, analyze it
+ * (optionally under a non-default tolerance), and render the
+ * self-contained HTML campaign report.
+ */
+int
+reportMain(int argc, char **argv)
+{
+    CliParser cli("radcrit_cli report");
+    cli.addString("log", "",
+                  "beam log to report on (or pass it as the "
+                  "positional argument)");
+    cli.addString("out", "",
+                  "report file to write (default: <beamlog>.html)");
+    cli.addDouble("filter-pct", 2.0,
+                  "relative-error tolerance in percent");
+    cli.parse(argc, argv);
+
+    std::string log = cli.getString("log");
+    if (log.empty() && !cli.positional().empty())
+        log = cli.positional().front();
+    if (log.empty())
+        fatal("report needs a beam log: radcrit_cli report "
+              "<beamlog> [--out=<file>]");
+
+    std::string out = cli.getString("out");
+    if (out.empty())
+        out = log + ".html";
+
+    CampaignRaw raw = readBeamLogFile(log);
+    AnalysisConfig acfg;
+    acfg.filterThresholdPct = cli.getDouble("filter-pct");
+    CampaignResult res = analyzeCampaign(raw, acfg);
+    writeCampaignReportFile(res, out);
+    std::printf("[report] %s\n", out.c_str());
     return 0;
 }
 
@@ -203,6 +262,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && std::strcmp(argv[1], "analyze") == 0)
         return analyzeMain(argc - 1, argv + 1);
+    if (argc > 1 && std::strcmp(argv[1], "report") == 0)
+        return reportMain(argc - 1, argv + 1);
 
     CliParser cli("radcrit_cli");
     cli.addString("device", "K40", "K40 or XeonPhi");
@@ -233,6 +294,14 @@ main(int argc, char **argv)
                   "per simulated run)");
     cli.addString("stats-out", "",
                   "write the campaign stats snapshot as JSON here");
+    const char *timeline_env = std::getenv("RADCRIT_TIMELINE");
+    cli.addString("timeline", timeline_env ? timeline_env : "",
+                  "write a Chrome trace-event JSON timeline here "
+                  "(one lane per worker, one span per run; open in "
+                  "Perfetto; default from RADCRIT_TIMELINE)");
+    cli.addString("report", "",
+                  "write a self-contained HTML campaign report "
+                  "here");
     cli.addFlag("progress", "report campaign progress on stderr");
     cli.addFlag("figures", "render scatter + locality figures");
     cli.parse(argc, argv);
@@ -275,14 +344,39 @@ main(int argc, char **argv)
         setTraceSink(trace.get());
     }
 
+    // The flight recorder also feeds the Workers section of the
+    // HTML report, so arm it for --report too.
+    std::unique_ptr<Timeline> tl;
+    if (!cli.getString("timeline").empty() ||
+        !cli.getString("report").empty()) {
+        tl = std::make_unique<Timeline>();
+        setTimeline(tl.get());
+    }
+
     CampaignRaw raw = simulateOrLoad(device, *workload, cfg.sim,
                                      store.get());
     CampaignResult res = analyzeCampaign(raw, cfg.analysis);
+
+    if (tl)
+        setTimeline(nullptr);
 
     if (trace) {
         setTraceSink(nullptr);
         trace->flush();
         std::printf("[trace] %s\n", trace->path().c_str());
+    }
+
+    if (!cli.getString("timeline").empty()) {
+        tl->writeJsonFile(cli.getString("timeline"));
+        std::printf("[timeline] %s\n",
+                    cli.getString("timeline").c_str());
+    }
+
+    if (!cli.getString("report").empty()) {
+        writeCampaignReportFile(res, cli.getString("report"),
+                                tl.get());
+        std::printf("[report] %s\n",
+                    cli.getString("report").c_str());
     }
 
     if (!cli.getString("stats-out").empty()) {

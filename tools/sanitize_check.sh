@@ -25,5 +25,6 @@ cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" \
       -DRADCRIT_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-      --target test_pool test_engine
+      --target test_pool test_engine test_jobs_precedence \
+      test_timeline
 ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure

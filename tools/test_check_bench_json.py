@@ -9,8 +9,8 @@ Modes:
                a previous run is present and must NOT rescue the
                check (the vacuous-pass regression)
     truncated  bench writes a truncated JSON document
-    schema     bench writes a well-formed but outdated schema-2
-               document (no cache counters); the checker must
+    schema     bench writes a well-formed but outdated schema-3
+               document (no timings block); the checker must
                reject it, not silently accept old producers
 
 Each mode builds a sandbox with a fake bench binary, runs
@@ -29,7 +29,7 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "check_bench_json.py")
 
 STALE_JSON = """{
-  "schema": 3,
+  "schema": 4,
   "bench": "fake_bench",
   "campaigns": 1,
   "jobs": 1,
@@ -39,6 +39,20 @@ STALE_JSON = """{
   "cache_misses": 1,
   "ns_per_op": 1000,
   "runs_per_s": 1000000.0,
+  "timings": {
+    "wall_ns": 4000,
+    "runs_per_s": 1000000.0,
+    "pool_busy_ns": 3000,
+    "pool_idle_ns": 1000,
+    "pool_utilization": 0.75,
+    "phase_ns": {
+      "sample": 500,
+      "classify": 500,
+      "replay": 1500,
+      "metrics": 500,
+      "total": 3000
+    }
+  },
   "stats": {
     "campaign.k40.dgemm.masked": {"kind": "counter", "value": 1},
     "campaign.k40.dgemm.sdc": {"kind": "counter", "value": 1},
@@ -48,11 +62,18 @@ STALE_JSON = """{
 }
 """
 
-# A document an old (pre-cache-counters) bench would emit.
-SCHEMA2_JSON = STALE_JSON.replace('"schema": 3', '"schema": 2')
-SCHEMA2_JSON = "\n".join(
-    line for line in SCHEMA2_JSON.splitlines()
-    if "cache_" not in line) + "\n"
+# A document an old (pre-timings) bench would emit.
+SCHEMA3_JSON = STALE_JSON.replace('"schema": 4', '"schema": 3')
+in_timings = False
+lines = []
+for line in SCHEMA3_JSON.splitlines():
+    if '"timings"' in line:
+        in_timings = True
+    if not in_timings:
+        lines.append(line)
+    elif in_timings and line == "  },":
+        in_timings = False
+SCHEMA3_JSON = "\n".join(lines) + "\n"
 
 
 def write_fake_bench(path, body):
@@ -112,17 +133,17 @@ def mode_truncated(sandbox):
 
 
 def mode_schema(sandbox):
-    """A schema-2 document (old producer) must be rejected."""
+    """A schema-3 document (old producer) must be rejected."""
     bench = os.path.join(sandbox, "fake_bench")
     write_fake_bench(
         bench,
         "mkdir -p bench_out\n"
         "cat > bench_out/fake_bench.json <<'JSON'\n"
-        + SCHEMA2_JSON + "JSON\n")
+        + SCHEMA3_JSON + "JSON\n")
     proc = run_checker(sandbox, bench)
     expect(proc.returncode != 0,
-           "checker accepted an outdated schema-2 document", proc)
-    expect("schema must be 3" in proc.stderr,
+           "checker accepted an outdated schema-3 document", proc)
+    expect("schema must be 4" in proc.stderr,
            "diagnostic does not name the expected schema", proc)
 
 
