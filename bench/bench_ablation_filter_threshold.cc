@@ -1,78 +1,14 @@
 /**
  * @file
- * Ablation 3 (DESIGN.md Section 6): sensitivity of the reliability
- * conclusions to the relative-error tolerance. The paper uses 2%
- * "being conservative" and publishes raw logs so users can apply
- * their own filters; this sweep regenerates the K40-vs-Phi DGEMM
- * comparison under thresholds from 0% to 50%.
- *
- * The sweep is the poster child of the simulate/analyze split: each
- * device's campaign is simulated (or loaded from the store) exactly
- * once, and every threshold is a pure analyzeCampaign() pass over
- * the same raw records — zero kernel re-executions.
+ * Standalone shim for the registered 'ablation_filter_threshold' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_ablation_filter_threshold.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_ablation_filter_threshold",
-                              400);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    TextTable table("Ablation: relative-error tolerance sweep "
-                    "(DGEMM, paper side 2048)");
-    table.setHeader({"threshold%", "K40 FIT", "K40 removed",
-                     "Phi FIT", "Phi removed"});
-
-    std::vector<CampaignRaw> raws;
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        auto w = makeDgemmWorkload(device, 256);
-        raws.push_back(paperCampaignRaw(device, *w, runs));
-    }
-
-    std::vector<double> thresholds{0.0, 0.5, 1.0, 2.0, 4.0, 10.0,
-                                   50.0};
-    std::vector<std::vector<std::string>> csv_rows;
-    for (double threshold : thresholds) {
-        std::vector<std::string> row{
-            TextTable::num(threshold, 1)};
-        for (const CampaignRaw &raw : raws) {
-            AnalysisConfig acfg;
-            acfg.filterThresholdPct = threshold;
-            CampaignResult res = analyzeCampaign(raw, acfg);
-            row.push_back(TextTable::num(res.fitTotalAu(true),
-                                         1));
-            row.push_back(TextTable::num(
-                100.0 * res.filteredOutFraction(), 0) + "%");
-        }
-        table.addRow(row);
-        csv_rows.push_back(row);
-    }
-    table.render(std::cout);
-    std::printf("\nThe K40's apparent reliability improves "
-                "steeply with tolerance (its errors are small); "
-                "the Phi's barely moves (its errors are gross) — "
-                "the paper's central imprecise-computing "
-                "observation.\n");
-
-    if (csv) {
-        std::string path = benchOutputDir() +
-            "/ablation_filter_threshold.csv";
-        CsvWriter w(path);
-        w.writeRow({"thresholdPct", "k40Fit", "k40Removed",
-                    "phiFit", "phiRemoved"});
-        for (const auto &row : csv_rows)
-            w.writeRow(row);
-        std::printf("[csv] %s\n", path.c_str());
-    }
-    writeBenchJson("bench_ablation_filter_threshold");
-    return 0;
+    return radcrit::experimentShimMain("ablation_filter_threshold", argc, argv);
 }

@@ -1,96 +1,14 @@
 /**
  * @file
- * Ablation 1 (DESIGN.md Section 6): architectural injection vs.
- * naive output-level injection. Flipping a bit of one random
- * output element — the classic fault-injection shortcut — makes
- * every SDC a Single-pattern error and misses the entire spatial-
- * locality phenomenology the paper measures under beam.
+ * Standalone shim for the registered 'ablation_injection_level' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_ablation_injection_level.cc.
  */
 
-#include "bench_util.hh"
-
-#include "common/rng.hh"
-#include "kernels/dgemm.hh"
-#include "kernels/inject_util.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-/** Naive injector: flip one bit of one output element. */
-SdcRecord
-naiveOutputInjection(const Dgemm &dgemm, Rng &rng)
-{
-    SdcRecord rec = dgemm.emptyRecord();
-    int64_t n = dgemm.n();
-    int64_t i = rng.uniformRange(0, n - 1);
-    int64_t j = rng.uniformRange(0, n - 1);
-    double golden = dgemm.goldenC()[i * n + j];
-    double bad = flipBits(golden, 1, rng);
-    if (bad != golden)
-        rec.elements.push_back({{i, j, 0}, bad, golden});
-    return rec;
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_ablation_injection_level",
-                              300);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-
-    DeviceModel device = makeDevice(DeviceId::K40);
-    Dgemm dgemm(device, 256);
-
-    // Architectural campaign.
-    CampaignResult arch = runPaperCampaign(device, dgemm, runs);
-    std::array<uint64_t, numPatterns> arch_pat{};
-    uint64_t arch_sdc = 0;
-    for (const auto &run : arch.runs) {
-        if (run.outcome != Outcome::Sdc)
-            continue;
-        ++arch_sdc;
-        arch_pat[static_cast<size_t>(run.crit.pattern)]++;
-    }
-
-    // Naive output-level campaign.
-    Rng rng(7);
-    std::array<uint64_t, numPatterns> naive_pat{};
-    uint64_t naive_sdc = 0;
-    for (uint64_t i = 0; i < runs; ++i) {
-        SdcRecord rec = naiveOutputInjection(dgemm, rng);
-        if (rec.empty())
-            continue;
-        ++naive_sdc;
-        naive_pat[static_cast<size_t>(classifyLocality(rec))]++;
-    }
-
-    TextTable table("Ablation: architectural vs naive output "
-                    "injection (DGEMM on K40)");
-    table.setHeader({"pattern", "architectural", "naive"});
-    for (size_t p = 0; p < numPatterns; ++p) {
-        auto pattern = static_cast<Pattern>(p);
-        if (pattern == Pattern::None)
-            continue;
-        auto pct = [](uint64_t n, uint64_t total) {
-            return total ? TextTable::num(
-                100.0 * static_cast<double>(n) /
-                static_cast<double>(total), 0) + "%"
-                         : std::string("-");
-        };
-        table.addRow({patternName(pattern),
-                      pct(arch_pat[p], arch_sdc),
-                      pct(naive_pat[p], naive_sdc)});
-    }
-    table.render(std::cout);
-    std::printf("\nNaive injection collapses every error to "
-                "Single: no line/square/random patterns, no "
-                "multi-element propagation — the beam-observed "
-                "criticality phenomenology disappears.\n");
-    return 0;
+    return radcrit::experimentShimMain("ablation_injection_level", argc, argv);
 }

@@ -1,91 +1,14 @@
 /**
  * @file
- * Ablation 2 (DESIGN.md Section 6): scheduler philosophy. Swapping
- * the K40's hardware-scheduler strain growth for OS-style (and
- * vice versa) flips the input-size FIT trends of Section V-A —
- * showing that the trend really is carried by the parallelism-
- * management model, not by the kernels.
+ * Standalone shim for the registered 'ablation_scheduler' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_ablation_scheduler.cc.
  */
 
-#include "bench_util.hh"
-
-#include "kernels/dgemm.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-double
-fitGrowth(const DeviceModel &device, uint64_t runs)
-{
-    auto small = makeDgemmWorkload(device, 128);
-    auto big = makeDgemmWorkload(device, 512);
-    double lo = runPaperCampaign(
-        device, *small, runs).fitTotalAu(false);
-    double hi = runPaperCampaign(
-        device, *big, runs).fitTotalAu(false);
-    return hi / lo;
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_ablation_scheduler", 300);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-
-    TextTable table("Ablation: scheduler philosophy vs DGEMM FIT "
-                    "growth (1024 -> 4096 paper sides)");
-    table.setHeader({"device variant", "strain exp",
-                     "reg exposure", "FIT growth"});
-
-    DeviceModel k40 = makeDevice(DeviceId::K40);
-    table.addRow({"K40 (hardware sched)",
-                  TextTable::num(k40.schedulerStrainExponent, 2),
-                  "yes", TextTable::num(fitGrowth(k40, runs), 2) +
-                  "x"});
-
-    DeviceModel k40_os = k40;
-    k40_os.name = "K40+OS-sched";
-    k40_os.schedulerStrainExponent = 0.14;
-    k40_os.registerResidencyExposure = false;
-    table.addRow({"K40 with OS-style scheduling",
-                  TextTable::num(
-                      k40_os.schedulerStrainExponent, 2),
-                  "no",
-                  TextTable::num(fitGrowth(k40_os, runs), 2) +
-                  "x"});
-
-    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
-    table.addRow({"XeonPhi (OS sched)",
-                  TextTable::num(phi.schedulerStrainExponent, 2),
-                  "no", TextTable::num(fitGrowth(phi, runs), 2) +
-                  "x"});
-
-    DeviceModel phi_hw = phi;
-    phi_hw.name = "XeonPhi+HW-sched";
-    phi_hw.schedulerStrainExponent = 0.85;
-    phi_hw.registerResidencyExposure = true;
-    table.addRow({"XeonPhi with HW-style scheduling",
-                  TextTable::num(
-                      phi_hw.schedulerStrainExponent, 2),
-                  "yes",
-                  TextTable::num(fitGrowth(phi_hw, runs), 2) +
-                  "x"});
-
-    table.render(std::cout);
-    std::printf("\nPaper V-A: the K40's FIT rises strongly "
-                "with input (hardware scheduler strain + "
-                "register exposure) while the Phi's is nearly "
-                "flat. Removing the K40's hardware-scheduler "
-                "model collapses its growth to ~1x; giving the "
-                "Phi an HW-style strain law barely moves it "
-                "because its scheduling state is software (tiny "
-                "silicon cross-section) and its FIT is "
-                "storage-dominated.\n");
-    return 0;
+    return radcrit::experimentShimMain("ablation_scheduler", argc, argv);
 }

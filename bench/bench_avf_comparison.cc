@@ -1,90 +1,14 @@
 /**
  * @file
- * Beam-vs-fault-injection comparison (paper Section IV-D): per-
- * resource AVFs from the campaigns, and the coverage a
- * SASSIFI/NVBitFI-style software injector (registers + memories
- * only) would achieve relative to the beam — quantifying why the
- * paper "take[s] advantage of the controlled neutron beam to
- * perform the error criticality analysis".
+ * Standalone shim for the registered 'avf_comparison' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_avf_comparison.cc.
  */
 
-#include "bench_util.hh"
-
-#include "avf/avf.hh"
-#include "kernels/dgemm.hh"
-#include "kernels/hotspot.hh"
-#include "kernels/lavamd.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-void
-avfTable(const CampaignResult &res)
-{
-    TextTable table("Per-resource vulnerability factors: " +
-                    res.deviceName + " / " + res.workloadName +
-                    " " + res.inputLabel);
-    table.setHeader({"resource", "injector?", "strikes",
-                     "AVF(any)", "AVF(SDC)", "AVF(critical)"});
-    for (const auto &r : computeAvf(res)) {
-        table.addRow({resourceKindName(r.resource),
-                      injectorAccessible(r.resource) ? "yes"
-                                                     : "NO",
-                      TextTable::num(r.strikes),
-                      TextTable::num(r.avfAny, 2),
-                      TextTable::num(r.avfSdc, 2),
-                      TextTable::num(r.avfCritical, 2)});
-    }
-    table.render(std::cout);
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_avf_comparison", 400);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-
-    TextTable coverage("Software-injector coverage of the "
-                       "beam-observed behaviour (paper IV-D)");
-    coverage.setHeader({"device", "workload", "strike cov.",
-                        "SDC cov.", "critical cov.",
-                        "crash/hang cov."});
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<std::unique_ptr<Workload>> workloads;
-        workloads.push_back(makeDgemmWorkload(device, 256));
-        workloads.push_back(makeLavamdWorkload(
-            device, LavaMdSize{7, 15}));
-        workloads.push_back(makeHotspotWorkload(device));
-        for (auto &w : workloads) {
-            CampaignResult res =
-                runPaperCampaign(device, *w, runs);
-            avfTable(res);
-            std::printf("\n");
-            InjectorCoverage cov = injectorCoverage(res);
-            auto pct = [](double f) {
-                return TextTable::num(100.0 * f, 0) + "%";
-            };
-            coverage.addRow({device.name, w->name(),
-                             pct(cov.strikeCoverage),
-                             pct(cov.sdcCoverage),
-                             pct(cov.criticalFitCoverage),
-                             pct(cov.detectableCoverage)});
-        }
-        coverage.addSeparator();
-    }
-    coverage.render(std::cout);
-    std::printf("\nResources marked 'NO' (schedulers, "
-                "dispatchers, execution-unit logic, control, "
-                "interconnect) are invisible to software fault "
-                "injectors — the coverage gaps above are the "
-                "paper's argument for beam testing.\n");
-    return 0;
+    return radcrit::experimentShimMain("avf_comparison", argc, argv);
 }

@@ -1,223 +1,14 @@
 /**
  * @file
- * Calibration harness: prints every paper-band quantity the model
- * must reproduce, per (device, workload, input):
- *
- *  - outcome mix and the SDC : (crash + hang) ratio (paper V intro)
- *  - fraction of SDC runs fully removed by the 2% filter
- *  - mean-relative-error quartiles
- *  - spatial-pattern shares (All and filtered)
- *  - total relative FIT (All and filtered)
- *
- * Not one of the paper's figures itself; this is the tuning loop
- * for the device-model constants (see DESIGN.md Section 6).
+ * Standalone shim for the registered 'calibration' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_calibration.cc.
  */
 
-#include <cmath>
-#include <cstdio>
-#include <memory>
-#include <vector>
-
-#include "campaign/paperconfigs.hh"
-#include "campaign/runner.hh"
-#include "common/cli.hh"
-#include "common/logging.hh"
-#include "common/stats.hh"
-#include "common/table.hh"
-#include "exec/pool.hh"
-#include "sim/sampler.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-void
-summarize(const CampaignResult &res, TextTable &table)
-{
-    uint64_t sdc = res.count(Outcome::Sdc);
-    std::vector<double> errs;
-    std::array<uint64_t, numPatterns> pat{};
-    std::array<uint64_t, numPatterns> patf{};
-    RunningStat incorrect;
-    for (const auto &run : res.runs) {
-        if (run.outcome != Outcome::Sdc)
-            continue;
-        errs.push_back(run.crit.meanRelErrPct);
-        pat[static_cast<size_t>(run.crit.pattern)]++;
-        if (!run.crit.executionFiltered)
-            patf[static_cast<size_t>(run.crit.patternFiltered)]++;
-        incorrect.add(static_cast<double>(run.crit.numIncorrect));
-    }
-    auto pct = [&](uint64_t n) {
-        return sdc ? 100.0 * static_cast<double>(n) /
-            static_cast<double>(sdc) : 0.0;
-    };
-    std::string pat_str;
-    for (size_t i = 0; i < numPatterns; ++i) {
-        if (pat[i] == 0)
-            continue;
-        pat_str += std::string(patternName(
-            static_cast<Pattern>(i))) + ":" +
-            TextTable::num(pct(pat[i]), 0) + "% ";
-    }
-    table.addRow({
-        res.deviceName, res.workloadName, res.inputLabel,
-        TextTable::num(sdc),
-        TextTable::num(res.count(Outcome::Crash)),
-        TextTable::num(res.count(Outcome::Hang)),
-        TextTable::num(res.count(Outcome::Masked)),
-        std::isnan(res.sdcOverDetectable())
-            ? "n/a"
-            : TextTable::num(res.sdcOverDetectable(), 2),
-        TextTable::num(100.0 * res.filteredOutFraction(), 0) + "%",
-        errs.empty() ? "-" : TextTable::num(quantile(errs, 0.5),
-                                            1),
-        TextTable::num(incorrect.mean(), 0),
-        TextTable::num(res.fitTotalAu(false), 1),
-        TextTable::num(res.fitTotalAu(true), 1),
-        pat_str,
-    });
-}
-
-} // anonymous namespace
-
-namespace
-{
-
-/** Per-resource breakdown: strikes, outcome mix, filtered share. */
-void
-detail(const CampaignResult &res)
-{
-    std::printf("--- %s %s %s: per-resource detail ---\n",
-                res.deviceName.c_str(), res.workloadName.c_str(),
-                res.inputLabel.c_str());
-    StrikeSampler sampler(makeDevice(
-        res.deviceName == "K40" ? DeviceId::K40
-                                : DeviceId::XeonPhi), res.launch);
-    TextTable t;
-    t.setHeader({"resource", "weight%", "strikes", "sdc", "crash",
-                 "hang", "masked", "filtered%", "medRelErr%"});
-    for (size_t i = 0; i < numResourceKinds; ++i) {
-        auto kind = static_cast<ResourceKind>(i);
-        uint64_t strikes = 0;
-        std::array<uint64_t, numOutcomes> mix{};
-        uint64_t filt = 0, sdc = 0;
-        std::vector<double> errs;
-        for (const auto &run : res.runs) {
-            if (run.strike.resource != kind)
-                continue;
-            ++strikes;
-            mix[static_cast<size_t>(run.outcome)]++;
-            if (run.outcome == Outcome::Sdc) {
-                ++sdc;
-                errs.push_back(run.crit.meanRelErrPct);
-                if (run.crit.executionFiltered)
-                    ++filt;
-            }
-        }
-        if (!strikes)
-            continue;
-        t.addRow({resourceKindName(kind),
-                  TextTable::num(100.0 * sampler.weight(kind) /
-                                 sampler.totalWeight(), 1),
-                  TextTable::num(strikes),
-                  TextTable::num(mix[1]), TextTable::num(mix[2]),
-                  TextTable::num(mix[3]), TextTable::num(mix[0]),
-                  sdc ? TextTable::num(100.0 *
-                                       static_cast<double>(filt) /
-                                       static_cast<double>(sdc), 0)
-                      : "-",
-                  errs.empty() ? "-"
-                               : TextTable::num(
-                                     quantile(errs, 0.5), 2)});
-    }
-    std::fputs(t.toString().c_str(), stdout);
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli("bench_calibration");
-    cli.addInt("runs", 400, "faulty runs per configuration");
-    cli.addString("only", "", "restrict to one workload name");
-    cli.addFlag("detail", "print per-resource breakdowns");
-    cli.addInt("jobs",
-               static_cast<int64_t>(WorkerPool::envJobs(1)),
-               "worker threads per campaign (1 = serial, 0 = one "
-               "per hardware thread; default from RADCRIT_JOBS)");
-    cli.parse(argc, argv);
-    if (cli.getInt("jobs") < 0)
-        fatal("--jobs must be >= 0");
-    auto jobs = static_cast<unsigned>(cli.getInt("jobs"));
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    std::string only = cli.getString("only");
-
-    bool want_detail = cli.getFlag("detail");
-    TextTable table("=== radcrit calibration summary ===");
-    table.setHeader({"device", "workload", "input", "SDC", "crash",
-                     "hang", "masked", "SDC:det", "filtered",
-                     "medianRelErr%", "meanIncorrect", "FITall",
-                     "FIT>2%", "patterns"});
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-
-        if (only.empty() || only == "DGEMM") {
-            for (int64_t side : dgemmScaledSides(id)) {
-                auto w = makeDgemmWorkload(device, side);
-                auto cfg = defaultCampaign(runs, device.name,
-                                           w->name(),
-                                           w->inputLabel());
-                cfg.sim.jobs = jobs;
-                auto res = runCampaign(device, *w, cfg);
-                if (want_detail)
-                    detail(res);
-                summarize(res, table);
-            }
-            table.addSeparator();
-        }
-        if (only.empty() || only == "LavaMD") {
-            for (const auto &size : lavamdScaledSizes(id)) {
-                auto w = makeLavamdWorkload(device, size);
-                auto cfg = defaultCampaign(runs, device.name,
-                                           w->name(),
-                                           w->inputLabel());
-                cfg.sim.jobs = jobs;
-                auto res = runCampaign(device, *w, cfg);
-                if (want_detail)
-                    detail(res);
-                summarize(res, table);
-            }
-            table.addSeparator();
-        }
-        if (only.empty() || only == "HotSpot") {
-            auto w = makeHotspotWorkload(device);
-            auto cfg = defaultCampaign(runs, device.name,
-                                       w->name(),
-                                       w->inputLabel());
-            cfg.sim.jobs = jobs;
-            auto res = runCampaign(device, *w, cfg);
-            if (want_detail)
-                detail(res);
-            summarize(res, table);
-            table.addSeparator();
-        }
-        if ((only.empty() || only == "CLAMR") &&
-            id == DeviceId::XeonPhi) {
-            auto w = makeClamrWorkload(device);
-            auto cfg = defaultCampaign(runs, device.name,
-                                       w->name(),
-                                       w->inputLabel());
-            cfg.sim.jobs = jobs;
-            auto res = runCampaign(device, *w, cfg);
-            if (want_detail)
-                detail(res);
-            summarize(res, table);
-        }
-    }
-    std::fputs(table.toString().c_str(), stdout);
-    return 0;
+    return radcrit::experimentShimMain("calibration", argc, argv);
 }

@@ -1,128 +1,14 @@
 /**
  * @file
- * Paper Sections V-C / V-D detector studies:
- *  - HotSpot entropy check: widespread low-magnitude stencil
- *    corruption is hard to spot element-wise; distribution entropy
- *    drift flags it at a checkpoint.
- *  - CLAMR mass-conservation check: total mass is invariant, so a
- *    final-sum check detects most strikes (ref. [4] reports 82%
- *    fault coverage; momentum-only corruption escapes).
+ * Standalone shim for the registered 'detectors' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_detectors.cc.
  */
 
-#include "bench_util.hh"
-
-#include "abft/detectors.hh"
-#include "common/rng.hh"
-#include "kernels/clamr.hh"
-#include "kernels/hotspot.hh"
-#include "sim/sampler.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-void
-clamrMassStudy(uint64_t runs)
-{
-    DeviceModel device = makeDevice(DeviceId::XeonPhi);
-    Clamr clamr(device, clamrScaledGrid());
-    MassChecker checker(clamr.goldenMass(), 1e-9);
-
-    CampaignConfig cfg = defaultCampaign(runs, device.name,
-                                         clamr.name(),
-                                         clamr.inputLabel());
-    KernelLaunch launch = buildLaunch(device, clamr.traits());
-    StrikeSampler sampler(device, launch);
-    Rng rng(cfg.sim.seed);
-
-    uint64_t sdc = 0, detected = 0;
-    for (uint64_t i = 0; i < cfg.sim.faultyRuns; ++i) {
-        Strike strike = sampler.sampleStrike(rng);
-        if (sampler.sampleOutcome(strike.resource, rng) !=
-            Outcome::Sdc) {
-            continue;
-        }
-        SdcRecord rec = clamr.inject(strike, rng);
-        if (rec.empty())
-            continue;
-        ++sdc;
-        detected += checker.detect(clamr.lastInjectedMass());
-    }
-    double coverage = sdc ? 100.0 * static_cast<double>(detected) /
-        static_cast<double>(sdc) : 0.0;
-    std::printf("CLAMR mass-conservation check: %llu/%llu SDCs "
-                "detected = %.0f%% coverage "
-                "(paper ref. [4]: 82%%)\n",
-                static_cast<unsigned long long>(detected),
-                static_cast<unsigned long long>(sdc), coverage);
-}
-
-void
-hotspotEntropyStudy(uint64_t runs)
-{
-    DeviceModel device = makeDevice(DeviceId::K40);
-    HotSpot hotspot(device, hotspotScaledGrid());
-    EntropyDetector detector(hotspot.goldenTemp(), 64, 0.005);
-
-    CampaignConfig cfg = defaultCampaign(runs, device.name,
-                                         hotspot.name(),
-                                         hotspot.inputLabel());
-    KernelLaunch launch = buildLaunch(device, hotspot.traits());
-    StrikeSampler sampler(device, launch);
-    Rng rng(cfg.sim.seed);
-
-    uint64_t sdc = 0, detected = 0, meaningful = 0,
-        meaningful_detected = 0;
-    for (uint64_t i = 0; i < cfg.sim.faultyRuns; ++i) {
-        Strike strike = sampler.sampleStrike(rng);
-        if (sampler.sampleOutcome(strike.resource, rng) !=
-            Outcome::Sdc) {
-            continue;
-        }
-        SdcRecord rec = hotspot.inject(strike, rng);
-        if (rec.empty())
-            continue;
-        ++sdc;
-        // Rebuild the corrupted field from the record.
-        std::vector<float> field = hotspot.goldenTemp();
-        for (const auto &e : rec.elements) {
-            field[e.coord[0] * hotspot.grid() + e.coord[1]] =
-                static_cast<float>(e.read);
-        }
-        bool hit = detector.detect(field);
-        detected += hit;
-        RelativeErrorFilter filter(2.0);
-        if (!filter.removesExecution(rec)) {
-            ++meaningful;
-            meaningful_detected += hit;
-        }
-    }
-    std::printf("HotSpot entropy check: %llu/%llu of all SDCs "
-                "flagged; %llu/%llu of >2%% SDCs flagged\n",
-                static_cast<unsigned long long>(detected),
-                static_cast<unsigned long long>(sdc),
-                static_cast<unsigned long long>(
-                    meaningful_detected),
-                static_cast<unsigned long long>(meaningful));
-    std::printf("  (the check trades coverage against how often "
-                "it runs; here: once on the final state)\n");
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_detectors", 200);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-
-    std::printf("=== Application-level SDC detectors "
-                "(paper V-C / V-D) ===\n\n");
-    clamrMassStudy(runs);
-    std::printf("\n");
-    hotspotEntropyStudy(runs);
-    return 0;
+    return radcrit::experimentShimMain("detectors", argc, argv);
 }

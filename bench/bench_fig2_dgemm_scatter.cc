@@ -1,42 +1,14 @@
 /**
  * @file
- * Paper Fig. 2: DGEMM mean relative error vs. number of incorrect
- * elements per faulty execution, one panel per device, one series
- * per input size. Relative errors >= 100% plot at 100% as in the
- * paper ("we assign a 100% relative error to all those errors with
- * a relative error higher or equal to 100%").
+ * Standalone shim for the registered 'fig2_dgemm_scatter' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig2_dgemm_scatter.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig2_dgemm_scatter");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<CampaignResult> results;
-        for (int64_t side : dgemmScaledSides(id)) {
-            auto w = makeDgemmWorkload(device, side);
-            results.push_back(runPaperCampaign(device, *w, runs));
-        }
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderScatterFigure(
-            "Fig. 2" + panel +
-            ": DGEMM Mean relative error and Incorrect Elements",
-            results, 20000.0, 100.0,
-            std::string("fig2_dgemm_scatter_") + device.name +
-            ".csv", csv);
-        std::printf("\n");
-    }
-    writeBenchJson("bench_fig2_dgemm_scatter");
-    return 0;
+    return radcrit::experimentShimMain("fig2_dgemm_scatter", argc, argv);
 }

@@ -1,41 +1,14 @@
 /**
  * @file
- * Paper Fig. 3: DGEMM spatial locality and magnitude — relative
- * FIT broken down by error pattern, per input size, All vs > 2%.
- * The paper notes the Phi shows no sub-2% errors, so its filtered
- * bars coincide with the All bars.
+ * Standalone shim for the registered 'fig3_dgemm_locality' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig3_dgemm_locality.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig3_dgemm_locality");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<CampaignResult> results;
-        for (int64_t side : dgemmScaledSides(id)) {
-            auto w = makeDgemmWorkload(device, side);
-            results.push_back(runPaperCampaign(device, *w, runs));
-        }
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderLocalityFigure(
-            "Fig. 3" + panel +
-            ": DGEMM spatial locality and magnitude [FIT a.u.]",
-            results, patterns2d(),
-            std::string("fig3_dgemm_locality_") + device.name +
-            ".csv", csv);
-        std::printf("\n");
-    }
-    writeBenchJson("bench_fig3_dgemm_locality");
-    return 0;
+    return radcrit::experimentShimMain("fig3_dgemm_locality", argc, argv);
 }

@@ -1,39 +1,14 @@
 /**
  * @file
- * Paper Fig. 4: LavaMD mean relative error vs. incorrect elements.
- * Mean relative errors >= 20,000% plot at 20,000% as in the paper.
+ * Standalone shim for the registered 'fig4_lavamd_scatter' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig4_lavamd_scatter.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig4_lavamd_scatter");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<CampaignResult> results;
-        for (const auto &size : lavamdScaledSizes(id)) {
-            auto w = makeLavamdWorkload(device, size);
-            results.push_back(runPaperCampaign(device, *w, runs));
-        }
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderScatterFigure(
-            "Fig. 4" + panel +
-            ": LavaMD Mean relative error and Incorrect Elements",
-            results, 5000.0, 20000.0,
-            std::string("fig4_lavamd_scatter_") + device.name +
-            ".csv", csv);
-        std::printf("\n");
-    }
-    writeBenchJson("bench_fig4_lavamd_scatter");
-    return 0;
+    return radcrit::experimentShimMain("fig4_lavamd_scatter", argc, argv);
 }

@@ -1,39 +1,14 @@
 /**
  * @file
- * Paper Fig. 5: LavaMD spatial locality and magnitude — relative
- * FIT per pattern (cubic/square/line/single/random), All vs > 2%.
+ * Standalone shim for the registered 'fig5_lavamd_locality' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig5_lavamd_locality.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig5_lavamd_locality");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<CampaignResult> results;
-        for (const auto &size : lavamdScaledSizes(id)) {
-            auto w = makeLavamdWorkload(device, size);
-            results.push_back(runPaperCampaign(device, *w, runs));
-        }
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderLocalityFigure(
-            "Fig. 5" + panel +
-            ": LavaMD spatial locality and magnitude [FIT a.u.]",
-            results, patterns3d(),
-            std::string("fig5_lavamd_locality_") + device.name +
-            ".csv", csv);
-        std::printf("\n");
-    }
-    writeBenchJson("bench_fig5_lavamd_locality");
-    return 0;
+    return radcrit::experimentShimMain("fig5_lavamd_locality", argc, argv);
 }

@@ -1,43 +1,14 @@
 /**
  * @file
- * Paper Fig. 6: HotSpot mean relative error vs. incorrect
- * elements. Counts >= 50,000 plot at 50,000 (scaled: the clamp
- * scales with the grid) and the mean relative error stays below
- * 25% — the stencil-dissipation signature.
+ * Standalone shim for the registered 'fig6_hotspot_scatter' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig6_hotspot_scatter.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig6_hotspot_scatter");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    // Paper clamps at 50k elements of a 1024^2 grid; the scaled
-    // clamp keeps the same fraction of our 256^2 grid.
-    double count_clamp = 50000.0 / 16.0;
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        auto w = makeHotspotWorkload(device);
-        std::vector<CampaignResult> results;
-        results.push_back(runPaperCampaign(device, *w, runs));
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderScatterFigure(
-            "Fig. 6" + panel +
-            ": HotSpot Mean relative error and Incorrect Elements",
-            results, count_clamp, 25.0,
-            std::string("fig6_hotspot_scatter_") + device.name +
-            ".csv", csv);
-        std::printf("\n");
-    }
-    writeBenchJson("bench_fig6_hotspot_scatter");
-    return 0;
+    return radcrit::experimentShimMain("fig6_hotspot_scatter", argc, argv);
 }

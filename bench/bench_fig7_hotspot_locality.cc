@@ -1,39 +1,14 @@
 /**
  * @file
- * Paper Fig. 7: HotSpot spatial locality and magnitude. Both
- * architectures present only square and line errors, and 80-95% of
- * faulty executions fall under the 2% filter.
+ * Standalone shim for the registered 'fig7_hotspot_locality' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig7_hotspot_locality.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig7_hotspot_locality");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        auto w = makeHotspotWorkload(device);
-        std::vector<CampaignResult> results;
-        results.push_back(runPaperCampaign(device, *w, runs));
-        std::string panel = id == DeviceId::K40 ? "(a) K40"
-                                                : "(b) Xeon Phi";
-        renderLocalityFigure(
-            "Fig. 7" + panel +
-            ": HotSpot spatial locality and magnitude [FIT a.u.]",
-            results, patterns2d(),
-            std::string("fig7_hotspot_locality_") + device.name +
-            ".csv", csv);
-        std::printf("filtered executions: %.0f%%\n\n",
-                    100.0 * results[0].filteredOutFraction());
-    }
-    writeBenchJson("bench_fig7_hotspot_locality");
-    return 0;
+    return radcrit::experimentShimMain("fig7_hotspot_locality", argc, argv);
 }

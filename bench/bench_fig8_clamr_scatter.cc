@@ -1,31 +1,14 @@
 /**
  * @file
- * Paper Fig. 8: CLAMR mean relative error and incorrect elements
- * on the Xeon Phi (the paper has no K40 data: CLAMR is a LANL
- * proprietary workload targeted at Xeon-Phi-based Trinity).
+ * Standalone shim for the registered 'fig8_clamr_scatter' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig8_clamr_scatter.cc.
  */
 
-#include "bench_util.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_fig8_clamr_scatter", 150);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    DeviceModel device = makeDevice(DeviceId::XeonPhi);
-    auto w = makeClamrWorkload(device);
-    std::vector<CampaignResult> results;
-    results.push_back(runPaperCampaign(device, *w, runs));
-    renderScatterFigure(
-        "Fig. 8: CLAMR Mean relative error and Incorrect Elements"
-        " (Xeon Phi)",
-        results, 0.0, 100.0, "fig8_clamr_scatter.csv", csv);
-    writeBenchJson("bench_fig8_clamr_scatter");
-    return 0;
+    return radcrit::experimentShimMain("fig8_clamr_scatter", argc, argv);
 }

@@ -1,52 +1,14 @@
 /**
  * @file
- * Paper Fig. 9: CLAMR error locality map — the output as a 2D
- * matrix with corrupted elements marked, showing the wave of
- * incorrect elements propagating from the strike site. Renders in
- * ASCII and writes a full-resolution PPM (red dots, as in the
- * paper's figure).
+ * Standalone shim for the registered 'fig9_clamr_map' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_fig9_clamr_map.cc.
  */
 
-#include "bench_util.hh"
-
-#include "common/rng.hh"
-#include "kernels/clamr.hh"
-#include "metrics/locality_map.hh"
-#include "sim/sampler.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli("bench_fig9_clamr_map");
-    cli.addInt("seed", 2017, "strike selection seed");
-    cli.addDouble("time", 0.78,
-                  "strike time as a fraction of the run");
-    cli.parse(argc, argv);
-
-    DeviceModel device = makeDevice(DeviceId::XeonPhi);
-    Clamr clamr(device, clamrScaledGrid());
-
-    // One representative faulty run: a garbled update chunk in the
-    // middle of the simulation, as in the paper's example map.
-    Strike strike;
-    strike.resource = ResourceKind::Fpu;
-    strike.manifestation = Manifestation::WrongOperation;
-    strike.timeFraction = cli.getDouble("time");
-    strike.entropy = static_cast<uint64_t>(cli.getInt("seed"));
-    Rng rng(strike.entropy);
-    SdcRecord rec = clamr.inject(strike, rng);
-
-    std::printf("Fig. 9: CLAMR Error Locality Map "
-                "(%zu incorrect elements, pattern %s)\n",
-                rec.numIncorrect(),
-                patternName(classifyLocality(rec)));
-    LocalityMap map(rec);
-    map.renderAscii(std::cout, 64);
-    std::string ppm = benchOutputDir() + "/fig9_clamr_map.ppm";
-    map.writePpm(ppm);
-    std::printf("[ppm] %s\n", ppm.c_str());
-    writeBenchJson("bench_fig9_clamr_map");
-    return 0;
+    return radcrit::experimentShimMain("fig9_clamr_map", argc, argv);
 }

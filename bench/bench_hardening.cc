@@ -1,102 +1,14 @@
 /**
  * @file
- * Selective-hardening study (paper Section VI future work): rank
- * each device/workload's resources by critical-FIT contribution,
- * then run the greedy advisor under an area budget and report how
- * much critical FIT targeted hardening removes.
+ * Standalone shim for the registered 'hardening' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_hardening.cc.
  */
 
-#include "bench_util.hh"
-
-#include "harden/advisor.hh"
-#include "harden/attribution.hh"
-#include "kernels/dgemm.hh"
-#include "kernels/lavamd.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-void
-attributionTable(const DeviceModel &device, Workload &workload,
-                 uint64_t runs)
-{
-    CampaignResult res = runPaperCampaign(device, workload, runs);
-    auto attribution = attributeCriticality(res);
-    TextTable table("Criticality attribution: " + device.name +
-                    " / " + workload.name() + " " +
-                    workload.inputLabel());
-    table.setHeader({"resource", "weight%", "strikes", "SDC",
-                     "critical", "crash+hang", "criticalFIT"});
-    for (const auto &r : attribution) {
-        table.addRow({resourceKindName(r.resource),
-                      TextTable::num(100.0 * r.weightShare, 1),
-                      TextTable::num(r.strikes),
-                      TextTable::num(r.sdcRuns),
-                      TextTable::num(r.criticalRuns),
-                      TextTable::num(r.detectableRuns),
-                      TextTable::num(r.criticalFitAu, 2)});
-    }
-    table.render(std::cout);
-    std::printf("\n");
-}
-
-void
-advisorStudy(const DeviceModel &device, double budget,
-             uint64_t runs)
-{
-    WorkloadFactory factory = [](const DeviceModel &d) {
-        return std::make_unique<Dgemm>(d, 256, 42);
-    };
-    auto plan = advise(device, factory, budget, runs, 77);
-    TextTable table("Greedy hardening plan: " + device.name +
-                    " / DGEMM, budget " +
-                    TextTable::num(budget, 0) + "% area");
-    table.setHeader({"step", "technique", "cost%", "cum%",
-                     "criticalFIT before", "after", "gain"});
-    int step_no = 1;
-    for (const auto &step : plan) {
-        table.addRow({
-            TextTable::num(static_cast<int64_t>(step_no++)),
-            step.option.technique,
-            TextTable::num(step.option.areaCostPct, 1),
-            TextTable::num(step.cumulativeCostPct, 1),
-            TextTable::num(step.fitBefore, 2),
-            TextTable::num(step.fitAfter, 2),
-            TextTable::num(100.0 * (1.0 - step.fitAfter /
-                                    step.fitBefore), 0) + "%"});
-    }
-    table.render(std::cout);
-    if (!plan.empty()) {
-        std::printf("total: %.1f%% area removes %.0f%% of "
-                    "critical FIT\n\n",
-                    plan.back().cumulativeCostPct,
-                    100.0 * (1.0 - plan.back().fitAfter /
-                             plan.front().fitBefore));
-    }
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_hardening", 300);
-    cli.addDouble("budget", 12.0, "area budget in percent");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    double budget = cli.getDouble("budget");
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        Dgemm dgemm(device, 256, 42);
-        attributionTable(device, dgemm, runs);
-        LavaMd lavamd(device, 7, 42, 2, 4, 15);
-        attributionTable(device, lavamd, runs);
-    }
-    for (DeviceId id : allDevices())
-        advisorStudy(makeDevice(id), budget, runs);
-    return 0;
+    return radcrit::experimentShimMain("hardening", argc, argv);
 }

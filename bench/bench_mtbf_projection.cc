@@ -1,73 +1,14 @@
 /**
  * @file
- * System-scale projection (paper Section I): scale the campaign
- * failure rates to a Titan-class machine (18,688 accelerators),
- * check the "dozens of hours" MTBF the paper quotes, and compute
- * the Young/Daly checkpoint interval and resulting machine
- * efficiency — why criticality-aware tolerance matters at scale.
+ * Standalone shim for the registered 'mtbf_projection' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_mtbf_projection.cc.
  */
 
-#include "bench_util.hh"
-
-#include "mtbf/projection.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_mtbf_projection", 300);
-    cli.addInt("devices", 18688,
-               "accelerators in the machine (Titan: 18688)");
-    cli.addDouble("fit-per-au", 25.0,
-                  "absolute FIT per relative-FIT a.u. (anchor)");
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-
-    SystemConfig system;
-    system.devices = static_cast<uint64_t>(
-        cli.getInt("devices"));
-    system.fitPerAu = cli.getDouble("fit-per-au");
-
-    TextTable table("System projection: " +
-                    TextTable::num(static_cast<uint64_t>(
-                        system.devices)) +
-                    " devices, anchor " +
-                    TextTable::num(system.fitPerAu, 1) +
-                    " FIT/a.u.");
-    table.setHeader({"device", "workload", "MTBF det. [h]",
-                     "MTBS SDC [h]", "MTBS crit. [h]",
-                     "Daly ckpt [h]", "efficiency"});
-
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        std::vector<std::unique_ptr<Workload>> workloads;
-        workloads.push_back(makeDgemmWorkload(device, 256));
-        workloads.push_back(makeLavamdWorkload(
-            device, LavaMdSize{7, 15}));
-        workloads.push_back(makeHotspotWorkload(device));
-        for (auto &w : workloads) {
-            CampaignResult res =
-                runPaperCampaign(device, *w, runs);
-            SystemProjection p = projectToSystem(res, system);
-            table.addRow({device.name, w->name(),
-                          TextTable::num(p.mtbfDetectableHours,
-                                         1),
-                          TextTable::num(p.mtbsSdcHours, 1),
-                          TextTable::num(p.mtbsCriticalHours, 1),
-                          TextTable::num(p.dalyIntervalHours, 2),
-                          TextTable::num(100.0 * p.efficiency,
-                                         1) + "%"});
-        }
-        table.addSeparator();
-    }
-    table.render(std::cout);
-    std::printf("\nMTBS = mean time between (critical) silent "
-                "corruptions. Checkpointing only recovers the "
-                "detectable failures; SDCs silently corrupt "
-                "science, and the 'critical' column shows how "
-                "much breathing room an application tolerance "
-                "buys (paper Sections I-II).\n");
-    return 0;
+    return radcrit::experimentShimMain("mtbf_projection", argc, argv);
 }

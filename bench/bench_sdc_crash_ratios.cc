@@ -1,104 +1,14 @@
 /**
  * @file
- * Paper Section V opening measurements: SDC : (crash + hang)
- * ratios per device, code and input size. Paper values for
- * comparison: DGEMM K40 1.1-4x (falling with input), Phi ~4x
- * flat; LavaMD K40 ~3x, Phi 3-12x (rising with input); HotSpot
- * K40 ~7x, Phi ~3x.
+ * Standalone shim for the registered 'sdc_crash_ratios' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_sdc_crash_ratios.cc.
  */
 
-#include <cmath>
-
-#include "bench_util.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-/** SDC:(crash+hang) ratio cell; "n/a" when undefined. */
-std::string
-ratioCell(const CampaignResult &res, int digits)
-{
-    double ratio = res.sdcOverDetectable();
-    return std::isnan(ratio) ? "n/a"
-                             : TextTable::num(ratio, digits);
-}
-
-void
-addRow(TextTable &table, const CampaignResult &res,
-       const std::string &paper_band)
-{
-    table.addRow({res.deviceName, res.workloadName,
-                  res.inputLabel,
-                  TextTable::num(res.count(Outcome::Sdc)),
-                  TextTable::num(res.count(Outcome::Crash)),
-                  TextTable::num(res.count(Outcome::Hang)),
-                  ratioCell(res, 2),
-                  paper_band});
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli = figureCli("bench_sdc_crash_ratios", 300);
-    cli.parse(argc, argv);
-    benchInit(cli);
-    auto runs = static_cast<uint64_t>(cli.getInt("runs"));
-    bool csv = !cli.getFlag("no-csv");
-
-    TextTable table("SDC : (crash + hang) ratios "
-                    "(paper Section V)");
-    table.setHeader({"device", "workload", "input", "SDC",
-                     "crash", "hang", "SDC:det", "paper band"});
-
-    std::vector<CampaignResult> all;
-    for (DeviceId id : allDevices()) {
-        DeviceModel device = makeDevice(id);
-        bool k40 = id == DeviceId::K40;
-        for (int64_t side : dgemmScaledSides(id)) {
-            auto w = makeDgemmWorkload(device, side);
-            auto res = runPaperCampaign(device, *w, runs);
-            addRow(table, res,
-                   k40 ? "1.1-4x, falls w/ input" : "~4x flat");
-            all.push_back(std::move(res));
-        }
-        for (const auto &size : lavamdScaledSizes(id)) {
-            auto w = makeLavamdWorkload(device, size);
-            auto res = runPaperCampaign(device, *w, runs);
-            addRow(table, res,
-                   k40 ? "~3x" : "3-12x, rises w/ input");
-            all.push_back(std::move(res));
-        }
-        {
-            auto w = makeHotspotWorkload(device);
-            auto res = runPaperCampaign(device, *w, runs);
-            addRow(table, res, k40 ? "~7x" : "~3x");
-            all.push_back(std::move(res));
-        }
-        table.addSeparator();
-    }
-    table.render(std::cout);
-
-    if (csv) {
-        std::string path = benchOutputDir() +
-            "/sdc_crash_ratios.csv";
-        CsvWriter w(path);
-        w.writeRow({"device", "workload", "input", "sdc", "crash",
-                    "hang", "masked", "ratio"});
-        for (const auto &res : all) {
-            w.writeRow({res.deviceName, res.workloadName,
-                        res.inputLabel,
-                        TextTable::num(res.count(Outcome::Sdc)),
-                        TextTable::num(res.count(Outcome::Crash)),
-                        TextTable::num(res.count(Outcome::Hang)),
-                        TextTable::num(res.count(Outcome::Masked)),
-                        ratioCell(res, 3)});
-        }
-        std::printf("[csv] %s\n", path.c_str());
-    }
-    writeBenchJson("bench_sdc_crash_ratios");
-    return 0;
+    return radcrit::experimentShimMain("sdc_crash_ratios", argc, argv);
 }

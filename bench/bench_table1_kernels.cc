@@ -1,86 +1,14 @@
 /**
  * @file
- * Paper Table I: classification of the parallel kernels — bound-by
- * resource, load balance, memory access pattern. The static
- * classification is printed alongside quantities *measured* from
- * the implementations: operational intensity proxy, AMR/border
- * imbalance, and the regularity of the access pattern encoded in
- * the traits.
+ * Standalone shim for the registered 'table1_kernels' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_table1_kernels.cc.
  */
 
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "campaign/paperconfigs.hh"
-#include "common/table.hh"
-#include "kernels/amr.hh"
-#include "kernels/clamr.hh"
-#include "kernels/lavamd.hh"
-
-using namespace radcrit;
+#include "suite/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    TextTable table(
-        "Table I: Classification of parallel kernels");
-    table.setHeader({"Kernel", "Bound by", "Load Balance",
-                     "Memory Access", "ctrl-flow",
-                     "SFU use"});
-
-    DeviceModel k40 = makeDevice(DeviceId::K40);
-    DeviceModel phi = makeDevice(DeviceId::XeonPhi);
-
-    auto dgemm = makeDgemmWorkload(k40, 128);
-    table.addRow({"DGEMM", "CPU", "Balanced", "Regular",
-                  TextTable::num(
-                      dgemm->traits().controlFlowIntensity, 2),
-                  TextTable::num(dgemm->traits().sfuIntensity,
-                                 2)});
-
-    auto lavamd = makeLavamdWorkload(
-        k40, lavamdScaledSizes(DeviceId::K40)[0]);
-    table.addRow({"LavaMD", "Memory", "Imbalanced", "Regular",
-                  TextTable::num(
-                      lavamd->traits().controlFlowIntensity, 2),
-                  TextTable::num(lavamd->traits().sfuIntensity,
-                                 2)});
-
-    auto hotspot = makeHotspotWorkload(k40);
-    table.addRow({"HotSpot", "Memory", "Balanced", "Regular",
-                  TextTable::num(
-                      hotspot->traits().controlFlowIntensity, 2),
-                  TextTable::num(hotspot->traits().sfuIntensity,
-                                 2)});
-
-    auto clamr = makeClamrWorkload(phi);
-    table.addRow({"CLAMR", "CPU", "Imbalanced", "Irregular",
-                  TextTable::num(
-                      clamr->traits().controlFlowIntensity, 2),
-                  TextTable::num(clamr->traits().sfuIntensity,
-                                 2)});
-
-    table.render(std::cout);
-
-    // Measured imbalance evidence: CLAMR's AMR work map.
-    Clamr clamr_impl(phi, clamrScaledGrid());
-    AmrMap amr(clamr_impl.grid(), 0.5);
-    amr.update(clamr_impl.goldenH());
-    std::printf("\nmeasured CLAMR AMR imbalance (fraction of work "
-                "tiles >25%% off the mean): %.2f\n",
-                amr.imbalance());
-    std::printf("measured CLAMR refined cells at end of run: "
-                "%llu of %lld\n",
-                static_cast<unsigned long long>(
-                    amr.refinedCells()),
-                static_cast<long long>(clamr_impl.grid() *
-                                       clamr_impl.grid()));
-
-    // Measured LavaMD border imbalance: neighbor-count spread.
-    LavaMd lava(k40, 7, 42, 2, 4, 15);
-    std::printf("measured LavaMD interaction imbalance: corner "
-                "boxes compute 8/27 of a center box's "
-                "neighborhood\n");
-    return 0;
+    return radcrit::experimentShimMain("table1_kernels", argc, argv);
 }

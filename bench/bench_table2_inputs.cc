@@ -1,85 +1,14 @@
 /**
  * @file
- * Paper Table II: parallel kernels' details — domain, input sizes
- * and thread counts, computed from the launch descriptors of the
- * actual implementations on both devices.
+ * Standalone shim for the registered 'table2_inputs' experiment; the
+ * whole implementation lives in
+ * src/suite/experiments/exp_table2_inputs.cc.
  */
 
-#include <cstdio>
-#include <iostream>
-#include <memory>
-
-#include "campaign/paperconfigs.hh"
-#include "common/table.hh"
-#include "exec/launch.hh"
-
-using namespace radcrit;
-
-namespace
-{
-
-void
-addRows(TextTable &table, const DeviceModel &device)
-{
-    DeviceId id = device.name == "K40" ? DeviceId::K40
-                                       : DeviceId::XeonPhi;
-    for (int64_t side : dgemmScaledSides(id)) {
-        auto w = makeDgemmWorkload(device, side);
-        KernelLaunch l = buildLaunch(device, w->traits());
-        table.addRow({device.name, "DGEMM", "Linear algebra",
-                      w->inputLabel(),
-                      TextTable::num(w->traits().totalThreads),
-                      TextTable::num(l.residentThreads),
-                      TextTable::num(l.occupancy, 2),
-                      TextTable::num(l.schedulerStrain, 2)});
-    }
-    for (const auto &size : lavamdScaledSizes(id)) {
-        auto w = makeLavamdWorkload(device, size);
-        KernelLaunch l = buildLaunch(device, w->traits());
-        table.addRow({device.name, "LavaMD",
-                      "Molecular dynamics", w->inputLabel(),
-                      TextTable::num(w->traits().totalThreads),
-                      TextTable::num(l.residentThreads),
-                      TextTable::num(l.occupancy, 2),
-                      TextTable::num(l.schedulerStrain, 2)});
-    }
-    {
-        auto w = makeHotspotWorkload(device);
-        KernelLaunch l = buildLaunch(device, w->traits());
-        table.addRow({device.name, "HotSpot",
-                      "Physics simulation", w->inputLabel(),
-                      TextTable::num(w->traits().totalThreads),
-                      TextTable::num(l.residentThreads),
-                      TextTable::num(l.occupancy, 2),
-                      TextTable::num(l.schedulerStrain, 2)});
-    }
-    {
-        auto w = makeClamrWorkload(device);
-        KernelLaunch l = buildLaunch(device, w->traits());
-        table.addRow({device.name, "CLAMR", "Fluid dynamics",
-                      w->inputLabel() + " (+AMR)",
-                      TextTable::num(w->traits().totalThreads),
-                      TextTable::num(l.residentThreads),
-                      TextTable::num(l.occupancy, 2),
-                      TextTable::num(l.schedulerStrain, 2)});
-    }
-    table.addSeparator();
-}
-
-} // anonymous namespace
+#include "suite/driver.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    TextTable table("Table II: Parallel kernels' details "
-                    "(paper-equivalent launch view)");
-    table.setHeader({"Device", "Kernel", "Domain", "Input size",
-                     "#Threads", "resident", "occupancy",
-                     "sched strain"});
-    for (DeviceId id : allDevices())
-        addRows(table, makeDevice(id));
-    table.render(std::cout);
-    std::printf("\nLavaMD particles/box: 192 on K40, 100 on "
-                "Xeon Phi (paper IV-C, scaled /4 internally)\n");
-    return 0;
+    return radcrit::experimentShimMain("table2_inputs", argc, argv);
 }

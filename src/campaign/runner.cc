@@ -166,6 +166,14 @@ CampaignRaw
 simulateCampaign(const DeviceModel &device, Workload &workload,
                  const SimConfig &config)
 {
+    WorkerPool pool(config.jobs);
+    return simulateCampaign(device, workload, config, pool);
+}
+
+CampaignRaw
+simulateCampaign(const DeviceModel &device, Workload &workload,
+                 const SimConfig &config, WorkerPool &pool)
+{
     if (config.faultyRuns == 0)
         fatal("campaign needs at least one run");
 
@@ -198,7 +206,6 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     PhaseTimer campaignTimer(campaignReg, "campaign.total");
     auto campaign_start = std::chrono::steady_clock::now();
 
-    WorkerPool pool(config.jobs);
     unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
         pool.jobs(), config.faultyRuns));
 

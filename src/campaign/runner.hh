@@ -25,6 +25,7 @@
 #include "campaign/config.hh"
 #include "campaign/raw.hh"
 #include "exec/launch.hh"
+#include "exec/pool.hh"
 #include "metrics/criticality.hh"
 #include "obs/stats_registry.hh"
 #include "sim/fault.hh"
@@ -113,6 +114,19 @@ struct CampaignResult
 CampaignRaw simulateCampaign(const DeviceModel &device,
                              Workload &workload,
                              const SimConfig &config);
+
+/**
+ * Overload running the campaign's strikes on a caller-supplied
+ * pool instead of constructing one per campaign, so a sequence of
+ * campaigns (the suite scheduler) reuses one set of persistent
+ * worker threads. config.jobs is ignored; the pool's resolved
+ * worker count applies. Results are bit-identical to the
+ * own-pool overload at the same effective job count.
+ */
+CampaignRaw simulateCampaign(const DeviceModel &device,
+                             Workload &workload,
+                             const SimConfig &config,
+                             WorkerPool &pool);
 
 /**
  * Analyze a raw campaign: the cheap, re-runnable half. Pure in its

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
+#include <thread>
 
 #include <unistd.h>
 
@@ -70,6 +72,35 @@ CampaignStore::CampaignStore(const std::string &dir) : dir_(dir)
     if (ec)
         fatal("cannot create campaign cache directory '%s': %s",
               dir_.c_str(), ec.message().c_str());
+    if (!std::filesystem::is_directory(dir_))
+        fatal("campaign cache path '%s' exists but is not a "
+              "directory",
+              dir_.c_str());
+}
+
+std::unique_ptr<CampaignStore>
+CampaignStore::open(const std::string &dir)
+{
+    // Validate up front: a cache path that is a regular file (or
+    // cannot be created) would otherwise miss on every load and
+    // only fail much later, at the first save.
+    std::error_code ec;
+    if (std::filesystem::exists(dir, ec) &&
+        !std::filesystem::is_directory(dir, ec)) {
+        warn("campaign cache path '%s' exists but is not a "
+             "directory; caching disabled",
+             dir.c_str());
+        return nullptr;
+    }
+    std::filesystem::create_directories(dir, ec);
+    if (ec || !std::filesystem::is_directory(dir)) {
+        warn("cannot create campaign cache directory '%s'%s%s; "
+             "caching disabled",
+             dir.c_str(), ec ? ": " : "",
+             ec ? ec.message().c_str() : "");
+        return nullptr;
+    }
+    return std::make_unique<CampaignStore>(dir);
 }
 
 std::string
@@ -119,10 +150,14 @@ void
 CampaignStore::save(const CampaignRaw &raw)
 {
     std::string path = pathFor(campaignKey(raw));
-    // Write-then-rename so concurrent bench processes sharing a
-    // cache directory never observe a torn entry.
-    std::string tmp = path + strprintf(".tmp.%ld",
-                                       static_cast<long>(getpid()));
+    // Write-then-rename so concurrent writers sharing a cache
+    // directory never observe a torn entry. The tmp name carries
+    // pid and thread id so neither concurrent processes nor
+    // threads of one process clobber each other's staging file.
+    std::string tmp = path +
+        strprintf(".tmp.%ld.%zu", static_cast<long>(getpid()),
+                  std::hash<std::thread::id>{}(
+                      std::this_thread::get_id()));
     writeBeamLogFile(raw, tmp);
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
@@ -139,12 +174,13 @@ storeFromEnv()
     const char *dir = std::getenv("RADCRIT_CAMPAIGN_CACHE");
     if (!dir || !*dir)
         return nullptr;
-    return std::make_unique<CampaignStore>(dir);
+    return CampaignStore::open(dir);
 }
 
 CampaignRaw
 simulateOrLoad(const DeviceModel &device, Workload &workload,
-               const SimConfig &config, CampaignStore *store)
+               const SimConfig &config, CampaignStore *store,
+               WorkerPool *pool)
 {
     if (store) {
         CampaignKey key{device.name, workload.name(),
@@ -160,7 +196,9 @@ simulateOrLoad(const DeviceModel &device, Workload &workload,
             return raw;
         }
     }
-    CampaignRaw raw = simulateCampaign(device, workload, config);
+    CampaignRaw raw = pool
+        ? simulateCampaign(device, workload, config, *pool)
+        : simulateCampaign(device, workload, config);
     if (store)
         store->save(raw);
     return raw;

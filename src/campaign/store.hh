@@ -26,6 +26,7 @@
 #ifndef RADCRIT_CAMPAIGN_STORE_HH
 #define RADCRIT_CAMPAIGN_STORE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -33,6 +34,7 @@
 
 #include "campaign/config.hh"
 #include "campaign/raw.hh"
+#include "exec/pool.hh"
 #include "sim/workload.hh"
 
 namespace radcrit
@@ -73,6 +75,17 @@ class CampaignStore
   public:
     explicit CampaignStore(const std::string &dir);
 
+    /**
+     * Validating front door for user-supplied cache paths (--cache,
+     * RADCRIT_CAMPAIGN_CACHE): when `dir` names an existing
+     * regular file, or the directory cannot be created, warn once
+     * and return null — the caller runs uncached instead of
+     * missing (and then failing to save) forever. Use the
+     * constructor directly when a broken cache should be fatal.
+     */
+    static std::unique_ptr<CampaignStore>
+    open(const std::string &dir);
+
     /** @return the cache directory. */
     const std::string &dir() const { return dir_; }
 
@@ -92,20 +105,24 @@ class CampaignStore
     void save(const CampaignRaw &raw);
 
     /** @return hits recorded by this store instance. */
-    uint64_t hits() const { return hits_; }
+    uint64_t hits() const { return hits_.load(); }
 
     /** @return misses recorded by this store instance. */
-    uint64_t misses() const { return misses_; }
+    uint64_t misses() const { return misses_.load(); }
 
   private:
     std::string dir_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    // Atomic so a store shared across threads (the suite's single
+    // store serving shim-compatible per-experiment lookups) tallies
+    // correctly without external locking.
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
 };
 
 /**
  * @return a store on $RADCRIT_CAMPAIGN_CACHE, or null when the
- * variable is unset or empty (cache off, the default).
+ * variable is unset or empty (cache off, the default) or names an
+ * unusable path (warned and disabled, see CampaignStore::open()).
  */
 std::unique_ptr<CampaignStore> storeFromEnv();
 
@@ -114,12 +131,15 @@ std::unique_ptr<CampaignStore> storeFromEnv();
  * campaign if `store` is non-null and has it (with launch and
  * counters rebuilt, see rebuildSimStats()), otherwise simulate and
  * — when a store is present — save the result. With store == null
- * this is exactly simulateCampaign().
+ * this is exactly simulateCampaign(). When `pool` is non-null a
+ * cache miss simulates on that shared pool instead of a
+ * per-campaign one (config.jobs is then ignored).
  */
 CampaignRaw simulateOrLoad(const DeviceModel &device,
                            Workload &workload,
                            const SimConfig &config,
-                           CampaignStore *store);
+                           CampaignStore *store,
+                           WorkerPool *pool = nullptr);
 
 } // namespace radcrit
 

@@ -3,10 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "common/logging.hh"
 
@@ -62,6 +58,17 @@ WorkerPool::WorkerPool(unsigned jobs)
 {
 }
 
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
 unsigned
 WorkerPool::resolveJobs(unsigned requested)
 {
@@ -103,13 +110,82 @@ WorkerPool::chunkBounds(uint64_t count, unsigned workers,
 }
 
 void
+WorkerPool::runChunk(unsigned worker, const Dispatch &dispatch)
+{
+    auto [begin, end] = chunkBounds(dispatch.count,
+                                    dispatch.workers, worker);
+    auto chunk_start = std::chrono::steady_clock::now();
+    try {
+        (*dispatch.body)(worker, begin, end);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    // Each worker writes only its own stats slot (the vector is
+    // sized before the dispatch is published), so accounting needs
+    // no lock.
+    if (dispatch.stats) {
+        dispatch.stats->workers[worker].busyNs =
+            elapsedNs(chunk_start);
+        dispatch.stats->workers[worker].items = end - begin;
+    }
+}
+
+void
+WorkerPool::ensureThreads(unsigned helpers)
+{
+    while (threads_.size() < helpers) {
+        // A thread spawned mid-lifetime must not mistake the
+        // current epoch for a dispatch it missed, so it starts
+        // already caught up. epoch_ is only written by the
+        // dispatching thread — the one running right here — so the
+        // unlocked read is race-free.
+        threads_.emplace_back(&WorkerPool::workerLoop, this,
+                              static_cast<unsigned>(
+                                  threads_.size()),
+                              epoch_);
+    }
+}
+
+void
+WorkerPool::workerLoop(unsigned index, uint64_t seen_epoch)
+{
+    for (;;) {
+        Dispatch dispatch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            dispatch = dispatch_;
+        }
+        // Helpers beyond this dispatch's width (spawned for an
+        // earlier, wider dispatch) just go back to sleep; they are
+        // not counted in pending_.
+        bool participating = index + 1 < dispatch.workers;
+        if (participating)
+            runChunk(index + 1, dispatch);
+        if (participating) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
 WorkerPool::forChunks(uint64_t count, const ChunkBody &body,
-                      PoolRunStats *stats) const
+                      PoolRunStats *stats)
 {
     if (stats)
         *stats = PoolRunStats{};
     if (count == 0)
         return;
+    ++dispatches_;
     unsigned workers = static_cast<unsigned>(
         std::min<uint64_t>(jobs_, count));
     if (stats)
@@ -126,39 +202,32 @@ WorkerPool::forChunks(uint64_t count, const ChunkBody &body,
         return;
     }
 
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    // Each worker writes only its own stats slot (the vector is
-    // sized before any thread starts), so accounting needs no lock.
-    auto guarded = [&](unsigned worker) {
-        auto [begin, end] = chunkBounds(count, workers, worker);
-        auto chunk_start = std::chrono::steady_clock::now();
-        try {
-            body(worker, begin, end);
-        } catch (...) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error)
-                first_error = std::current_exception();
-        }
-        if (stats) {
-            stats->workers[worker].busyNs =
-                elapsedNs(chunk_start);
-            stats->workers[worker].items = end - begin;
-        }
-    };
+    ensureThreads(workers - 1);
+    Dispatch dispatch{count, workers, &body, stats};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dispatch_ = dispatch;
+        firstError_ = nullptr;
+        pending_ = workers - 1;
+        ++epoch_;
+    }
+    wake_.notify_all();
 
-    std::vector<std::thread> threads;
-    threads.reserve(workers - 1);
-    for (unsigned w = 1; w < workers; ++w)
-        threads.emplace_back(guarded, w);
-    guarded(0);
-    for (auto &t : threads)
-        t.join();
+    // The dispatching thread is worker 0, exactly as when threads
+    // were spawned per dispatch.
+    runChunk(0, dispatch);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        error = firstError_;
+        firstError_ = nullptr;
+    }
     if (stats)
         stats->wallNs = elapsedNs(dispatch_start);
-
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace radcrit

@@ -8,15 +8,27 @@
  * item index to worker is a pure function of (count, jobs). Work
  * whose output depends only on the item index — like the campaign
  * engine's seed-split runs — therefore produces identical results
- * for any worker count. Used by the campaign runner and available
- * to benches.
+ * for any worker count. Used by the campaign runner, the suite
+ * scheduler, and available to benches.
+ *
+ * Worker threads are persistent: they are spawned lazily on the
+ * first parallel dispatch and then parked on a condition variable
+ * between dispatches, so a pool reused across many campaigns (the
+ * suite scheduler runs every distinct campaign of a whole
+ * experiment suite on one pool) pays thread-creation cost once
+ * instead of once per campaign. The serial path (jobs == 1, or a
+ * single item) never spawns a thread at all.
  */
 
 #ifndef RADCRIT_EXEC_POOL_HH
 #define RADCRIT_EXEC_POOL_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -65,6 +77,11 @@ struct PoolRunStats
 
 /**
  * Fixed-width thread pool over static contiguous chunks.
+ *
+ * Dispatches are issued from one thread at a time: forChunks() is
+ * not reentrant and must not be called concurrently on the same
+ * pool (each dispatch blocks its caller until the pool drains, so
+ * sequential callers compose naturally).
  */
 class WorkerPool
 {
@@ -86,8 +103,20 @@ class WorkerPool
      */
     explicit WorkerPool(unsigned jobs = 0);
 
+    /** Parks, then joins any persistent worker threads. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
     /** @return the resolved worker count (always >= 1). */
     unsigned jobs() const { return jobs_; }
+
+    /**
+     * @return dispatches served so far (telemetry: how much reuse a
+     * shared pool saw).
+     */
+    uint64_t dispatches() const { return dispatches_; }
 
     /**
      * Partition [0, count) into at most jobs() contiguous chunks
@@ -96,14 +125,14 @@ class WorkerPool
      * no thread is spawned at all, so the serial path is exactly a
      * plain loop. Blocks until every chunk completed. The first
      * exception thrown by a body is rethrown on the caller after
-     * all workers joined.
+     * all workers drained.
      *
      * @param stats When non-null, overwritten with the dispatch's
      * utilization accounting (valid once forChunks returns; an
      * empty dispatch leaves it zeroed with no workers).
      */
     void forChunks(uint64_t count, const ChunkBody &body,
-                   PoolRunStats *stats = nullptr) const;
+                   PoolRunStats *stats = nullptr);
 
     /**
      * Resolve a requested job count: 0 becomes
@@ -131,7 +160,38 @@ class WorkerPool
     chunkBounds(uint64_t count, unsigned workers, unsigned worker);
 
   private:
+    /** One parked dispatch, shared with the worker threads. */
+    struct Dispatch
+    {
+        uint64_t count = 0;
+        unsigned workers = 0;
+        const ChunkBody *body = nullptr;
+        PoolRunStats *stats = nullptr;
+    };
+
+    /** Spawn persistent helper threads up to `helpers` total. */
+    void ensureThreads(unsigned helpers);
+
+    /** Parked loop of helper thread `index` (worker id index+1). */
+    void workerLoop(unsigned index, uint64_t seen_epoch);
+
+    /** Run one worker's chunk, recording stats and first error. */
+    void runChunk(unsigned worker, const Dispatch &dispatch);
+
     unsigned jobs_;
+    uint64_t dispatches_ = 0;
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Bumped (under mutex_) once per parallel dispatch. */
+    uint64_t epoch_ = 0;
+    /** Participating helpers that have not finished this epoch. */
+    unsigned pending_ = 0;
+    bool stop_ = false;
+    Dispatch dispatch_;
+    std::exception_ptr firstError_;
 };
 
 } // namespace radcrit

@@ -1,0 +1,149 @@
+#include "suite/context.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "suite/experiment.hh"
+#include "suite/spec.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+}
+
+} // anonymous namespace
+
+std::string
+resolveOutputDir(const std::string &cli_value)
+{
+    if (!cli_value.empty())
+        return cli_value;
+    const char *env = std::getenv("RADCRIT_BENCH_OUT");
+    if (env && *env)
+        return env;
+    return "bench_out";
+}
+
+SuiteContext::SuiteContext(const Options &options,
+                           CampaignStore *store, WorkerPool &pool)
+    : options_(options), store_(store), pool_(pool),
+      recorder_(&ownRecorder_)
+{
+    ownRecorder_.jobs = options_.jobs;
+}
+
+const std::string &
+SuiteContext::outputDir()
+{
+    if (!outDirReady_) {
+        outDirReady_ = true;
+        std::error_code ec;
+        std::filesystem::create_directories(options_.outDir, ec);
+        if (ec) {
+            warn("cannot create output directory '%s': %s",
+                 options_.outDir.c_str(), ec.message().c_str());
+        }
+    }
+    return options_.outDir;
+}
+
+uint64_t
+SuiteContext::runsFor(const Experiment &experiment) const
+{
+    if (options_.runsOverride >= 0)
+        return static_cast<uint64_t>(options_.runsOverride);
+    return experiment.info().defaultRuns;
+}
+
+void
+SuiteContext::setRecorder(BenchRecorder *recorder)
+{
+    recorder_ = recorder ? recorder : &ownRecorder_;
+    recorder_->jobs = options_.jobs;
+}
+
+CampaignRaw
+SuiteContext::campaignRaw(const DeviceModel &device,
+                          Workload &workload, uint64_t runs)
+{
+    std::string key = campaignPlanKey(device.name, workload.name(),
+                                      workload.inputLabel(), runs);
+    auto start = std::chrono::steady_clock::now();
+
+    auto it = plan_.find(key);
+    if (it != plan_.end()) {
+        PlannedCampaign &entry = it->second;
+        ++memoryServes_;
+        // The prepass simulation is charged to the first consumer
+        // as a cache miss (with the real simulation wall time), so
+        // per-experiment tallies keep the standalone-bench
+        // semantics: every simulated campaign is some experiment's
+        // miss, every re-use a hit.
+        bool charge = entry.simulated && !entry.charged;
+        if (charge)
+            entry.charged = true;
+        recorder_->addCampaign(entry.raw.runs.size(),
+                               charge ? entry.wallNs
+                                      : elapsedNs(start),
+                               !charge);
+        return entry.raw;
+    }
+
+    // Not in the plan: an undeclared campaign (shim mode, or an
+    // ad-hoc device variant). Same path a standalone bench took.
+    CampaignConfig cfg = defaultCampaign(runs, device.name,
+                                         workload.name(),
+                                         workload.inputLabel());
+    cfg.sim.jobs = options_.jobs;
+    uint64_t hits_before = store_ ? store_->hits() : 0;
+    CampaignRaw raw = simulateOrLoad(device, workload, cfg.sim,
+                                     store_, &pool_);
+    bool cached = store_ && store_->hits() > hits_before;
+    if (cached)
+        ++unplannedHits_;
+    else
+        ++unplannedMisses_;
+    recorder_->addCampaign(raw.runs.size(), elapsedNs(start),
+                           cached);
+    return raw;
+}
+
+CampaignResult
+SuiteContext::campaignResult(const DeviceModel &device,
+                             Workload &workload, uint64_t runs)
+{
+    CampaignConfig cfg = defaultCampaign(runs, device.name,
+                                         workload.name(),
+                                         workload.inputLabel());
+    CampaignRaw raw = campaignRaw(device, workload, runs);
+    return analyzeCampaign(raw, cfg.analysis);
+}
+
+bool
+SuiteContext::planned(const std::string &key) const
+{
+    return plan_.count(key) != 0;
+}
+
+void
+SuiteContext::addPlanned(const std::string &key,
+                         PlannedCampaign entry)
+{
+    if (planned(key))
+        panic("campaign '%s' planned twice", key.c_str());
+    plan_.emplace(key, std::move(entry));
+}
+
+} // namespace radcrit

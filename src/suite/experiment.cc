@@ -1,0 +1,102 @@
+#include "suite/experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+ExperimentRegistry &
+ExperimentRegistry::instance()
+{
+    static ExperimentRegistry registry;
+    return registry;
+}
+
+void
+ExperimentRegistry::add(std::unique_ptr<Experiment> experiment)
+{
+    const std::string &name = experiment->info().name;
+    if (name.empty())
+        panic("experiment registered with an empty name");
+    if (find(name))
+        panic("duplicate experiment registration '%s'",
+              name.c_str());
+    experiments_.push_back(std::move(experiment));
+}
+
+namespace
+{
+
+bool
+orderBefore(const Experiment *a, const Experiment *b)
+{
+    if (a->info().order != b->info().order)
+        return a->info().order < b->info().order;
+    return a->info().name < b->info().name;
+}
+
+} // anonymous namespace
+
+std::vector<Experiment *>
+ExperimentRegistry::all() const
+{
+    std::vector<Experiment *> out;
+    for (const auto &e : experiments_)
+        out.push_back(e.get());
+    std::sort(out.begin(), out.end(), orderBefore);
+    return out;
+}
+
+std::vector<Experiment *>
+ExperimentRegistry::match(const std::string &glob) const
+{
+    std::vector<Experiment *> out;
+    for (const auto &e : experiments_) {
+        if (globMatch(glob, e->info().name))
+            out.push_back(e.get());
+    }
+    std::sort(out.begin(), out.end(), orderBefore);
+    return out;
+}
+
+Experiment *
+ExperimentRegistry::find(const std::string &name) const
+{
+    for (const auto &e : experiments_) {
+        if (e->info().name == name)
+            return e.get();
+    }
+    return nullptr;
+}
+
+bool
+globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with single-star backtracking: on mismatch,
+    // rewind to one past the last '*' anchor and let it absorb one
+    // more character.
+    size_t p = 0, t = 0;
+    size_t star = std::string::npos, anchor = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            anchor = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++anchor;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+} // namespace radcrit

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Paper Fig. 1 stand-in: the experimental setup at LANSCE cannot
+ * be reproduced as a photograph, so this experiment dumps the
+ * modelled campaign configuration — boards in the beam line with
+ * distances and de-rating, flux, spot, acceleration factor, the
+ * single-strike tuning check, and the natural-time equivalence the
+ * paper quotes (>= 8e8 hours, about 91,000 years).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/beam.hh"
+#include "suite/context.hh"
+#include "suite/experiment.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+class Fig1Setup : public Experiment
+{
+  public:
+    const ExperimentInfo &
+    info() const override
+    {
+        static const ExperimentInfo info{
+            .name = "fig1_setup",
+            .tag = "Fig. 1",
+            .summary = "beam campaign configuration (flux, boards, "
+                       "acceleration, single-strike check)",
+            .order = 10};
+        return info;
+    }
+
+    void
+    run(SuiteContext &ctx) override
+    {
+        (void)ctx;
+        BeamFacility f = makePaperSetup();
+        std::printf("Fig. 1 (substituted): beam campaign "
+                    "configuration at %s\n\n", f.name.c_str());
+        std::printf("flux: %.2e n/(cm^2 s)  (terrestrial "
+                    "reference: %.0f n/(cm^2 h))\n", f.fluxPerCm2s,
+                    terrestrialFluxPerCm2Hour);
+        std::printf("acceleration factor: %.2e x natural\n",
+                    f.accelerationFactor());
+        std::printf("beam spot: %.1f inch diameter = %.2f cm^2 "
+                    "(chip-only: DRAM outside the spot)\n",
+                    f.spotDiameterInch, f.spotAreaCm2());
+
+        TextTable table("\nBoards in the beam line");
+        table.setHeader({"board", "distance [m]", "de-rating"});
+        for (const auto &b : f.boards) {
+            table.addRow({b.label, TextTable::num(b.distanceM, 1),
+                          TextTable::num(b.derating, 2)});
+        }
+        table.render(std::cout);
+
+        BeamExposure exposure(f, 1.5, 30.0);
+        double sigma = 1e-11; // upsets per unit fluence (a.u.)
+        std::printf("\nsingle-strike tuning: expected strikes/run "
+                    "= %.2e -> rule %s\n",
+                    exposure.expectedStrikesPerRun(sigma),
+                    exposure.honoursSingleStrikeRule(sigma, 1.0)
+                        ? "HONOURED (< 1e-3 errors/execution)"
+                        : "VIOLATED");
+        std::printf("800 h of effective beam per architecture = "
+                    "%.2e natural hours (%.0f years)\n",
+                    exposure.equivalentNaturalHours(800.0),
+                    exposure.equivalentNaturalHours(800.0) /
+                        8760.0);
+        std::printf("FIT scaling example: 100 errors in 400 h of "
+                    "beam -> %.3f FIT at sea level\n",
+                    exposure.fitAtSeaLevel(100.0, 400.0));
+    }
+};
+
+} // anonymous namespace
+
+RADCRIT_REGISTER_EXPERIMENT(Fig1Setup)
+
+} // namespace radcrit

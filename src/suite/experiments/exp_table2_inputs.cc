@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Paper Table II: parallel kernels' details — domain, input sizes
+ * and thread counts, computed from the launch descriptors of the
+ * actual implementations on both devices.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hh"
+#include "exec/launch.hh"
+#include "suite/context.hh"
+#include "suite/experiment.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+void
+addRows(TextTable &table, const DeviceModel &device)
+{
+    DeviceId id = device.name == "K40" ? DeviceId::K40
+                                       : DeviceId::XeonPhi;
+    for (int64_t side : dgemmScaledSides(id)) {
+        auto w = makeDgemmWorkload(device, side);
+        KernelLaunch l = buildLaunch(device, w->traits());
+        table.addRow({device.name, "DGEMM", "Linear algebra",
+                      w->inputLabel(),
+                      TextTable::num(w->traits().totalThreads),
+                      TextTable::num(l.residentThreads),
+                      TextTable::num(l.occupancy, 2),
+                      TextTable::num(l.schedulerStrain, 2)});
+    }
+    for (const auto &size : lavamdScaledSizes(id)) {
+        auto w = makeLavamdWorkload(device, size);
+        KernelLaunch l = buildLaunch(device, w->traits());
+        table.addRow({device.name, "LavaMD",
+                      "Molecular dynamics", w->inputLabel(),
+                      TextTable::num(w->traits().totalThreads),
+                      TextTable::num(l.residentThreads),
+                      TextTable::num(l.occupancy, 2),
+                      TextTable::num(l.schedulerStrain, 2)});
+    }
+    {
+        auto w = makeHotspotWorkload(device);
+        KernelLaunch l = buildLaunch(device, w->traits());
+        table.addRow({device.name, "HotSpot",
+                      "Physics simulation", w->inputLabel(),
+                      TextTable::num(w->traits().totalThreads),
+                      TextTable::num(l.residentThreads),
+                      TextTable::num(l.occupancy, 2),
+                      TextTable::num(l.schedulerStrain, 2)});
+    }
+    {
+        auto w = makeClamrWorkload(device);
+        KernelLaunch l = buildLaunch(device, w->traits());
+        table.addRow({device.name, "CLAMR", "Fluid dynamics",
+                      w->inputLabel() + " (+AMR)",
+                      TextTable::num(w->traits().totalThreads),
+                      TextTable::num(l.residentThreads),
+                      TextTable::num(l.occupancy, 2),
+                      TextTable::num(l.schedulerStrain, 2)});
+    }
+    table.addSeparator();
+}
+
+class Table2Inputs : public Experiment
+{
+  public:
+    const ExperimentInfo &
+    info() const override
+    {
+        static const ExperimentInfo info{
+            .name = "table2_inputs",
+            .tag = "Table II",
+            .summary = "kernel details: inputs, threads, and "
+                       "launch view on both devices",
+            .order = 12};
+        return info;
+    }
+
+    void
+    run(SuiteContext &ctx) override
+    {
+        (void)ctx;
+        TextTable table("Table II: Parallel kernels' details "
+                        "(paper-equivalent launch view)");
+        table.setHeader({"Device", "Kernel", "Domain",
+                         "Input size", "#Threads", "resident",
+                         "occupancy", "sched strain"});
+        for (DeviceId id : allDevices())
+            addRows(table, makeDevice(id));
+        table.render(std::cout);
+        std::printf("\nLavaMD particles/box: 192 on K40, 100 on "
+                    "Xeon Phi (paper IV-C, scaled /4 "
+                    "internally)\n");
+    }
+};
+
+} // anonymous namespace
+
+RADCRIT_REGISTER_EXPERIMENT(Table2Inputs)
+
+} // namespace radcrit

@@ -1,0 +1,155 @@
+#include "suite/render.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "campaign/series.hh"
+#include "common/csv.hh"
+#include "common/figure.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
+
+namespace radcrit
+{
+
+void
+renderScatterFigure(SuiteContext &ctx, const std::string &title,
+                    const std::vector<CampaignResult> &results,
+                    double x_clamp, double y_clamp,
+                    const std::string &csv_name)
+{
+    ScatterPlot plot(title, "Number of Incorrect Elements",
+                     "Average Relative Error (%)");
+    if (x_clamp > 0.0)
+        plot.setXClamp(x_clamp);
+    if (y_clamp > 0.0)
+        plot.setYClamp(y_clamp);
+    for (const auto &res : results)
+        plot.addSeries(scatterSeries(res));
+    plot.render(std::cout);
+
+    if (ctx.writeCsv()) {
+        std::string path = ctx.outputDir() + "/" + csv_name;
+        CsvWriter csv(path);
+        csv.writeRow({"device", "input", "numIncorrect",
+                      "meanRelErrPct"});
+        for (const auto &res : results) {
+            ScatterSeries s = scatterSeries(res);
+            for (size_t i = 0; i < s.xs.size(); ++i) {
+                csv.writeRow({res.deviceName, res.inputLabel,
+                              TextTable::num(s.xs[i], 0),
+                              TextTable::num(s.ys[i], 4)});
+            }
+        }
+        std::printf("[csv] %s\n", path.c_str());
+    }
+}
+
+void
+renderLocalityFigure(SuiteContext &ctx, const std::string &title,
+                     const std::vector<CampaignResult> &results,
+                     const std::vector<Pattern> &patterns,
+                     const std::string &csv_name)
+{
+    std::vector<std::string> names;
+    for (Pattern p : patterns)
+        names.push_back(patternName(p));
+    StackedBarChart chart(title, names);
+    for (const auto &res : results) {
+        LocalityBars bars = localityBars(res, patterns);
+        for (auto &bar : bars.bars)
+            chart.addBar(std::move(bar));
+    }
+    chart.render(std::cout);
+
+    if (ctx.writeCsv()) {
+        std::string path = ctx.outputDir() + "/" + csv_name;
+        CsvWriter csv(path);
+        std::vector<std::string> header{"device", "input",
+                                        "filtered"};
+        for (const auto &n : names)
+            header.push_back(n);
+        header.push_back("total");
+        csv.writeRow(header);
+        for (const auto &res : results) {
+            for (bool filtered : {false, true}) {
+                FitBreakdown bd = res.fitByPattern(filtered);
+                std::vector<std::string> row{
+                    res.deviceName, res.inputLabel,
+                    filtered ? "yes" : "no"};
+                for (Pattern p : patterns)
+                    row.push_back(TextTable::num(bd.of(p), 4));
+                row.push_back(TextTable::num(bd.total(), 4));
+                csv.writeRow(row);
+            }
+        }
+        std::printf("[csv] %s\n", path.c_str());
+    }
+}
+
+void
+writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
+{
+    const BenchRecorder &rec = ctx.recorder();
+    std::string path = ctx.outputDir() + "/" + bench_name +
+        ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open bench results file '%s'", path.c_str());
+        return;
+    }
+    StatsSnapshot snap = StatsRegistry::global().snapshot();
+    {
+        JsonObjectWriter obj(out);
+        obj.field("schema", uint64_t{4});
+        obj.field("bench", bench_name);
+        obj.field("campaigns", rec.campaigns);
+        obj.field("jobs", static_cast<uint64_t>(rec.jobs));
+        obj.field("runs", rec.runs);
+        obj.field("wall_ns", rec.wallNs);
+        obj.field("cache_hits", rec.cacheHits);
+        obj.field("cache_misses", rec.cacheMisses);
+        obj.field("ns_per_op", rec.nsPerOp());
+        obj.field("runs_per_s", rec.runsPerSecond());
+        obj.beginRawField("timings");
+        {
+            // The perf trajectory: wall clock, throughput, where
+            // the time went (phase timers), and how well the worker
+            // pool was used. All-cache-hit runs legitimately report
+            // zero phase time: no simulation happened.
+            JsonObjectWriter timings(out, 4);
+            timings.field("wall_ns", rec.wallNs);
+            timings.field("runs_per_s", rec.runsPerSecond());
+            timings.field("pool_busy_ns", static_cast<uint64_t>(
+                snap.value("pool.busy.ns")));
+            timings.field("pool_idle_ns", static_cast<uint64_t>(
+                snap.value("pool.idle.ns")));
+            timings.field("pool_utilization",
+                          snap.value("pool.utilization"));
+            timings.beginRawField("phase_ns");
+            {
+                JsonObjectWriter phases(out, 6);
+                for (const char *phase :
+                     {"sample", "classify", "replay", "metrics"}) {
+                    phases.field(
+                        phase,
+                        static_cast<uint64_t>(snap.value(
+                            std::string("campaign.phase.") +
+                            phase + ".ns")));
+                }
+                phases.field("total", static_cast<uint64_t>(
+                    snap.value("campaign.total.ns")));
+            }
+        }
+        obj.beginRawField("stats");
+        snap.writeJson(out, 2);
+        obj.close();
+    }
+    out << "\n";
+    std::printf("[json] %s\n", path.c_str());
+}
+
+} // namespace radcrit

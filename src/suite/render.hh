@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared render steps for experiments: the paper's two figure
+ * shapes (scatter + stacked locality bars) with CSV side-output,
+ * and the schema-4 per-bench JSON document the standalone shims
+ * emit. Ported from the old header-only bench_util.hh, with the
+ * process-wide state replaced by the SuiteContext.
+ */
+
+#ifndef RADCRIT_SUITE_RENDER_HH
+#define RADCRIT_SUITE_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.hh"
+#include "metrics/locality.hh"
+#include "suite/context.hh"
+
+namespace radcrit
+{
+
+/**
+ * Render one scatter figure (mean relative error vs. number of
+ * incorrect elements) from a set of campaigns, with the paper's
+ * axis clamps, and dump per-run CSV when the context wants CSV.
+ */
+void renderScatterFigure(SuiteContext &ctx,
+                         const std::string &title,
+                         const std::vector<CampaignResult> &results,
+                         double x_clamp, double y_clamp,
+                         const std::string &csv_name);
+
+/**
+ * Render one locality/magnitude figure (stacked FIT bars, All and
+ * >threshold) from a set of campaigns.
+ */
+void renderLocalityFigure(
+    SuiteContext &ctx, const std::string &title,
+    const std::vector<CampaignResult> &results,
+    const std::vector<Pattern> &patterns,
+    const std::string &csv_name);
+
+/**
+ * Emit one experiment's machine-readable results as
+ * <outputDir>/<bench_name>.json (schema 4): campaign/run tallies
+ * with worker count and cache traffic, ns-per-run and parallel
+ * runs-per-second, the perf-trajectory "timings" block, and the
+ * full global stats snapshot. tools/check_bench_json.py validates
+ * the shape in CI.
+ */
+void writeBenchJson(SuiteContext &ctx,
+                    const std::string &bench_name);
+
+} // namespace radcrit
+
+#endif // RADCRIT_SUITE_RENDER_HH

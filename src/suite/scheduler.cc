@@ -1,0 +1,65 @@
+#include "suite/scheduler.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "suite/experiment.hh"
+#include "suite/spec.hh"
+
+namespace radcrit
+{
+
+ScheduleStats
+scheduleCampaigns(const std::vector<Experiment *> &experiments,
+                  SuiteContext &ctx)
+{
+    ScheduleStats stats;
+    for (Experiment *exp : experiments) {
+        uint64_t runs = ctx.runsFor(*exp);
+        for (const CampaignRequest &req : exp->campaigns(runs)) {
+            ++stats.requested;
+            DeviceModel device = makeDevice(req.device);
+            std::unique_ptr<Workload> workload =
+                buildWorkload(device, req.workload);
+            std::string key = campaignPlanKey(
+                device.name, workload->name(),
+                workload->inputLabel(), req.runs);
+            if (ctx.planned(key))
+                continue;
+            ++stats.distinct;
+
+            CampaignConfig cfg = defaultCampaign(
+                req.runs, device.name, workload->name(),
+                workload->inputLabel());
+            cfg.sim.jobs = ctx.jobs();
+            uint64_t hits_before =
+                ctx.store() ? ctx.store()->hits() : 0;
+            auto start = std::chrono::steady_clock::now();
+            CampaignRaw raw = simulateOrLoad(
+                device, *workload, cfg.sim, ctx.store(),
+                &ctx.pool());
+            auto wall_ns = static_cast<uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            bool cached = ctx.store() &&
+                ctx.store()->hits() > hits_before;
+            if (cached)
+                ++stats.storeHits;
+            else
+                ++stats.simulated;
+            stats.wallNs += wall_ns;
+
+            SuiteContext::PlannedCampaign entry;
+            entry.raw = std::move(raw);
+            entry.owner = exp->info().name;
+            entry.wallNs = wall_ns;
+            entry.simulated = !cached;
+            ctx.addPlanned(key, std::move(entry));
+        }
+    }
+    return stats;
+}
+
+} // namespace radcrit

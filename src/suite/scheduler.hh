@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Suite scheduler: the campaign-dedup prepass.
+ *
+ * Collects every campaign the selected experiments declare,
+ * deduplicates them by (device, workload, input, seed, runs)
+ * identity, and simulates each distinct campaign exactly once on
+ * the context's shared WorkerPool (through the campaign store when
+ * one is armed). The raw results land in the context's plan, from
+ * which the experiments' pure analyze/render phases are served
+ * from memory.
+ */
+
+#ifndef RADCRIT_SUITE_SCHEDULER_HH
+#define RADCRIT_SUITE_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "suite/context.hh"
+
+namespace radcrit
+{
+
+class Experiment;
+
+/** What the dedup prepass did. */
+struct ScheduleStats
+{
+    /** Campaign declarations across all selected experiments. */
+    uint64_t requested = 0;
+    /** Distinct campaigns after dedup. */
+    uint64_t distinct = 0;
+    /** Distinct campaigns the prepass had to simulate. */
+    uint64_t simulated = 0;
+    /** Distinct campaigns served by the campaign store. */
+    uint64_t storeHits = 0;
+    /** Wall nanoseconds spent simulating/loading in the prepass. */
+    uint64_t wallNs = 0;
+};
+
+/**
+ * Run the dedup prepass for `experiments` (each at its
+ * context-resolved run count) and fill the context's plan.
+ * Campaigns are simulated sequentially, each parallel across the
+ * full shared pool — the deterministic chunking makes results
+ * identical to any other execution shape.
+ */
+ScheduleStats
+scheduleCampaigns(const std::vector<Experiment *> &experiments,
+                  SuiteContext &ctx);
+
+} // namespace radcrit
+
+#endif // RADCRIT_SUITE_SCHEDULER_HH

@@ -1,0 +1,116 @@
+#include "suite/spec.hh"
+
+#include "common/logging.hh"
+
+namespace radcrit
+{
+
+const char *
+workloadKindName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::Dgemm:
+        return "DGEMM";
+      case WorkloadKind::LavaMd:
+        return "LavaMD";
+      case WorkloadKind::HotSpot:
+        return "HotSpot";
+      case WorkloadKind::Clamr:
+        return "CLAMR";
+    }
+    panic("bad WorkloadKind %d", static_cast<int>(kind));
+}
+
+WorkloadSpec
+dgemmSpec(int64_t scaled_side)
+{
+    return {WorkloadKind::Dgemm, scaled_side, 0};
+}
+
+WorkloadSpec
+lavamdSpec(const LavaMdSize &size)
+{
+    return {WorkloadKind::LavaMd, size.scaledBoxes,
+            size.paperBoxes};
+}
+
+WorkloadSpec
+hotspotSpec()
+{
+    return {WorkloadKind::HotSpot, 0, 0};
+}
+
+WorkloadSpec
+clamrSpec()
+{
+    return {WorkloadKind::Clamr, 0, 0};
+}
+
+std::unique_ptr<Workload>
+buildWorkload(const DeviceModel &device, const WorkloadSpec &spec)
+{
+    switch (spec.kind) {
+      case WorkloadKind::Dgemm:
+        return makeDgemmWorkload(device, spec.param0);
+      case WorkloadKind::LavaMd:
+        return makeLavamdWorkload(
+            device, LavaMdSize{spec.param0, spec.param1});
+      case WorkloadKind::HotSpot:
+        return makeHotspotWorkload(device);
+      case WorkloadKind::Clamr:
+        return makeClamrWorkload(device);
+    }
+    panic("bad WorkloadKind %d", static_cast<int>(spec.kind));
+}
+
+std::string
+campaignPlanKey(const std::string &device_name,
+                const std::string &workload_name,
+                const std::string &input_label, uint64_t runs)
+{
+    // '\x1f' (unit separator) cannot appear in the labels, so the
+    // concatenation is injective.
+    return device_name + '\x1f' + workload_name + '\x1f' +
+        input_label + '\x1f' + std::to_string(runs);
+}
+
+std::vector<CampaignRequest>
+dgemmRequests(uint64_t runs)
+{
+    std::vector<CampaignRequest> reqs;
+    for (DeviceId id : allDevices()) {
+        for (int64_t side : dgemmScaledSides(id))
+            reqs.push_back({id, dgemmSpec(side), runs});
+    }
+    return reqs;
+}
+
+std::vector<CampaignRequest>
+lavamdRequests(uint64_t runs)
+{
+    std::vector<CampaignRequest> reqs;
+    for (DeviceId id : allDevices()) {
+        for (const auto &size : lavamdScaledSizes(id))
+            reqs.push_back({id, lavamdSpec(size), runs});
+    }
+    return reqs;
+}
+
+std::vector<CampaignRequest>
+hotspotRequests(uint64_t runs)
+{
+    std::vector<CampaignRequest> reqs;
+    for (DeviceId id : allDevices())
+        reqs.push_back({id, hotspotSpec(), runs});
+    return reqs;
+}
+
+std::vector<CampaignRequest>
+clamrRequests(uint64_t runs)
+{
+    // The paper has no K40 CLAMR data (LANL proprietary workload
+    // targeted at Xeon-Phi-based Trinity).
+    return {{DeviceId::XeonPhi, clamrSpec(), runs}};
+}
+
+} // namespace radcrit

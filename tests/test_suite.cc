@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Tests for the experiment suite layer: the self-registration
+ * registry (uniqueness, lookup, glob matching, ordering), the
+ * scheduler's campaign dedup key, and the output-directory
+ * resolution that replaced the hard-coded bench_out.
+ *
+ * This binary links radcrit_experiments, so the full set of
+ * registered paper experiments is visible — the registry tests
+ * double as a contract check that every bench shim has a
+ * registered backing experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "suite/context.hh"
+#include "suite/experiment.hh"
+#include "suite/spec.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+// ---------------------------------------------------------------
+// Registry contents
+// ---------------------------------------------------------------
+
+/** Every experiment a bench shim fronts must be registered. */
+const char *const kExpectedExperiments[] = {
+    "abft_coverage",
+    "ablation_filter_threshold",
+    "ablation_injection_level",
+    "ablation_scheduler",
+    "avf_comparison",
+    "calibration",
+    "detectors",
+    "fig1_setup",
+    "fig2_dgemm_scatter",
+    "fig3_dgemm_locality",
+    "fig4_lavamd_scatter",
+    "fig5_lavamd_locality",
+    "fig6_hotspot_scatter",
+    "fig7_hotspot_locality",
+    "fig8_clamr_scatter",
+    "fig9_clamr_map",
+    "hardening",
+    "kernel_throughput",
+    "mtbf_projection",
+    "sdc_crash_ratios",
+    "table1_kernels",
+    "table2_inputs",
+};
+
+TEST(ExperimentRegistry, AllExpectedExperimentsRegistered)
+{
+    auto &registry = ExperimentRegistry::instance();
+    for (const char *name : kExpectedExperiments) {
+        Experiment *exp = registry.find(name);
+        ASSERT_NE(exp, nullptr) << "missing experiment " << name;
+        EXPECT_EQ(exp->info().name, name);
+        EXPECT_FALSE(exp->info().tag.empty()) << name;
+        EXPECT_FALSE(exp->info().summary.empty()) << name;
+        EXPECT_GT(exp->info().defaultRuns, 0u) << name;
+    }
+    EXPECT_EQ(registry.all().size(),
+              std::size(kExpectedExperiments));
+}
+
+TEST(ExperimentRegistry, NamesUniqueAndSortedByOrder)
+{
+    auto all = ExperimentRegistry::instance().all();
+    std::set<std::string> names;
+    for (size_t i = 0; i < all.size(); ++i) {
+        EXPECT_TRUE(names.insert(all[i]->info().name).second)
+            << "duplicate name " << all[i]->info().name;
+        if (i == 0)
+            continue;
+        const auto &prev = all[i - 1]->info();
+        const auto &cur = all[i]->info();
+        EXPECT_TRUE(prev.order < cur.order ||
+                    (prev.order == cur.order &&
+                     prev.name < cur.name))
+            << prev.name << " should sort before " << cur.name;
+    }
+}
+
+TEST(ExperimentRegistry, FindIsExactMatchOnly)
+{
+    auto &registry = ExperimentRegistry::instance();
+    EXPECT_NE(registry.find("fig2_dgemm_scatter"), nullptr);
+    EXPECT_EQ(registry.find("fig2"), nullptr);
+    EXPECT_EQ(registry.find("fig2*"), nullptr);
+    EXPECT_EQ(registry.find(""), nullptr);
+}
+
+TEST(ExperimentRegistry, MatchSelectsByGlob)
+{
+    auto &registry = ExperimentRegistry::instance();
+    EXPECT_EQ(registry.match("fig?_*").size(), 9u);
+    EXPECT_EQ(registry.match("ablation_*").size(), 3u);
+    EXPECT_EQ(registry.match("table?_*").size(), 2u);
+    EXPECT_EQ(registry.match("*").size(),
+              std::size(kExpectedExperiments));
+    EXPECT_TRUE(registry.match("no_such_experiment_*").empty());
+    // Exact names work as globs too (the driver treats every
+    // positional the same way).
+    auto one = registry.match("calibration");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0]->info().name, "calibration");
+}
+
+class DuplicateOfFig1 : public Experiment
+{
+  public:
+    const ExperimentInfo &
+    info() const override
+    {
+        static const ExperimentInfo info{
+            .name = "fig1_setup", .tag = "dup", .summary = "dup"};
+        return info;
+    }
+    void run(SuiteContext &) override {}
+};
+
+TEST(ExperimentRegistryDeathTest, DuplicateRegistrationPanics)
+{
+    EXPECT_DEATH(ExperimentRegistry::instance().add(
+                     std::make_unique<DuplicateOfFig1>()),
+                 "duplicate experiment registration");
+}
+
+class NamelessExperiment : public Experiment
+{
+  public:
+    const ExperimentInfo &
+    info() const override
+    {
+        static const ExperimentInfo info{
+            .name = "", .tag = "none", .summary = "none"};
+        return info;
+    }
+    void run(SuiteContext &) override {}
+};
+
+TEST(ExperimentRegistryDeathTest, EmptyNamePanics)
+{
+    EXPECT_DEATH(ExperimentRegistry::instance().add(
+                     std::make_unique<NamelessExperiment>()),
+                 "empty name");
+}
+
+// ---------------------------------------------------------------
+// Glob matcher
+// ---------------------------------------------------------------
+
+TEST(GlobMatch, Literals)
+{
+    EXPECT_TRUE(globMatch("abc", "abc"));
+    EXPECT_FALSE(globMatch("abc", "abd"));
+    EXPECT_FALSE(globMatch("abc", "ab"));
+    EXPECT_FALSE(globMatch("ab", "abc"));
+    EXPECT_TRUE(globMatch("", ""));
+    EXPECT_FALSE(globMatch("", "a"));
+}
+
+TEST(GlobMatch, QuestionMarkMatchesExactlyOne)
+{
+    EXPECT_TRUE(globMatch("fig?_setup", "fig1_setup"));
+    EXPECT_FALSE(globMatch("fig?_setup", "fig12_setup"));
+    EXPECT_FALSE(globMatch("fig?", "fig"));
+}
+
+TEST(GlobMatch, StarMatchesAnyRun)
+{
+    EXPECT_TRUE(globMatch("*", ""));
+    EXPECT_TRUE(globMatch("*", "anything"));
+    EXPECT_TRUE(globMatch("fig*", "fig2_dgemm_scatter"));
+    EXPECT_TRUE(globMatch("*scatter", "fig2_dgemm_scatter"));
+    EXPECT_TRUE(globMatch("*dgemm*", "fig2_dgemm_scatter"));
+    EXPECT_FALSE(globMatch("*lavamd*", "fig2_dgemm_scatter"));
+    // Backtracking: the first '*' must be able to absorb more
+    // after a failed literal run.
+    EXPECT_TRUE(globMatch("*ab", "aab"));
+    EXPECT_TRUE(globMatch("a*b*c", "axxbxxbc"));
+    EXPECT_FALSE(globMatch("a*b*c", "axxbxxb"));
+    EXPECT_TRUE(globMatch("**", "x"));
+}
+
+// ---------------------------------------------------------------
+// Campaign dedup key
+// ---------------------------------------------------------------
+
+TEST(CampaignPlanKey, IdenticalCampaignsShareOneKey)
+{
+    EXPECT_EQ(campaignPlanKey("K40", "DGEMM", "2048x2048", 300),
+              campaignPlanKey("K40", "DGEMM", "2048x2048", 300));
+}
+
+TEST(CampaignPlanKey, EveryFieldDistinguishes)
+{
+    std::string base =
+        campaignPlanKey("K40", "DGEMM", "2048x2048", 300);
+    EXPECT_NE(base,
+              campaignPlanKey("XeonPhi", "DGEMM", "2048x2048",
+                              300));
+    EXPECT_NE(base,
+              campaignPlanKey("K40", "LavaMD", "2048x2048", 300));
+    EXPECT_NE(base,
+              campaignPlanKey("K40", "DGEMM", "4096x4096", 300));
+    EXPECT_NE(base,
+              campaignPlanKey("K40", "DGEMM", "2048x2048", 301));
+}
+
+TEST(CampaignPlanKey, FieldShufflingCannotCollide)
+{
+    // The separator keeps ("ab", "c") distinct from ("a", "bc");
+    // naive concatenation would collide.
+    EXPECT_NE(campaignPlanKey("ab", "c", "d", 1),
+              campaignPlanKey("a", "bc", "d", 1));
+    EXPECT_NE(campaignPlanKey("a", "b1", "", 2),
+              campaignPlanKey("a", "b", "1", 2));
+}
+
+TEST(CampaignPlanKey, RequestSetsDedupAcrossExperiments)
+{
+    // The canonical request helpers must agree on the key for the
+    // same (device, workload, input, runs) so the scheduler can
+    // collapse them across experiments.
+    auto keys_of = [](const std::vector<CampaignRequest> &reqs) {
+        std::set<std::string> keys;
+        for (const auto &req : reqs) {
+            DeviceModel device = makeDevice(req.device);
+            auto workload = buildWorkload(device, req.workload);
+            keys.insert(campaignPlanKey(device.name,
+                                        workload->name(),
+                                        workload->inputLabel(),
+                                        req.runs));
+        }
+        return keys;
+    };
+    auto dgemm = keys_of(dgemmRequests(100));
+    EXPECT_EQ(dgemm.size(), dgemmRequests(100).size())
+        << "dgemm requests are not distinct campaigns";
+    // A second experiment declaring the same requests adds no new
+    // distinct campaigns.
+    auto twice = dgemmRequests(100);
+    for (const auto &req : dgemmRequests(100))
+        twice.push_back(req);
+    EXPECT_EQ(keys_of(twice), dgemm);
+    // Different run counts are different campaigns.
+    auto other = keys_of(dgemmRequests(101));
+    for (const auto &key : other)
+        EXPECT_EQ(dgemm.count(key), 0u);
+}
+
+// ---------------------------------------------------------------
+// Output directory resolution
+// ---------------------------------------------------------------
+
+class OutputDirTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const char *env = std::getenv("RADCRIT_BENCH_OUT");
+        saved_ = env ? env : "";
+        hadEnv_ = env != nullptr;
+    }
+
+    void
+    TearDown() override
+    {
+        if (hadEnv_)
+            setenv("RADCRIT_BENCH_OUT", saved_.c_str(), 1);
+        else
+            unsetenv("RADCRIT_BENCH_OUT");
+    }
+
+  private:
+    std::string saved_;
+    bool hadEnv_ = false;
+};
+
+TEST_F(OutputDirTest, DefaultIsBenchOut)
+{
+    unsetenv("RADCRIT_BENCH_OUT");
+    EXPECT_EQ(resolveOutputDir(""), "bench_out");
+}
+
+TEST_F(OutputDirTest, EnvironmentOverridesDefault)
+{
+    setenv("RADCRIT_BENCH_OUT", "env_dir", 1);
+    EXPECT_EQ(resolveOutputDir(""), "env_dir");
+}
+
+TEST_F(OutputDirTest, CliValueBeatsEnvironment)
+{
+    setenv("RADCRIT_BENCH_OUT", "env_dir", 1);
+    EXPECT_EQ(resolveOutputDir("cli_dir"), "cli_dir");
+}
+
+} // anonymous namespace
+} // namespace radcrit

@@ -4,6 +4,12 @@
 Usage:
     check_bench_json.py <bench_binary> [extra bench args...]
     check_bench_json.py --no-run <bench_binary>
+    check_bench_json.py --suite <radcrit_suite.json>
+
+With --suite the argument is an existing schema-5 suite document
+(written by `radcrit_suite run`) and is validated in place: dedup
+accounting (simulated + store_hits == distinct), totals that tally
+with the per-experiment blocks, and the pool/stats snapshots.
 
 Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
@@ -116,6 +122,130 @@ def validate_timings(doc):
                "campaigns were simulated but pool_busy_ns is 0")
 
 
+SUITE_CAMPAIGN_KEYS = ("requested", "distinct", "simulated",
+                       "store_hits", "memory_serves",
+                       "unplanned_misses", "unplanned_hits",
+                       "prepass_wall_ns")
+SUITE_TOTAL_KEYS = ("campaigns", "runs", "wall_ns", "cache_hits",
+                    "cache_misses")
+SUITE_EXP_KEYS = ("campaigns", "runs", "wall_ns", "cache_hits",
+                  "cache_misses")
+
+
+def validate_suite_json(doc):
+    """Check the schema-5 suite document written by radcrit_suite.
+
+    Unlike the per-bench schema 4, a suite run may legitimately
+    involve zero campaigns (e.g. `run fig1_setup`), so the totals
+    only need to be non-negative and internally consistent.
+    """
+    expect(doc.get("schema") == 5,
+           "suite schema must be 5, got %r" % doc.get("schema"))
+    expect(doc.get("suite") == "radcrit_suite",
+           "suite must be 'radcrit_suite', got %r"
+           % doc.get("suite"))
+    for key in ("jobs", "experiments_run", "wall_ns"):
+        expect(isinstance(doc.get(key), int) and doc[key] > 0,
+               "%s must be a positive integer, got %r"
+               % (key, doc.get(key)))
+
+    camp = doc.get("campaigns")
+    expect(isinstance(camp, dict),
+           "campaigns must be an object, got %r" % camp)
+    for key in SUITE_CAMPAIGN_KEYS:
+        expect(isinstance(camp.get(key), int) and camp[key] >= 0,
+               "campaigns.%s must be a non-negative integer, "
+               "got %r" % (key, camp.get(key)))
+    expect(camp["distinct"] <= camp["requested"],
+           "distinct (%d) exceeds requested (%d)"
+           % (camp["distinct"], camp["requested"]))
+    expect(camp["simulated"] + camp["store_hits"]
+           == camp["distinct"],
+           "simulated (%d) + store_hits (%d) must account for "
+           "every distinct planned campaign (%d)"
+           % (camp["simulated"], camp["store_hits"],
+              camp["distinct"]))
+
+    totals = doc.get("totals")
+    expect(isinstance(totals, dict),
+           "totals must be an object, got %r" % totals)
+    for key in SUITE_TOTAL_KEYS:
+        expect(isinstance(totals.get(key), int)
+               and totals[key] >= 0,
+               "totals.%s must be a non-negative integer, got %r"
+               % (key, totals.get(key)))
+    expect(totals["cache_hits"] + totals["cache_misses"]
+           == totals["campaigns"],
+           "totals.cache_hits (%d) + cache_misses (%d) must "
+           "account for every consumed campaign (%d)"
+           % (totals["cache_hits"], totals["cache_misses"],
+              totals["campaigns"]))
+    if totals["runs"] > 0:
+        for key in ("ns_per_op", "runs_per_s"):
+            expect(isinstance(totals.get(key), (int, float))
+                   and totals[key] > 0,
+                   "totals.%s must be positive, got %r"
+                   % (key, totals.get(key)))
+        ratio = totals["ns_per_op"] * totals["runs_per_s"] / 1e9
+        expect(abs(ratio - 1.0) < 1e-6,
+               "totals.ns_per_op and runs_per_s are inconsistent "
+               "(ratio %g)" % ratio)
+
+    pool = doc.get("pool")
+    expect(isinstance(pool, dict),
+           "pool must be an object, got %r" % pool)
+    expect(pool.get("jobs") == doc["jobs"],
+           "pool.jobs (%r) != top-level jobs (%r)"
+           % (pool.get("jobs"), doc.get("jobs")))
+    expect(isinstance(pool.get("dispatches"), int)
+           and pool["dispatches"] >= 0,
+           "pool.dispatches must be a non-negative integer, "
+           "got %r" % pool.get("dispatches"))
+
+    exps = doc.get("experiments")
+    expect(isinstance(exps, dict),
+           "experiments must be an object, got %r" % exps)
+    expect(len(exps) == doc["experiments_run"],
+           "experiments_run (%d) != number of experiment blocks "
+           "(%d)" % (doc["experiments_run"], len(exps)))
+    sums = dict.fromkeys(SUITE_EXP_KEYS, 0)
+    for name, block in exps.items():
+        expect(isinstance(block, dict),
+               "experiments.%s is not an object" % name)
+        expect(isinstance(block.get("tag"), str),
+               "experiments.%s.tag must be a string" % name)
+        for key in SUITE_EXP_KEYS:
+            expect(isinstance(block.get(key), int)
+                   and block[key] >= 0,
+                   "experiments.%s.%s must be a non-negative "
+                   "integer, got %r" % (name, key, block.get(key)))
+            sums[key] += block[key]
+    for key in ("campaigns", "runs", "cache_hits",
+                "cache_misses"):
+        expect(sums[key] == totals[key],
+               "per-experiment %s sum to %d but totals.%s is %d"
+               % (key, sums[key], key, totals[key]))
+
+    validate_stats(doc.get("stats"))
+
+
+def validate_suite_file(path):
+    expect(os.path.exists(path),
+           "missing suite output file %s" % path)
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail("%s is truncated or not valid JSON: %s"
+                 % (path, e))
+    validate_suite_json(doc)
+    print("check_bench_json: OK: %s (suite schema 5, %d "
+          "experiments, %d/%d distinct campaigns simulated)"
+          % (path, doc["experiments_run"],
+             doc["campaigns"]["simulated"],
+             doc["campaigns"]["distinct"]))
+
+
 def validate(path, bench_name):
     expect(os.path.exists(path),
            "missing output file %s (the bench did not write its "
@@ -185,6 +315,14 @@ def main(argv):
     argv = argv[1:]
     no_run = "--no-run" in argv
     argv = [a for a in argv if a != "--no-run"]
+    if argv and argv[0] == "--suite":
+        # Validate an existing schema-5 suite JSON (written by
+        # `radcrit_suite run`) instead of running a bench binary.
+        if len(argv) != 2:
+            print(__doc__, file=sys.stderr)
+            return 2
+        validate_suite_file(argv[1])
+        return 0
     if not argv:
         print(__doc__, file=sys.stderr)
         return 2

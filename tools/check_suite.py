@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Suite-vs-shim equivalence check for the radcrit experiment suite.
+
+Runs ``radcrit_suite run all`` twice through a shared campaign
+cache -- once at ``--jobs 1`` and once at ``--jobs 8`` -- plus every
+standalone bench shim, then asserts:
+
+ 1. Artifact determinism: the CSV/PPM files the suite writes are
+    byte-identical across jobs counts AND byte-identical to what the
+    standalone shims produce.
+ 2. Dedup accounting: the first suite run's JSON proves every
+    distinct campaign was simulated exactly once against an empty
+    store (simulated == distinct, store_hits == 0), and the second
+    run re-simulated nothing (simulated == 0, all planned campaigns
+    served from the store, no unplanned misses).
+ 3. The suite JSON is valid schema 5 (delegated to
+    check_bench_json.py's validator).
+
+Exit code 0 on success; prints a diagnostic and exits 1 on the
+first violation.
+"""
+
+import argparse
+import filecmp
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_bench_json import validate_suite_json  # noqa: E402
+
+# The shim for this experiment forwards its raw argv to the google
+# benchmark harness: it takes no --runs/--out options and writes no
+# artifacts, so the shim phase skips it (the suite runs still
+# exercise it through "run all").
+RAW_CLI_EXPERIMENTS = {"kernel_throughput"}
+
+ARTIFACT_EXTS = (".csv", ".ppm")
+
+
+def fail(msg):
+    print("check_suite: FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def run(cmd, cwd, extra_env=None):
+    env = dict(os.environ)
+    env.pop("RADCRIT_CAMPAIGN_CACHE", None)
+    env.pop("RADCRIT_BENCH_OUT", None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(cmd, cwd=cwd, env=env,
+                          stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT)
+    if proc.returncode != 0:
+        sys.stdout.buffer.write(proc.stdout[-4000:])
+        fail("command failed (%d): %s" %
+             (proc.returncode, " ".join(cmd)))
+    return proc.stdout.decode("utf-8", "replace")
+
+
+def artifact_files(out_dir):
+    found = {}
+    for name in sorted(os.listdir(out_dir)):
+        if name.endswith(ARTIFACT_EXTS):
+            found[name] = os.path.join(out_dir, name)
+    return found
+
+
+def compare_artifacts(label_a, dir_a, label_b, dir_b):
+    files_a = artifact_files(dir_a)
+    files_b = artifact_files(dir_b)
+    if set(files_a) != set(files_b):
+        fail("artifact sets differ between %s and %s:\n"
+             "  only in %s: %s\n  only in %s: %s" %
+             (label_a, label_b,
+              label_a, sorted(set(files_a) - set(files_b)),
+              label_b, sorted(set(files_b) - set(files_a))))
+    for name in sorted(files_a):
+        if not filecmp.cmp(files_a[name], files_b[name],
+                           shallow=False):
+            fail("%s differs between %s and %s" %
+                 (name, label_a, label_b))
+    print("check_suite: %d artifacts byte-identical (%s vs %s)" %
+          (len(files_a), label_a, label_b))
+    return len(files_a)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--suite", required=True,
+                    help="path to the radcrit_suite binary")
+    ap.add_argument("--bench-dir", required=True,
+                    help="directory holding the bench_* shims")
+    ap.add_argument("--runs", type=int, default=12)
+    args = ap.parse_args()
+
+    suite = os.path.abspath(args.suite)
+    bench_dir = os.path.abspath(args.bench_dir)
+    sandbox = tempfile.mkdtemp(prefix="radcrit_check_suite_")
+    try:
+        check(args, suite, bench_dir, sandbox)
+    finally:
+        shutil.rmtree(sandbox, ignore_errors=True)
+    print("check_suite: OK")
+
+
+def check(args, suite, bench_dir, sandbox):
+    cache = os.path.join(sandbox, "cache")
+    suite1 = os.path.join(sandbox, "suite_jobs1")
+    suite8 = os.path.join(sandbox, "suite_jobs8")
+    shim_out = os.path.join(sandbox, "shim_out")
+    shim_cache = os.path.join(sandbox, "shim_cache")
+
+    catalog = json.loads(run([suite, "list", "--json"], sandbox))
+    names = [e["name"] for e in catalog["experiments"]]
+    if len(names) != len(set(names)):
+        fail("duplicate experiment names in catalog")
+    if len(names) < 20:
+        fail("expected >= 20 registered experiments, got %d" %
+             len(names))
+
+    gbench = ["--gbench-min-time", "0.01"]
+
+    # --- Suite run 1: cold cache, serial pool. -----------------
+    run([suite, "run", "all", "--runs", str(args.runs),
+         "--jobs", "1", "--cache", cache, "--out", suite1] +
+        gbench, sandbox)
+    doc1 = json.load(open(os.path.join(suite1,
+                                       "radcrit_suite.json")))
+    validate_suite_json(doc1)
+    camp1 = doc1["campaigns"]
+    if camp1["distinct"] <= 0:
+        fail("suite run 1 planned no campaigns")
+    if camp1["requested"] < camp1["distinct"]:
+        fail("requested (%d) < distinct (%d): dedup key broken" %
+             (camp1["requested"], camp1["distinct"]))
+    if camp1["requested"] == camp1["distinct"]:
+        fail("no campaign shared between experiments; dedup "
+             "never exercised (requested == distinct == %d)" %
+             camp1["requested"])
+    if camp1["simulated"] != camp1["distinct"]:
+        fail("cold run simulated %d of %d distinct campaigns" %
+             (camp1["simulated"], camp1["distinct"]))
+    if camp1["store_hits"] != 0:
+        fail("cold run reported %d store hits" %
+             camp1["store_hits"])
+    if camp1["unplanned_misses"] <= 0:
+        fail("expected ad-hoc (unplanned) campaigns from the "
+             "ablation experiments, saw none")
+    print("check_suite: cold run: %d requested -> %d distinct, "
+          "each simulated once" %
+          (camp1["requested"], camp1["distinct"]))
+
+    # --- Suite run 2: warm cache, parallel pool. ---------------
+    run([suite, "run", "all", "--runs", str(args.runs),
+         "--jobs", "8", "--cache", cache, "--out", suite8] +
+        gbench, sandbox)
+    doc2 = json.load(open(os.path.join(suite8,
+                                       "radcrit_suite.json")))
+    validate_suite_json(doc2)
+    camp2 = doc2["campaigns"]
+    if camp2["distinct"] != camp1["distinct"]:
+        fail("distinct campaign count changed between runs "
+             "(%d vs %d)" % (camp1["distinct"],
+                             camp2["distinct"]))
+    if camp2["simulated"] != 0:
+        fail("warm run re-simulated %d campaigns" %
+             camp2["simulated"])
+    if camp2["store_hits"] != camp2["distinct"]:
+        fail("warm run served %d of %d campaigns from the store" %
+             (camp2["store_hits"], camp2["distinct"]))
+    if camp2["unplanned_misses"] != 0:
+        fail("warm run re-simulated %d unplanned campaigns" %
+             camp2["unplanned_misses"])
+    print("check_suite: warm run: 0 simulated, %d store hits" %
+          camp2["store_hits"])
+
+    # --- Standalone shims. -------------------------------------
+    os.makedirs(shim_out, exist_ok=True)
+    for name in names:
+        if name in RAW_CLI_EXPERIMENTS:
+            continue
+        shim = os.path.join(bench_dir, "bench_" + name)
+        if not os.path.exists(shim):
+            fail("missing shim binary %s" % shim)
+        run([shim, "--runs", str(args.runs), "--out", shim_out,
+             "--cache", shim_cache], sandbox)
+
+    # Shims also drop per-bench schema-4 JSON files next to the
+    # CSVs; the comparison below only looks at CSV/PPM artifacts.
+    n = compare_artifacts("suite --jobs 1", suite1,
+                          "suite --jobs 8", suite8)
+    compare_artifacts("suite --jobs 1", suite1, "shims", shim_out)
+    if n < 5:
+        fail("only %d artifacts compared; expected the figure "
+             "benches to produce more" % n)
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,10 @@
  *   $ radcrit_cli --runs=2000 --jobs=8 --timeline=t.json \
  *       --report=r.html
  *   $ radcrit_cli report lavamd.beamlog --out=lavamd.html
+ *
+ * `radcrit_cli list` prints the catalog of known devices,
+ * workloads and registered experiments (same as `radcrit_suite
+ * list`); `--json` makes it machine-readable.
  */
 
 #include <algorithm>
@@ -52,6 +56,7 @@
 #include "logs/beamlog.hh"
 #include "obs/timeline.hh"
 #include "obs/trace.hh"
+#include "suite/driver.hh"
 
 using namespace radcrit;
 
@@ -264,6 +269,14 @@ main(int argc, char **argv)
         return analyzeMain(argc - 1, argv + 1);
     if (argc > 1 && std::strcmp(argv[1], "report") == 0)
         return reportMain(argc - 1, argv + 1);
+    if (argc > 1 && std::strcmp(argv[1], "list") == 0) {
+        CliParser list_cli("radcrit_cli list");
+        list_cli.addFlag("json",
+                         "machine-readable catalog (JSON)");
+        list_cli.parse(argc - 1, argv + 1);
+        printCatalog(std::cout, list_cli.getFlag("json"));
+        return 0;
+    }
 
     CliParser cli("radcrit_cli");
     cli.addString("device", "K40", "K40 or XeonPhi");
@@ -332,10 +345,8 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<CampaignStore> store;
-    if (!cli.getString("cache").empty()) {
-        store = std::make_unique<CampaignStore>(
-            cli.getString("cache"));
-    }
+    if (!cli.getString("cache").empty())
+        store = CampaignStore::open(cli.getString("cache"));
 
     std::unique_ptr<JsonlTraceSink> trace;
     if (!cli.getString("trace").empty()) {

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Entry point of the orchestrated experiment suite: discovers the
+ * registered experiments, deduplicates their campaign demands, and
+ * runs each distinct campaign exactly once on a shared worker
+ * pool. All logic lives in src/suite/driver.cc.
+ */
+
+#include "suite/driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    return radcrit::suiteMain(argc, argv);
+}
