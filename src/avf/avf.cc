@@ -12,6 +12,12 @@ computeAvf(const CampaignResult &result)
     std::array<uint64_t, numResourceKinds> critical{};
 
     for (const auto &run : result.runs) {
+        // Infra outcomes are harness failures, not device faults:
+        // the strike never manifested, so it contributes to no
+        // vulnerability factor.
+        if (run.outcome == Outcome::InfraError ||
+            run.outcome == Outcome::InfraTimeout)
+            continue;
         auto i = static_cast<size_t>(run.strike.resource);
         ++strikes[i];
         if (run.outcome != Outcome::Masked)

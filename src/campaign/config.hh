@@ -16,11 +16,56 @@
 #define RADCRIT_CAMPAIGN_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "metrics/locality.hh"
 
 namespace radcrit
 {
+
+/**
+ * Execution-resilience parameters: how the runner reacts to the
+ * harness itself failing (a run attempt throwing, overrunning its
+ * soft deadline, or the whole process dying mid-campaign). None of
+ * these are part of the store cache key: like `jobs`, they change
+ * how runs are executed and recovered, never what a successful run
+ * computes — a campaign that survives retries or a resume is
+ * bit-identical to one that ran clean.
+ */
+struct ResilienceConfig
+{
+    /**
+     * Total attempts per run before it is quarantined with an
+     * infra outcome (1 = fail fast, no retry).
+     */
+    unsigned maxAttempts = 3;
+    /**
+     * Soft per-run deadline in nanoseconds; an attempt measured
+     * longer counts as a timeout and is retried, and the pool
+     * watchdog warns live about runs stuck past it. 0 disables
+     * both.
+     */
+    uint64_t softDeadlineNs = 0;
+    /** Backoff before retry k is backoffBaseNs << (k - 1). */
+    uint64_t backoffBaseNs = 1'000'000;
+    /**
+     * Append completed runs to the checkpoint shard after every
+     * this many finished runs (1 = every run). Only meaningful
+     * when checkpointPath is set.
+     */
+    uint64_t checkpointEvery = 1;
+    /**
+     * Path of the checkpoint shard file runs are appended to as
+     * they complete. Empty = checkpointing off.
+     */
+    std::string checkpointPath;
+    /**
+     * Replay complete runs found in checkpointPath instead of
+     * re-simulating them (radcrit_cli --resume). Requires
+     * checkpointPath.
+     */
+    bool resume = false;
+};
 
 /**
  * Simulation-side parameters: these (plus device and workload)
@@ -49,6 +94,11 @@ struct SimConfig
      * Not part of the cache key for the same reason.
      */
     unsigned jobs = 1;
+    /**
+     * Harness failure handling; not part of the cache key (see
+     * ResilienceConfig).
+     */
+    ResilienceConfig resilience;
 };
 
 /**

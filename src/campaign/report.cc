@@ -111,6 +111,30 @@ criticalitySection(HtmlReport &report, const CampaignResult &res)
 }
 
 void
+resilienceSection(HtmlReport &report, const CampaignResult &res)
+{
+    uint64_t infra_error = res.count(Outcome::InfraError);
+    uint64_t infra_timeout = res.count(Outcome::InfraTimeout);
+    double retries = res.stats.value("resilience.retries");
+    double resumed = res.stats.value("resilience.resumed_runs");
+    // A clean campaign (the overwhelmingly common case) has
+    // nothing to say here; only render the section when the
+    // harness actually absorbed or quarantined something.
+    if (infra_error == 0 && infra_timeout == 0 &&
+        retries == 0.0 && resumed == 0.0)
+        return;
+    report.section("Resilience");
+    report.keyValues({
+        {"run attempts retried", fmtCount(static_cast<uint64_t>(
+                                     retries))},
+        {"runs resumed from checkpoint",
+         fmtCount(static_cast<uint64_t>(resumed))},
+        {"runs quarantined (error)", fmtCount(infra_error)},
+        {"runs quarantined (timeout)", fmtCount(infra_timeout)},
+    });
+}
+
+void
 wallClockSection(HtmlReport &report, const CampaignResult &res)
 {
     report.section("Wall-clock attribution");
@@ -173,6 +197,7 @@ writeCampaignReport(std::ostream &os, const CampaignResult &result,
                       result.inputLabel);
     campaignSection(report, result);
     outcomeSection(report, result);
+    resilienceSection(report, result);
     criticalitySection(report, result);
     wallClockSection(report, result);
     histogramSection(report, result);

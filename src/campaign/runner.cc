@@ -7,11 +7,14 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "campaign/engine.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "exec/chaos.hh"
 #include "exec/pool.hh"
+#include "logs/beamlog.hh"
 #include "metrics/relative_error.hh"
 #include "obs/timeline.hh"
 #include "obs/timer.hh"
@@ -187,6 +190,49 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     StrikeSampler sampler(device, raw.launch);
     raw.sensitiveAreaAu = sampler.totalWeight();
 
+    // --- Resume. Complete records recovered from the checkpoint
+    // shard are placed by index and never re-simulated; everything
+    // else (including a torn trailing record) is simulated as
+    // usual. Because run i is always derived from runRng(config, i)
+    // and serialized with %.17g, the resumed campaign is
+    // bit-identical to an uninterrupted one.
+    const ResilienceConfig &rz = config.resilience;
+    if (rz.resume && rz.checkpointPath.empty())
+        fatal("resume needs a checkpoint path");
+
+    raw.runs.resize(config.faultyRuns);
+    std::vector<char> prefilled(config.faultyRuns, 0);
+    uint64_t resumed = 0;
+    CheckpointRecovery recovery;
+    if (rz.resume) {
+        recovery = readCheckpointShards(rz.checkpointPath, raw);
+        for (RawRun &run : recovery.runs) {
+            if (run.index >= config.faultyRuns ||
+                prefilled[run.index])
+                continue;
+            prefilled[run.index] = 1;
+            raw.runs[run.index] = std::move(run);
+            ++resumed;
+        }
+        if (recovery.found)
+            inform("campaign %s/%s %s: resumed %llu/%llu run(s) "
+                   "from '%s'",
+                   raw.deviceName.c_str(),
+                   raw.workloadName.c_str(),
+                   raw.inputLabel.c_str(),
+                   static_cast<unsigned long long>(resumed),
+                   static_cast<unsigned long long>(
+                       config.faultyRuns),
+                   rz.checkpointPath.c_str());
+    }
+
+    std::vector<uint64_t> pending;
+    pending.reserve(config.faultyRuns - resumed);
+    for (uint64_t i = 0; i < config.faultyRuns; ++i) {
+        if (!prefilled[i])
+            pending.push_back(i);
+    }
+
     // --- Telemetry. Workers write campaign counters into private
     // shards; kernel instruments (PhaseTimer members of workloads
     // and their clones) land directly in the global registry, whose
@@ -206,8 +252,35 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     PhaseTimer campaignTimer(campaignReg, "campaign.total");
     auto campaign_start = std::chrono::steady_clock::now();
 
+    if (resumed > 0) {
+        // The killed process's shards counted the resumed runs
+        // before it died; rebuild their share here (index order)
+        // so the final snapshot matches an uninterrupted
+        // campaign's, and record the resume itself.
+        Counter &runsCounter = campaignReg.counter(prefix +
+                                                   ".runs");
+        LogHistogram &incorrect =
+            campaignReg.histogram(prefix + ".incorrect_elements");
+        for (uint64_t i = 0; i < config.faultyRuns; ++i) {
+            if (!prefilled[i])
+                continue;
+            const RawRun &run = raw.runs[i];
+            runsCounter.inc();
+            campaignReg
+                .counter(prefix + "." +
+                         statToken(outcomeName(run.outcome)))
+                .inc();
+            if (run.outcome == Outcome::Sdc) {
+                incorrect.add(static_cast<double>(
+                    run.record.numIncorrect()));
+            }
+        }
+        campaignReg.counter("resilience.resumed_runs")
+            .inc(resumed);
+    }
+
     unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
-        pool.jobs(), config.faultyRuns));
+        pool.jobs(), pending.size()));
 
     if (config.progressEvery > 0)
         inform("campaign %s: %s (%u worker%s)",
@@ -220,8 +293,30 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     for (unsigned w = 0; w < workers; ++w)
         shards.push_back(std::make_unique<StatsShard>(prefix));
 
-    raw.runs.resize(config.faultyRuns);
-    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> completed{resumed};
+
+    // --- Resilience plumbing. A run attempt that throws (only
+    // harness faults do: workloads replay strikes and restore) or
+    // overruns the soft deadline is retried with backoff; a run
+    // that fails every attempt is quarantined as a first-class
+    // infra outcome instead of killing the campaign. The watchdog
+    // warns live about runs stuck past the deadline, and the
+    // checkpoint writer appends each completed run so a killed
+    // campaign can resume.
+    RetryPolicy retryPolicy;
+    retryPolicy.maxAttempts = std::max(rz.maxAttempts, 1u);
+    retryPolicy.softDeadlineNs = rz.softDeadlineNs;
+    retryPolicy.backoffBaseNs = rz.backoffBaseNs;
+
+    std::optional<Watchdog> watchdog;
+    if (rz.softDeadlineNs > 0 && workers > 0)
+        watchdog.emplace(workers, rz.softDeadlineNs);
+
+    std::optional<CheckpointWriter> checkpoint;
+    if (!rz.checkpointPath.empty())
+        checkpoint.emplace(rz.checkpointPath, raw,
+                           rz.resume ? recovery.validBytes : 0,
+                           rz.checkpointEvery);
 
     // Flight recorder: the control flow records on lane 0, worker w
     // on lane w+1. Recording only observes — with the recorder
@@ -231,9 +326,9 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     uint64_t simulate_begin = tl ? tl->nowNs() : 0;
 
     PoolRunStats poolStats;
-    pool.forChunks(config.faultyRuns, [&](unsigned worker,
-                                          uint64_t begin,
-                                          uint64_t end) {
+    pool.forChunks(pending.size(), [&](unsigned worker,
+                                       uint64_t begin,
+                                       uint64_t end) {
         StatsShard &shard = *shards[worker];
         RunPhaseTimers timers;
         timers.sample = &shard.sample;
@@ -252,17 +347,50 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
             local = workload.clone();
         Workload &wl = local ? *local : workload;
 
-        for (uint64_t i = begin; i < end; ++i) {
+        for (uint64_t p = begin; p < end; ++p) {
+            uint64_t i = pending[p];
             uint64_t span_begin = lane ? tl->nowNs() : 0;
             auto run_start = std::chrono::steady_clock::now();
-            Rng rng = runRng(config, i);
-            RawRun run = simulateRun(sampler, wl, config, i, rng,
-                                     timers);
+            RawRun run;
+            if (watchdog)
+                watchdog->beginItem(worker, i);
+            GuardReport guard = runGuarded(
+                retryPolicy, [&](unsigned attempt) {
+                    if (ChaosEngine *engine = chaos())
+                        engine->onRunAttempt(i, attempt);
+                    Rng rng = runRng(config, i);
+                    run = simulateRun(sampler, wl, config, i, rng,
+                                      timers);
+                });
+            if (watchdog)
+                watchdog->endItem(worker);
+            if (guard.status != GuardStatus::Ok) {
+                // Quarantine: the run failed its whole attempt
+                // budget. It stays in the campaign as an infra
+                // outcome (excluded from AVF, visible in every
+                // report) instead of killing the other runs.
+                run = RawRun{};
+                run.index = i;
+                run.outcome =
+                    guard.status == GuardStatus::Timeout
+                    ? Outcome::InfraTimeout
+                    : Outcome::InfraError;
+                warn("campaign run %llu quarantined after %u "
+                     "attempt(s)%s%s",
+                     static_cast<unsigned long long>(i),
+                     guard.attempts,
+                     guard.error.empty() ? "" : ": ",
+                     guard.error.c_str());
+            }
             run.wallNs = static_cast<uint64_t>(
                 std::chrono::duration_cast<
                     std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - run_start)
                     .count());
+            if (guard.retries() > 0) {
+                shard.reg.counter("resilience.retries")
+                    .inc(guard.retries());
+            }
 
             shard.runs->inc();
             shard.outcome[static_cast<size_t>(run.outcome)]->inc();
@@ -278,9 +406,13 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
                     {{"run", std::to_string(i)},
                      {"worker", std::to_string(worker)},
                      {"kernel", raw.workloadName},
-                     {"outcome", outcomeName(run.outcome)}});
+                     {"outcome", outcomeName(run.outcome)},
+                     {"attempts",
+                      std::to_string(guard.attempts)}});
             }
 
+            if (checkpoint)
+                checkpoint->append(run);
             raw.runs[i] = std::move(run);
 
             uint64_t done =
@@ -350,12 +482,18 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     // Gauges always survive a snapshot diff, so an earlier
     // campaign's "pool.*" telemetry would ride the kernel diff into
     // this campaign's snapshot; strip it — pool accounting is
-    // global-only by design.
+    // global-only by design. The same goes for the global
+    // "resilience.*" telemetry (watchdog flags, chaos fault
+    // tallies): it is timing- and process-shaped, while the
+    // campaign's own resilience counters (retries, resumed runs)
+    // are merged via the shards above and stay deterministic.
     kernelDiff.entries.erase(
         std::remove_if(kernelDiff.entries.begin(),
                        kernelDiff.entries.end(),
                        [](const StatsSnapshot::Entry &e) {
-                           return e.name.rfind("pool.", 0) == 0;
+                           return e.name.rfind("pool.", 0) == 0 ||
+                               e.name.rfind("resilience.", 0) ==
+                                   0;
                        }),
         kernelDiff.entries.end());
     global.merge(campaignReg.snapshot());

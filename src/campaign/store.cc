@@ -10,6 +10,7 @@
 #include "campaign/runner.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "exec/chaos.hh"
 #include "exec/launch.hh"
 #include "logs/beamlog.hh"
 #include "obs/stats_registry.hh"
@@ -109,6 +110,29 @@ CampaignStore::pathFor(const CampaignKey &key) const
     return dir_ + "/" + campaignKeyFileName(key);
 }
 
+void
+CampaignStore::quarantine(const std::string &path,
+                          const char *why)
+{
+    // Keep the bad bytes for autopsy, but make sure they are never
+    // parsed again: every future lookup of this key starts from a
+    // clean miss. If even the rename fails, delete the entry — a
+    // corrupt file that keeps its cache name would fail every load.
+    std::string aside = path + ".quarantined";
+    std::error_code ec;
+    std::filesystem::rename(path, aside, ec);
+    if (ec) {
+        std::filesystem::remove(path, ec);
+        aside = "(removed)";
+    }
+    warn("campaign cache entry '%s' quarantined to '%s': %s",
+         path.c_str(), aside.c_str(), why);
+    ++quarantined_;
+    StatsRegistry::global()
+        .counter("campaign.store.quarantined")
+        .inc();
+}
+
 std::optional<CampaignRaw>
 CampaignStore::load(const CampaignKey &key)
 {
@@ -124,18 +148,38 @@ CampaignStore::load(const CampaignKey &key)
         return std::nullopt;
     }
 
-    CampaignRaw raw = readBeamLogFile(path);
+    // Read corrupt entries twice before giving up: the first
+    // failure may be a torn read of an entry another process is
+    // just renaming into place (rename is atomic, but the pre-read
+    // exists() check can race it on some filesystems). A second
+    // failure means the bytes themselves are bad — quarantine the
+    // entry and re-simulate.
+    std::string error;
+    std::optional<CampaignRaw> parsed =
+        tryReadBeamLogFile(path, &error);
+    if (!parsed)
+        parsed = tryReadBeamLogFile(path, &error);
+    if (!parsed) {
+        quarantine(path, error.c_str());
+        ++misses_;
+        miss.inc();
+        return std::nullopt;
+    }
+
+    CampaignRaw raw = std::move(*parsed);
     if (raw.deviceName != key.device ||
         raw.workloadName != key.workload ||
         raw.inputLabel != key.input ||
         raw.sim.seed != key.sim.seed ||
         raw.runs.size() != key.sim.faultyRuns) {
-        warn("campaign cache entry '%s' does not match its key "
-             "(%s/%s %s seed=%llu runs=%llu); treating as a miss",
-             path.c_str(), key.device.c_str(),
-             key.workload.c_str(), key.input.c_str(),
-             static_cast<unsigned long long>(key.sim.seed),
-             static_cast<unsigned long long>(key.sim.faultyRuns));
+        std::string why = strprintf(
+            "entry does not match its key (%s/%s %s seed=%llu "
+            "runs=%llu)",
+            key.device.c_str(), key.workload.c_str(),
+            key.input.c_str(),
+            static_cast<unsigned long long>(key.sim.seed),
+            static_cast<unsigned long long>(key.sim.faultyRuns));
+        quarantine(path, why.c_str());
         ++misses_;
         miss.inc();
         return std::nullopt;
@@ -159,6 +203,18 @@ CampaignStore::save(const CampaignRaw &raw)
                   std::hash<std::thread::id>{}(
                       std::this_thread::get_id()));
     writeBeamLogFile(raw, tmp);
+    // A planned corrupt-write fault truncates the staged entry
+    // before the rename — the torn-entry shape a crash mid-write
+    // would leave if saves were not staged, exercising the load
+    // path's retry-then-quarantine recovery.
+    if (ChaosEngine *engine = chaos()) {
+        if (engine->shouldCorruptWrite("store")) {
+            std::error_code tec;
+            uint64_t size = std::filesystem::file_size(tmp, tec);
+            if (!tec)
+                std::filesystem::resize_file(tmp, size / 2, tec);
+        }
+    }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {

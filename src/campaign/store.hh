@@ -110,13 +110,27 @@ class CampaignStore
     /** @return misses recorded by this store instance. */
     uint64_t misses() const { return misses_.load(); }
 
+    /**
+     * @return entries quarantined by this store instance: cache
+     * files that were corrupt after a retry, or whose content
+     * contradicted their key. Each is also a miss (the invariant
+     * hits + misses == campaigns holds), renamed aside to
+     * "<entry>.quarantined" so the bad bytes are kept for autopsy
+     * but never re-read.
+     */
+    uint64_t quarantined() const { return quarantined_.load(); }
+
   private:
+    /** Move a bad entry aside and count it (see quarantined()). */
+    void quarantine(const std::string &path, const char *why);
+
     std::string dir_;
     // Atomic so a store shared across threads (the suite's single
     // store serving shim-compatible per-experiment lookups) tallies
     // correctly without external locking.
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> quarantined_{0};
 };
 
 /**

@@ -1,0 +1,281 @@
+#include "exec/chaos.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "obs/stats_registry.hh"
+
+namespace radcrit
+{
+
+namespace
+{
+
+std::atomic<ChaosEngine *> globalChaos{nullptr};
+
+/** Split "a=1,b=2" into (key, value) pairs; fatal on bad tokens. */
+std::vector<std::pair<std::string, std::string>>
+splitSpec(const std::string &spec)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string token = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (token.empty())
+            continue;
+        size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("malformed chaos spec token '%s' (expected "
+                  "key=value)",
+                  token.c_str());
+        out.emplace_back(token.substr(0, eq),
+                         token.substr(eq + 1));
+    }
+    return out;
+}
+
+uint64_t
+specUint(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("chaos spec: '%s' is not a number for key '%s'",
+              value.c_str(), key.c_str());
+    return v;
+}
+
+} // anonymous namespace
+
+const char *
+chaosFaultKindName(ChaosFaultKind kind)
+{
+    switch (kind) {
+      case ChaosFaultKind::Throw: return "throw";
+      case ChaosFaultKind::Stall: return "stall";
+      case ChaosFaultKind::CorruptWrite: return "corrupt-write";
+      default:
+        panic("chaosFaultKindName: invalid kind %d",
+              static_cast<int>(kind));
+    }
+}
+
+std::vector<ChaosFault>
+ChaosPlan::faultsFor(ChaosFaultKind kind, uint64_t item) const
+{
+    std::vector<ChaosFault> out;
+    for (const ChaosFault &fault : faults) {
+        if (fault.kind == kind && fault.item == item)
+            out.push_back(fault);
+    }
+    return out;
+}
+
+std::string
+ChaosPlan::describe() const
+{
+    if (faults.empty())
+        return "chaos plan: empty";
+    std::string out = strprintf(
+        "chaos plan: %zu fault(s):", faults.size());
+    for (const ChaosFault &fault : faults) {
+        out += strprintf(
+            " %s@%llu", chaosFaultKindName(fault.kind),
+            static_cast<unsigned long long>(fault.item));
+        if (fault.kind != ChaosFaultKind::CorruptWrite)
+            out += strprintf("x%u", fault.attempts);
+    }
+    return out;
+}
+
+ChaosPlan
+makeChaosPlan(const ChaosPlanParams &params)
+{
+    ChaosPlan plan;
+    uint64_t run_faults = params.throws + params.stalls;
+    if (run_faults > params.runs)
+        fatal("chaos plan wants %llu run faults but only %llu "
+              "runs",
+              static_cast<unsigned long long>(run_faults),
+              static_cast<unsigned long long>(params.runs));
+
+    // Draw distinct run items with the repo Rng: rejection-sample
+    // so identical params yield the identical plan regardless of
+    // how many collisions occur.
+    Rng rng(params.seed);
+    std::unordered_set<uint64_t> used;
+    auto draw_item = [&] {
+        for (;;) {
+            uint64_t item = rng.uniformInt(params.runs);
+            if (used.insert(item).second)
+                return item;
+        }
+    };
+
+    for (uint64_t i = 0; i < params.throws; ++i) {
+        ChaosFault fault;
+        fault.kind = ChaosFaultKind::Throw;
+        fault.item = draw_item();
+        fault.attempts = params.attempts;
+        plan.faults.push_back(fault);
+    }
+    for (uint64_t i = 0; i < params.stalls; ++i) {
+        ChaosFault fault;
+        fault.kind = ChaosFaultKind::Stall;
+        fault.item = draw_item();
+        fault.attempts = params.attempts;
+        fault.stallNs = params.stallNs;
+        plan.faults.push_back(fault);
+    }
+    for (uint64_t i = 0; i < params.corrupts; ++i) {
+        ChaosFault fault;
+        fault.kind = ChaosFaultKind::CorruptWrite;
+        fault.item = i;
+        plan.faults.push_back(fault);
+    }
+
+    // Stable presentation: run faults sorted by item, so describe()
+    // and tests read plans independent of draw order.
+    std::stable_sort(plan.faults.begin(), plan.faults.end(),
+                     [](const ChaosFault &a, const ChaosFault &b) {
+                         if (a.kind != b.kind)
+                             return static_cast<int>(a.kind) <
+                                 static_cast<int>(b.kind);
+                         return a.item < b.item;
+                     });
+    return plan;
+}
+
+std::optional<ChaosPlanParams>
+parseChaosSpec(const std::string &spec)
+{
+    if (spec.empty())
+        return std::nullopt;
+    ChaosPlanParams params;
+    for (const auto &[key, value] : splitSpec(spec)) {
+        if (key == "seed")
+            params.seed = specUint(key, value);
+        else if (key == "runs")
+            params.runs = specUint(key, value);
+        else if (key == "throws")
+            params.throws = specUint(key, value);
+        else if (key == "stalls")
+            params.stalls = specUint(key, value);
+        else if (key == "corrupts")
+            params.corrupts = specUint(key, value);
+        else if (key == "attempts")
+            params.attempts =
+                static_cast<unsigned>(specUint(key, value));
+        else if (key == "stall-ms")
+            params.stallNs = specUint(key, value) * 1'000'000;
+        else
+            fatal("chaos spec: unknown key '%s' (seed, runs, "
+                  "throws, stalls, corrupts, attempts, stall-ms)",
+                  key.c_str());
+    }
+    return params;
+}
+
+std::string
+chaosSpec(const ChaosPlanParams &params)
+{
+    return strprintf(
+        "seed=%llu,runs=%llu,throws=%llu,stalls=%llu,"
+        "corrupts=%llu,attempts=%u,stall-ms=%llu",
+        static_cast<unsigned long long>(params.seed),
+        static_cast<unsigned long long>(params.runs),
+        static_cast<unsigned long long>(params.throws),
+        static_cast<unsigned long long>(params.stalls),
+        static_cast<unsigned long long>(params.corrupts),
+        params.attempts,
+        static_cast<unsigned long long>(params.stallNs /
+                                        1'000'000));
+}
+
+ChaosEngine::ChaosEngine(ChaosPlan plan) : plan_(std::move(plan))
+{
+}
+
+void
+ChaosEngine::onRunAttempt(uint64_t item, unsigned attempt)
+{
+    for (const ChaosFault &fault : plan_.faults) {
+        if (fault.item != item ||
+            fault.kind == ChaosFaultKind::CorruptWrite ||
+            attempt > fault.attempts)
+            continue;
+        if (fault.kind == ChaosFaultKind::Stall) {
+            stalled_.fetch_add(1, std::memory_order_relaxed);
+            StatsRegistry::global()
+                .counter("resilience.chaos.stalls")
+                .inc();
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(fault.stallNs));
+        } else {
+            thrown_.fetch_add(1, std::memory_order_relaxed);
+            StatsRegistry::global()
+                .counter("resilience.chaos.throws")
+                .inc();
+            throw ChaosError(strprintf(
+                "chaos: injected infrastructure fault on run "
+                "%llu attempt %u",
+                static_cast<unsigned long long>(item), attempt));
+        }
+    }
+}
+
+bool
+ChaosEngine::shouldCorruptWrite(const char *what)
+{
+    uint64_t ordinal =
+        writeOrdinal_.fetch_add(1, std::memory_order_relaxed);
+    for (const ChaosFault &fault : plan_.faults) {
+        if (fault.kind != ChaosFaultKind::CorruptWrite ||
+            fault.item != ordinal)
+            continue;
+        corrupted_.fetch_add(1, std::memory_order_relaxed);
+        StatsRegistry::global()
+            .counter("resilience.chaos.corrupt_writes")
+            .inc();
+        warn("chaos: tearing %s write (ordinal %llu)", what,
+             static_cast<unsigned long long>(ordinal));
+        return true;
+    }
+    return false;
+}
+
+ChaosEngine *
+setChaos(ChaosEngine *engine)
+{
+    return globalChaos.exchange(engine);
+}
+
+ChaosEngine *
+chaos()
+{
+    return globalChaos.load(std::memory_order_acquire);
+}
+
+std::unique_ptr<ChaosEngine>
+chaosFromEnv()
+{
+    const char *spec = std::getenv("RADCRIT_CHAOS");
+    if (!spec || !*spec)
+        return nullptr;
+    auto params = parseChaosSpec(spec);
+    if (!params)
+        return nullptr;
+    return std::make_unique<ChaosEngine>(
+        makeChaosPlan(*params));
+}
+
+} // namespace radcrit

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/stats_registry.hh"
 
 namespace radcrit
 {
@@ -228,6 +229,169 @@ WorkerPool::forChunks(uint64_t count, const ChunkBody &body,
         stats->wallNs = elapsedNs(dispatch_start);
     if (error)
         std::rethrow_exception(error);
+}
+
+const char *
+guardStatusName(GuardStatus status)
+{
+    switch (status) {
+      case GuardStatus::Ok: return "ok";
+      case GuardStatus::Error: return "error";
+      case GuardStatus::Timeout: return "timeout";
+      default:
+        panic("guardStatusName: invalid status %d",
+              static_cast<int>(status));
+    }
+}
+
+GuardReport
+runGuarded(const RetryPolicy &policy,
+           const std::function<void(unsigned attempt)> &body)
+{
+    if (policy.maxAttempts == 0)
+        panic("runGuarded needs at least one attempt");
+
+    GuardReport report;
+    for (unsigned attempt = 1; attempt <= policy.maxAttempts;
+         ++attempt) {
+        report.attempts = attempt;
+        if (attempt > 1 && policy.backoffBaseNs > 0) {
+            // Exponential backoff, capped at 1 s so a large
+            // attempt budget cannot park a worker for minutes.
+            uint64_t backoff = policy.backoffBaseNs
+                << std::min(attempt - 2, 20u);
+            std::this_thread::sleep_for(std::chrono::nanoseconds(
+                std::min<uint64_t>(backoff, 1'000'000'000)));
+        }
+        auto start = std::chrono::steady_clock::now();
+        try {
+            body(attempt);
+        } catch (const std::exception &e) {
+            report.status = GuardStatus::Error;
+            report.error = e.what();
+            continue;
+        } catch (...) {
+            report.status = GuardStatus::Error;
+            report.error = "unknown exception";
+            continue;
+        }
+        if (policy.softDeadlineNs > 0 &&
+            elapsedNs(start) > policy.softDeadlineNs) {
+            report.status = GuardStatus::Timeout;
+            report.error.clear();
+            continue;
+        }
+        report.status = GuardStatus::Ok;
+        report.error.clear();
+        return report;
+    }
+    return report;
+}
+
+Watchdog::Watchdog(unsigned workers, uint64_t softDeadlineNs,
+                   uint64_t pollIntervalNs)
+    : softDeadlineNs_(softDeadlineNs),
+      pollIntervalNs_(pollIntervalNs), slots_(workers),
+      flagged_(workers, 0)
+{
+    if (softDeadlineNs_ == 0)
+        panic("Watchdog needs a nonzero deadline");
+    if (pollIntervalNs_ == 0) {
+        pollIntervalNs_ = std::max<uint64_t>(
+            softDeadlineNs_ / 4, 1'000'000);
+    }
+    monitor_ = std::thread(&Watchdog::monitorLoop, this);
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    stopCv_.notify_all();
+    monitor_.join();
+}
+
+namespace
+{
+
+uint64_t
+steadyNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // anonymous namespace
+
+void
+Watchdog::beginItem(unsigned worker, uint64_t item)
+{
+    if (worker >= slots_.size())
+        panic("Watchdog::beginItem: worker %u of %zu", worker,
+              slots_.size());
+    Slot &slot = slots_[worker];
+    slot.item.store(item, std::memory_order_relaxed);
+    slot.startNs.store(steadyNowNs(), std::memory_order_relaxed);
+    // Odd sequence = in flight. Release-publish so the monitor
+    // observing the new sequence also observes item/startNs.
+    slot.sequence.fetch_add(1, std::memory_order_release);
+}
+
+void
+Watchdog::endItem(unsigned worker)
+{
+    if (worker >= slots_.size())
+        panic("Watchdog::endItem: worker %u of %zu", worker,
+              slots_.size());
+    slots_[worker].sequence.fetch_add(1,
+                                      std::memory_order_release);
+}
+
+void
+Watchdog::monitorLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (stopCv_.wait_for(
+                lock,
+                std::chrono::nanoseconds(pollIntervalNs_),
+                [&] { return stop_; }))
+            return;
+        uint64_t now = steadyNowNs();
+        for (size_t w = 0; w < slots_.size(); ++w) {
+            Slot &slot = slots_[w];
+            uint64_t seq =
+                slot.sequence.load(std::memory_order_acquire);
+            if ((seq & 1) == 0 || flagged_[w] == seq)
+                continue; // idle, or already flagged this item
+            uint64_t start =
+                slot.startNs.load(std::memory_order_relaxed);
+            if (now - start <= softDeadlineNs_)
+                continue;
+            // Re-check the sequence: if the worker moved on while
+            // we read, the stale start time belongs to a finished
+            // item and must not be flagged.
+            if (slot.sequence.load(std::memory_order_acquire) !=
+                seq)
+                continue;
+            flagged_[w] = seq;
+            overdue_.fetch_add(1, std::memory_order_relaxed);
+            StatsRegistry::global()
+                .counter("resilience.watchdog.overdue")
+                .inc();
+            warn("watchdog: worker %zu run %llu in flight for "
+                 "%.1f ms (deadline %.1f ms)",
+                 w,
+                 static_cast<unsigned long long>(slot.item.load(
+                     std::memory_order_relaxed)),
+                 static_cast<double>(now - start) / 1e6,
+                 static_cast<double>(softDeadlineNs_) / 1e6);
+        }
+    }
 }
 
 } // namespace radcrit

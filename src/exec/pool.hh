@@ -23,11 +23,13 @@
 #ifndef RADCRIT_EXEC_POOL_HH
 #define RADCRIT_EXEC_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -192,6 +194,135 @@ class WorkerPool
     bool stop_ = false;
     Dispatch dispatch_;
     std::exception_ptr firstError_;
+};
+
+/**
+ * How a guarded work item may be retried. The executor treats an
+ * attempt that throws as a transient infrastructure error and an
+ * attempt that overruns softDeadlineNs as a timeout; either is
+ * retried (with exponential backoff) until the attempt budget is
+ * spent, at which point the item is quarantined with the status of
+ * its last failure.
+ */
+struct RetryPolicy
+{
+    /** Total attempts per item (1 = no retry). */
+    unsigned maxAttempts = 1;
+    /**
+     * Soft per-attempt deadline: an attempt measured longer than
+     * this counts as a timeout even though it completed (the
+     * harness cannot preempt a compute thread, so detection is
+     * post-hoc; the watchdog provides the live view). 0 = no
+     * deadline.
+     */
+    uint64_t softDeadlineNs = 0;
+    /** Backoff before retry k is backoffBaseNs << (k - 1). */
+    uint64_t backoffBaseNs = 1'000'000;
+};
+
+/** Terminal status of one guarded item. */
+enum class GuardStatus : uint8_t
+{
+    /** An attempt completed within the deadline. */
+    Ok,
+    /** Every attempt threw; the item is quarantined. */
+    Error,
+    /** Every attempt missed the soft deadline; quarantined. */
+    Timeout,
+};
+
+/** @return a stable printable name of the guard status. */
+const char *guardStatusName(GuardStatus status);
+
+/** What happened to one guarded item. */
+struct GuardReport
+{
+    GuardStatus status = GuardStatus::Ok;
+    /** Attempts actually made (>= 1). */
+    unsigned attempts = 0;
+    /** Attempts beyond the first (== attempts - 1). */
+    unsigned retries() const { return attempts - 1; }
+    /** what() of the last exception; empty unless status==Error. */
+    std::string error;
+};
+
+/**
+ * Run `body` under the retry policy. The body receives the 1-based
+ * attempt number so deterministic fault injection can key on it.
+ * Exceptions never escape: they are converted into the report.
+ */
+GuardReport runGuarded(const RetryPolicy &policy,
+                       const std::function<void(unsigned attempt)>
+                           &body);
+
+/**
+ * Liveness monitor for pool workers: each worker publishes the item
+ * it is currently executing via beginItem()/endItem(), and a
+ * background thread flags items that have been in flight longer
+ * than the soft deadline — the live mirror of runGuarded()'s
+ * post-hoc timeout classification, so a genuinely stuck run is
+ * reported while it is stuck instead of never. Detection only
+ * observes: the watchdog cannot preempt a worker, it warns and
+ * counts ("resilience.watchdog.overdue" in the global registry).
+ *
+ * All slot traffic is lock-free atomics, so arming the watchdog
+ * adds no synchronization to the run hot path.
+ */
+class Watchdog
+{
+  public:
+    /**
+     * @param workers Number of worker slots to monitor.
+     * @param softDeadlineNs Deadline after which an in-flight item
+     * is flagged (must be > 0).
+     * @param pollIntervalNs Scan period of the monitor thread
+     * (default: a quarter of the deadline, clamped to >= 1 ms).
+     */
+    Watchdog(unsigned workers, uint64_t softDeadlineNs,
+             uint64_t pollIntervalNs = 0);
+
+    /** Stops and joins the monitor thread. */
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Mark worker `worker` as executing item `item` from now. */
+    void beginItem(unsigned worker, uint64_t item);
+
+    /** Mark worker `worker` as idle. */
+    void endItem(unsigned worker);
+
+    /** @return items flagged overdue so far. */
+    uint64_t overdue() const { return overdue_.load(); }
+
+  private:
+    /**
+     * One worker's published state. `sequence` is even when idle
+     * and odd when an item is in flight; it increments on every
+     * transition, so the monitor can tell a new item from the one
+     * it already flagged without locking.
+     */
+    struct Slot
+    {
+        std::atomic<uint64_t> sequence{0};
+        std::atomic<uint64_t> item{0};
+        std::atomic<uint64_t> startNs{0};
+    };
+
+    void monitorLoop();
+
+    uint64_t softDeadlineNs_;
+    uint64_t pollIntervalNs_;
+    std::vector<Slot> slots_;
+    /** Last sequence the monitor flagged, per slot. */
+    std::vector<uint64_t> flagged_;
+    std::atomic<uint64_t> overdue_{0};
+
+    std::mutex mutex_;
+    std::condition_variable stopCv_;
+    bool stop_ = false;
+    std::thread monitor_;
 };
 
 } // namespace radcrit

@@ -1,11 +1,14 @@
 #include "logs/beamlog.hh"
 
+#include <algorithm>
 #include <cstdio>
-#include <fstream>
+#include <filesystem>
 #include <map>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "exec/chaos.hh"
+#include "obs/stats_registry.hh"
 
 namespace radcrit
 {
@@ -61,8 +64,9 @@ parseFields(std::istringstream &iss, const std::string &line)
     while (iss >> token) {
         auto eq = token.find('=');
         if (eq == std::string::npos)
-            fatal("malformed log token '%s' in line: %s",
-                  token.c_str(), line.c_str());
+            throw BeamLogParseError(strprintf(
+                "malformed log token '%s' in line: %s",
+                token.c_str(), line.c_str()));
         fields[token.substr(0, eq)] =
             decodeValue(token.substr(eq + 1));
     }
@@ -75,8 +79,9 @@ need(const std::map<std::string, std::string> &fields,
 {
     auto it = fields.find(key);
     if (it == fields.end())
-        fatal("missing log field '%s' in line: %s", key,
-              line.c_str());
+        throw BeamLogParseError(strprintf(
+            "missing log field '%s' in line: %s", key,
+            line.c_str()));
     return it->second;
 }
 
@@ -86,8 +91,9 @@ toDouble(const std::string &s, const std::string &line)
     char *end = nullptr;
     double v = std::strtod(s.c_str(), &end);
     if (end == s.c_str())
-        fatal("bad number '%s' in line: %s", s.c_str(),
-              line.c_str());
+        throw BeamLogParseError(strprintf(
+            "bad number '%s' in line: %s", s.c_str(),
+            line.c_str()));
     return v;
 }
 
@@ -97,8 +103,9 @@ toInt(const std::string &s, const std::string &line)
     char *end = nullptr;
     long long v = std::strtoll(s.c_str(), &end, 10);
     if (end == s.c_str())
-        fatal("bad integer '%s' in line: %s", s.c_str(),
-              line.c_str());
+        throw BeamLogParseError(strprintf(
+            "bad integer '%s' in line: %s", s.c_str(),
+            line.c_str()));
     return v;
 }
 
@@ -109,8 +116,9 @@ toUint(const std::string &s, const std::string &line)
     char *end = nullptr;
     unsigned long long v = std::strtoull(s.c_str(), &end, 10);
     if (end == s.c_str())
-        fatal("bad integer '%s' in line: %s", s.c_str(),
-              line.c_str());
+        throw BeamLogParseError(strprintf(
+            "bad integer '%s' in line: %s", s.c_str(),
+            line.c_str()));
     return v;
 }
 
@@ -122,8 +130,9 @@ outcomeFromName(const std::string &name, const std::string &line)
         if (name == outcomeName(o))
             return o;
     }
-    fatal("unknown outcome '%s' in line: %s", name.c_str(),
-          line.c_str());
+    throw BeamLogParseError(strprintf(
+        "unknown outcome '%s' in line: %s", name.c_str(),
+        line.c_str()));
 }
 
 Manifestation
@@ -135,8 +144,192 @@ manifestationFromName(const std::string &name,
         if (name == manifestationName(m))
             return m;
     }
-    fatal("unknown manifestation '%s' in line: %s", name.c_str(),
-          line.c_str());
+    throw BeamLogParseError(strprintf(
+        "unknown manifestation '%s' in line: %s", name.c_str(),
+        line.c_str()));
+}
+
+/** Serialize one run's #RUN..#END record (shared by campaign logs
+ * and checkpoint shards). */
+void
+writeRunRecord(std::ostream &os, const RawRun &run, uint64_t idx)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.17g",
+                  run.strike.timeFraction);
+    os << "#RUN idx=" << idx
+       << " outcome=" << outcomeName(run.outcome)
+       << " resource=" << resourceKindName(run.strike.resource)
+       << " manifestation="
+       << manifestationName(run.strike.manifestation)
+       << " t=" << buf
+       << " burst=" << run.strike.burstBits
+       << " entropy=" << run.strike.entropy << '\n';
+    if (run.outcome == Outcome::Sdc) {
+        const SdcRecord &rec = run.record;
+        os << "#DIMS dims=" << rec.dims
+           << " x=" << rec.extent[0]
+           << " y=" << rec.extent[1]
+           << " z=" << rec.extent[2] << '\n';
+        for (const auto &e : rec.elements) {
+            os << "#ERR x=" << e.coord[0]
+               << " y=" << e.coord[1]
+               << " z=" << e.coord[2];
+            std::snprintf(buf, sizeof(buf), "%.17g", e.read);
+            os << " read=" << buf;
+            std::snprintf(buf, sizeof(buf), "%.17g", e.expected);
+            os << " expected=" << buf << '\n';
+        }
+    }
+    os << "#END idx=" << idx << '\n';
+}
+
+/**
+ * Incremental parser over the shared #RUN/#DIMS/#ERR/#END record
+ * grammar. Throws BeamLogParseError on malformed lines; a run is
+ * handed back when its #END arrives.
+ */
+struct RecordParser
+{
+    RawRun current;
+    bool inRun = false;
+
+    std::optional<RawRun>
+    consume(const std::string &keyword, std::istringstream &iss,
+            const std::string &line)
+    {
+        if (keyword == "#RUN") {
+            if (inRun)
+                throw BeamLogParseError(strprintf(
+                    "nested #RUN in beam log: %s", line.c_str()));
+            auto fields = parseFields(iss, line);
+            current = RawRun{};
+            current.index = static_cast<uint64_t>(
+                toInt(need(fields, "idx", line), line));
+            current.outcome = outcomeFromName(
+                need(fields, "outcome", line), line);
+            current.strike.resource = resourceKindFromName(
+                need(fields, "resource", line));
+            current.strike.manifestation = manifestationFromName(
+                need(fields, "manifestation", line), line);
+            current.strike.timeFraction =
+                toDouble(need(fields, "t", line), line);
+            current.strike.burstBits = static_cast<uint32_t>(
+                toInt(need(fields, "burst", line), line));
+            current.strike.entropy = static_cast<uint64_t>(
+                std::strtoull(need(fields, "entropy", line)
+                              .c_str(), nullptr, 10));
+            inRun = true;
+            return std::nullopt;
+        }
+        if (keyword == "#DIMS") {
+            if (!inRun)
+                throw BeamLogParseError(strprintf(
+                    "#DIMS outside a run: %s", line.c_str()));
+            auto fields = parseFields(iss, line);
+            current.record.dims = static_cast<int>(
+                toInt(need(fields, "dims", line), line));
+            current.record.extent = {
+                toInt(need(fields, "x", line), line),
+                toInt(need(fields, "y", line), line),
+                toInt(need(fields, "z", line), line)};
+            return std::nullopt;
+        }
+        if (keyword == "#ERR") {
+            if (!inRun)
+                throw BeamLogParseError(strprintf(
+                    "#ERR outside a run: %s", line.c_str()));
+            auto fields = parseFields(iss, line);
+            CorruptedElement e;
+            e.coord = {toInt(need(fields, "x", line), line),
+                       toInt(need(fields, "y", line), line),
+                       toInt(need(fields, "z", line), line)};
+            e.read = toDouble(need(fields, "read", line), line);
+            e.expected = toDouble(need(fields, "expected", line),
+                                  line);
+            current.record.elements.push_back(e);
+            return std::nullopt;
+        }
+        if (keyword == "#END") {
+            if (!inRun)
+                throw BeamLogParseError(strprintf(
+                    "#END without #RUN: %s", line.c_str()));
+            inRun = false;
+            return std::move(current);
+        }
+        throw BeamLogParseError(strprintf(
+            "unknown beam-log keyword '%s'", keyword.c_str()));
+    }
+};
+
+/** Parse core of readBeamLog(); throws BeamLogParseError. */
+CampaignRaw
+parseBeamLog(std::istream &is)
+{
+    CampaignRaw raw;
+    std::string line;
+    RecordParser records;
+    uint64_t declared_runs = 0;
+    bool have_header = false;
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string keyword;
+        iss >> keyword;
+        if (keyword == "#HEADER") {
+            auto fields = parseFields(iss, line);
+            int64_t version =
+                toInt(need(fields, "version", line), line);
+            if (version != beamLogVersion)
+                throw BeamLogParseError(strprintf(
+                    "unsupported beam-log version %lld "
+                    "(expected %d)",
+                    static_cast<long long>(version),
+                    beamLogVersion));
+            raw.deviceName = need(fields, "device", line);
+            raw.workloadName = need(fields, "workload", line);
+            raw.inputLabel = need(fields, "input", line);
+            raw.sim.seed = toUint(need(fields, "seed", line),
+                                  line);
+            declared_runs = toUint(need(fields, "runs", line),
+                                   line);
+            raw.sim.faultyRuns = declared_runs;
+            raw.sensitiveAreaAu = toDouble(
+                need(fields, "sensitive_area_au", line), line);
+            have_header = true;
+        } else if (auto run = records.consume(keyword, iss,
+                                              line)) {
+            raw.runs.push_back(std::move(*run));
+        }
+    }
+    if (records.inRun)
+        throw BeamLogParseError(strprintf(
+            "beam log truncated inside run %llu",
+            static_cast<unsigned long long>(
+                records.current.index)));
+    if (!have_header)
+        throw BeamLogParseError("beam log has no #HEADER");
+    if (raw.runs.size() != declared_runs)
+        throw BeamLogParseError(strprintf(
+            "beam log declares %llu runs but contains %llu",
+            static_cast<unsigned long long>(declared_runs),
+            static_cast<unsigned long long>(raw.runs.size())));
+    return raw;
+}
+
+std::string
+shardHeader(const CampaignRaw &raw)
+{
+    std::ostringstream os;
+    os << "#SHARD version=" << beamLogVersion
+       << " device=" << encodeValue(raw.deviceName)
+       << " workload=" << encodeValue(raw.workloadName)
+       << " input=" << encodeValue(raw.inputLabel)
+       << " seed=" << raw.sim.seed
+       << " runs=" << raw.sim.faultyRuns << '\n';
+    return os.str();
 }
 
 } // anonymous namespace
@@ -154,38 +347,8 @@ writeBeamLog(const CampaignRaw &raw, std::ostream &os)
        << " runs=" << raw.runs.size()
        << " sensitive_area_au=" << buf << '\n';
 
-    for (size_t i = 0; i < raw.runs.size(); ++i) {
-        const RawRun &run = raw.runs[i];
-        std::snprintf(buf, sizeof(buf), "%.17g",
-                      run.strike.timeFraction);
-        os << "#RUN idx=" << i
-           << " outcome=" << outcomeName(run.outcome)
-           << " resource="
-           << resourceKindName(run.strike.resource)
-           << " manifestation="
-           << manifestationName(run.strike.manifestation)
-           << " t=" << buf
-           << " burst=" << run.strike.burstBits
-           << " entropy=" << run.strike.entropy << '\n';
-        if (run.outcome == Outcome::Sdc) {
-            const SdcRecord &rec = run.record;
-            os << "#DIMS dims=" << rec.dims
-               << " x=" << rec.extent[0]
-               << " y=" << rec.extent[1]
-               << " z=" << rec.extent[2] << '\n';
-            for (const auto &e : rec.elements) {
-                os << "#ERR x=" << e.coord[0]
-                   << " y=" << e.coord[1]
-                   << " z=" << e.coord[2];
-                std::snprintf(buf, sizeof(buf), "%.17g", e.read);
-                os << " read=" << buf;
-                std::snprintf(buf, sizeof(buf), "%.17g",
-                              e.expected);
-                os << " expected=" << buf << '\n';
-            }
-        }
-        os << "#END idx=" << i << '\n';
-    }
+    for (size_t i = 0; i < raw.runs.size(); ++i)
+        writeRunRecord(os, raw.runs[i], i);
 }
 
 void
@@ -204,103 +367,11 @@ writeBeamLogFile(const CampaignRaw &raw, const std::string &path)
 CampaignRaw
 readBeamLog(std::istream &is)
 {
-    CampaignRaw raw;
-    std::string line;
-    RawRun current;
-    uint64_t declared_runs = 0;
-    bool in_run = false;
-    bool have_header = false;
-
-    while (std::getline(is, line)) {
-        if (line.empty())
-            continue;
-        std::istringstream iss(line);
-        std::string keyword;
-        iss >> keyword;
-        if (keyword == "#HEADER") {
-            auto fields = parseFields(iss, line);
-            int64_t version =
-                toInt(need(fields, "version", line), line);
-            if (version != beamLogVersion)
-                fatal("unsupported beam-log version %lld "
-                      "(expected %d)",
-                      static_cast<long long>(version),
-                      beamLogVersion);
-            raw.deviceName = need(fields, "device", line);
-            raw.workloadName = need(fields, "workload", line);
-            raw.inputLabel = need(fields, "input", line);
-            raw.sim.seed = toUint(need(fields, "seed", line),
-                                  line);
-            declared_runs = toUint(need(fields, "runs", line),
-                                   line);
-            raw.sim.faultyRuns = declared_runs;
-            raw.sensitiveAreaAu = toDouble(
-                need(fields, "sensitive_area_au", line), line);
-            have_header = true;
-        } else if (keyword == "#RUN") {
-            if (in_run)
-                fatal("nested #RUN in beam log: %s",
-                      line.c_str());
-            auto fields = parseFields(iss, line);
-            current = RawRun{};
-            current.index = static_cast<uint64_t>(
-                toInt(need(fields, "idx", line), line));
-            current.outcome = outcomeFromName(
-                need(fields, "outcome", line), line);
-            current.strike.resource = resourceKindFromName(
-                need(fields, "resource", line));
-            current.strike.manifestation = manifestationFromName(
-                need(fields, "manifestation", line), line);
-            current.strike.timeFraction =
-                toDouble(need(fields, "t", line), line);
-            current.strike.burstBits = static_cast<uint32_t>(
-                toInt(need(fields, "burst", line), line));
-            current.strike.entropy = static_cast<uint64_t>(
-                std::strtoull(need(fields, "entropy", line)
-                              .c_str(), nullptr, 10));
-            in_run = true;
-        } else if (keyword == "#DIMS") {
-            if (!in_run)
-                fatal("#DIMS outside a run: %s", line.c_str());
-            auto fields = parseFields(iss, line);
-            current.record.dims = static_cast<int>(
-                toInt(need(fields, "dims", line), line));
-            current.record.extent = {
-                toInt(need(fields, "x", line), line),
-                toInt(need(fields, "y", line), line),
-                toInt(need(fields, "z", line), line)};
-        } else if (keyword == "#ERR") {
-            if (!in_run)
-                fatal("#ERR outside a run: %s", line.c_str());
-            auto fields = parseFields(iss, line);
-            CorruptedElement e;
-            e.coord = {toInt(need(fields, "x", line), line),
-                       toInt(need(fields, "y", line), line),
-                       toInt(need(fields, "z", line), line)};
-            e.read = toDouble(need(fields, "read", line), line);
-            e.expected = toDouble(need(fields, "expected", line),
-                                  line);
-            current.record.elements.push_back(e);
-        } else if (keyword == "#END") {
-            if (!in_run)
-                fatal("#END without #RUN: %s", line.c_str());
-            raw.runs.push_back(std::move(current));
-            in_run = false;
-        } else {
-            fatal("unknown beam-log keyword '%s'",
-                  keyword.c_str());
-        }
+    try {
+        return parseBeamLog(is);
+    } catch (const BeamLogParseError &e) {
+        fatal("%s", e.what());
     }
-    if (in_run)
-        fatal("beam log truncated inside run %llu",
-              static_cast<unsigned long long>(current.index));
-    if (!have_header)
-        fatal("beam log has no #HEADER");
-    if (raw.runs.size() != declared_runs)
-        fatal("beam log declares %llu runs but contains %llu",
-              static_cast<unsigned long long>(declared_runs),
-              static_cast<unsigned long long>(raw.runs.size()));
-    return raw;
 }
 
 CampaignRaw
@@ -310,6 +381,175 @@ readBeamLogFile(const std::string &path)
     if (!in)
         fatal("cannot open beam log '%s'", path.c_str());
     return readBeamLog(in);
+}
+
+std::optional<CampaignRaw>
+tryReadBeamLog(std::istream &is, std::string *error)
+{
+    try {
+        return parseBeamLog(is);
+    } catch (const BeamLogParseError &e) {
+        if (error)
+            *error = e.what();
+        return std::nullopt;
+    }
+}
+
+std::optional<CampaignRaw>
+tryReadBeamLogFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = strprintf("cannot open beam log '%s'",
+                               path.c_str());
+        return std::nullopt;
+    }
+    return tryReadBeamLog(in, error);
+}
+
+CheckpointWriter::CheckpointWriter(const std::string &path,
+                                   const CampaignRaw &raw,
+                                   uint64_t keepBytes,
+                                   uint64_t flushEvery)
+    : path_(path), flushEvery_(std::max<uint64_t>(flushEvery, 1))
+{
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(path, ec);
+    if (!ec && size > keepBytes)
+        std::filesystem::resize_file(path, keepBytes, ec);
+    if (ec && keepBytes > 0)
+        fatal("cannot truncate checkpoint '%s' to %llu bytes",
+              path.c_str(),
+              static_cast<unsigned long long>(keepBytes));
+
+    out_.open(path, std::ios::app);
+    if (!out_)
+        fatal("cannot open checkpoint '%s' for append",
+              path.c_str());
+    if (keepBytes == 0)
+        out_ << shardHeader(raw) << std::flush;
+    if (!out_)
+        fatal("write error on checkpoint '%s'", path.c_str());
+}
+
+void
+CheckpointWriter::append(const RawRun &run)
+{
+    std::ostringstream record;
+    writeRunRecord(record, run, run.index);
+    std::string bytes = record.str();
+    // A planned corrupt-write fault tears the record in half —
+    // exactly what a SIGKILL mid-append leaves behind — so the
+    // torn-tail recovery path is testable deterministically.
+    if (ChaosEngine *engine = chaos()) {
+        if (engine->shouldCorruptWrite("checkpoint"))
+            bytes.resize(bytes.size() / 2);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << bytes;
+    ++appended_;
+    if (appended_ % flushEvery_ == 0)
+        out_.flush();
+    if (!out_)
+        fatal("write error on checkpoint '%s'", path_.c_str());
+}
+
+CheckpointRecovery
+readCheckpointShards(const std::string &path,
+                     const CampaignRaw &expect)
+{
+    CheckpointRecovery recovery;
+    std::ifstream in(path);
+    if (!in)
+        return recovery;
+
+    std::string line;
+    RecordParser records;
+    uint64_t offset = 0;
+    bool have_header = false;
+
+    while (std::getline(in, line)) {
+        // A line without its trailing newline is the torn tail of
+        // the append a killed process did not finish; even a
+        // well-formed record there is dropped, because appending
+        // after unterminated bytes would merge two lines.
+        bool complete_line = !in.eof();
+        uint64_t line_bytes = line.size() + 1;
+        if (!complete_line) {
+            records.inRun = true; // count the tear below
+            break;
+        }
+        if (line.empty()) {
+            offset += line_bytes;
+            if (have_header && !records.inRun)
+                recovery.validBytes = offset;
+            continue;
+        }
+        std::istringstream iss(line);
+        std::string keyword;
+        iss >> keyword;
+        try {
+            if (keyword == "#SHARD") {
+                auto fields = parseFields(iss, line);
+                int64_t version =
+                    toInt(need(fields, "version", line), line);
+                if (version != beamLogVersion)
+                    throw BeamLogParseError(strprintf(
+                        "unsupported shard version %lld",
+                        static_cast<long long>(version)));
+                if (need(fields, "device", line) !=
+                        expect.deviceName ||
+                    need(fields, "workload", line) !=
+                        expect.workloadName ||
+                    need(fields, "input", line) !=
+                        expect.inputLabel ||
+                    toUint(need(fields, "seed", line), line) !=
+                        expect.sim.seed ||
+                    toUint(need(fields, "runs", line), line) !=
+                        expect.sim.faultyRuns)
+                    fatal("checkpoint '%s' belongs to a "
+                          "different campaign (%s)",
+                          path.c_str(), line.c_str());
+                have_header = true;
+            } else if (!have_header) {
+                throw BeamLogParseError(strprintf(
+                    "checkpoint has no #SHARD header: %s",
+                    line.c_str()));
+            } else if (auto run = records.consume(keyword, iss,
+                                                  line)) {
+                recovery.runs.push_back(std::move(*run));
+            }
+        } catch (const BeamLogParseError &e) {
+            // Anything after a malformed line is suspect: stop at
+            // the last complete record.
+            warn("checkpoint '%s': %s", path.c_str(), e.what());
+            records.inRun = true;
+            break;
+        }
+        offset += line_bytes;
+        if (have_header && !records.inRun)
+            recovery.validBytes = offset;
+    }
+
+    if (!have_header) {
+        recovery.runs.clear();
+        recovery.validBytes = 0;
+        return recovery;
+    }
+    recovery.found = true;
+    if (records.inRun) {
+        ++recovery.tornRecords;
+        warn("checkpoint '%s': dropping torn trailing record "
+             "(resuming from %llu complete run(s))",
+             path.c_str(),
+             static_cast<unsigned long long>(
+                 recovery.runs.size()));
+        StatsRegistry::global()
+            .counter("resilience.checkpoint.torn_records")
+            .inc();
+    }
+    return recovery;
 }
 
 } // namespace radcrit

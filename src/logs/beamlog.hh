@@ -32,13 +32,27 @@
  * (device, workload), never consumed by analysis, and the campaign
  * store rebuilds it on load. A log parsed standalone carries a
  * default-constructed KernelLaunch.
+ *
+ * Checkpoint shards reuse the same record grammar under a #SHARD
+ * header: the campaign runner appends each run's record as it
+ * completes (out of index order under parallel execution, so the
+ * record's idx field is authoritative), and readCheckpointShards()
+ * recovers every complete record after a crash, tolerating a torn
+ * trailing record — the one write the killed process did not finish.
+ * The strict campaign-log reader rejects shard files, so a shard
+ * can never be mistaken for a finished campaign.
  */
 
 #ifndef RADCRIT_LOGS_BEAMLOG_HH
 #define RADCRIT_LOGS_BEAMLOG_HH
 
+#include <fstream>
 #include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "campaign/raw.hh"
 
@@ -65,6 +79,20 @@ void writeBeamLogFile(const CampaignRaw &raw,
                       const std::string &path);
 
 /**
+ * What the parser core throws on malformed input. readBeamLog()
+ * converts it into the historical fatal() diagnostics; tolerant
+ * callers (tryReadBeamLog, the campaign store's quarantine path)
+ * catch it and recover.
+ */
+struct BeamLogParseError : std::runtime_error
+{
+    explicit BeamLogParseError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
  * Parse a log into a CampaignRaw. fatal() on malformed input or a
  * version mismatch (user-supplied data). RawRun::wallNs and the
  * stats snapshot are not part of the format; loaded runs carry 0 /
@@ -74,6 +102,95 @@ CampaignRaw readBeamLog(std::istream &is);
 
 /** Convenience: read from a file path (fatal if unreadable). */
 CampaignRaw readBeamLogFile(const std::string &path);
+
+/**
+ * Non-fatal variant of readBeamLog(): nullopt on malformed input,
+ * with the parse diagnostic stored in *error when given. The error
+ * text is identical to what readBeamLog() would have passed to
+ * fatal().
+ */
+std::optional<CampaignRaw>
+tryReadBeamLog(std::istream &is, std::string *error = nullptr);
+
+/**
+ * Non-fatal file read: nullopt when the file cannot be opened or
+ * does not parse (diagnostic in *error).
+ */
+std::optional<CampaignRaw>
+tryReadBeamLogFile(const std::string &path,
+                   std::string *error = nullptr);
+
+/**
+ * Append-only writer of a checkpoint shard: one #SHARD header, then
+ * one complete run record per append(), flushed so a SIGKILL can
+ * tear at most the record being written. Thread-safe (pool workers
+ * append as their runs complete). Construction truncates the file
+ * to `keepBytes` first — the byte count of recovered content from
+ * readCheckpointShards(), 0 for a fresh shard — so a torn trailing
+ * record never bleeds into new appends.
+ */
+class CheckpointWriter
+{
+  public:
+    /**
+     * @param path Shard file to append to (created if needed).
+     * @param raw Campaign identity written into the #SHARD header.
+     * @param keepBytes Valid prefix to keep; everything past it is
+     * discarded. 0 starts the shard over (header rewritten).
+     * @param flushEvery Flush after every this many appends (1 =
+     * every record; 0 is treated as 1). Records between flushes can
+     * be lost to a kill, so this trades durability for fewer
+     * syscalls on very fast campaigns.
+     */
+    CheckpointWriter(const std::string &path,
+                     const CampaignRaw &raw, uint64_t keepBytes = 0,
+                     uint64_t flushEvery = 1);
+
+    CheckpointWriter(const CheckpointWriter &) = delete;
+    CheckpointWriter &operator=(const CheckpointWriter &) = delete;
+
+    /** Append one completed run's record (see flushEvery). */
+    void append(const RawRun &run);
+
+    /** @return records appended by this writer. */
+    uint64_t appended() const { return appended_; }
+
+  private:
+    std::mutex mutex_;
+    std::ofstream out_;
+    std::string path_;
+    uint64_t flushEvery_ = 1;
+    uint64_t appended_ = 0;
+};
+
+/** What readCheckpointShards() recovered from a shard file. */
+struct CheckpointRecovery
+{
+    /** Complete run records, in file (completion) order. */
+    std::vector<RawRun> runs;
+    /** Torn / malformed trailing records dropped. */
+    uint64_t tornRecords = 0;
+    /**
+     * Bytes of valid shard content (header plus complete records);
+     * pass to CheckpointWriter to resume appending after them.
+     */
+    uint64_t validBytes = 0;
+    /** True when the file existed with a readable #SHARD header. */
+    bool found = false;
+};
+
+/**
+ * Recover complete run records from a checkpoint shard. Missing
+ * file or unreadable header: found == false (resume starts clean).
+ * A shard whose header identity (device, workload, input, seed,
+ * runs) contradicts `expect` is fatal — resuming someone else's
+ * campaign would silently corrupt results. A torn trailing record
+ * (the append a killed process did not finish) is dropped with a
+ * warning and counted, never an error.
+ */
+CheckpointRecovery
+readCheckpointShards(const std::string &path,
+                     const CampaignRaw &expect);
 
 } // namespace radcrit
 

@@ -13,6 +13,8 @@ outcomeName(Outcome o)
       case Outcome::Sdc: return "SDC";
       case Outcome::Crash: return "Crash";
       case Outcome::Hang: return "Hang";
+      case Outcome::InfraError: return "infra_error";
+      case Outcome::InfraTimeout: return "infra_timeout";
       default:
         panic("outcomeName: invalid outcome %d",
               static_cast<int>(o));

@@ -35,7 +35,15 @@ struct Strike
     uint64_t entropy = 0;
 };
 
-/** Program-level outcome classes (paper Section II-A). */
+/**
+ * Program-level outcome classes (paper Section II-A), plus the two
+ * infrastructure outcomes a beam campaign's own harness can
+ * produce: a run whose execution machinery failed permanently
+ * (infra_error) or overran its watchdog deadline on every attempt
+ * (infra_timeout). Infra outcomes describe the harness, not the
+ * device under test — they never appear without injected or real
+ * infrastructure faults, and they are excluded from AVF.
+ */
 enum class Outcome : uint8_t
 {
     /** No effect on the output. */
@@ -46,6 +54,10 @@ enum class Outcome : uint8_t
     Crash,
     /** System hang; node reboot required (detectable). */
     Hang,
+    /** Run quarantined: execution failed on every attempt. */
+    InfraError,
+    /** Run quarantined: soft deadline exceeded on every attempt. */
+    InfraTimeout,
 
     NumOutcomes
 };

@@ -15,6 +15,7 @@
 #include "campaign/store.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "exec/chaos.hh"
 #include "exec/pool.hh"
 #include "obs/json.hh"
 #include "obs/stats_registry.hh"
@@ -61,6 +62,30 @@ addStandardOptions(CliParser &cli, int64_t default_runs)
                   "output directory (default: $RADCRIT_BENCH_OUT "
                   "or bench_out)");
     cli.addFlag("no-csv", "skip CSV side-output files");
+    cli.addString("chaos", envOr("RADCRIT_CHAOS", ""),
+                  "deterministic harness-fault injection spec "
+                  "(e.g. seed=42,runs=300,throws=3,attempts=2; "
+                  "default from RADCRIT_CHAOS; empty = off)");
+}
+
+/**
+ * Build and install the chaos engine requested by --chaos /
+ * RADCRIT_CHAOS. The returned engine owns the plan and must stay
+ * alive for the whole run; null when chaos is off.
+ */
+std::unique_ptr<ChaosEngine>
+installChaosOption(const CliParser &cli)
+{
+    if (cli.getString("chaos").empty())
+        return nullptr;
+    auto params = parseChaosSpec(cli.getString("chaos"));
+    if (!params)
+        return nullptr;
+    auto engine =
+        std::make_unique<ChaosEngine>(makeChaosPlan(*params));
+    inform("%s", engine->plan().describe().c_str());
+    setChaos(engine.get());
+    return engine;
 }
 
 /** Resolve --jobs (fatal on negative, 0 = hardware threads). */
@@ -211,7 +236,7 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
     StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{5});
+        obj.field("schema", uint64_t{6});
         obj.field("suite", "radcrit_suite");
         obj.field("jobs", static_cast<uint64_t>(ctx.jobs()));
         obj.field("experiments_run",
@@ -255,6 +280,9 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
                        static_cast<uint64_t>(ctx.pool().jobs()));
             pool.field("dispatches", ctx.pool().dispatches());
         }
+
+        obj.beginRawField("resilience");
+        writeResilienceJson(out, snap, 4);
 
         obj.beginRawField("experiments");
         {
@@ -319,6 +347,8 @@ runSuite(int argc, char **argv)
             selected.push_back(exp);
 
     unsigned jobs = resolveJobsOption(cli);
+    std::unique_ptr<ChaosEngine> chaos_engine =
+        installChaosOption(cli);
     std::unique_ptr<CampaignStore> store;
     std::string cache_dir = cli.getString("cache");
     if (!cache_dir.empty())
@@ -370,6 +400,8 @@ runSuite(int argc, char **argv)
         json_path = ctx.outputDir() + "/radcrit_suite.json";
     std::printf("\n");
     writeSuiteJson(ctx, json_path, blocks, sched, suite_wall_ns);
+    if (chaos_engine)
+        setChaos(nullptr);
     return 0;
 }
 
@@ -446,6 +478,8 @@ experimentShimMain(const std::string &name, int argc, char **argv)
     cli.parse(argc, argv);
 
     unsigned jobs = resolveJobsOption(cli);
+    std::unique_ptr<ChaosEngine> chaos_engine =
+        installChaosOption(cli);
     std::unique_ptr<CampaignStore> store;
     std::string cache_dir = cli.getString("cache");
     if (!cache_dir.empty())
@@ -463,6 +497,8 @@ experimentShimMain(const std::string &name, int argc, char **argv)
     exp->run(ctx);
     if (info.benchJson)
         writeBenchJson(ctx, prog);
+    if (chaos_engine)
+        setChaos(nullptr);
     return 0;
 }
 

@@ -91,6 +91,36 @@ renderLocalityFigure(SuiteContext &ctx, const std::string &title,
 }
 
 void
+writeResilienceJson(std::ostream &os, const StatsSnapshot &snap,
+                    int indent)
+{
+    JsonObjectWriter rz(os, indent);
+    for (const char *name :
+         {"retries", "resumed_runs", "watchdog_overdue",
+          "checkpoint_torn_records", "store_quarantined",
+          "chaos_throws", "chaos_stalls",
+          "chaos_corrupt_writes"}) {
+        // The JSON keys are the counter names with their registry
+        // prefixes folded away; every field is present even when
+        // zero so consumers never need existence checks.
+        std::string counter;
+        if (std::string(name) == "store_quarantined")
+            counter = "campaign.store.quarantined";
+        else if (std::string(name) == "watchdog_overdue")
+            counter = "resilience.watchdog.overdue";
+        else if (std::string(name) == "checkpoint_torn_records")
+            counter = "resilience.checkpoint.torn_records";
+        else if (std::string(name, 0, 6) == "chaos_")
+            counter = std::string("resilience.chaos.") +
+                (name + 6);
+        else
+            counter = std::string("resilience.") + name;
+        rz.field(name,
+                 static_cast<uint64_t>(snap.value(counter)));
+    }
+}
+
+void
 writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
 {
     const BenchRecorder &rec = ctx.recorder();
@@ -104,7 +134,7 @@ writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
     StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{4});
+        obj.field("schema", uint64_t{6});
         obj.field("bench", bench_name);
         obj.field("campaigns", rec.campaigns);
         obj.field("jobs", static_cast<uint64_t>(rec.jobs));
@@ -144,6 +174,8 @@ writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
                     snap.value("campaign.total.ns")));
             }
         }
+        obj.beginRawField("resilience");
+        writeResilienceJson(out, snap, 4);
         obj.beginRawField("stats");
         snap.writeJson(out, 2);
         obj.close();

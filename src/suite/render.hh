@@ -2,7 +2,7 @@
  * @file
  * Shared render steps for experiments: the paper's two figure
  * shapes (scatter + stacked locality bars) with CSV side-output,
- * and the schema-4 per-bench JSON document the standalone shims
+ * and the schema-6 per-bench JSON document the standalone shims
  * emit. Ported from the old header-only bench_util.hh, with the
  * process-wide state replaced by the SuiteContext.
  */
@@ -43,14 +43,26 @@ void renderLocalityFigure(
 
 /**
  * Emit one experiment's machine-readable results as
- * <outputDir>/<bench_name>.json (schema 4): campaign/run tallies
+ * <outputDir>/<bench_name>.json (schema 6): campaign/run tallies
  * with worker count and cache traffic, ns-per-run and parallel
- * runs-per-second, the perf-trajectory "timings" block, and the
- * full global stats snapshot. tools/check_bench_json.py validates
- * the shape in CI.
+ * runs-per-second, the perf-trajectory "timings" block, the
+ * execution-resilience "resilience" block, and the full global
+ * stats snapshot. tools/check_bench_json.py validates the shape in
+ * CI.
  */
 void writeBenchJson(SuiteContext &ctx,
                     const std::string &bench_name);
+
+/**
+ * Write the schema-6 "resilience" JSON object from a stats
+ * snapshot: retry/resume/quarantine tallies plus the chaos fault
+ * counters, all zero on a clean run. Shared by the per-bench and
+ * suite documents so both carry the identical shape.
+ *
+ * @param indent Indentation level handed to JsonObjectWriter.
+ */
+void writeResilienceJson(std::ostream &os,
+                         const StatsSnapshot &snap, int indent);
 
 } // namespace radcrit
 

@@ -247,5 +247,63 @@ TEST(BeamLogParseDeathTest, MalformedFieldFatal)
                 "unknown outcome");
 }
 
+TEST(BeamLogParseDeathTest, MidRecordEofPinsRunIndex)
+{
+    // The exact diagnostic matters: the campaign store's
+    // quarantine reason and tools parsing stderr both key on it.
+    std::stringstream ss(
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=2 sensitive_area_au=1\n"
+        "#RUN idx=0 outcome=Masked resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n"
+        "#END idx=0\n"
+        "#RUN idx=1 outcome=SDC resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n"
+        "#DIMS dims=2 x=4 y=4 z=1\n");
+    EXPECT_EXIT(readBeamLog(ss), ::testing::ExitedWithCode(1),
+                "beam log truncated inside run 1");
+}
+
+TEST(BeamLogTolerantRead, NulloptCarriesTheFatalDiagnostic)
+{
+    // tryReadBeamLog() is the store's recovery path: same parse,
+    // same message, no process exit.
+    std::stringstream ss(
+        "#HEADER version=2 device=K40 workload=DGEMM input=x "
+        "seed=1 runs=1 sensitive_area_au=1\n"
+        "#RUN idx=0 outcome=SDC resource=RegisterFile "
+        "manifestation=BitFlipValue t=0.5 burst=1 entropy=1\n");
+    std::string error;
+    EXPECT_FALSE(tryReadBeamLog(ss, &error).has_value());
+    EXPECT_EQ(error, "beam log truncated inside run 0");
+}
+
+TEST(BeamLogTolerantRead, GoodInputParsesLikeStrictRead)
+{
+    DeviceModel device = makeK40();
+    Dgemm dgemm(device, 64, 42);
+    SimConfig cfg;
+    cfg.faultyRuns = 20;
+    cfg.seed = 11;
+    CampaignRaw raw = simulateCampaign(device, dgemm, cfg);
+    std::stringstream ss;
+    writeBeamLog(raw, ss);
+    std::string error;
+    std::optional<CampaignRaw> log = tryReadBeamLog(ss, &error);
+    ASSERT_TRUE(log.has_value()) << error;
+    EXPECT_TRUE(error.empty());
+    EXPECT_EQ(log->runs.size(), raw.runs.size());
+}
+
+TEST(BeamLogTolerantRead, UnreadableFileReportsOpenFailure)
+{
+    std::string error;
+    EXPECT_FALSE(
+        tryReadBeamLogFile("/nonexistent/dir/x.beamlog", &error)
+            .has_value());
+    EXPECT_NE(error.find("cannot open beam log"),
+              std::string::npos);
+}
+
 } // anonymous namespace
 } // namespace radcrit

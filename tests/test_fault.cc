@@ -19,6 +19,10 @@ TEST(FaultTest, OutcomeNames)
     EXPECT_STREQ(outcomeName(Outcome::Sdc), "SDC");
     EXPECT_STREQ(outcomeName(Outcome::Crash), "Crash");
     EXPECT_STREQ(outcomeName(Outcome::Hang), "Hang");
+    EXPECT_STREQ(outcomeName(Outcome::InfraError),
+                 "infra_error");
+    EXPECT_STREQ(outcomeName(Outcome::InfraTimeout),
+                 "infra_timeout");
 }
 
 TEST(FaultTest, ManifestationNamesUnique)
@@ -41,7 +45,7 @@ TEST(FaultTest, StrikeDefaults)
 
 TEST(FaultTest, OutcomeCount)
 {
-    EXPECT_EQ(numOutcomes, 4u);
+    EXPECT_EQ(numOutcomes, 6u);
 }
 
 } // anonymous namespace

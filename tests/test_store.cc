@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <optional>
 
 #include "campaign/runner.hh"
@@ -182,6 +183,81 @@ TEST_F(StoreTest, MismatchedEntryWarnsAndMisses)
     EXPECT_NE(sink.logs()[0].second.find(
                   "does not match its key"),
               std::string::npos);
+
+    // The bad entry is quarantined, not left to fail every later
+    // lookup: moved aside with the dedicated counter bumped.
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_FALSE(
+        std::filesystem::exists(store.pathFor(other)));
+    EXPECT_TRUE(std::filesystem::exists(store.pathFor(other) +
+                                        ".quarantined"));
+}
+
+TEST_F(StoreTest, CorruptEntryIsQuarantinedAfterRetry)
+{
+    // Bytes that fail to parse twice are quarantined (renamed
+    // aside for autopsy), counted in the dedicated counter, and
+    // reported as a plain miss so the caller re-simulates.
+    CampaignRaw raw = campaign(40, 11);
+    CampaignStore store(dir_);
+    store.save(raw);
+    std::string path = store.pathFor(campaignKey(raw));
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    uint64_t global_q = StatsRegistry::global()
+                            .counter("campaign.store.quarantined")
+                            .value();
+
+    bool quiet = isQuiet();
+    setQuiet(true);
+    std::optional<CampaignRaw> r =
+        store.load(campaignKey(raw));
+    setQuiet(quiet);
+
+    EXPECT_FALSE(r.has_value());
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_EQ(StatsRegistry::global()
+                  .counter("campaign.store.quarantined")
+                  .value(),
+              global_q + 1);
+    EXPECT_FALSE(std::filesystem::exists(path));
+    EXPECT_TRUE(
+        std::filesystem::exists(path + ".quarantined"));
+
+    // The quarantined key behaves like an empty slot: a fresh
+    // save round-trips again.
+    store.save(raw);
+    EXPECT_TRUE(store.load(campaignKey(raw)).has_value());
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.quarantined(), 1u);
+}
+
+TEST_F(StoreTest, SimulateOrLoadRecoversFromCorruptEntry)
+{
+    CampaignStore store(dir_);
+    SimConfig cfg;
+    cfg.faultyRuns = 40;
+    cfg.seed = 11;
+    CampaignRaw first =
+        simulateOrLoad(device_, dgemm_, cfg, &store);
+    std::string path =
+        store.pathFor(CampaignKey{device_.name, dgemm_.name(),
+                                  dgemm_.inputLabel(), cfg});
+    std::ofstream(path, std::ios::trunc) << "garbage\n";
+
+    bool quiet = isQuiet();
+    setQuiet(true);
+    CampaignRaw second =
+        simulateOrLoad(device_, dgemm_, cfg, &store);
+    setQuiet(quiet);
+
+    EXPECT_EQ(store.quarantined(), 1u);
+    EXPECT_TRUE(sameRuns(first, second));
+    // The re-simulation replaced the entry; the next call hits.
+    simulateOrLoad(device_, dgemm_, cfg, &store);
+    EXPECT_EQ(store.hits(), 1u);
 }
 
 TEST_F(StoreTest, SimulateOrLoadHitsOnSecondCall)

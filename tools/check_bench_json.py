@@ -6,10 +6,11 @@ Usage:
     check_bench_json.py --no-run <bench_binary>
     check_bench_json.py --suite <radcrit_suite.json>
 
-With --suite the argument is an existing schema-5 suite document
+With --suite the argument is an existing schema-6 suite document
 (written by `radcrit_suite run`) and is validated in place: dedup
 accounting (simulated + store_hits == distinct), totals that tally
-with the per-experiment blocks, and the pool/stats snapshots.
+with the per-experiment blocks, and the pool/resilience/stats
+snapshots.
 
 Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
@@ -21,7 +22,7 @@ existing file is validated as-is.
 
 Validated shape:
 
-  * schema == 4 and bench matches the binary name
+  * schema == 6 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
   * jobs (worker threads per campaign) is a positive integer
   * cache_hits/cache_misses are non-negative integers and account
@@ -36,8 +37,12 @@ Validated shape:
     holds non-negative per-phase wall nanosecond totals whose
     "total" is positive whenever at least one campaign was
     actually simulated (cache_misses > 0)
+  * resilience is the execution-resilience block: every counter
+    (retries, resumes, quarantines, chaos faults) present as a
+    non-negative integer — zero on a clean run, never absent
   * stats is an object of instrument entries, each with a valid
     kind, and the campaign outcome counters sum to the run tally
+    (infra-quarantined runs included)
 
 Exits 0 on success, 1 with a diagnostic on any violation.
 """
@@ -84,9 +89,32 @@ def validate_stats(stats):
 
 PHASES = ("sample", "classify", "replay", "metrics", "total")
 
+RESILIENCE_KEYS = ("retries", "resumed_runs", "watchdog_overdue",
+                   "checkpoint_torn_records", "store_quarantined",
+                   "chaos_throws", "chaos_stalls",
+                   "chaos_corrupt_writes")
+
+
+def validate_resilience(doc):
+    """Check the schema-6 execution-resilience block.
+
+    Every field is always present (zero on a clean run) so
+    consumers can difference documents without existence checks.
+    """
+    rz = doc.get("resilience")
+    expect(isinstance(rz, dict),
+           "resilience must be an object, got %r" % rz)
+    for key in RESILIENCE_KEYS:
+        expect(isinstance(rz.get(key), int) and rz[key] >= 0,
+               "resilience.%s must be a non-negative integer, "
+               "got %r" % (key, rz.get(key)))
+    extra = set(rz) - set(RESILIENCE_KEYS)
+    expect(not extra,
+           "resilience has unexpected keys %s" % sorted(extra))
+
 
 def validate_timings(doc):
-    """Check the schema-4 perf-trajectory block."""
+    """Check the schema-6 perf-trajectory block."""
     timings = doc.get("timings")
     expect(isinstance(timings, dict),
            "timings must be an object, got %r" % timings)
@@ -133,14 +161,14 @@ SUITE_EXP_KEYS = ("campaigns", "runs", "wall_ns", "cache_hits",
 
 
 def validate_suite_json(doc):
-    """Check the schema-5 suite document written by radcrit_suite.
+    """Check the schema-6 suite document written by radcrit_suite.
 
-    Unlike the per-bench schema 4, a suite run may legitimately
+    Unlike the per-bench document, a suite run may legitimately
     involve zero campaigns (e.g. `run fig1_setup`), so the totals
     only need to be non-negative and internally consistent.
     """
-    expect(doc.get("schema") == 5,
-           "suite schema must be 5, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 6,
+           "suite schema must be 6, got %r" % doc.get("schema"))
     expect(doc.get("suite") == "radcrit_suite",
            "suite must be 'radcrit_suite', got %r"
            % doc.get("suite"))
@@ -226,6 +254,7 @@ def validate_suite_json(doc):
                "per-experiment %s sum to %d but totals.%s is %d"
                % (key, sums[key], key, totals[key]))
 
+    validate_resilience(doc)
     validate_stats(doc.get("stats"))
 
 
@@ -239,7 +268,7 @@ def validate_suite_file(path):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
     validate_suite_json(doc)
-    print("check_bench_json: OK: %s (suite schema 5, %d "
+    print("check_bench_json: OK: %s (suite schema 6, %d "
           "experiments, %d/%d distinct campaigns simulated)"
           % (path, doc["experiments_run"],
              doc["campaigns"]["simulated"],
@@ -257,8 +286,8 @@ def validate(path, bench_name):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
 
-    expect(doc.get("schema") == 4,
-           "schema must be 4, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 6,
+           "schema must be 6, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
@@ -291,6 +320,7 @@ def validate(path, bench_name):
            "ns_per_op does not match wall_ns / runs")
 
     validate_timings(doc)
+    validate_resilience(doc)
     validate_stats(doc.get("stats"))
 
     # The per-campaign outcome counters in the snapshot must tally
@@ -299,7 +329,8 @@ def validate(path, bench_name):
     for name, entry in doc["stats"].items():
         if (name.startswith("campaign.")
                 and name.rsplit(".", 1)[-1]
-                in ("masked", "sdc", "crash", "hang")):
+                in ("masked", "sdc", "crash", "hang",
+                    "infra_error", "infra_timeout")):
             outcome_sum += int(entry["value"])
     expect(outcome_sum == doc["runs"],
            "outcome counters sum to %d, expected runs == %d"
@@ -316,7 +347,7 @@ def main(argv):
     no_run = "--no-run" in argv
     argv = [a for a in argv if a != "--no-run"]
     if argv and argv[0] == "--suite":
-        # Validate an existing schema-5 suite JSON (written by
+        # Validate an existing schema-6 suite JSON (written by
         # `radcrit_suite run`) instead of running a bench binary.
         if len(argv) != 2:
             print(__doc__, file=sys.stderr)

@@ -52,6 +52,7 @@
 #include "common/logging.hh"
 #include "common/figure.hh"
 #include "common/table.hh"
+#include "exec/chaos.hh"
 #include "exec/pool.hh"
 #include "logs/beamlog.hh"
 #include "obs/timeline.hh"
@@ -103,6 +104,11 @@ printSummary(const CampaignResult &res)
         res.count(Outcome::Hang))});
     table.addRow({"masked", TextTable::num(
         res.count(Outcome::Masked))});
+    uint64_t infra = res.count(Outcome::InfraError) +
+        res.count(Outcome::InfraTimeout);
+    if (infra > 0)
+        table.addRow({"quarantined (infra)",
+                      TextTable::num(infra)});
     double sdc_ratio = res.sdcOverDetectable();
     table.addRow({"SDC:(crash+hang)",
                   std::isnan(sdc_ratio)
@@ -317,6 +323,27 @@ main(int argc, char **argv)
                   "here");
     cli.addFlag("progress", "report campaign progress on stderr");
     cli.addFlag("figures", "render scatter + locality figures");
+    cli.addString("checkpoint", "",
+                  "append completed runs to this shard file as "
+                  "they finish, so a killed campaign can be "
+                  "resumed with --resume");
+    cli.addFlag("resume",
+                "replay complete runs from --checkpoint instead "
+                "of re-simulating them; the finished campaign is "
+                "bit-identical to an uninterrupted one");
+    cli.addInt("max-attempts", 3,
+               "attempts per run before it is quarantined as an "
+               "infra outcome (1 = fail fast)");
+    cli.addInt("deadline-ms", 0,
+               "soft per-run deadline in milliseconds: overruns "
+               "are retried and the watchdog warns live about "
+               "stuck runs (0 = off)");
+    const char *chaos_env = std::getenv("RADCRIT_CHAOS");
+    cli.addString("chaos", chaos_env ? chaos_env : "",
+                  "deterministic harness-fault injection spec, "
+                  "e.g. seed=42,runs=300,throws=3,stalls=1,"
+                  "corrupts=1,attempts=2,stall-ms=50 (default "
+                  "from RADCRIT_CHAOS; empty = off)");
     cli.parse(argc, argv);
 
     std::string device_name = cli.getString("device");
@@ -343,6 +370,31 @@ main(int argc, char **argv)
         cfg.sim.progressEvery =
             std::max<uint64_t>(cfg.sim.faultyRuns / 10, 1);
     }
+    if (cli.getInt("max-attempts") < 1)
+        fatal("--max-attempts must be >= 1");
+    cfg.sim.resilience.maxAttempts =
+        static_cast<unsigned>(cli.getInt("max-attempts"));
+    if (cli.getInt("deadline-ms") < 0)
+        fatal("--deadline-ms must be >= 0");
+    cfg.sim.resilience.softDeadlineNs = static_cast<uint64_t>(
+        cli.getInt("deadline-ms")) * 1'000'000;
+    cfg.sim.resilience.checkpointPath =
+        cli.getString("checkpoint");
+    cfg.sim.resilience.resume = cli.getFlag("resume");
+    if (cfg.sim.resilience.resume &&
+        cfg.sim.resilience.checkpointPath.empty())
+        fatal("--resume needs --checkpoint=<shard file>");
+
+    std::unique_ptr<ChaosEngine> chaos_engine;
+    if (!cli.getString("chaos").empty()) {
+        auto params = parseChaosSpec(cli.getString("chaos"));
+        if (params) {
+            chaos_engine = std::make_unique<ChaosEngine>(
+                makeChaosPlan(*params));
+            inform("%s", chaos_engine->plan().describe().c_str());
+            setChaos(chaos_engine.get());
+        }
+    }
 
     std::unique_ptr<CampaignStore> store;
     if (!cli.getString("cache").empty())
@@ -368,6 +420,8 @@ main(int argc, char **argv)
                                      store.get());
     CampaignResult res = analyzeCampaign(raw, cfg.analysis);
 
+    if (chaos_engine)
+        setChaos(nullptr);
     if (tl)
         setTimeline(nullptr);
 

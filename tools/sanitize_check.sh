@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Build the tree under a sanitizer and run the concurrency-labelled
-# tests (worker pool + parallel campaign engine determinism).
+# Build the tree under a sanitizer and run the concurrency- and
+# chaos-labelled tests (worker pool + parallel campaign engine
+# determinism, chaos injection, watchdog, checkpoint/resume).
 #
 # Usage: tools/sanitize_check.sh [thread|address] [build-dir]
 #
@@ -24,7 +25,11 @@ SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -B "$BUILD_DIR" -S "$SOURCE_DIR" \
       -DRADCRIT_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# radcrit_cli is needed by the check_resume ctest (chaos label),
+# which SIGKILLs and resumes a live campaign under the sanitizer.
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
       --target test_pool test_engine test_jobs_precedence \
-      test_timeline
-ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure
+      test_timeline test_chaos test_resume test_prop_chaos \
+      radcrit_cli
+ctest --test-dir "$BUILD_DIR" -L "concurrency|chaos" \
+      --output-on-failure

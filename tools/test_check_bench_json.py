@@ -9,8 +9,8 @@ Modes:
                a previous run is present and must NOT rescue the
                check (the vacuous-pass regression)
     truncated  bench writes a truncated JSON document
-    schema     bench writes a well-formed but outdated schema-3
-               document (no timings block); the checker must
+    schema     bench writes a well-formed but outdated schema-4
+               document (no resilience block); the checker must
                reject it, not silently accept old producers
 
 Each mode builds a sandbox with a fake bench binary, runs
@@ -29,7 +29,7 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "check_bench_json.py")
 
 STALE_JSON = """{
-  "schema": 4,
+  "schema": 6,
   "bench": "fake_bench",
   "campaigns": 1,
   "jobs": 1,
@@ -53,6 +53,16 @@ STALE_JSON = """{
       "total": 3000
     }
   },
+  "resilience": {
+    "retries": 0,
+    "resumed_runs": 0,
+    "watchdog_overdue": 0,
+    "checkpoint_torn_records": 0,
+    "store_quarantined": 0,
+    "chaos_throws": 0,
+    "chaos_stalls": 0,
+    "chaos_corrupt_writes": 0
+  },
   "stats": {
     "campaign.k40.dgemm.masked": {"kind": "counter", "value": 1},
     "campaign.k40.dgemm.sdc": {"kind": "counter", "value": 1},
@@ -62,18 +72,18 @@ STALE_JSON = """{
 }
 """
 
-# A document an old (pre-timings) bench would emit.
-SCHEMA3_JSON = STALE_JSON.replace('"schema": 4', '"schema": 3')
-in_timings = False
+# A document an old (pre-resilience) bench would emit.
+SCHEMA4_JSON = STALE_JSON.replace('"schema": 6', '"schema": 4')
+in_block = False
 lines = []
-for line in SCHEMA3_JSON.splitlines():
-    if '"timings"' in line:
-        in_timings = True
-    if not in_timings:
+for line in SCHEMA4_JSON.splitlines():
+    if '"resilience"' in line:
+        in_block = True
+    if not in_block:
         lines.append(line)
-    elif in_timings and line == "  },":
-        in_timings = False
-SCHEMA3_JSON = "\n".join(lines) + "\n"
+    elif in_block and line == "  },":
+        in_block = False
+SCHEMA4_JSON = "\n".join(lines) + "\n"
 
 
 def write_fake_bench(path, body):
@@ -133,17 +143,17 @@ def mode_truncated(sandbox):
 
 
 def mode_schema(sandbox):
-    """A schema-3 document (old producer) must be rejected."""
+    """A schema-4 document (old producer) must be rejected."""
     bench = os.path.join(sandbox, "fake_bench")
     write_fake_bench(
         bench,
         "mkdir -p bench_out\n"
         "cat > bench_out/fake_bench.json <<'JSON'\n"
-        + SCHEMA3_JSON + "JSON\n")
+        + SCHEMA4_JSON + "JSON\n")
     proc = run_checker(sandbox, bench)
     expect(proc.returncode != 0,
-           "checker accepted an outdated schema-3 document", proc)
-    expect("schema must be 4" in proc.stderr,
+           "checker accepted an outdated schema-4 document", proc)
+    expect("schema must be 6" in proc.stderr,
            "diagnostic does not name the expected schema", proc)
 
 
