@@ -95,6 +95,15 @@ struct SimConfig
      */
     unsigned jobs = 1;
     /**
+     * Runs per streamed batch handed to the campaign's RawSink
+     * (radcrit_cli --batch-runs). 0 = deliver the whole campaign
+     * as one batch, which is exactly the legacy materialized
+     * behavior. Like jobs, this shapes execution and memory, never
+     * results — streamed and single-batch campaigns are
+     * bit-identical — so it is not part of the cache key.
+     */
+    uint64_t batchRuns = 0;
+    /**
      * Harness failure handling; not part of the cache key (see
      * ResilienceConfig).
      */

@@ -22,35 +22,53 @@ campaignStatsPrefix(const std::string &device_name,
         statToken(workload_name);
 }
 
-StatsSnapshot
-rebuildSimStats(const CampaignRaw &raw, StatsRegistry &into)
+SimStatsRebuilder::SimStatsRebuilder(
+    const std::string &device_name,
+    const std::string &workload_name, double sensitive_area_au,
+    double occupancy)
 {
-    StatsRegistry reg;
     std::string prefix =
-        campaignStatsPrefix(raw.deviceName, raw.workloadName);
-    reg.gauge(prefix + ".sensitive_area_au")
-        .set(raw.sensitiveAreaAu);
-    reg.gauge(prefix + ".occupancy").set(raw.launch.occupancy);
-    Counter &runs = reg.counter(prefix + ".runs");
-    LogHistogram &incorrect =
-        reg.histogram(prefix + ".incorrect_elements");
-    std::array<Counter *, numOutcomes> outcome{};
+        campaignStatsPrefix(device_name, workload_name);
+    reg_.gauge(prefix + ".sensitive_area_au")
+        .set(sensitive_area_au);
+    reg_.gauge(prefix + ".occupancy").set(occupancy);
+    runs_ = &reg_.counter(prefix + ".runs");
+    incorrect_ = &reg_.histogram(prefix + ".incorrect_elements");
     for (size_t o = 0; o < numOutcomes; ++o) {
-        outcome[o] = &reg.counter(
+        outcome_[o] = &reg_.counter(
             prefix + "." +
             statToken(outcomeName(static_cast<Outcome>(o))));
     }
-    for (const auto &run : raw.runs) {
-        runs.inc();
-        outcome[static_cast<size_t>(run.outcome)]->inc();
-        if (run.outcome == Outcome::Sdc) {
-            incorrect.add(static_cast<double>(
-                run.record.numIncorrect()));
-        }
+}
+
+void
+SimStatsRebuilder::fold(const RawRun &run)
+{
+    runs_->inc();
+    outcome_[static_cast<size_t>(run.outcome)]->inc();
+    if (run.outcome == Outcome::Sdc) {
+        incorrect_->add(
+            static_cast<double>(run.record.numIncorrect()));
     }
-    StatsSnapshot snap = reg.snapshot();
+}
+
+StatsSnapshot
+SimStatsRebuilder::finish(StatsRegistry &into)
+{
+    StatsSnapshot snap = reg_.snapshot();
     into.merge(snap);
     return snap;
+}
+
+StatsSnapshot
+rebuildSimStats(const CampaignRaw &raw, StatsRegistry &into)
+{
+    SimStatsRebuilder rebuilder(raw.deviceName, raw.workloadName,
+                                raw.sensitiveAreaAu,
+                                raw.launch.occupancy);
+    for (const auto &run : raw.runs)
+        rebuilder.fold(run);
+    return rebuilder.finish(into);
 }
 
 } // namespace radcrit

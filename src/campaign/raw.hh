@@ -15,6 +15,7 @@
 #ifndef RADCRIT_CAMPAIGN_RAW_HH
 #define RADCRIT_CAMPAIGN_RAW_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -90,12 +91,46 @@ std::string campaignStatsPrefix(const std::string &device_name,
                                 const std::string &workload_name);
 
 /**
+ * Incremental reconstruction of the simulation-side counters of a
+ * campaign that was loaded rather than simulated — run tally,
+ * outcome counters, incorrect-elements histogram, sensitive-area
+ * and occupancy gauges. Streaming store loads fold() each record
+ * as it passes through instead of holding the whole campaign;
+ * rebuildSimStats() is the materialized convenience on top. Phase
+ * timers are not reconstructed: no simulation happened.
+ */
+class SimStatsRebuilder
+{
+  public:
+    SimStatsRebuilder(const std::string &device_name,
+                      const std::string &workload_name,
+                      double sensitive_area_au, double occupancy);
+
+    SimStatsRebuilder(const SimStatsRebuilder &) = delete;
+    SimStatsRebuilder &operator=(const SimStatsRebuilder &) =
+        delete;
+
+    /** Count one run. */
+    void fold(const RawRun &run);
+
+    /**
+     * @return a snapshot of the reconstructed instruments,
+     * suitable for CampaignRaw::stats, after merging it into
+     * `into` (typically the global registry, so process-wide
+     * tallies include cache hits).
+     */
+    StatsSnapshot finish(StatsRegistry &into);
+
+  private:
+    StatsRegistry reg_;
+    Counter *runs_ = nullptr;
+    LogHistogram *incorrect_ = nullptr;
+    std::array<Counter *, numOutcomes> outcome_{};
+};
+
+/**
  * Reconstruct the simulation-side counters of a raw campaign that
- * was loaded rather than simulated — run tally, outcome counters,
- * incorrect-elements histogram, sensitive-area and occupancy
- * gauges — into `into` (typically the global registry, so
- * process-wide tallies include cache hits). Phase timers are not
- * reconstructed: no simulation happened.
+ * was loaded rather than simulated (see SimStatsRebuilder).
  *
  * @return a snapshot of just the reconstructed instruments,
  * suitable for CampaignRaw::stats.

@@ -135,7 +135,8 @@ resilienceSection(HtmlReport &report, const CampaignResult &res)
 }
 
 void
-wallClockSection(HtmlReport &report, const CampaignResult &res)
+wallClockSection(HtmlReport &report, const CampaignResult &res,
+                 const ProcMemSample *mem)
 {
     report.section("Wall-clock attribution");
     report.phaseAttribution(res.stats,
@@ -143,10 +144,23 @@ wallClockSection(HtmlReport &report, const CampaignResult &res)
                              "campaign.phase.classify",
                              "campaign.phase.replay",
                              "campaign.phase.metrics"});
+    std::vector<std::pair<std::string, std::string>> values;
     double total = res.stats.value("campaign.total.ns");
-    report.keyValues(
-        {{"campaign total [ms]",
-          strprintf("%.3f", total / 1e6)}});
+    values.emplace_back("campaign total [ms]",
+                        strprintf("%.3f", total / 1e6));
+    if (mem && mem->valid) {
+        values.emplace_back(
+            "peak RSS (VmHWM) [MiB]",
+            strprintf("%.1f", static_cast<double>(
+                                  mem->peakRssBytes) /
+                                  (1024.0 * 1024.0)));
+        values.emplace_back(
+            "current RSS (VmRSS) [MiB]",
+            strprintf("%.1f", static_cast<double>(
+                                  mem->currentRssBytes) /
+                                  (1024.0 * 1024.0)));
+    }
+    report.keyValues(values);
 }
 
 void
@@ -189,7 +203,8 @@ workerSection(HtmlReport &report, const Timeline &timeline)
 
 void
 writeCampaignReport(std::ostream &os, const CampaignResult &result,
-                    const Timeline *timeline)
+                    const Timeline *timeline,
+                    const ProcMemSample *mem)
 {
     HtmlReport report("radcrit campaign report: " +
                       result.deviceName + " / " +
@@ -199,7 +214,7 @@ writeCampaignReport(std::ostream &os, const CampaignResult &result,
     outcomeSection(report, result);
     resilienceSection(report, result);
     criticalitySection(report, result);
-    wallClockSection(report, result);
+    wallClockSection(report, result, mem);
     histogramSection(report, result);
     if (timeline)
         workerSection(report, *timeline);
@@ -209,12 +224,13 @@ writeCampaignReport(std::ostream &os, const CampaignResult &result,
 void
 writeCampaignReportFile(const CampaignResult &result,
                         const std::string &path,
-                        const Timeline *timeline)
+                        const Timeline *timeline,
+                        const ProcMemSample *mem)
 {
     std::ofstream out(path);
     if (!out)
         fatal("cannot open report file '%s'", path.c_str());
-    writeCampaignReport(out, result, timeline);
+    writeCampaignReport(out, result, timeline, mem);
 }
 
 } // namespace radcrit

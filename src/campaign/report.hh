@@ -21,6 +21,7 @@
 #include <string>
 
 #include "campaign/runner.hh"
+#include "obs/procmem.hh"
 #include "obs/timeline.hh"
 
 namespace radcrit
@@ -33,10 +34,15 @@ namespace radcrit
  * @param result The analyzed campaign.
  * @param timeline Optional flight recorder whose per-worker lanes
  * feed the worker-utilization section (quiescent use only).
+ * @param mem Optional process-memory sample (peak/current RSS)
+ * surfaced in the wall-clock attribution section. Passed in
+ * explicitly — the CLI samples at render time — so rendering stays
+ * a pure function of its inputs.
  */
 void writeCampaignReport(std::ostream &os,
                          const CampaignResult &result,
-                         const Timeline *timeline = nullptr);
+                         const Timeline *timeline = nullptr,
+                         const ProcMemSample *mem = nullptr);
 
 /**
  * writeCampaignReport() into `path`; fatal() when the file cannot
@@ -44,7 +50,8 @@ void writeCampaignReport(std::ostream &os,
  */
 void writeCampaignReportFile(const CampaignResult &result,
                              const std::string &path,
-                             const Timeline *timeline = nullptr);
+                             const Timeline *timeline = nullptr,
+                             const ProcMemSample *mem = nullptr);
 
 } // namespace radcrit
 

@@ -6,9 +6,11 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 
+#include "campaign/analysis.hh"
 #include "campaign/engine.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -16,6 +18,7 @@
 #include "exec/pool.hh"
 #include "logs/beamlog.hh"
 #include "metrics/relative_error.hh"
+#include "obs/procmem.hh"
 #include "obs/timeline.hh"
 #include "obs/timer.hh"
 #include "obs/trace.hh"
@@ -79,6 +82,21 @@ struct StatsShard
     PhaseTimer classify{reg, "campaign.phase.classify"};
     PhaseTimer replay{reg, "campaign.phase.replay"};
 };
+
+/** CampaignRaw shell carrying only a campaign's identity, for the
+ * checkpoint header/recovery machinery (which never reads runs). */
+CampaignRaw
+identityShell(const CampaignMeta &meta)
+{
+    CampaignRaw ident;
+    ident.deviceName = meta.deviceName;
+    ident.workloadName = meta.workloadName;
+    ident.inputLabel = meta.inputLabel;
+    ident.sim = meta.sim;
+    ident.launch = meta.launch;
+    ident.sensitiveAreaAu = meta.sensitiveAreaAu;
+    return ident;
+}
 
 } // anonymous namespace
 
@@ -165,90 +183,89 @@ CampaignResult::filteredOutFraction() const
         static_cast<double>(sdc);
 }
 
-CampaignRaw
-simulateCampaign(const DeviceModel &device, Workload &workload,
-                 const SimConfig &config)
+void
+simulateCampaignStream(const DeviceModel &device,
+                       Workload &workload,
+                       const SimConfig &config, RawSink &sink)
 {
     WorkerPool pool(config.jobs);
-    return simulateCampaign(device, workload, config, pool);
+    simulateCampaignStream(device, workload, config, pool, sink);
 }
 
-CampaignRaw
-simulateCampaign(const DeviceModel &device, Workload &workload,
-                 const SimConfig &config, WorkerPool &pool)
+void
+simulateCampaignStream(const DeviceModel &device,
+                       Workload &workload,
+                       const SimConfig &config, WorkerPool &pool,
+                       RawSink &sink)
 {
     if (config.faultyRuns == 0)
         fatal("campaign needs at least one run");
 
-    CampaignRaw raw;
-    raw.deviceName = device.name;
-    raw.workloadName = workload.name();
-    raw.inputLabel = workload.inputLabel();
-    raw.sim = config;
-    raw.launch = buildLaunch(device, workload.traits());
+    CampaignMeta meta;
+    meta.deviceName = device.name;
+    meta.workloadName = workload.name();
+    meta.inputLabel = workload.inputLabel();
+    meta.sim = config;
+    meta.launch = buildLaunch(device, workload.traits());
 
-    StrikeSampler sampler(device, raw.launch);
-    raw.sensitiveAreaAu = sampler.totalWeight();
+    StrikeSampler sampler(device, meta.launch);
+    meta.sensitiveAreaAu = sampler.totalWeight();
 
     // --- Resume. Complete records recovered from the checkpoint
-    // shard are placed by index and never re-simulated; everything
-    // else (including a torn trailing record) is simulated as
-    // usual. Because run i is always derived from runRng(config, i)
-    // and serialized with %.17g, the resumed campaign is
-    // bit-identical to an uninterrupted one.
+    // shard are held by index and replayed into their batch instead
+    // of re-simulated; everything else (including a torn trailing
+    // record) is simulated as usual. Because run i is always derived
+    // from runRng(config, i) and serialized with %.17g, the resumed
+    // campaign is bit-identical to an uninterrupted one.
     const ResilienceConfig &rz = config.resilience;
     if (rz.resume && rz.checkpointPath.empty())
         fatal("resume needs a checkpoint path");
 
-    raw.runs.resize(config.faultyRuns);
-    std::vector<char> prefilled(config.faultyRuns, 0);
+    CampaignRaw ident = identityShell(meta);
+    std::map<uint64_t, RawRun> recovered;
     uint64_t resumed = 0;
     CheckpointRecovery recovery;
     if (rz.resume) {
-        recovery = readCheckpointShards(rz.checkpointPath, raw);
+        recovery = readCheckpointShards(rz.checkpointPath, ident);
         for (RawRun &run : recovery.runs) {
             if (run.index >= config.faultyRuns ||
-                prefilled[run.index])
+                recovered.count(run.index))
                 continue;
-            prefilled[run.index] = 1;
-            raw.runs[run.index] = std::move(run);
+            recovered.emplace(run.index, std::move(run));
             ++resumed;
         }
         if (recovery.found)
             inform("campaign %s/%s %s: resumed %llu/%llu run(s) "
                    "from '%s'",
-                   raw.deviceName.c_str(),
-                   raw.workloadName.c_str(),
-                   raw.inputLabel.c_str(),
+                   meta.deviceName.c_str(),
+                   meta.workloadName.c_str(),
+                   meta.inputLabel.c_str(),
                    static_cast<unsigned long long>(resumed),
                    static_cast<unsigned long long>(
                        config.faultyRuns),
                    rz.checkpointPath.c_str());
     }
 
-    std::vector<uint64_t> pending;
-    pending.reserve(config.faultyRuns - resumed);
-    for (uint64_t i = 0; i < config.faultyRuns; ++i) {
-        if (!prefilled[i])
-            pending.push_back(i);
-    }
+    uint64_t totalPending = config.faultyRuns - resumed;
+
+    sink.begin(meta);
 
     // --- Telemetry. Workers write campaign counters into private
     // shards; kernel instruments (PhaseTimer members of workloads
     // and their clones) land directly in the global registry, whose
     // instruments are thread-safe. The shards plus the global
     // kernel-side diff are folded into a campaign-local registry, so
-    // raw.stats carries the same content the old fused runner did
-    // for the simulation phases.
+    // the snapshot handed to sink.end() carries the same content the
+    // old fused runner did for the simulation phases.
     StatsRegistry &global = StatsRegistry::global();
     StatsSnapshot globalBefore = global.snapshot();
     StatsRegistry campaignReg;
     std::string prefix =
         campaignStatsPrefix(device.name, workload.name());
     campaignReg.gauge(prefix + ".sensitive_area_au")
-        .set(raw.sensitiveAreaAu);
+        .set(meta.sensitiveAreaAu);
     campaignReg.gauge(prefix + ".occupancy")
-        .set(raw.launch.occupancy);
+        .set(meta.launch.occupancy);
     PhaseTimer campaignTimer(campaignReg, "campaign.total");
     auto campaign_start = std::chrono::steady_clock::now();
 
@@ -261,10 +278,8 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
                                                    ".runs");
         LogHistogram &incorrect =
             campaignReg.histogram(prefix + ".incorrect_elements");
-        for (uint64_t i = 0; i < config.faultyRuns; ++i) {
-            if (!prefilled[i])
-                continue;
-            const RawRun &run = raw.runs[i];
+        for (const auto &entry : recovered) {
+            const RawRun &run = entry.second;
             runsCounter.inc();
             campaignReg
                 .counter(prefix + "." +
@@ -280,18 +295,29 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     }
 
     unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
-        pool.jobs(), pending.size()));
+        pool.jobs(), totalPending));
 
     if (config.progressEvery > 0)
         inform("campaign %s: %s (%u worker%s)",
                device.name.c_str(),
-               describeLaunch(raw.launch).c_str(), workers,
+               describeLaunch(meta.launch).c_str(), workers,
                workers == 1 ? "" : "s");
 
     std::vector<std::unique_ptr<StatsShard>> shards;
     shards.reserve(workers);
     for (unsigned w = 0; w < workers; ++w)
         shards.push_back(std::make_unique<StatsShard>(prefix));
+
+    // Per-worker workload clones, taken here on the caller thread
+    // while nothing is replaying: cloning inside the worker body
+    // races against worker 0, which replays strikes on (and
+    // temporarily corrupts) the caller's workload that the clone
+    // copies from. Worker 0 keeps the caller's instance; cloning
+    // once per campaign also keeps small streamed batches from
+    // paying a clone per batch.
+    std::vector<std::unique_ptr<Workload>> clones(workers);
+    for (unsigned w = 1; w < workers; ++w)
+        clones[w] = workload.clone();
 
     std::atomic<uint64_t> completed{resumed};
 
@@ -314,7 +340,7 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
 
     std::optional<CheckpointWriter> checkpoint;
     if (!rz.checkpointPath.empty())
-        checkpoint.emplace(rz.checkpointPath, raw,
+        checkpoint.emplace(rz.checkpointPath, ident,
                            rz.resume ? recovery.validBytes : 0,
                            rz.checkpointEvery);
 
@@ -325,130 +351,169 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     Timeline *tl = timeline();
     uint64_t simulate_begin = tl ? tl->nowNs() : 0;
 
+    // --- Batched dispatch. Each batch covers a contiguous index
+    // slice; within it, runs not replayed from the checkpoint are
+    // dispatched over the pool, and the completed batch is handed
+    // to the sink before the next one starts, so a streaming sink
+    // overlaps analysis/persistence with the rest of the
+    // simulation. batchRuns == 0 delivers the campaign as one
+    // batch — the exact legacy dispatch shape.
+    uint64_t batchRuns = config.batchRuns == 0
+        ? config.faultyRuns
+        : std::min(config.batchRuns, config.faultyRuns);
     PoolRunStats poolStats;
-    pool.forChunks(pending.size(), [&](unsigned worker,
-                                       uint64_t begin,
-                                       uint64_t end) {
-        StatsShard &shard = *shards[worker];
-        RunPhaseTimers timers;
-        timers.sample = &shard.sample;
-        timers.classify = &shard.classify;
-        timers.replay = &shard.replay;
+    uint64_t batches = 0;
+    for (uint64_t first = 0; first < config.faultyRuns;
+         first += batchRuns) {
+        uint64_t count =
+            std::min(batchRuns, config.faultyRuns - first);
+        RunBatch batch;
+        batch.firstIndex = first;
+        batch.runs.resize(count);
 
-        TimelineLane *lane = tl
-            ? &tl->lane(worker + 1,
-                        "worker " + std::to_string(worker))
-            : nullptr;
-
-        // Worker 0 runs on the caller thread and reuses the caller's
-        // workload; the others replay strikes on private clones.
-        std::unique_ptr<Workload> local;
-        if (worker != 0)
-            local = workload.clone();
-        Workload &wl = local ? *local : workload;
-
-        for (uint64_t p = begin; p < end; ++p) {
-            uint64_t i = pending[p];
-            uint64_t span_begin = lane ? tl->nowNs() : 0;
-            auto run_start = std::chrono::steady_clock::now();
-            RawRun run;
-            if (watchdog)
-                watchdog->beginItem(worker, i);
-            GuardReport guard = runGuarded(
-                retryPolicy, [&](unsigned attempt) {
-                    if (ChaosEngine *engine = chaos())
-                        engine->onRunAttempt(i, attempt);
-                    Rng rng = runRng(config, i);
-                    run = simulateRun(sampler, wl, config, i, rng,
-                                      timers);
-                });
-            if (watchdog)
-                watchdog->endItem(worker);
-            if (guard.status != GuardStatus::Ok) {
-                // Quarantine: the run failed its whole attempt
-                // budget. It stays in the campaign as an infra
-                // outcome (excluded from AVF, visible in every
-                // report) instead of killing the other runs.
-                run = RawRun{};
-                run.index = i;
-                run.outcome =
-                    guard.status == GuardStatus::Timeout
-                    ? Outcome::InfraTimeout
-                    : Outcome::InfraError;
-                warn("campaign run %llu quarantined after %u "
-                     "attempt(s)%s%s",
-                     static_cast<unsigned long long>(i),
-                     guard.attempts,
-                     guard.error.empty() ? "" : ": ",
-                     guard.error.c_str());
-            }
-            run.wallNs = static_cast<uint64_t>(
-                std::chrono::duration_cast<
-                    std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - run_start)
-                    .count());
-            if (guard.retries() > 0) {
-                shard.reg.counter("resilience.retries")
-                    .inc(guard.retries());
-            }
-
-            shard.runs->inc();
-            shard.outcome[static_cast<size_t>(run.outcome)]->inc();
-            if (run.outcome == Outcome::Sdc) {
-                shard.incorrect->add(static_cast<double>(
-                    run.record.numIncorrect()));
-            }
-
-            if (lane) {
-                lane->span(
-                    "run " + std::to_string(i), "run", span_begin,
-                    tl->nowNs() - span_begin,
-                    {{"run", std::to_string(i)},
-                     {"worker", std::to_string(worker)},
-                     {"kernel", raw.workloadName},
-                     {"outcome", outcomeName(run.outcome)},
-                     {"attempts",
-                      std::to_string(guard.attempts)}});
-            }
-
-            if (checkpoint)
-                checkpoint->append(run);
-            raw.runs[i] = std::move(run);
-
-            uint64_t done =
-                completed.fetch_add(1, std::memory_order_relaxed) +
-                1;
-            if (config.progressEvery > 0 &&
-                (done % config.progressEvery == 0 ||
-                 done == config.faultyRuns)) {
-                // Throughput and ETA from the same monotonic clock
-                // the campaign timer uses; progress formatting
-                // never feeds results or the store's cache key.
-                double elapsed_s =
-                    std::chrono::duration_cast<
-                        std::chrono::duration<double>>(
-                        std::chrono::steady_clock::now() -
-                        campaign_start)
-                        .count();
-                double rate = elapsed_s > 0.0
-                    ? static_cast<double>(done) / elapsed_s
-                    : 0.0;
-                double eta_s = rate > 0.0
-                    ? static_cast<double>(
-                          config.faultyRuns - done) / rate
-                    : 0.0;
-                inform("campaign %s/%s %s: %llu/%llu runs "
-                       "(%.1f runs/s, ETA %.1fs)",
-                       raw.deviceName.c_str(),
-                       raw.workloadName.c_str(),
-                       raw.inputLabel.c_str(),
-                       static_cast<unsigned long long>(done),
-                       static_cast<unsigned long long>(
-                           config.faultyRuns),
-                       rate, eta_s);
+        std::vector<uint64_t> pending;
+        pending.reserve(count);
+        for (uint64_t i = first; i < first + count; ++i) {
+            auto it = recovered.find(i);
+            if (it != recovered.end()) {
+                batch.runs[i - first] = std::move(it->second);
+                recovered.erase(it);
+            } else {
+                pending.push_back(i);
             }
         }
-    }, &poolStats);
+
+        PoolRunStats batchStats;
+        pool.forChunks(pending.size(), [&](unsigned worker,
+                                           uint64_t begin,
+                                           uint64_t end) {
+            StatsShard &shard = *shards[worker];
+            RunPhaseTimers timers;
+            timers.sample = &shard.sample;
+            timers.classify = &shard.classify;
+            timers.replay = &shard.replay;
+
+            TimelineLane *lane = tl
+                ? &tl->lane(worker + 1,
+                            "worker " + std::to_string(worker))
+                : nullptr;
+
+            // Worker 0 runs on the caller thread and reuses the
+            // caller's workload; the others replay strikes on the
+            // private clones taken before dispatch.
+            Workload &wl =
+                worker == 0 ? workload : *clones[worker];
+
+            for (uint64_t p = begin; p < end; ++p) {
+                uint64_t i = pending[p];
+                uint64_t span_begin = lane ? tl->nowNs() : 0;
+                auto run_start = std::chrono::steady_clock::now();
+                RawRun run;
+                if (watchdog)
+                    watchdog->beginItem(worker, i);
+                GuardReport guard = runGuarded(
+                    retryPolicy, [&](unsigned attempt) {
+                        if (ChaosEngine *engine = chaos())
+                            engine->onRunAttempt(i, attempt);
+                        Rng rng = runRng(config, i);
+                        run = simulateRun(sampler, wl, config, i,
+                                          rng, timers);
+                    });
+                if (watchdog)
+                    watchdog->endItem(worker);
+                if (guard.status != GuardStatus::Ok) {
+                    // Quarantine: the run failed its whole attempt
+                    // budget. It stays in the campaign as an infra
+                    // outcome (excluded from AVF, visible in every
+                    // report) instead of killing the other runs.
+                    run = RawRun{};
+                    run.index = i;
+                    run.outcome =
+                        guard.status == GuardStatus::Timeout
+                        ? Outcome::InfraTimeout
+                        : Outcome::InfraError;
+                    warn("campaign run %llu quarantined after %u "
+                         "attempt(s)%s%s",
+                         static_cast<unsigned long long>(i),
+                         guard.attempts,
+                         guard.error.empty() ? "" : ": ",
+                         guard.error.c_str());
+                }
+                run.wallNs = static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() -
+                        run_start)
+                        .count());
+                if (guard.retries() > 0) {
+                    shard.reg.counter("resilience.retries")
+                        .inc(guard.retries());
+                }
+
+                shard.runs->inc();
+                shard.outcome[static_cast<size_t>(run.outcome)]
+                    ->inc();
+                if (run.outcome == Outcome::Sdc) {
+                    shard.incorrect->add(static_cast<double>(
+                        run.record.numIncorrect()));
+                }
+
+                if (lane) {
+                    lane->span(
+                        "run " + std::to_string(i), "run",
+                        span_begin, tl->nowNs() - span_begin,
+                        {{"run", std::to_string(i)},
+                         {"worker", std::to_string(worker)},
+                         {"kernel", meta.workloadName},
+                         {"outcome", outcomeName(run.outcome)},
+                         {"attempts",
+                          std::to_string(guard.attempts)}});
+                }
+
+                if (checkpoint)
+                    checkpoint->append(run);
+                batch.runs[i - first] = std::move(run);
+
+                uint64_t done =
+                    completed.fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1;
+                if (config.progressEvery > 0 &&
+                    (done % config.progressEvery == 0 ||
+                     done == config.faultyRuns)) {
+                    // Throughput and ETA from the same monotonic
+                    // clock the campaign timer uses; progress
+                    // formatting never feeds results or the
+                    // store's cache key.
+                    double elapsed_s =
+                        std::chrono::duration_cast<
+                            std::chrono::duration<double>>(
+                            std::chrono::steady_clock::now() -
+                            campaign_start)
+                            .count();
+                    double rate = elapsed_s > 0.0
+                        ? static_cast<double>(done) / elapsed_s
+                        : 0.0;
+                    double eta_s = rate > 0.0
+                        ? static_cast<double>(
+                              config.faultyRuns - done) / rate
+                        : 0.0;
+                    inform("campaign %s/%s %s: %llu/%llu runs "
+                           "(%.1f runs/s, ETA %.1fs)",
+                           meta.deviceName.c_str(),
+                           meta.workloadName.c_str(),
+                           meta.inputLabel.c_str(),
+                           static_cast<unsigned long long>(done),
+                           static_cast<unsigned long long>(
+                               config.faultyRuns),
+                           rate, eta_s);
+                }
+            }
+        }, &batchStats);
+        poolStats.absorb(batchStats);
+        ++batches;
+        sink.consume(std::move(batch));
+    }
 
     campaignTimer.recordNs(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -459,9 +524,9 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
         tl->lane(0, "campaign")
             .span("simulate", "campaign", simulate_begin,
                   tl->nowNs() - simulate_begin,
-                  {{"device", raw.deviceName},
-                   {"workload", raw.workloadName},
-                   {"input", raw.inputLabel},
+                  {{"device", meta.deviceName},
+                   {"workload", meta.workloadName},
+                   {"input", meta.inputLabel},
                    {"runs",
                     std::to_string(config.faultyRuns)},
                    {"workers", std::to_string(workers)}});
@@ -484,108 +549,64 @@ simulateCampaign(const DeviceModel &device, Workload &workload,
     // this campaign's snapshot; strip it — pool accounting is
     // global-only by design. The same goes for the global
     // "resilience.*" telemetry (watchdog flags, chaos fault
-    // tallies): it is timing- and process-shaped, while the
-    // campaign's own resilience counters (retries, resumed runs)
-    // are merged via the shards above and stay deterministic.
+    // tallies), the "stream.*" batch accounting below, and the
+    // "proc.mem.*" RSS gauges: all timing- and process-shaped,
+    // while the campaign's own resilience counters (retries,
+    // resumed runs) are merged via the shards above and stay
+    // deterministic.
     kernelDiff.entries.erase(
         std::remove_if(kernelDiff.entries.begin(),
                        kernelDiff.entries.end(),
                        [](const StatsSnapshot::Entry &e) {
                            return e.name.rfind("pool.", 0) == 0 ||
                                e.name.rfind("resilience.", 0) ==
-                                   0;
+                                   0 ||
+                               e.name.rfind("stream.", 0) == 0 ||
+                               e.name.rfind("proc.", 0) == 0;
                        }),
         kernelDiff.entries.end());
     global.merge(campaignReg.snapshot());
     campaignReg.merge(kernelDiff);
-    raw.stats = campaignReg.snapshot();
+    StatsSnapshot simStats = campaignReg.snapshot();
     publishPoolStats(poolStats, global);
-    return raw;
+    // Batch-shape accounting: global-only, like pool.* — streamed
+    // and single-batch campaigns must produce identical campaign
+    // snapshots.
+    global.counter("stream.batches").inc(batches);
+    global.gauge("stream.batch_runs")
+        .set(static_cast<double>(batchRuns));
+    // Sample RSS at campaign end — the high-water mark is what the
+    // streaming pipeline exists to bound. Global-only, like the
+    // batch accounting above.
+    publishProcMem(global);
+    sink.end(simStats);
+}
+
+CampaignRaw
+simulateCampaign(const DeviceModel &device, Workload &workload,
+                 const SimConfig &config)
+{
+    WorkerPool pool(config.jobs);
+    return simulateCampaign(device, workload, config, pool);
+}
+
+CampaignRaw
+simulateCampaign(const DeviceModel &device, Workload &workload,
+                 const SimConfig &config, WorkerPool &pool)
+{
+    CollectRawSink sink;
+    simulateCampaignStream(device, workload, config, pool, sink);
+    return sink.take();
 }
 
 CampaignResult
 analyzeCampaign(const CampaignRaw &raw,
                 const AnalysisConfig &config)
 {
-    CampaignResult result;
-    result.deviceName = raw.deviceName;
-    result.workloadName = raw.workloadName;
-    result.inputLabel = raw.inputLabel;
-    result.config.sim = raw.sim;
-    result.config.analysis = config;
-    result.launch = raw.launch;
-    result.sensitiveAreaAu = raw.sensitiveAreaAu;
-
-    std::string prefix =
-        campaignStatsPrefix(raw.deviceName, raw.workloadName);
-    StatsRegistry analysisReg;
-    Counter &filteredCount =
-        analysisReg.counter(prefix + ".filtered");
-    PhaseTimer metricsTimer(analysisReg,
-                            "campaign.phase.metrics");
-
-    TraceSink *sink = traceSink();
-    RelativeErrorFilter filter(config.filterThresholdPct);
-
-    Timeline *tl = timeline();
-    uint64_t analyze_begin = tl ? tl->nowNs() : 0;
-
-    result.runs.resize(raw.runs.size());
-    for (size_t i = 0; i < raw.runs.size(); ++i) {
-        const RawRun &in = raw.runs[i];
-        RunRecord &out = result.runs[i];
-        out.index = in.index;
-        out.strike = in.strike;
-        out.outcome = in.outcome;
-        if (in.outcome == Outcome::Sdc) {
-            ScopedTick tick(metricsTimer);
-            out.crit = analyzeCriticality(in.record, filter,
-                                          config.locality);
-            if (out.crit.executionFiltered)
-                filteredCount.inc();
-        }
-
-        if (sink) {
-            StrikeTraceRecord rec;
-            rec.run = in.index;
-            rec.device = result.deviceName;
-            rec.workload = result.workloadName;
-            rec.input = result.inputLabel;
-            rec.resource = in.strike.resource;
-            rec.manifestation = in.strike.manifestation;
-            rec.timeFraction = in.strike.timeFraction;
-            rec.burstBits = in.strike.burstBits;
-            rec.outcome = in.outcome;
-            rec.numIncorrect = out.crit.numIncorrect;
-            rec.meanRelErrPct = out.crit.meanRelErrPct;
-            rec.pattern = out.crit.pattern;
-            rec.executionFiltered = out.crit.executionFiltered;
-            rec.wallNs = in.wallNs;
-            sink->strike(rec);
-        }
-    }
-
-    if (tl) {
-        tl->lane(0, "campaign")
-            .span("analyze", "campaign", analyze_begin,
-                  tl->nowNs() - analyze_begin,
-                  {{"device", result.deviceName},
-                   {"workload", result.workloadName},
-                   {"runs",
-                    std::to_string(result.runs.size())}});
-    }
-
-    // result.stats is the union of the simulation-side telemetry
-    // carried by the raw campaign and this analysis pass; the
-    // analysis share is also published globally so process-wide
-    // tallies stay whole.
-    StatsSnapshot analysisSnap = analysisReg.snapshot();
-    StatsRegistry::global().merge(analysisSnap);
-    StatsRegistry combined;
-    combined.merge(raw.stats);
-    combined.merge(analysisSnap);
-    result.stats = combined.snapshot();
-    return result;
+    AnalysisAccumulator acc(campaignMeta(raw), config);
+    for (const RawRun &run : raw.runs)
+        acc.fold(run);
+    return acc.finish(raw.stats);
 }
 
 CampaignResult

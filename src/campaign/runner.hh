@@ -24,6 +24,7 @@
 
 #include "campaign/config.hh"
 #include "campaign/raw.hh"
+#include "campaign/stream.hh"
 #include "exec/launch.hh"
 #include "exec/pool.hh"
 #include "metrics/criticality.hh"
@@ -103,9 +104,36 @@ struct CampaignResult
 };
 
 /**
- * Simulate one campaign: the expensive half. Executes every strike
- * (kernel replays included) and returns the raw records with no
- * analysis applied.
+ * Simulate one campaign as a stream: the core engine. Executes
+ * every strike (kernel replays included) and delivers the raw
+ * records to `sink` in contiguous, index-ordered batches of
+ * config.batchRuns runs (0 = one batch spanning the campaign), so
+ * a streaming sink bounds peak memory at one batch while analysis
+ * and persistence overlap the remaining simulation. Checkpoint,
+ * resume, retry, watchdog, chaos, and progress behave exactly as
+ * in the materialized path — for any batch size and job count the
+ * delivered runs, telemetry snapshot, and informs are
+ * bit-identical.
+ */
+void simulateCampaignStream(const DeviceModel &device,
+                            Workload &workload,
+                            const SimConfig &config,
+                            RawSink &sink);
+
+/**
+ * Overload running on a caller-supplied pool (config.jobs is
+ * ignored; the pool's resolved worker count applies).
+ */
+void simulateCampaignStream(const DeviceModel &device,
+                            Workload &workload,
+                            const SimConfig &config,
+                            WorkerPool &pool, RawSink &sink);
+
+/**
+ * Simulate one campaign materialized: the expensive half. A thin
+ * adapter over simulateCampaignStream() into a CollectRawSink —
+ * executes every strike (kernel replays included) and returns the
+ * raw records with no analysis applied.
  *
  * @param device Device model.
  * @param workload Workload bound to the same device.

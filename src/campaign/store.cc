@@ -190,6 +190,208 @@ CampaignStore::load(const CampaignKey &key)
     return raw;
 }
 
+namespace
+{
+
+/**
+ * The staging sink behind CampaignStore::saveSink(): streams the
+ * campaign into "<entry>.tmp.<pid>.<tid>" via BeamLogWriter as
+ * batches arrive and renames it into place at end(), reproducing
+ * save()'s bytes, chaos corrupt-write hook, and atomicity.
+ */
+class StoreSaveSink : public RawSink
+{
+  public:
+    explicit StoreSaveSink(const CampaignStore &store)
+        : store_(&store)
+    {
+    }
+
+    void begin(const CampaignMeta &meta) override
+    {
+        CampaignKey key{meta.deviceName, meta.workloadName,
+                        meta.inputLabel, meta.sim};
+        path_ = store_->pathFor(key);
+        tmp_ = path_ +
+            strprintf(".tmp.%ld.%zu",
+                      static_cast<long>(getpid()),
+                      std::hash<std::thread::id>{}(
+                          std::this_thread::get_id()));
+        out_.open(tmp_);
+        if (!out_)
+            fatal("cannot open '%s' for beam-log output",
+                  tmp_.c_str());
+        writer_.emplace(out_);
+        writer_->header(meta.deviceName, meta.workloadName,
+                        meta.inputLabel, meta.sim.seed,
+                        meta.sim.faultyRuns,
+                        meta.sensitiveAreaAu);
+    }
+
+    void consume(RunBatch &&batch) override
+    {
+        for (const RawRun &run : batch.runs)
+            writer_->append(run);
+    }
+
+    void end(const StatsSnapshot &) override
+    {
+        out_.flush();
+        if (!out_)
+            fatal("write error on beam log '%s'", tmp_.c_str());
+        out_.close();
+        // Same planned corrupt-write fault as save(): truncate the
+        // staged entry before the rename, exercising the load
+        // path's retry-then-quarantine recovery.
+        if (ChaosEngine *engine = chaos()) {
+            if (engine->shouldCorruptWrite("store")) {
+                std::error_code tec;
+                uint64_t size =
+                    std::filesystem::file_size(tmp_, tec);
+                if (!tec)
+                    std::filesystem::resize_file(tmp_, size / 2,
+                                                 tec);
+            }
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp_, path_, ec);
+        if (ec) {
+            std::filesystem::remove(tmp_);
+            fatal("cannot move campaign cache entry into '%s': %s",
+                  path_.c_str(), ec.message().c_str());
+        }
+    }
+
+  private:
+    const CampaignStore *store_;
+    std::string path_;
+    std::string tmp_;
+    std::ofstream out_;
+    std::optional<BeamLogWriter> writer_;
+};
+
+} // anonymous namespace
+
+bool
+CampaignStore::loadStream(const CampaignKey &key,
+                          const KernelLaunch &launch,
+                          RawSink &sink, uint64_t batchRuns)
+{
+    std::string path = pathFor(key);
+    Counter &hit =
+        StatsRegistry::global().counter("campaign.store.hit");
+    Counter &miss =
+        StatsRegistry::global().counter("campaign.store.miss");
+
+    if (!std::filesystem::exists(path)) {
+        ++misses_;
+        miss.inc();
+        return false;
+    }
+
+    // Validate the whole entry record by record before the sink
+    // sees anything: a streaming consumer cannot un-consume
+    // batches, so a corrupt tail discovered halfway through would
+    // otherwise poison it. Two validation attempts, like load(),
+    // to tolerate a rename racing the exists() check; then
+    // quarantine.
+    auto validate = [&](std::string *error) -> bool {
+        std::ifstream in(path);
+        if (!in) {
+            if (error)
+                *error = strprintf("cannot open beam log '%s'",
+                                   path.c_str());
+            return false;
+        }
+        try {
+            BeamLogReader reader(in);
+            if (reader.device() != key.device ||
+                reader.workload() != key.workload ||
+                reader.input() != key.input ||
+                reader.seed() != key.sim.seed ||
+                reader.declaredRuns() != key.sim.faultyRuns) {
+                if (error)
+                    *error = strprintf(
+                        "entry does not match its key (%s/%s %s "
+                        "seed=%llu runs=%llu)",
+                        key.device.c_str(), key.workload.c_str(),
+                        key.input.c_str(),
+                        static_cast<unsigned long long>(
+                            key.sim.seed),
+                        static_cast<unsigned long long>(
+                            key.sim.faultyRuns));
+                return false;
+            }
+            while (reader.next()) {
+            }
+        } catch (const BeamLogParseError &e) {
+            if (error)
+                *error = e.what();
+            return false;
+        }
+        return true;
+    };
+
+    std::string error;
+    bool valid = validate(&error) || validate(&error);
+    if (!valid) {
+        quarantine(path, error.c_str());
+        ++misses_;
+        miss.inc();
+        return false;
+    }
+
+    // Stream pass over the validated bytes. The meta carries the
+    // caller's sim config and launch (execution details outside
+    // the key, exactly like the materialized hit path), and the
+    // sink's end() gets the rebuilt simulation counters.
+    std::ifstream in(path);
+    if (!in) {
+        ++misses_;
+        miss.inc();
+        return false;
+    }
+    try {
+        BeamLogSource source(in, batchRuns);
+        CampaignMeta meta = source.meta();
+        meta.sim = key.sim;
+        meta.launch = launch;
+
+        SimStatsRebuilder rebuilder(meta.deviceName,
+                                    meta.workloadName,
+                                    meta.sensitiveAreaAu,
+                                    launch.occupancy);
+        sink.begin(meta);
+        RunBatch batch;
+        while (source.next(batch)) {
+            for (const RawRun &run : batch.runs)
+                rebuilder.fold(run);
+            sink.consume(std::move(batch));
+            batch = RunBatch{};
+        }
+        sink.end(rebuilder.finish(StatsRegistry::global()));
+    } catch (const BeamLogParseError &e) {
+        // The entry validated moments ago; bytes changing under a
+        // mid-stream reader mean something is rewriting cache
+        // entries in place, which no writer in this repo does.
+        // The sink may already have consumed batches, so there is
+        // no clean miss to fall back to.
+        fatal("campaign cache entry '%s' changed while "
+              "streaming: %s",
+              path.c_str(), e.what());
+    }
+
+    ++hits_;
+    hit.inc();
+    return true;
+}
+
+std::unique_ptr<RawSink>
+CampaignStore::saveSink()
+{
+    return std::make_unique<StoreSaveSink>(*this);
+}
+
 void
 CampaignStore::save(const CampaignRaw &raw)
 {
@@ -258,6 +460,35 @@ simulateOrLoad(const DeviceModel &device, Workload &workload,
     if (store)
         store->save(raw);
     return raw;
+}
+
+void
+simulateOrLoadStream(const DeviceModel &device, Workload &workload,
+                     const SimConfig &config, CampaignStore *store,
+                     RawSink &sink, WorkerPool *pool)
+{
+    if (store) {
+        CampaignKey key{device.name, workload.name(),
+                        workload.inputLabel(), config};
+        KernelLaunch launch =
+            buildLaunch(device, workload.traits());
+        if (store->loadStream(key, launch, sink,
+                              config.batchRuns))
+            return;
+        std::unique_ptr<RawSink> save = store->saveSink();
+        TeeRawSink tee({&sink, save.get()});
+        if (pool)
+            simulateCampaignStream(device, workload, config,
+                                   *pool, tee);
+        else
+            simulateCampaignStream(device, workload, config, tee);
+        return;
+    }
+    if (pool)
+        simulateCampaignStream(device, workload, config, *pool,
+                               sink);
+    else
+        simulateCampaignStream(device, workload, config, sink);
 }
 
 } // namespace radcrit

@@ -34,6 +34,7 @@
 
 #include "campaign/config.hh"
 #include "campaign/raw.hh"
+#include "campaign/stream.hh"
 #include "exec/pool.hh"
 #include "sim/workload.hh"
 
@@ -104,6 +105,33 @@ class CampaignStore
     /** Write a campaign under its key (atomic rename into place). */
     void save(const CampaignRaw &raw);
 
+    /**
+     * Streaming lookup: feed the cached campaign to `sink` in
+     * batches of batchRuns runs (0 = one batch) without ever
+     * materializing it. The entry is fully validated record by
+     * record *before* the sink sees anything (a corrupt tail must
+     * not poison a sink that already consumed batches); validation
+     * failures follow the same retry-then-quarantine policy as
+     * load(). The sink receives meta with the caller's sim config
+     * and `launch` (execution details outside the key), and
+     * end() gets the rebuilt simulation counters — matching what
+     * simulateOrLoad() puts in a materialized hit.
+     *
+     * @return true on a hit (the sink consumed the campaign),
+     * false on a miss (the sink was not touched).
+     */
+    bool loadStream(const CampaignKey &key,
+                    const KernelLaunch &launch, RawSink &sink,
+                    uint64_t batchRuns);
+
+    /**
+     * @return a sink that persists the stream it is fed under the
+     * key derived from its meta: staged to a tmp file as batches
+     * arrive, atomically renamed into place at end(). The bytes
+     * are identical to save() over the materialized campaign.
+     */
+    std::unique_ptr<RawSink> saveSink();
+
     /** @return hits recorded by this store instance. */
     uint64_t hits() const { return hits_.load(); }
 
@@ -154,6 +182,22 @@ CampaignRaw simulateOrLoad(const DeviceModel &device,
                            const SimConfig &config,
                            CampaignStore *store,
                            WorkerPool *pool = nullptr);
+
+/**
+ * Streaming counterpart of simulateOrLoad(): the campaign flows
+ * into `sink` batch by batch — from the cache on a hit
+ * (CampaignStore::loadStream()), otherwise from the engine with a
+ * tee into the store's saveSink() — so neither path materializes
+ * the raw campaign. With store == null this is exactly
+ * simulateCampaignStream(). Batch size comes from
+ * config.batchRuns; the sink observes identical batches on the
+ * hit and miss paths.
+ */
+void simulateOrLoadStream(const DeviceModel &device,
+                          Workload &workload,
+                          const SimConfig &config,
+                          CampaignStore *store, RawSink &sink,
+                          WorkerPool *pool = nullptr);
 
 } // namespace radcrit
 

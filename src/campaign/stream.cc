@@ -1,0 +1,115 @@
+#include "campaign/stream.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace radcrit
+{
+
+CampaignMeta
+campaignMeta(const CampaignRaw &raw)
+{
+    CampaignMeta meta;
+    meta.deviceName = raw.deviceName;
+    meta.workloadName = raw.workloadName;
+    meta.inputLabel = raw.inputLabel;
+    meta.sim = raw.sim;
+    meta.launch = raw.launch;
+    meta.sensitiveAreaAu = raw.sensitiveAreaAu;
+    return meta;
+}
+
+void
+CollectRawSink::begin(const CampaignMeta &meta)
+{
+    raw_ = CampaignRaw{};
+    raw_.deviceName = meta.deviceName;
+    raw_.workloadName = meta.workloadName;
+    raw_.inputLabel = meta.inputLabel;
+    raw_.sim = meta.sim;
+    raw_.launch = meta.launch;
+    raw_.sensitiveAreaAu = meta.sensitiveAreaAu;
+    raw_.runs.reserve(meta.sim.faultyRuns);
+}
+
+void
+CollectRawSink::consume(RunBatch &&batch)
+{
+    raw_.runs.insert(raw_.runs.end(),
+                     std::make_move_iterator(batch.runs.begin()),
+                     std::make_move_iterator(batch.runs.end()));
+}
+
+void
+CollectRawSink::end(const StatsSnapshot &simStats)
+{
+    raw_.stats = simStats;
+}
+
+CampaignRawSource::CampaignRawSource(const CampaignRaw &raw,
+                                     uint64_t batchRuns)
+    : raw_(&raw), meta_(campaignMeta(raw)),
+      batchRuns_(batchRuns == 0 ? raw.runs.size() : batchRuns)
+{
+}
+
+bool
+CampaignRawSource::next(RunBatch &batch)
+{
+    if (nextIndex_ >= raw_->runs.size())
+        return false;
+    uint64_t count = std::min<uint64_t>(
+        batchRuns_, raw_->runs.size() - nextIndex_);
+    batch.firstIndex = nextIndex_;
+    batch.runs.assign(raw_->runs.begin() + nextIndex_,
+                      raw_->runs.begin() + nextIndex_ + count);
+    nextIndex_ += count;
+    return true;
+}
+
+TeeRawSink::TeeRawSink(std::vector<RawSink *> sinks)
+    : sinks_(std::move(sinks))
+{
+}
+
+void
+TeeRawSink::begin(const CampaignMeta &meta)
+{
+    for (RawSink *sink : sinks_)
+        sink->begin(meta);
+}
+
+void
+TeeRawSink::consume(RunBatch &&batch)
+{
+    for (size_t i = 0; i + 1 < sinks_.size(); ++i) {
+        RunBatch copy = batch;
+        sinks_[i]->consume(std::move(copy));
+    }
+    if (!sinks_.empty())
+        sinks_.back()->consume(std::move(batch));
+}
+
+void
+TeeRawSink::end(const StatsSnapshot &simStats)
+{
+    for (RawSink *sink : sinks_)
+        sink->end(simStats);
+}
+
+uint64_t
+pumpRaw(RawSource &source, RawSink &sink)
+{
+    sink.begin(source.meta());
+    uint64_t pumped = 0;
+    RunBatch batch;
+    while (source.next(batch)) {
+        pumped += batch.runs.size();
+        sink.consume(std::move(batch));
+        batch = RunBatch{};
+    }
+    sink.end(source.simStats());
+    return pumped;
+}
+
+} // namespace radcrit

@@ -54,6 +54,18 @@ PoolRunStats::utilization() const
     return std::min(static_cast<double>(busyNs()) / capacity, 1.0);
 }
 
+void
+PoolRunStats::absorb(const PoolRunStats &other)
+{
+    wallNs += other.wallNs;
+    if (workers.size() < other.workers.size())
+        workers.resize(other.workers.size());
+    for (size_t w = 0; w < other.workers.size(); ++w) {
+        workers[w].busyNs += other.workers[w].busyNs;
+        workers[w].items += other.workers[w].items;
+    }
+}
+
 WorkerPool::WorkerPool(unsigned jobs)
     : jobs_(resolveJobs(jobs))
 {

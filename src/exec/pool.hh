@@ -75,6 +75,16 @@ struct PoolRunStats
      * worker computed for the full dispatch. 0 when no work ran.
      */
     double utilization() const;
+
+    /**
+     * Fold another dispatch's accounting into this one: wall time
+     * adds up, and each worker's busy time and item count add up
+     * by worker id. The streaming campaign runner dispatches once
+     * per batch but publishes one pool.* record per campaign, so
+     * single-batch and multi-batch campaigns report through the
+     * same instruments.
+     */
+    void absorb(const PoolRunStats &other);
 };
 
 /**

@@ -262,6 +262,38 @@ struct RecordParser
     }
 };
 
+/** Parsed #HEADER fields (shared by the whole-log parser and the
+ * incremental reader). */
+struct HeaderFields
+{
+    std::string device;
+    std::string workload;
+    std::string input;
+    uint64_t seed = 0;
+    uint64_t runs = 0;
+    double sensitiveAreaAu = 0.0;
+};
+
+HeaderFields
+parseHeaderLine(std::istringstream &iss, const std::string &line)
+{
+    auto fields = parseFields(iss, line);
+    int64_t version = toInt(need(fields, "version", line), line);
+    if (version != beamLogVersion)
+        throw BeamLogParseError(strprintf(
+            "unsupported beam-log version %lld (expected %d)",
+            static_cast<long long>(version), beamLogVersion));
+    HeaderFields header;
+    header.device = need(fields, "device", line);
+    header.workload = need(fields, "workload", line);
+    header.input = need(fields, "input", line);
+    header.seed = toUint(need(fields, "seed", line), line);
+    header.runs = toUint(need(fields, "runs", line), line);
+    header.sensitiveAreaAu =
+        toDouble(need(fields, "sensitive_area_au", line), line);
+    return header;
+}
+
 /** Parse core of readBeamLog(); throws BeamLogParseError. */
 CampaignRaw
 parseBeamLog(std::istream &is)
@@ -279,25 +311,14 @@ parseBeamLog(std::istream &is)
         std::string keyword;
         iss >> keyword;
         if (keyword == "#HEADER") {
-            auto fields = parseFields(iss, line);
-            int64_t version =
-                toInt(need(fields, "version", line), line);
-            if (version != beamLogVersion)
-                throw BeamLogParseError(strprintf(
-                    "unsupported beam-log version %lld "
-                    "(expected %d)",
-                    static_cast<long long>(version),
-                    beamLogVersion));
-            raw.deviceName = need(fields, "device", line);
-            raw.workloadName = need(fields, "workload", line);
-            raw.inputLabel = need(fields, "input", line);
-            raw.sim.seed = toUint(need(fields, "seed", line),
-                                  line);
-            declared_runs = toUint(need(fields, "runs", line),
-                                   line);
+            HeaderFields header = parseHeaderLine(iss, line);
+            raw.deviceName = header.device;
+            raw.workloadName = header.workload;
+            raw.inputLabel = header.input;
+            raw.sim.seed = header.seed;
+            declared_runs = header.runs;
             raw.sim.faultyRuns = declared_runs;
-            raw.sensitiveAreaAu = toDouble(
-                need(fields, "sensitive_area_au", line), line);
+            raw.sensitiveAreaAu = header.sensitiveAreaAu;
             have_header = true;
         } else if (auto run = records.consume(keyword, iss,
                                               line)) {
@@ -335,20 +356,151 @@ shardHeader(const CampaignRaw &raw)
 } // anonymous namespace
 
 void
-writeBeamLog(const CampaignRaw &raw, std::ostream &os)
+BeamLogWriter::header(const std::string &device,
+                      const std::string &workload,
+                      const std::string &input, uint64_t seed,
+                      uint64_t runs, double sensitive_area_au)
 {
     char buf[128];
-    std::snprintf(buf, sizeof(buf), "%.17g", raw.sensitiveAreaAu);
-    os << "#HEADER version=" << beamLogVersion
-       << " device=" << encodeValue(raw.deviceName)
-       << " workload=" << encodeValue(raw.workloadName)
-       << " input=" << encodeValue(raw.inputLabel)
-       << " seed=" << raw.sim.seed
-       << " runs=" << raw.runs.size()
-       << " sensitive_area_au=" << buf << '\n';
+    std::snprintf(buf, sizeof(buf), "%.17g", sensitive_area_au);
+    *os_ << "#HEADER version=" << beamLogVersion
+         << " device=" << encodeValue(device)
+         << " workload=" << encodeValue(workload)
+         << " input=" << encodeValue(input)
+         << " seed=" << seed
+         << " runs=" << runs
+         << " sensitive_area_au=" << buf << '\n';
+}
 
-    for (size_t i = 0; i < raw.runs.size(); ++i)
-        writeRunRecord(os, raw.runs[i], i);
+void
+BeamLogWriter::append(const RawRun &run)
+{
+    writeRunRecord(*os_, run, appended_);
+    ++appended_;
+}
+
+struct BeamLogReader::ParserState
+{
+    RecordParser records;
+};
+
+BeamLogReader::BeamLogReader(std::istream &is)
+    : is_(&is), state_(std::make_shared<ParserState>())
+{
+    std::string line;
+    while (std::getline(*is_, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string keyword;
+        iss >> keyword;
+        if (keyword != "#HEADER")
+            throw BeamLogParseError("beam log has no #HEADER");
+        HeaderFields header = parseHeaderLine(iss, line);
+        device_ = header.device;
+        workload_ = header.workload;
+        input_ = header.input;
+        seed_ = header.seed;
+        declaredRuns_ = header.runs;
+        sensitiveAreaAu_ = header.sensitiveAreaAu;
+        return;
+    }
+    throw BeamLogParseError("beam log has no #HEADER");
+}
+
+std::optional<RawRun>
+BeamLogReader::next()
+{
+    if (done_)
+        return std::nullopt;
+    std::string line;
+    while (std::getline(*is_, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream iss(line);
+        std::string keyword;
+        iss >> keyword;
+        if (auto run = state_->records.consume(keyword, iss,
+                                               line)) {
+            ++read_;
+            return run;
+        }
+    }
+    if (state_->records.inRun)
+        throw BeamLogParseError(strprintf(
+            "beam log truncated inside run %llu",
+            static_cast<unsigned long long>(
+                state_->records.current.index)));
+    done_ = true;
+    if (read_ != declaredRuns_)
+        throw BeamLogParseError(strprintf(
+            "beam log declares %llu runs but contains %llu",
+            static_cast<unsigned long long>(declaredRuns_),
+            static_cast<unsigned long long>(read_)));
+    return std::nullopt;
+}
+
+BeamLogSource::BeamLogSource(std::istream &is, uint64_t batchRuns)
+    : reader_(is),
+      batchRuns_(batchRuns == 0
+                 ? std::max<uint64_t>(reader_.declaredRuns(), 1)
+                 : batchRuns)
+{
+    meta_.deviceName = reader_.device();
+    meta_.workloadName = reader_.workload();
+    meta_.inputLabel = reader_.input();
+    meta_.sim.seed = reader_.seed();
+    meta_.sim.faultyRuns = reader_.declaredRuns();
+    meta_.sensitiveAreaAu = reader_.sensitiveAreaAu();
+}
+
+bool
+BeamLogSource::next(RunBatch &batch)
+{
+    batch.firstIndex = nextIndex_;
+    batch.runs.clear();
+    batch.runs.reserve(std::min<uint64_t>(
+        batchRuns_, reader_.declaredRuns() - std::min<uint64_t>(
+                        nextIndex_, reader_.declaredRuns())));
+    while (batch.runs.size() < batchRuns_) {
+        auto run = reader_.next();
+        if (!run)
+            break;
+        batch.runs.push_back(std::move(*run));
+    }
+    nextIndex_ += batch.runs.size();
+    return !batch.runs.empty();
+}
+
+void
+BeamLogSink::begin(const CampaignMeta &meta)
+{
+    writer_.header(meta.deviceName, meta.workloadName,
+                   meta.inputLabel, meta.sim.seed,
+                   meta.sim.faultyRuns, meta.sensitiveAreaAu);
+}
+
+void
+BeamLogSink::consume(RunBatch &&batch)
+{
+    for (const RawRun &run : batch.runs)
+        writer_.append(run);
+}
+
+void
+BeamLogSink::end(const StatsSnapshot &)
+{
+}
+
+void
+writeBeamLog(const CampaignRaw &raw, std::ostream &os)
+{
+    BeamLogWriter writer(os);
+    writer.header(raw.deviceName, raw.workloadName,
+                  raw.inputLabel, raw.sim.seed, raw.runs.size(),
+                  raw.sensitiveAreaAu);
+    for (const RawRun &run : raw.runs)
+        writer.append(run);
 }
 
 void

@@ -48,6 +48,8 @@
 
 #include <fstream>
 #include <iosfwd>
+#include <istream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -55,6 +57,7 @@
 #include <vector>
 
 #include "campaign/raw.hh"
+#include "campaign/stream.hh"
 
 namespace radcrit
 {
@@ -119,6 +122,144 @@ tryReadBeamLog(std::istream &is, std::string *error = nullptr);
 std::optional<CampaignRaw>
 tryReadBeamLogFile(const std::string &path,
                    std::string *error = nullptr);
+
+/**
+ * Incremental record-at-a-time beam-log writer: the streaming
+ * counterpart of writeBeamLog() (which is implemented on top of
+ * it). header() emits the #HEADER line up front with the declared
+ * run count; append() serializes one run — so a streamed campaign
+ * can be persisted as workers retire batches, without ever
+ * materializing the CampaignRaw. The byte stream is identical to
+ * writeBeamLog() over the same runs.
+ */
+class BeamLogWriter
+{
+  public:
+    /** @param os Destination; must outlive the writer. */
+    explicit BeamLogWriter(std::ostream &os) : os_(&os) {}
+
+    /** Emit the #HEADER line. Call once, before any append(). */
+    void header(const std::string &device,
+                const std::string &workload,
+                const std::string &input, uint64_t seed,
+                uint64_t runs, double sensitive_area_au);
+
+    /**
+     * Serialize one run. Records carry sequential indices in
+     * append order, matching writeBeamLog()'s loop index.
+     */
+    void append(const RawRun &run);
+
+    /** @return records appended so far. */
+    uint64_t appended() const { return appended_; }
+
+  private:
+    std::ostream *os_;
+    uint64_t appended_ = 0;
+};
+
+/**
+ * Incremental record-at-a-time beam-log reader: parses the #HEADER
+ * eagerly (it must be the first non-empty line, which every writer
+ * in this repo guarantees) and then yields one run per next() call,
+ * so consumers — `radcrit_cli analyze --stream`, streaming store
+ * loads — never hold more than the record in flight. Applies the
+ * same validation as readBeamLog(): version check, truncation
+ * inside a run, and declared-vs-actual run count (at end of
+ * stream), all reported as BeamLogParseError.
+ */
+class BeamLogReader
+{
+  public:
+    /**
+     * @param is Source; must outlive the reader. Throws
+     * BeamLogParseError when the header is missing or malformed.
+     */
+    explicit BeamLogReader(std::istream &is);
+
+    /** Campaign identity parsed from the header. */
+    const std::string &device() const { return device_; }
+    const std::string &workload() const { return workload_; }
+    const std::string &input() const { return input_; }
+    uint64_t seed() const { return seed_; }
+    /** Run count the header declares. */
+    uint64_t declaredRuns() const { return declaredRuns_; }
+    double sensitiveAreaAu() const { return sensitiveAreaAu_; }
+
+    /**
+     * Parse the next run record. Throws BeamLogParseError on
+     * malformed input, a log truncated inside a run, or a complete
+     * log whose record count contradicts the header.
+     *
+     * @return nullopt at a clean end of stream.
+     */
+    std::optional<RawRun> next();
+
+    /** @return records returned by next() so far. */
+    uint64_t read() const { return read_; }
+
+  private:
+    std::istream *is_;
+    std::string device_;
+    std::string workload_;
+    std::string input_;
+    uint64_t seed_ = 0;
+    uint64_t declaredRuns_ = 0;
+    double sensitiveAreaAu_ = 0.0;
+    uint64_t read_ = 0;
+    bool done_ = false;
+    // Incremental record parser state, kept opaque here (defined
+    // in the .cc alongside the shared record grammar).
+    struct ParserState;
+    std::shared_ptr<ParserState> state_;
+};
+
+/**
+ * RawSource over a beam log: meta from the header (launch
+ * default-constructed, exactly like readBeamLog()), runs in
+ * batches of batchRuns (0 = one batch). simStats() is empty — a
+ * standalone log read carries no simulation telemetry, matching
+ * CampaignRaw::stats after readBeamLog().
+ */
+class BeamLogSource : public RawSource
+{
+  public:
+    /** Throws BeamLogParseError on a missing/malformed header. */
+    BeamLogSource(std::istream &is, uint64_t batchRuns);
+
+    const CampaignMeta &meta() const override { return meta_; }
+    bool next(RunBatch &batch) override;
+    StatsSnapshot simStats() override { return {}; }
+
+  private:
+    BeamLogReader reader_;
+    CampaignMeta meta_;
+    uint64_t batchRuns_;
+    uint64_t nextIndex_ = 0;
+};
+
+/**
+ * RawSink writing the stream to a beam log as batches arrive. The
+ * bytes are identical to writeBeamLog() over the materialized
+ * campaign (header run count comes from meta.sim.faultyRuns, which
+ * equals the delivered run count for a complete stream).
+ */
+class BeamLogSink : public RawSink
+{
+  public:
+    /** @param os Destination; must outlive the sink. */
+    explicit BeamLogSink(std::ostream &os) : writer_(os) {}
+
+    void begin(const CampaignMeta &meta) override;
+    void consume(RunBatch &&batch) override;
+    void end(const StatsSnapshot &simStats) override;
+
+    /** @return records written. */
+    uint64_t written() const { return writer_.appended(); }
+
+  private:
+    BeamLogWriter writer_;
+};
 
 /**
  * Append-only writer of a checkpoint shard: one #SHARD header, then

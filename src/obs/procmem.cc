@@ -1,0 +1,66 @@
+#include "obs/procmem.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace radcrit
+{
+
+namespace
+{
+
+/** Parse "VmHWM:    1234 kB" into bytes; 0 when absent. */
+uint64_t
+parseKbLine(const std::string &line)
+{
+    const char *p = line.c_str();
+    while (*p && (*p < '0' || *p > '9'))
+        ++p;
+    if (!*p)
+        return 0;
+    return std::strtoull(p, nullptr, 10) * 1024;
+}
+
+} // anonymous namespace
+
+ProcMemSample
+readProcMem()
+{
+    ProcMemSample sample;
+    std::ifstream status("/proc/self/status");
+    if (!status)
+        return sample;
+    std::string line;
+    bool peak = false;
+    bool current = false;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            sample.peakRssBytes = parseKbLine(line);
+            peak = true;
+        } else if (line.rfind("VmRSS:", 0) == 0) {
+            sample.currentRssBytes = parseKbLine(line);
+            current = true;
+        }
+        if (peak && current)
+            break;
+    }
+    sample.valid = peak && current;
+    return sample;
+}
+
+ProcMemSample
+publishProcMem(StatsRegistry &reg)
+{
+    ProcMemSample sample = readProcMem();
+    if (!sample.valid)
+        return sample;
+    reg.gauge("proc.mem.peak_rss_bytes")
+        .set(static_cast<double>(sample.peakRssBytes));
+    reg.gauge("proc.mem.current_rss_bytes")
+        .set(static_cast<double>(sample.currentRssBytes));
+    return sample;
+}
+
+} // namespace radcrit

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "campaign/stream.hh"
 #include "common/logging.hh"
 #include "suite/experiment.hh"
 #include "suite/spec.hh"
@@ -107,9 +108,20 @@ SuiteContext::campaignRaw(const DeviceModel &device,
                                          workload.name(),
                                          workload.inputLabel());
     cfg.sim.jobs = options_.jobs;
+    cfg.sim.batchRuns = options_.batchRuns;
     uint64_t hits_before = store_ ? store_->hits() : 0;
-    CampaignRaw raw = simulateOrLoad(device, workload, cfg.sim,
-                                     store_, &pool_);
+    CampaignRaw raw;
+    if (options_.stream) {
+        // Streamed engine and store I/O; the collect sink
+        // materializes the result the experiments consume.
+        CollectRawSink collect;
+        simulateOrLoadStream(device, workload, cfg.sim, store_,
+                             collect, &pool_);
+        raw = collect.take();
+    } else {
+        raw = simulateOrLoad(device, workload, cfg.sim, store_,
+                             &pool_);
+    }
     bool cached = store_ && store_->hits() > hits_before;
     if (cached)
         ++unplannedHits_;

@@ -111,6 +111,16 @@ class SuiteContext
         bool writeCsv = true;
         /** --runs override; < 0 = per-experiment default. */
         int64_t runsOverride = -1;
+        /**
+         * Simulate/persist campaigns through the streaming
+         * pipeline (--stream). The suite's dedup plan still
+         * materializes each distinct campaign once — experiments
+         * consume CampaignRaw — but the engine retires batches of
+         * batchRuns and the store saves/loads flow batch by batch.
+         */
+        bool stream = false;
+        /** Streamed batch size; resolved to 4096 under --stream. */
+        uint64_t batchRuns = 0;
     };
 
     /**
@@ -136,6 +146,12 @@ class SuiteContext
 
     /** @return whether CSV side-outputs are wanted. */
     bool writeCsv() const { return options_.writeCsv; }
+
+    /** @return whether campaigns run the streaming pipeline. */
+    bool stream() const { return options_.stream; }
+
+    /** @return the streamed batch size (0 = single batch). */
+    uint64_t batchRuns() const { return options_.batchRuns; }
 
     /** @return the run count for an experiment (--runs override
      * or the experiment's default). */

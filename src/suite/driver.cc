@@ -62,10 +62,31 @@ addStandardOptions(CliParser &cli, int64_t default_runs)
                   "output directory (default: $RADCRIT_BENCH_OUT "
                   "or bench_out)");
     cli.addFlag("no-csv", "skip CSV side-output files");
+    cli.addFlag("stream",
+                "simulate and persist campaigns through the "
+                "bounded-memory streaming pipeline (results are "
+                "byte-identical to the materialized default)");
+    cli.addInt("batch-runs", 0,
+               "runs per streamed batch (0 = 4096 with --stream)");
     cli.addString("chaos", envOr("RADCRIT_CHAOS", ""),
                   "deterministic harness-fault injection spec "
                   "(e.g. seed=42,runs=300,throws=3,attempts=2; "
                   "default from RADCRIT_CHAOS; empty = off)");
+}
+
+/** Resolve --stream/--batch-runs into the context options. */
+void
+resolveStreamOptions(const CliParser &cli,
+                     SuiteContext::Options &options)
+{
+    if (cli.getInt("batch-runs") < 0)
+        fatal("--batch-runs must be >= 0 (got %lld)",
+              static_cast<long long>(cli.getInt("batch-runs")));
+    options.stream = cli.getFlag("stream");
+    options.batchRuns =
+        static_cast<uint64_t>(cli.getInt("batch-runs"));
+    if (options.stream && options.batchRuns == 0)
+        options.batchRuns = 4096;
 }
 
 /**
@@ -236,7 +257,7 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
     StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{6});
+        obj.field("schema", uint64_t{7});
         obj.field("suite", "radcrit_suite");
         obj.field("jobs", static_cast<uint64_t>(ctx.jobs()));
         obj.field("experiments_run",
@@ -283,6 +304,9 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
 
         obj.beginRawField("resilience");
         writeResilienceJson(out, snap, 4);
+
+        obj.beginRawField("memory");
+        writeMemoryJson(out, snap, 4);
 
         obj.beginRawField("experiments");
         {
@@ -360,13 +384,15 @@ runSuite(int argc, char **argv)
     options.jobs = jobs;
     options.writeCsv = !cli.getFlag("no-csv");
     options.runsOverride = cli.getInt("runs");
+    resolveStreamOptions(cli, options);
     SuiteContext ctx(options, store.get(), pool);
     ctx.setCli(&cli);
 
     std::printf("radcrit_suite: %zu experiment(s), jobs=%u, "
-                "cache=%s\n",
+                "cache=%s%s\n",
                 selected.size(), jobs,
-                store ? cache_dir.c_str() : "off");
+                store ? cache_dir.c_str() : "off",
+                options.stream ? ", stream" : "");
 
     uint64_t suite_start = nowNs();
     ScheduleStats sched = scheduleCampaigns(selected, ctx);
@@ -491,6 +517,7 @@ experimentShimMain(const std::string &name, int argc, char **argv)
     options.jobs = jobs;
     options.writeCsv = !cli.getFlag("no-csv");
     options.runsOverride = cli.getInt("runs");
+    resolveStreamOptions(cli, options);
     SuiteContext ctx(options, store.get(), pool);
     ctx.setCli(&cli);
 

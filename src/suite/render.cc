@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "obs/json.hh"
+#include "obs/procmem.hh"
 #include "obs/stats_registry.hh"
 
 namespace radcrit
@@ -121,6 +122,22 @@ writeResilienceJson(std::ostream &os, const StatsSnapshot &snap,
 }
 
 void
+writeMemoryJson(std::ostream &os, const StatsSnapshot &snap,
+                int indent)
+{
+    ProcMemSample mem = readProcMem();
+    JsonObjectWriter m(os, indent);
+    // Invalid samples (no /proc) report zeros rather than dropping
+    // the fields; consumers never need existence checks.
+    m.field("peak_rss_bytes", mem.peakRssBytes);
+    m.field("current_rss_bytes", mem.currentRssBytes);
+    m.field("stream_batches",
+            static_cast<uint64_t>(snap.value("stream.batches")));
+    m.field("batch_runs",
+            static_cast<uint64_t>(snap.value("stream.batch_runs")));
+}
+
+void
 writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
 {
     const BenchRecorder &rec = ctx.recorder();
@@ -134,7 +151,7 @@ writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
     StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{6});
+        obj.field("schema", uint64_t{7});
         obj.field("bench", bench_name);
         obj.field("campaigns", rec.campaigns);
         obj.field("jobs", static_cast<uint64_t>(rec.jobs));
@@ -176,6 +193,8 @@ writeBenchJson(SuiteContext &ctx, const std::string &bench_name)
         }
         obj.beginRawField("resilience");
         writeResilienceJson(out, snap, 4);
+        obj.beginRawField("memory");
+        writeMemoryJson(out, snap, 4);
         obj.beginRawField("stats");
         snap.writeJson(out, 2);
         obj.close();

@@ -43,26 +43,37 @@ void renderLocalityFigure(
 
 /**
  * Emit one experiment's machine-readable results as
- * <outputDir>/<bench_name>.json (schema 6): campaign/run tallies
+ * <outputDir>/<bench_name>.json (schema 7): campaign/run tallies
  * with worker count and cache traffic, ns-per-run and parallel
  * runs-per-second, the perf-trajectory "timings" block, the
- * execution-resilience "resilience" block, and the full global
- * stats snapshot. tools/check_bench_json.py validates the shape in
- * CI.
+ * execution-resilience "resilience" block, the process "memory"
+ * block, and the full global stats snapshot.
+ * tools/check_bench_json.py validates the shape in CI.
  */
 void writeBenchJson(SuiteContext &ctx,
                     const std::string &bench_name);
 
 /**
- * Write the schema-6 "resilience" JSON object from a stats
- * snapshot: retry/resume/quarantine tallies plus the chaos fault
- * counters, all zero on a clean run. Shared by the per-bench and
- * suite documents so both carry the identical shape.
+ * Write the "resilience" JSON object from a stats snapshot:
+ * retry/resume/quarantine tallies plus the chaos fault counters,
+ * all zero on a clean run. Shared by the per-bench and suite
+ * documents so both carry the identical shape.
  *
  * @param indent Indentation level handed to JsonObjectWriter.
  */
 void writeResilienceJson(std::ostream &os,
                          const StatsSnapshot &snap, int indent);
+
+/**
+ * Write the schema-7 "memory" JSON object: a live
+ * /proc/self/status RSS sample (peak_rss_bytes /
+ * current_rss_bytes, 0 when /proc is unavailable) plus the
+ * streaming pipeline's batch accounting from the stats snapshot
+ * (stream_batches, batch_runs — 0 on a materialized run). Shared
+ * by the per-bench and suite documents.
+ */
+void writeMemoryJson(std::ostream &os, const StatsSnapshot &snap,
+                     int indent);
 
 } // namespace radcrit
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "campaign/stream.hh"
 #include "common/logging.hh"
 #include "suite/experiment.hh"
 #include "suite/spec.hh"
@@ -32,12 +33,23 @@ scheduleCampaigns(const std::vector<Experiment *> &experiments,
                 req.runs, device.name, workload->name(),
                 workload->inputLabel());
             cfg.sim.jobs = ctx.jobs();
+            cfg.sim.batchRuns = ctx.batchRuns();
             uint64_t hits_before =
                 ctx.store() ? ctx.store()->hits() : 0;
             auto start = std::chrono::steady_clock::now();
-            CampaignRaw raw = simulateOrLoad(
-                device, *workload, cfg.sim, ctx.store(),
-                &ctx.pool());
+            CampaignRaw raw;
+            if (ctx.stream()) {
+                // Batched engine + streamed store I/O; the plan
+                // entry itself stays materialized for reuse.
+                CollectRawSink collect;
+                simulateOrLoadStream(device, *workload, cfg.sim,
+                                     ctx.store(), collect,
+                                     &ctx.pool());
+                raw = collect.take();
+            } else {
+                raw = simulateOrLoad(device, *workload, cfg.sim,
+                                     ctx.store(), &ctx.pool());
+            }
             auto wall_ns = static_cast<uint64_t>(
                 std::chrono::duration_cast<
                     std::chrono::nanoseconds>(

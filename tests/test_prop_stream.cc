@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property-based tests of the streaming campaign pipeline: for all
+ * four kernels, arbitrary batch sizes (including 1 and sizes larger
+ * than the campaign), and jobs in {1, 2, 8}, the streamed
+ * simulate→analyze path produces bit-identical analysis results,
+ * identical CSV rows, and identical strike traces (modulo wallNs,
+ * the per-run wall time, which no two executions share) to the
+ * materialized baseline.
+ *
+ * A falsified property prints a RADCRIT_PROPTEST_SEED for replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "campaign/analysis.hh"
+#include "campaign/paperconfigs.hh"
+#include "campaign/runner.hh"
+#include "campaign/series.hh"
+#include "check/prop.hh"
+#include "kernels/clamr.hh"
+#include "kernels/dgemm.hh"
+#include "kernels/hotspot.hh"
+#include "kernels/lavamd.hh"
+#include "obs/trace.hh"
+
+namespace radcrit
+{
+namespace
+{
+
+enum class Wl { Dgemm, LavaMd, HotSpot, Clamr };
+
+std::unique_ptr<Workload>
+makeSmall(Wl wl, const DeviceModel &device)
+{
+    switch (wl) {
+      case Wl::Dgemm:
+        return std::make_unique<Dgemm>(device, 64, 42);
+      case Wl::LavaMd:
+        return std::make_unique<LavaMd>(device, 5, 42, 2, 4, 11);
+      case Wl::HotSpot:
+        return std::make_unique<HotSpot>(device, 64, 64, 42);
+      case Wl::Clamr:
+        return std::make_unique<Clamr>(device, 64, 64, 42);
+    }
+    return nullptr;
+}
+
+/** Bit-level equality of two double values, NaN-tolerant. */
+bool
+sameDouble(double a, double b)
+{
+    return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+/** Bit-level equality of everything an analysis produces. */
+bool
+sameAnalysis(const CampaignResult &a, const CampaignResult &b)
+{
+    if (a.runs.size() != b.runs.size())
+        return false;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        const RunRecord &ra = a.runs[i];
+        const RunRecord &rb = b.runs[i];
+        if (ra.outcome != rb.outcome ||
+            ra.crit.numIncorrect != rb.crit.numIncorrect ||
+            ra.crit.pattern != rb.crit.pattern ||
+            ra.crit.executionFiltered !=
+                rb.crit.executionFiltered ||
+            !sameDouble(ra.crit.meanRelErrPct,
+                        rb.crit.meanRelErrPct)) {
+            return false;
+        }
+    }
+    return sameDouble(a.fitTotalAu(false), b.fitTotalAu(false)) &&
+        sameDouble(a.fitTotalAu(true), b.fitTotalAu(true));
+}
+
+/**
+ * Render one strike record with its wallNs zeroed: per-run wall
+ * time is the one field even two materialized reruns do not share.
+ */
+std::string
+traceModuloWall(StrikeTraceRecord rec)
+{
+    rec.wallNs = 0;
+    return strikeTraceJson(rec);
+}
+
+bool
+sameTraces(const std::vector<StrikeTraceRecord> &a,
+           const std::vector<StrikeTraceRecord> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); ++i)
+        if (traceModuloWall(a[i]) != traceModuloWall(b[i]))
+            return false;
+    return true;
+}
+
+/** Modest case counts: each case simulates small campaigns. */
+check::PropConfig
+fixedConfig(uint64_t cases)
+{
+    check::PropConfig cfg;
+    cfg.seed = 20260806;
+    cfg.cases = cases;
+    return cfg;
+}
+
+using Param = std::tuple<DeviceId, Wl>;
+
+constexpr uint64_t kRuns = 24;
+
+class StreamPropTest : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto [device_id, wl] = GetParam();
+        device_ = makeDevice(device_id);
+        workload_ = makeSmall(wl, device_);
+
+        // Materialized baseline: one batch, one worker; its
+        // analysis, CSV rows, and strike traces are the reference
+        // every streamed configuration must reproduce.
+        SimConfig cfg = simConfig();
+        MemoryTraceSink traces;
+        setTraceSink(&traces);
+        CampaignRaw raw =
+            simulateCampaign(device_, *workload_, cfg);
+        baseline_ = analyzeCampaign(raw, AnalysisConfig{});
+        setTraceSink(nullptr);
+        baselineTraces_ = traces.strikes();
+        baselineCsv_ = runRows(baseline_);
+    }
+
+    void TearDown() override { setTraceSink(nullptr); }
+
+    SimConfig
+    simConfig() const
+    {
+        SimConfig cfg;
+        cfg.faultyRuns = kRuns;
+        cfg.seed = 77;
+        return cfg;
+    }
+
+    /**
+     * Stream the campaign at (batchRuns, jobs) straight into an
+     * AnalyzeSink and compare everything against the baseline.
+     */
+    bool
+    streamedMatchesBaseline(uint64_t batch_runs, uint64_t jobs)
+    {
+        SimConfig cfg = simConfig();
+        cfg.batchRuns = batch_runs;
+        cfg.jobs = jobs;
+        MemoryTraceSink traces;
+        setTraceSink(&traces);
+        AnalyzeSink sink{AnalysisConfig{}};
+        simulateCampaignStream(device_, *workload_, cfg, sink);
+        CampaignResult streamed = sink.take();
+        setTraceSink(nullptr);
+        return sameAnalysis(baseline_, streamed) &&
+            runRows(streamed) == baselineCsv_ &&
+            sameTraces(baselineTraces_, traces.strikes());
+    }
+
+    DeviceModel device_;
+    std::unique_ptr<Workload> workload_;
+    CampaignResult baseline_;
+    std::vector<StrikeTraceRecord> baselineTraces_;
+    std::vector<std::vector<std::string>> baselineCsv_;
+};
+
+TEST_P(StreamPropTest, ArbitraryBatchSizesAreByteIdentical)
+{
+    check::PropResult r = check::forAll<int64_t>(
+        "streamed analysis/CSV/traces match materialized for any "
+        "batch size at jobs 1/2/8",
+        check::gen::intRange(1, static_cast<int64_t>(kRuns) * 2),
+        std::function<bool(const int64_t &)>(
+            [&](const int64_t &batch_runs) {
+                for (uint64_t jobs : {1, 2, 8})
+                    if (!streamedMatchesBaseline(
+                            static_cast<uint64_t>(batch_runs),
+                            jobs))
+                        return false;
+                return true;
+            }),
+        fixedConfig(6));
+    EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST_P(StreamPropTest, EdgeBatchSizesAreByteIdentical)
+{
+    // The corners the generator may not hit: single-run batches,
+    // one batch exactly the campaign, a batch larger than the
+    // campaign, and 0 (the materialized default, one batch).
+    for (uint64_t batch_runs : {uint64_t{1}, kRuns, kRuns + 7,
+                                uint64_t{0}}) {
+        for (uint64_t jobs : {1, 2, 8}) {
+            EXPECT_TRUE(streamedMatchesBaseline(batch_runs, jobs))
+                << "batchRuns=" << batch_runs << " jobs=" << jobs;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, StreamPropTest,
+    ::testing::Values(
+        Param{DeviceId::K40, Wl::Dgemm},
+        Param{DeviceId::XeonPhi, Wl::LavaMd},
+        Param{DeviceId::K40, Wl::HotSpot},
+        Param{DeviceId::XeonPhi, Wl::Clamr}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        switch (std::get<1>(info.param)) {
+          case Wl::Dgemm:
+            return std::string("Dgemm");
+          case Wl::LavaMd:
+            return std::string("LavaMd");
+          case Wl::HotSpot:
+            return std::string("HotSpot");
+          case Wl::Clamr:
+            return std::string("Clamr");
+        }
+        return std::string("Unknown");
+    });
+
+} // anonymous namespace
+} // namespace radcrit

@@ -6,11 +6,11 @@ Usage:
     check_bench_json.py --no-run <bench_binary>
     check_bench_json.py --suite <radcrit_suite.json>
 
-With --suite the argument is an existing schema-6 suite document
+With --suite the argument is an existing schema-7 suite document
 (written by `radcrit_suite run`) and is validated in place: dedup
 accounting (simulated + store_hits == distinct), totals that tally
-with the per-experiment blocks, and the pool/resilience/stats
-snapshots.
+with the per-experiment blocks, and the
+pool/resilience/memory/stats snapshots.
 
 Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
@@ -22,7 +22,7 @@ existing file is validated as-is.
 
 Validated shape:
 
-  * schema == 6 and bench matches the binary name
+  * schema == 7 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
   * jobs (worker threads per campaign) is a positive integer
   * cache_hits/cache_misses are non-negative integers and account
@@ -40,6 +40,11 @@ Validated shape:
   * resilience is the execution-resilience block: every counter
     (retries, resumes, quarantines, chaos faults) present as a
     non-negative integer — zero on a clean run, never absent
+  * memory is the schema-7 process-memory block: peak_rss_bytes /
+    current_rss_bytes from /proc/self/status (peak >= current
+    whenever both are nonzero) plus the streaming pipeline's
+    stream_batches / batch_runs accounting (zero on a
+    materialized run, never absent)
   * stats is an object of instrument entries, each with a valid
     kind, and the campaign outcome counters sum to the run tally
     (infra-quarantined runs included)
@@ -113,8 +118,37 @@ def validate_resilience(doc):
            "resilience has unexpected keys %s" % sorted(extra))
 
 
+MEMORY_KEYS = ("peak_rss_bytes", "current_rss_bytes",
+               "stream_batches", "batch_runs")
+
+
+def validate_memory(doc):
+    """Check the schema-7 process-memory block.
+
+    The RSS fields are zero only when /proc was unavailable; the
+    stream fields are zero on a purely materialized (or all-cache-
+    hit) run. All four are always present.
+    """
+    mem = doc.get("memory")
+    expect(isinstance(mem, dict),
+           "memory must be an object, got %r" % mem)
+    for key in MEMORY_KEYS:
+        expect(isinstance(mem.get(key), int) and mem[key] >= 0,
+               "memory.%s must be a non-negative integer, got %r"
+               % (key, mem.get(key)))
+    extra = set(mem) - set(MEMORY_KEYS)
+    expect(not extra,
+           "memory has unexpected keys %s" % sorted(extra))
+    if mem["peak_rss_bytes"] and mem["current_rss_bytes"]:
+        expect(mem["peak_rss_bytes"] >= mem["current_rss_bytes"],
+               "memory.peak_rss_bytes (%d) below "
+               "current_rss_bytes (%d): VmHWM is a high-water "
+               "mark" % (mem["peak_rss_bytes"],
+                         mem["current_rss_bytes"]))
+
+
 def validate_timings(doc):
-    """Check the schema-6 perf-trajectory block."""
+    """Check the schema-7 perf-trajectory block."""
     timings = doc.get("timings")
     expect(isinstance(timings, dict),
            "timings must be an object, got %r" % timings)
@@ -161,14 +195,14 @@ SUITE_EXP_KEYS = ("campaigns", "runs", "wall_ns", "cache_hits",
 
 
 def validate_suite_json(doc):
-    """Check the schema-6 suite document written by radcrit_suite.
+    """Check the schema-7 suite document written by radcrit_suite.
 
     Unlike the per-bench document, a suite run may legitimately
     involve zero campaigns (e.g. `run fig1_setup`), so the totals
     only need to be non-negative and internally consistent.
     """
-    expect(doc.get("schema") == 6,
-           "suite schema must be 6, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 7,
+           "suite schema must be 7, got %r" % doc.get("schema"))
     expect(doc.get("suite") == "radcrit_suite",
            "suite must be 'radcrit_suite', got %r"
            % doc.get("suite"))
@@ -255,6 +289,7 @@ def validate_suite_json(doc):
                % (key, sums[key], key, totals[key]))
 
     validate_resilience(doc)
+    validate_memory(doc)
     validate_stats(doc.get("stats"))
 
 
@@ -268,7 +303,7 @@ def validate_suite_file(path):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
     validate_suite_json(doc)
-    print("check_bench_json: OK: %s (suite schema 6, %d "
+    print("check_bench_json: OK: %s (suite schema 7, %d "
           "experiments, %d/%d distinct campaigns simulated)"
           % (path, doc["experiments_run"],
              doc["campaigns"]["simulated"],
@@ -286,8 +321,8 @@ def validate(path, bench_name):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
 
-    expect(doc.get("schema") == 6,
-           "schema must be 6, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 7,
+           "schema must be 7, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
@@ -321,6 +356,7 @@ def validate(path, bench_name):
 
     validate_timings(doc)
     validate_resilience(doc)
+    validate_memory(doc)
     validate_stats(doc.get("stats"))
 
     # The per-campaign outcome counters in the snapshot must tally
@@ -347,7 +383,7 @@ def main(argv):
     no_run = "--no-run" in argv
     argv = [a for a in argv if a != "--no-run"]
     if argv and argv[0] == "--suite":
-        # Validate an existing schema-6 suite JSON (written by
+        # Validate an existing schema-7 suite JSON (written by
         # `radcrit_suite run`) instead of running a bench binary.
         if len(argv) != 2:
             print(__doc__, file=sys.stderr)

@@ -42,11 +42,13 @@
 #include <iostream>
 #include <memory>
 
+#include "campaign/analysis.hh"
 #include "campaign/paperconfigs.hh"
 #include "campaign/report.hh"
 #include "campaign/runner.hh"
 #include "campaign/series.hh"
 #include "campaign/store.hh"
+#include "campaign/stream.hh"
 #include "common/cli.hh"
 #include "common/csv.hh"
 #include "common/logging.hh"
@@ -173,6 +175,42 @@ rawIsVolumetric(const CampaignRaw &raw)
 }
 
 /**
+ * Streaming counterpart of rawIsVolumetric(): watches batches flow
+ * past and remembers whether the first SDC run is 3-D, so the
+ * figure renderer can pick its pattern set without the campaign
+ * ever being materialized.
+ */
+class VolumetricProbeSink : public RawSink
+{
+  public:
+    void begin(const CampaignMeta &) override {}
+
+    void consume(RunBatch &&batch) override
+    {
+        if (decided_)
+            return;
+        for (const auto &run : batch.runs) {
+            if (run.outcome == Outcome::Sdc) {
+                volumetric_ = run.record.dims == 3;
+                decided_ = true;
+                return;
+            }
+        }
+    }
+
+    void end(const StatsSnapshot &) override {}
+
+    bool volumetric() const { return volumetric_; }
+
+  private:
+    bool decided_ = false;
+    bool volumetric_ = false;
+};
+
+/** Shared default batch size for --stream when --batch-runs is 0. */
+constexpr uint64_t kDefaultBatchRuns = 4096;
+
+/**
  * `radcrit_cli analyze`: load a beam log, re-analyze under the
  * given tolerance/locality parameters, render.
  */
@@ -198,12 +236,22 @@ analyzeMain(int argc, char **argv)
                   "write a self-contained HTML campaign report "
                   "here");
     cli.addFlag("figures", "render scatter + locality figures");
+    cli.addFlag("stream",
+                "stream the beam log through the analyzer in "
+                "batches instead of materializing it (bounded "
+                "memory; output is byte-identical)");
+    cli.addInt("batch-runs", 0,
+               "records per streamed batch (0 = 4096 with "
+               "--stream)");
+    cli.addFlag("progress",
+                "report analysis progress on stderr (records "
+                "analyzed and records/s)");
     cli.parse(argc, argv);
 
     if (cli.getString("log").empty())
         fatal("analyze needs --log=<beamlog file>");
-
-    CampaignRaw raw = readBeamLogFile(cli.getString("log"));
+    if (cli.getInt("batch-runs") < 0)
+        fatal("--batch-runs must be >= 0");
 
     AnalysisConfig acfg;
     acfg.filterThresholdPct = cli.getDouble("filter-pct");
@@ -211,17 +259,60 @@ analyzeMain(int argc, char **argv)
     acfg.locality.cubicDensity = cli.getDouble("cubic-density");
     acfg.fitScaleAu = cli.getDouble("fit-scale");
 
-    CampaignResult res = analyzeCampaign(raw, acfg);
+    CampaignResult res;
+    bool volumetric = false;
+    if (cli.getFlag("stream")) {
+        uint64_t batch_runs =
+            static_cast<uint64_t>(cli.getInt("batch-runs"));
+        if (batch_runs == 0)
+            batch_runs = kDefaultBatchRuns;
+        std::ifstream in(cli.getString("log"));
+        if (!in)
+            fatal("cannot open beam log '%s'",
+                  cli.getString("log").c_str());
+        BeamLogSource source(in, batch_runs);
+        uint64_t total = source.meta().sim.faultyRuns;
+        uint64_t progress_every =
+            cli.getFlag("progress")
+                ? std::max<uint64_t>(total / 10, 1)
+                : 0;
+        AnalyzeSink analyze(acfg, progress_every);
+        if (cli.getFlag("figures")) {
+            VolumetricProbeSink probe;
+            TeeRawSink tee({&probe, &analyze});
+            pumpRaw(source, tee);
+            volumetric = probe.volumetric();
+        } else {
+            pumpRaw(source, analyze);
+        }
+        res = analyze.take();
+    } else {
+        CampaignRaw raw = readBeamLogFile(cli.getString("log"));
+        volumetric = rawIsVolumetric(raw);
+        if (cli.getFlag("progress")) {
+            // Same analyzer, driven through the progress-aware
+            // sink; the result is byte-identical to
+            // analyzeCampaign().
+            CampaignRawSource source(raw, 0);
+            res = analyzeCampaignStream(
+                source, acfg,
+                std::max<uint64_t>(raw.runs.size() / 10, 1));
+        } else {
+            res = analyzeCampaign(raw, acfg);
+        }
+    }
     printSummary(res);
 
     if (cli.getFlag("figures"))
-        renderFigures(res, rawIsVolumetric(raw));
+        renderFigures(res, volumetric);
 
     if (!cli.getString("csv").empty())
         writeRunCsv(res, cli.getString("csv"));
 
     if (!cli.getString("report").empty()) {
-        writeCampaignReportFile(res, cli.getString("report"));
+        ProcMemSample mem = readProcMem();
+        writeCampaignReportFile(res, cli.getString("report"),
+                                nullptr, &mem);
         std::printf("[report] %s\n",
                     cli.getString("report").c_str());
     }
@@ -261,7 +352,8 @@ reportMain(int argc, char **argv)
     AnalysisConfig acfg;
     acfg.filterThresholdPct = cli.getDouble("filter-pct");
     CampaignResult res = analyzeCampaign(raw, acfg);
-    writeCampaignReportFile(res, out);
+    ProcMemSample mem = readProcMem();
+    writeCampaignReportFile(res, out, nullptr, &mem);
     std::printf("[report] %s\n", out.c_str());
     return 0;
 }
@@ -323,6 +415,15 @@ main(int argc, char **argv)
                   "here");
     cli.addFlag("progress", "report campaign progress on stderr");
     cli.addFlag("figures", "render scatter + locality figures");
+    cli.addFlag("stream",
+                "run the bounded-memory streaming pipeline: "
+                "simulate, persist and analyze overlap batch by "
+                "batch and the raw campaign is never held in "
+                "memory; every output is byte-identical to the "
+                "materialized default");
+    cli.addInt("batch-runs", 0,
+               "runs per streamed batch handed from the simulator "
+               "to the analyzer (0 = 4096 with --stream)");
     cli.addString("checkpoint", "",
                   "append completed runs to this shard file as "
                   "they finish, so a killed campaign can be "
@@ -416,9 +517,54 @@ main(int argc, char **argv)
         setTimeline(tl.get());
     }
 
-    CampaignRaw raw = simulateOrLoad(device, *workload, cfg.sim,
-                                     store.get());
-    CampaignResult res = analyzeCampaign(raw, cfg.analysis);
+    bool stream = cli.getFlag("stream");
+    if (cli.getInt("batch-runs") < 0)
+        fatal("--batch-runs must be >= 0");
+    cfg.sim.batchRuns =
+        static_cast<uint64_t>(cli.getInt("batch-runs"));
+    if (stream && cfg.sim.batchRuns == 0)
+        cfg.sim.batchRuns = kDefaultBatchRuns;
+
+    CampaignRaw raw;
+    CampaignResult res;
+    if (stream) {
+        // The streaming pipeline: analysis (and the beam-log
+        // writer, when asked for) ride directly behind the
+        // simulator, batch by batch; the raw campaign never
+        // materializes.
+        std::unique_ptr<std::ofstream> log_out;
+        std::unique_ptr<BeamLogSink> log_sink;
+        AnalyzeSink analyze(cfg.analysis);
+        std::vector<RawSink *> sinks;
+        if (!cli.getString("log").empty()) {
+            log_out = std::make_unique<std::ofstream>(
+                cli.getString("log"));
+            if (!*log_out)
+                fatal("cannot open beam log '%s' for writing",
+                      cli.getString("log").c_str());
+            log_sink = std::make_unique<BeamLogSink>(*log_out);
+            sinks.push_back(log_sink.get());
+        }
+        sinks.push_back(&analyze);
+        TeeRawSink tee(sinks);
+        RawSink &sink = sinks.size() > 1
+                            ? static_cast<RawSink &>(tee)
+                            : static_cast<RawSink &>(analyze);
+        simulateOrLoadStream(device, *workload, cfg.sim,
+                             store.get(), sink);
+        if (log_out) {
+            log_out->flush();
+            if (!*log_out)
+                fatal("write error on beam log '%s'",
+                      cli.getString("log").c_str());
+            log_out->close();
+        }
+        res = analyze.take();
+    } else {
+        raw = simulateOrLoad(device, *workload, cfg.sim,
+                             store.get());
+        res = analyzeCampaign(raw, cfg.analysis);
+    }
 
     if (chaos_engine)
         setChaos(nullptr);
@@ -438,8 +584,9 @@ main(int argc, char **argv)
     }
 
     if (!cli.getString("report").empty()) {
+        ProcMemSample mem = readProcMem();
         writeCampaignReportFile(res, cli.getString("report"),
-                                tl.get());
+                                tl.get(), &mem);
         std::printf("[report] %s\n",
                     cli.getString("report").c_str());
     }
@@ -464,7 +611,9 @@ main(int argc, char **argv)
         writeRunCsv(res, cli.getString("csv"));
 
     if (!cli.getString("log").empty()) {
-        writeBeamLogFile(raw, cli.getString("log"));
+        // The streamed path already wrote it batch by batch.
+        if (!stream)
+            writeBeamLogFile(raw, cli.getString("log"));
         std::printf("[beamlog] %s\n",
                     cli.getString("log").c_str());
     }

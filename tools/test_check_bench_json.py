@@ -29,7 +29,7 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "check_bench_json.py")
 
 STALE_JSON = """{
-  "schema": 6,
+  "schema": 7,
   "bench": "fake_bench",
   "campaigns": 1,
   "jobs": 1,
@@ -63,6 +63,12 @@ STALE_JSON = """{
     "chaos_stalls": 0,
     "chaos_corrupt_writes": 0
   },
+  "memory": {
+    "peak_rss_bytes": 20971520,
+    "current_rss_bytes": 10485760,
+    "stream_batches": 0,
+    "batch_runs": 0
+  },
   "stats": {
     "campaign.k40.dgemm.masked": {"kind": "counter", "value": 1},
     "campaign.k40.dgemm.sdc": {"kind": "counter", "value": 1},
@@ -73,7 +79,7 @@ STALE_JSON = """{
 """
 
 # A document an old (pre-resilience) bench would emit.
-SCHEMA4_JSON = STALE_JSON.replace('"schema": 6', '"schema": 4')
+SCHEMA4_JSON = STALE_JSON.replace('"schema": 7', '"schema": 4')
 in_block = False
 lines = []
 for line in SCHEMA4_JSON.splitlines():
@@ -153,7 +159,7 @@ def mode_schema(sandbox):
     proc = run_checker(sandbox, bench)
     expect(proc.returncode != 0,
            "checker accepted an outdated schema-4 document", proc)
-    expect("schema must be 6" in proc.stderr,
+    expect("schema must be 7" in proc.stderr,
            "diagnostic does not name the expected schema", proc)
 
 
