@@ -104,6 +104,19 @@ struct SimConfig
      */
     uint64_t batchRuns = 0;
     /**
+     * Background store-I/O threads (radcrit_cli/radcrit_suite
+     * --io-threads). 0 = store entries are parsed/serialized
+     * inline on the caller thread (legacy behavior); N >= 1 wraps
+     * store saves in an AsyncSaveSink so entry serialization
+     * overlaps simulation, with at most N concurrent background
+     * I/O operations process-wide (IoThreadGate). Like jobs and
+     * batchRuns this shapes execution only — saved entries and
+     * campaign results are bit-identical either way — so it is
+     * not part of the cache key (campaignKeyHash hashes explicit
+     * fields, never this struct wholesale).
+     */
+    unsigned ioThreads = 0;
+    /**
      * Harness failure handling; not part of the cache key (see
      * ResilienceConfig).
      */

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "obs/report.hh"
+#include "obs/stats_registry.hh"
 
 namespace radcrit
 {
@@ -135,6 +136,30 @@ resilienceSection(HtmlReport &report, const CampaignResult &res)
 }
 
 void
+storeIoSection(HtmlReport &report)
+{
+    // Async store I/O is process-shaped telemetry (it depends on
+    // --io-threads, never on results), so it lives in the global
+    // registry, not in the campaign's own stats snapshot. Only
+    // render the section when background I/O actually ran.
+    StatsSnapshot snap = StatsRegistry::global().snapshot();
+    uint64_t batches = static_cast<uint64_t>(
+        snap.value("store.io.async.batches"));
+    if (batches == 0)
+        return;
+    report.section("Async store I/O");
+    report.keyValues({
+        {"batches moved on the I/O thread", fmtCount(batches)},
+        {"I/O thread busy [ms]",
+         strprintf("%.3f",
+                   snap.value("store.io.async.busy_ns") / 1e6)},
+        {"queue depth high-water",
+         fmtCount(static_cast<uint64_t>(
+             snap.value("store.io.async.queue_peak")))},
+    });
+}
+
+void
 wallClockSection(HtmlReport &report, const CampaignResult &res,
                  const ProcMemSample *mem)
 {
@@ -214,6 +239,7 @@ writeCampaignReport(std::ostream &os, const CampaignResult &result,
     outcomeSection(report, result);
     resilienceSection(report, result);
     criticalitySection(report, result);
+    storeIoSection(report);
     wallClockSection(report, result, mem);
     histogramSection(report, result);
     if (timeline)

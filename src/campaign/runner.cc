@@ -31,30 +31,6 @@ namespace
 {
 
 /**
- * Publish one pool dispatch's utilization accounting into a
- * registry under "pool.*". These are execution-shape telemetry
- * (they depend on the worker count and on timing), so they go to
- * the global registry only — never into a campaign's own stats
- * snapshot, which must stay identical across --jobs values.
- */
-void
-publishPoolStats(const PoolRunStats &ps, StatsRegistry &reg)
-{
-    reg.counter("pool.dispatches").inc();
-    reg.counter("pool.busy.ns").inc(ps.busyNs());
-    reg.counter("pool.idle.ns").inc(ps.idleNs());
-    reg.counter("pool.wall.ns").inc(ps.wallNs);
-    reg.gauge("pool.utilization").set(ps.utilization());
-    LogHistogram &chunk_items = reg.histogram("pool.chunk_items");
-    for (size_t w = 0; w < ps.workers.size(); ++w) {
-        chunk_items.add(
-            static_cast<double>(ps.workers[w].items));
-        reg.counter("pool.worker." + std::to_string(w) + ".runs")
-            .inc(ps.workers[w].items);
-    }
-}
-
-/**
  * Per-worker telemetry shard: a private registry plus cached
  * instrument handles, so workers never contend on the campaign
  * counters. Shards are merged into the campaign registry in worker
@@ -562,6 +538,8 @@ simulateCampaignStream(const DeviceModel &device,
                                e.name.rfind("resilience.", 0) ==
                                    0 ||
                                e.name.rfind("stream.", 0) == 0 ||
+                               e.name.rfind("store.io.", 0) ==
+                                   0 ||
                                e.name.rfind("proc.", 0) == 0;
                        }),
         kernelDiff.entries.end());

@@ -275,7 +275,8 @@ class StoreSaveSink : public RawSink
 bool
 CampaignStore::loadStream(const CampaignKey &key,
                           const KernelLaunch &launch,
-                          RawSink &sink, uint64_t batchRuns)
+                          RawSink &sink, uint64_t batchRuns,
+                          unsigned ioThreads)
 {
     std::string path = pathFor(key);
     Counter &hit =
@@ -289,12 +290,105 @@ CampaignStore::loadStream(const CampaignKey &key,
         return false;
     }
 
-    // Validate the whole entry record by record before the sink
-    // sees anything: a streaming consumer cannot un-consume
-    // batches, so a corrupt tail discovered halfway through would
-    // otherwise poison it. Two validation attempts, like load(),
-    // to tolerate a rename racing the exists() check; then
-    // quarantine.
+    std::string mismatch = strprintf(
+        "entry does not match its key (%s/%s %s seed=%llu "
+        "runs=%llu)",
+        key.device.c_str(), key.workload.c_str(),
+        key.input.c_str(),
+        static_cast<unsigned long long>(key.sim.seed),
+        static_cast<unsigned long long>(key.sim.faultyRuns));
+
+    // The sink must never see a batch from an entry that later
+    // turns out corrupt (a streaming consumer cannot un-consume),
+    // so every byte is validated before delivery. Entries small
+    // enough to buffer take the single-pass shape: parse once into
+    // a held-back prefix, deliver only after the whole entry
+    // proved clean. The size decision keys on key.sim.faultyRuns —
+    // an entry whose header disagrees is quarantined in either
+    // path, so the two paths cannot disagree about a valid entry.
+    if (key.sim.faultyRuns <= singlePassCap()) {
+        std::vector<RunBatch> buffered;
+        CampaignMeta meta;
+        // Two parse attempts, like load(): the first failure may
+        // be a torn read racing another process's atomic rename.
+        auto attempt = [&](std::string *error) -> bool {
+            buffered.clear();
+            std::ifstream in(path);
+            if (!in) {
+                if (error)
+                    *error = strprintf(
+                        "cannot open beam log '%s'",
+                        path.c_str());
+                return false;
+            }
+            try {
+                BeamLogSource source(in, batchRuns);
+                meta = source.meta();
+                if (meta.deviceName != key.device ||
+                    meta.workloadName != key.workload ||
+                    meta.inputLabel != key.input ||
+                    meta.sim.seed != key.sim.seed ||
+                    meta.sim.faultyRuns != key.sim.faultyRuns) {
+                    if (error)
+                        *error = mismatch;
+                    return false;
+                }
+                uint64_t total = 0;
+                RunBatch batch;
+                while (source.next(batch)) {
+                    total += batch.runs.size();
+                    buffered.push_back(std::move(batch));
+                    batch = RunBatch{};
+                }
+                if (total != key.sim.faultyRuns) {
+                    if (error)
+                        *error = mismatch;
+                    return false;
+                }
+            } catch (const BeamLogParseError &e) {
+                if (error)
+                    *error = e.what();
+                return false;
+            }
+            return true;
+        };
+
+        std::string error;
+        if (!attempt(&error) && !attempt(&error)) {
+            quarantine(path, error.c_str());
+            ++misses_;
+            miss.inc();
+            return false;
+        }
+
+        // Deliver the validated buffer. Meta carries the caller's
+        // sim config and launch (execution details outside the
+        // key), and end() gets the rebuilt simulation counters —
+        // exactly the materialized hit shape.
+        meta.sim = key.sim;
+        meta.launch = launch;
+        SimStatsRebuilder rebuilder(meta.deviceName,
+                                    meta.workloadName,
+                                    meta.sensitiveAreaAu,
+                                    launch.occupancy);
+        sink.begin(meta);
+        for (RunBatch &batch : buffered) {
+            for (const RawRun &run : batch.runs)
+                rebuilder.fold(run);
+            sink.consume(std::move(batch));
+        }
+        buffered.clear();
+        sink.end(rebuilder.finish(StatsRegistry::global()));
+        ++hits_;
+        hit.inc();
+        return true;
+    }
+
+    // Bounded-memory shape for entries too big to buffer:
+    // validate the whole entry record by record first, then stream
+    // it to the sink in a second pass. Two validation attempts,
+    // like load(), to tolerate a rename racing the exists() check;
+    // then quarantine.
     auto validate = [&](std::string *error) -> bool {
         std::ifstream in(path);
         if (!in) {
@@ -311,15 +405,7 @@ CampaignStore::loadStream(const CampaignKey &key,
                 reader.seed() != key.sim.seed ||
                 reader.declaredRuns() != key.sim.faultyRuns) {
                 if (error)
-                    *error = strprintf(
-                        "entry does not match its key (%s/%s %s "
-                        "seed=%llu runs=%llu)",
-                        key.device.c_str(), key.workload.c_str(),
-                        key.input.c_str(),
-                        static_cast<unsigned long long>(
-                            key.sim.seed),
-                        static_cast<unsigned long long>(
-                            key.sim.faultyRuns));
+                    *error = mismatch;
                 return false;
             }
             while (reader.next()) {
@@ -341,10 +427,9 @@ CampaignStore::loadStream(const CampaignKey &key,
         return false;
     }
 
-    // Stream pass over the validated bytes. The meta carries the
-    // caller's sim config and launch (execution details outside
-    // the key, exactly like the materialized hit path), and the
-    // sink's end() gets the rebuilt simulation counters.
+    // Stream pass over the validated bytes. With ioThreads > 0 the
+    // re-parse runs on a background I/O thread (AsyncRawSource) so
+    // it overlaps the sink's work instead of serializing with it.
     std::ifstream in(path);
     if (!in) {
         ++misses_;
@@ -352,8 +437,15 @@ CampaignStore::loadStream(const CampaignKey &key,
         return false;
     }
     try {
-        BeamLogSource source(in, batchRuns);
-        CampaignMeta meta = source.meta();
+        BeamLogSource file_source(in, batchRuns);
+        std::unique_ptr<AsyncRawSource> async;
+        RawSource *source = &file_source;
+        if (ioThreads > 0) {
+            async = std::make_unique<AsyncRawSource>(
+                file_source, &IoThreadGate::global());
+            source = async.get();
+        }
+        CampaignMeta meta = source->meta();
         meta.sim = key.sim;
         meta.launch = launch;
 
@@ -363,7 +455,7 @@ CampaignStore::loadStream(const CampaignKey &key,
                                     launch.occupancy);
         sink.begin(meta);
         RunBatch batch;
-        while (source.next(batch)) {
+        while (source->next(batch)) {
             for (const RawRun &run : batch.runs)
                 rebuilder.fold(run);
             sink.consume(std::move(batch));
@@ -473,10 +565,22 @@ simulateOrLoadStream(const DeviceModel &device, Workload &workload,
         KernelLaunch launch =
             buildLaunch(device, workload.traits());
         if (store->loadStream(key, launch, sink,
-                              config.batchRuns))
+                              config.batchRuns,
+                              config.ioThreads))
             return;
         std::unique_ptr<RawSink> save = store->saveSink();
-        TeeRawSink tee({&sink, save.get()});
+        // With --io-threads the store save (entry serialization)
+        // rides a background I/O thread behind a bounded queue, so
+        // persisting overlaps simulation instead of running inline
+        // with the tee. The saved bytes are identical either way.
+        std::unique_ptr<AsyncSaveSink> async_save;
+        RawSink *save_side = save.get();
+        if (config.ioThreads > 0) {
+            async_save = std::make_unique<AsyncSaveSink>(
+                *save, &IoThreadGate::global());
+            save_side = async_save.get();
+        }
+        TeeRawSink tee({&sink, save_side});
         if (pool)
             simulateCampaignStream(device, workload, config,
                                    *pool, tee);

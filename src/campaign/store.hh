@@ -117,12 +117,35 @@ class CampaignStore
      * end() gets the rebuilt simulation counters — matching what
      * simulateOrLoad() puts in a materialized hit.
      *
+     * Entries no larger than singlePassCap() runs are validated
+     * *while* parsing into a buffered prefix and delivered from
+     * that buffer — one parse total, which is what makes a warm
+     * streamed hit cheaper than re-simulating. Larger entries keep
+     * the legacy bounded-memory two-pass shape (validate pass,
+     * then stream pass) so a huge campaign never materializes;
+     * with ioThreads > 0 that second parse runs on a background
+     * I/O thread (AsyncRawSource) and overlaps the sink's work.
+     *
      * @return true on a hit (the sink consumed the campaign),
      * false on a miss (the sink was not touched).
      */
     bool loadStream(const CampaignKey &key,
                     const KernelLaunch &launch, RawSink &sink,
-                    uint64_t batchRuns);
+                    uint64_t batchRuns, unsigned ioThreads = 0);
+
+    /**
+     * Largest entry (in runs) the single-pass buffered-validate
+     * hit path may hold in memory; bigger entries take the
+     * bounded-memory two-pass path. Tunable so tests can force
+     * either path with small campaigns.
+     */
+    uint64_t singlePassCap() const { return singlePassCap_.load(); }
+
+    /** Set the single-pass buffering cap (0 = always two-pass). */
+    void setSinglePassCap(uint64_t runs)
+    {
+        singlePassCap_.store(runs);
+    }
 
     /**
      * @return a sink that persists the stream it is fed under the
@@ -159,6 +182,8 @@ class CampaignStore
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
     std::atomic<uint64_t> quarantined_{0};
+    /** Default: 32768 runs (a few tens of MB at worst). */
+    std::atomic<uint64_t> singlePassCap_{32768};
 };
 
 /**

@@ -1,10 +1,25 @@
 #include "campaign/stream.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace radcrit
 {
+
+namespace
+{
+
+uint64_t
+elapsedNs(std::chrono::steady_clock::time_point since)
+{
+    auto dt = std::chrono::steady_clock::now() - since;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+            .count());
+}
+
+} // anonymous namespace
 
 CampaignMeta
 campaignMeta(const CampaignRaw &raw)
@@ -110,6 +125,330 @@ pumpRaw(RawSource &source, RawSink &sink)
     }
     sink.end(source.simStats());
     return pumped;
+}
+
+IoThreadGate::IoThreadGate(unsigned slots)
+    : slots_(slots)
+{
+}
+
+void
+IoThreadGate::configure(unsigned slots)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_ = slots;
+    freed_.notify_all();
+}
+
+unsigned
+IoThreadGate::slots() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_;
+}
+
+void
+IoThreadGate::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    freed_.wait(lock,
+                [&] { return slots_ == 0 || inUse_ < slots_; });
+    ++inUse_;
+}
+
+void
+IoThreadGate::release()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --inUse_;
+    }
+    freed_.notify_one();
+}
+
+IoThreadGate &
+IoThreadGate::global()
+{
+    static IoThreadGate gate;
+    return gate;
+}
+
+AsyncSaveSink::AsyncSaveSink(RawSink &inner, IoThreadGate *gate,
+                             size_t queueCapacity)
+    : inner_(inner), gate_(gate),
+      capacity_(std::max<size_t>(queueCapacity, 1))
+{
+    io_ = std::thread(&AsyncSaveSink::ioLoop, this);
+}
+
+AsyncSaveSink::~AsyncSaveSink()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    opQueued_.notify_all();
+    if (io_.joinable())
+        io_.join();
+}
+
+void
+AsyncSaveSink::rethrowPending()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error_)
+        std::rethrow_exception(error_);
+}
+
+void
+AsyncSaveSink::push(Op &&op)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        spaceFreed_.wait(lock, [&] {
+            return queue_.size() < capacity_ || failed_;
+        });
+        // A failed inner sink stops accepting work; the error
+        // surfaces on the producer via rethrowPending().
+        if (failed_ && op.kind != Op::Kind::End)
+            return;
+        queue_.push_back(std::move(op));
+        queuePeak_ =
+            std::max<uint64_t>(queuePeak_, queue_.size());
+    }
+    opQueued_.notify_one();
+}
+
+void
+AsyncSaveSink::begin(const CampaignMeta &meta)
+{
+    Op op;
+    op.kind = Op::Kind::Begin;
+    op.meta = meta;
+    push(std::move(op));
+}
+
+void
+AsyncSaveSink::consume(RunBatch &&batch)
+{
+    rethrowPending();
+    Op op;
+    op.kind = Op::Kind::Batch;
+    op.batch = std::move(batch);
+    push(std::move(op));
+}
+
+void
+AsyncSaveSink::end(const StatsSnapshot &simStats)
+{
+    Op op;
+    op.kind = Op::Kind::End;
+    op.stats = simStats;
+    push(std::move(op));
+    uint64_t batches;
+    uint64_t busy_ns;
+    uint64_t peak;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        drained_.wait(lock, [&] { return done_; });
+        if (error_)
+            std::rethrow_exception(error_);
+        batches = batches_;
+        busy_ns = ioBusyNs_;
+        peak = queuePeak_;
+    }
+    // Global-only telemetry, like "pool.*": the campaign runner
+    // strips the "store.io." prefix from per-campaign snapshots so
+    // async I/O shape never leaks into jobs-independent output.
+    StatsRegistry &global = StatsRegistry::global();
+    global.counter("store.io.async.batches").inc(batches);
+    global.counter("store.io.async.busy_ns").inc(busy_ns);
+    global.gauge("store.io.async.queue_peak")
+        .set(static_cast<double>(peak));
+}
+
+uint64_t
+AsyncSaveSink::batches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batches_;
+}
+
+uint64_t
+AsyncSaveSink::queuePeak() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queuePeak_;
+}
+
+uint64_t
+AsyncSaveSink::ioBusyNs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ioBusyNs_;
+}
+
+void
+AsyncSaveSink::ioLoop()
+{
+    for (;;) {
+        Op op;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            opQueued_.wait(lock, [&] {
+                return !queue_.empty() || stop_;
+            });
+            if (queue_.empty())
+                return; // stopped without end(): abandon
+            op = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        spaceFreed_.notify_one();
+
+        bool forward;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            forward = !failed_;
+        }
+        if (forward) {
+            auto start = std::chrono::steady_clock::now();
+            try {
+                IoThreadGate::Lease lease(gate_);
+                switch (op.kind) {
+                  case Op::Kind::Begin:
+                    inner_.begin(op.meta);
+                    break;
+                  case Op::Kind::Batch:
+                    inner_.consume(std::move(op.batch));
+                    break;
+                  case Op::Kind::End:
+                    inner_.end(op.stats);
+                    break;
+                }
+                std::lock_guard<std::mutex> lock(mutex_);
+                ioBusyNs_ += elapsedNs(start);
+                if (op.kind == Op::Kind::Batch)
+                    ++batches_;
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                failed_ = true;
+                if (!error_)
+                    error_ = std::current_exception();
+            }
+        }
+        if (op.kind == Op::Kind::End) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                done_ = true;
+            }
+            drained_.notify_all();
+            return;
+        }
+    }
+}
+
+AsyncRawSource::AsyncRawSource(RawSource &inner,
+                               IoThreadGate *gate,
+                               size_t queueCapacity)
+    : inner_(inner), gate_(gate),
+      capacity_(std::max<size_t>(queueCapacity, 1)),
+      meta_(inner.meta())
+{
+    io_ = std::thread(&AsyncRawSource::ioLoop, this);
+}
+
+AsyncRawSource::~AsyncRawSource()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    spaceFreed_.notify_all();
+    if (io_.joinable())
+        io_.join();
+}
+
+bool
+AsyncRawSource::next(RunBatch &batch)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchReady_.wait(lock, [&] {
+        return !queue_.empty() || exhausted_;
+    });
+    if (!queue_.empty()) {
+        batch = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        spaceFreed_.notify_one();
+        return true;
+    }
+    if (error_)
+        std::rethrow_exception(error_);
+    return false;
+}
+
+StatsSnapshot
+AsyncRawSource::simStats()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchReady_.wait(lock, [&] { return exhausted_; });
+    if (error_)
+        std::rethrow_exception(error_);
+    return simStats_;
+}
+
+uint64_t
+AsyncRawSource::queuePeak() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queuePeak_;
+}
+
+uint64_t
+AsyncRawSource::ioBusyNs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ioBusyNs_;
+}
+
+void
+AsyncRawSource::ioLoop()
+{
+    for (;;) {
+        RunBatch batch;
+        bool have;
+        auto start = std::chrono::steady_clock::now();
+        try {
+            IoThreadGate::Lease lease(gate_);
+            have = inner_.next(batch);
+            if (!have)
+                simStats_ = inner_.simStats();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            error_ = std::current_exception();
+            exhausted_ = true;
+            ioBusyNs_ += elapsedNs(start);
+            batchReady_.notify_all();
+            return;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        ioBusyNs_ += elapsedNs(start);
+        if (!have) {
+            exhausted_ = true;
+            batchReady_.notify_all();
+            return;
+        }
+        spaceFreed_.wait(lock, [&] {
+            return queue_.size() < capacity_ || stop_;
+        });
+        if (stop_)
+            return;
+        queue_.push_back(std::move(batch));
+        queuePeak_ =
+            std::max<uint64_t>(queuePeak_, queue_.size());
+        lock.unlock();
+        batchReady_.notify_one();
+    }
 }
 
 } // namespace radcrit

@@ -63,7 +63,30 @@ PoolRunStats::absorb(const PoolRunStats &other)
     for (size_t w = 0; w < other.workers.size(); ++w) {
         workers[w].busyNs += other.workers[w].busyNs;
         workers[w].items += other.workers[w].items;
+        workers[w].chunks += other.workers[w].chunks;
     }
+}
+
+void
+publishPoolStats(const PoolRunStats &ps, StatsRegistry &reg)
+{
+    if (ps.workers.empty())
+        return;
+    reg.counter("pool.dispatches").inc();
+    reg.counter("pool.busy.ns").inc(ps.busyNs());
+    reg.counter("pool.idle.ns").inc(ps.idleNs());
+    reg.counter("pool.wall.ns").inc(ps.wallNs);
+    reg.gauge("pool.utilization").set(ps.utilization());
+    LogHistogram &chunk_items = reg.histogram("pool.chunk_items");
+    uint64_t chunks = 0;
+    for (size_t w = 0; w < ps.workers.size(); ++w) {
+        chunk_items.add(
+            static_cast<double>(ps.workers[w].items));
+        reg.counter("pool.worker." + std::to_string(w) + ".runs")
+            .inc(ps.workers[w].items);
+        chunks += ps.workers[w].chunks;
+    }
+    reg.counter("pool.chunks").inc(chunks);
 }
 
 WorkerPool::WorkerPool(unsigned jobs)
@@ -125,15 +148,43 @@ WorkerPool::chunkBounds(uint64_t count, unsigned workers,
 void
 WorkerPool::runChunk(unsigned worker, const Dispatch &dispatch)
 {
-    auto [begin, end] = chunkBounds(dispatch.count,
-                                    dispatch.workers, worker);
+    uint64_t items = 0;
+    uint64_t chunks = 0;
     auto chunk_start = std::chrono::steady_clock::now();
     try {
-        (*dispatch.body)(worker, begin, end);
+        if (dispatch.cursor) {
+            // Dynamic mode: claim grains until the range drains.
+            for (;;) {
+                uint64_t begin = dispatch.cursor->fetch_add(
+                    dispatch.grain, std::memory_order_relaxed);
+                if (begin >= dispatch.count)
+                    break;
+                uint64_t end = std::min(begin + dispatch.grain,
+                                        dispatch.count);
+                (*dispatch.body)(worker, begin, end);
+                items += end - begin;
+                ++chunks;
+            }
+        } else {
+            auto [begin, end] = chunkBounds(dispatch.count,
+                                            dispatch.workers,
+                                            worker);
+            items = end - begin;
+            chunks = 1;
+            (*dispatch.body)(worker, begin, end);
+        }
     } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!firstError_)
-            firstError_ = std::current_exception();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        // Fast-forward the cursor so the surviving workers stop
+        // claiming fresh work for a dispatch that already failed.
+        if (dispatch.cursor) {
+            dispatch.cursor->store(dispatch.count,
+                                   std::memory_order_relaxed);
+        }
     }
     // Each worker writes only its own stats slot (the vector is
     // sized before the dispatch is published), so accounting needs
@@ -141,7 +192,8 @@ WorkerPool::runChunk(unsigned worker, const Dispatch &dispatch)
     if (dispatch.stats) {
         dispatch.stats->workers[worker].busyNs =
             elapsedNs(chunk_start);
-        dispatch.stats->workers[worker].items = end - begin;
+        dispatch.stats->workers[worker].items = items;
+        dispatch.stats->workers[worker].chunks = chunks;
     }
 }
 
@@ -228,6 +280,68 @@ WorkerPool::forChunks(uint64_t count, const ChunkBody &body,
 
     // The dispatching thread is worker 0, exactly as when threads
     // were spawned per dispatch.
+    runChunk(0, dispatch);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [&] { return pending_ == 0; });
+        error = firstError_;
+        firstError_ = nullptr;
+    }
+    if (stats)
+        stats->wallNs = elapsedNs(dispatch_start);
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+WorkerPool::forDynamic(uint64_t count, uint64_t grain,
+                       const ChunkBody &body, PoolRunStats *stats)
+{
+    if (stats)
+        *stats = PoolRunStats{};
+    if (count == 0)
+        return;
+    if (grain == 0)
+        grain = 1;
+    ++dispatches_;
+    uint64_t num_chunks = (count + grain - 1) / grain;
+    unsigned workers = static_cast<unsigned>(
+        std::min<uint64_t>(jobs_, num_chunks));
+    if (stats)
+        stats->workers.resize(workers);
+    auto dispatch_start = std::chrono::steady_clock::now();
+
+    std::atomic<uint64_t> cursor{0};
+    Dispatch dispatch{count, workers, &body, stats, &cursor,
+                      grain};
+
+    if (workers == 1) {
+        // Serial path: worker 0 claims every grain in order. Run
+        // through runChunk so chunk accounting and error capture
+        // match the parallel path.
+        firstError_ = nullptr;
+        runChunk(0, dispatch);
+        std::exception_ptr error = firstError_;
+        firstError_ = nullptr;
+        if (stats)
+            stats->wallNs = elapsedNs(dispatch_start);
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    ensureThreads(workers - 1);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dispatch_ = dispatch;
+        firstError_ = nullptr;
+        pending_ = workers - 1;
+        ++epoch_;
+    }
+    wake_.notify_all();
+
     runChunk(0, dispatch);
 
     std::exception_ptr error;

@@ -52,8 +52,15 @@ struct PoolRunStats
     {
         /** Nanoseconds this worker spent inside the body. */
         uint64_t busyNs = 0;
-        /** Items in this worker's chunk. */
+        /** Items in this worker's chunk(s). */
         uint64_t items = 0;
+        /**
+         * Chunks this worker executed: always 1 for a static
+         * forChunks() dispatch, the number of claimed grains for a
+         * dynamic forDynamic() dispatch (the load-balance view: a
+         * worker stuck on a slow item claims fewer chunks).
+         */
+        uint64_t chunks = 0;
     };
 
     /** Wall nanoseconds of the whole dispatch (dispatch to join). */
@@ -147,6 +154,33 @@ class WorkerPool
                    PoolRunStats *stats = nullptr);
 
     /**
+     * Dynamically scheduled counterpart of forChunks(): workers
+     * claim fixed-size grains of [0, count) from a shared atomic
+     * cursor until the range is exhausted, so a worker stuck on a
+     * slow item does not hold back the rest of the range. The body
+     * contract is the same as forChunks() — each claimed
+     * [begin, end) is contiguous and every index is delivered
+     * exactly once — but the (index -> worker) mapping is now
+     * timing-dependent, so callers needing deterministic output
+     * must make the body's effect a pure function of the index
+     * range, not of `worker`. Worker 0 runs on the calling thread;
+     * blocks until the range drains; the first body exception stops
+     * further claims and is rethrown on the caller.
+     *
+     * This is the multi-client scheduling substrate for the suite's
+     * sharded campaign prepass: heterogeneous campaigns flattened
+     * into one index space, grains claimed across campaign
+     * boundaries so small campaigns pack alongside large ones.
+     *
+     * @param grain Items per claimed chunk (0 is treated as 1).
+     * @param stats As with forChunks(); Worker::chunks counts the
+     * grains each worker claimed.
+     */
+    void forDynamic(uint64_t count, uint64_t grain,
+                    const ChunkBody &body,
+                    PoolRunStats *stats = nullptr);
+
+    /**
      * Resolve a requested job count: 0 becomes
      * std::thread::hardware_concurrency() (itself clamped to >= 1),
      * anything else passes through.
@@ -179,6 +213,15 @@ class WorkerPool
         unsigned workers = 0;
         const ChunkBody *body = nullptr;
         PoolRunStats *stats = nullptr;
+        /**
+         * Non-null selects dynamic scheduling: workers claim
+         * `grain`-sized chunks from this cursor instead of taking
+         * one static chunkBounds() slice. Points at a stack local
+         * of forDynamic(), which outlives the dispatch (it blocks
+         * until the pool drains).
+         */
+        std::atomic<uint64_t> *cursor = nullptr;
+        uint64_t grain = 0;
     };
 
     /** Spawn persistent helper threads up to `helpers` total. */
@@ -205,6 +248,20 @@ class WorkerPool
     Dispatch dispatch_;
     std::exception_ptr firstError_;
 };
+
+class StatsRegistry;
+
+/**
+ * Publish one pool dispatch's utilization accounting into a
+ * registry under "pool.*". These are execution-shape telemetry
+ * (they depend on the worker count and on timing), so they go to
+ * the global registry only — never into a campaign's own stats
+ * snapshot, which must stay identical across --jobs values. An
+ * empty accounting (no workers, e.g. a dispatch that never ran)
+ * publishes nothing, so the "pool.utilization" gauge is absent —
+ * not NaN — when a pool saw no work.
+ */
+void publishPoolStats(const PoolRunStats &ps, StatsRegistry &reg);
 
 /**
  * How a guarded work item may be retried. The executor treats an

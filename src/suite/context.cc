@@ -109,6 +109,7 @@ SuiteContext::campaignRaw(const DeviceModel &device,
                                          workload.inputLabel());
     cfg.sim.jobs = options_.jobs;
     cfg.sim.batchRuns = options_.batchRuns;
+    cfg.sim.ioThreads = options_.ioThreads;
     uint64_t hits_before = store_ ? store_->hits() : 0;
     CampaignRaw raw;
     if (options_.stream) {
@@ -136,6 +137,27 @@ CampaignResult
 SuiteContext::campaignResult(const DeviceModel &device,
                              Workload &workload, uint64_t runs)
 {
+    std::string key = campaignPlanKey(device.name, workload.name(),
+                                      workload.inputLabel(), runs);
+    auto start = std::chrono::steady_clock::now();
+    auto it = plan_.find(key);
+    if (it != plan_.end() && it->second.defaultAnalysis) {
+        // The sharded prepass already folded the default analysis
+        // on the worker that simulated this campaign; serve it
+        // with exactly the bookkeeping campaignRaw() would have
+        // done (first consumer gets charged the simulation cost).
+        PlannedCampaign &entry = it->second;
+        ++memoryServes_;
+        bool charge = entry.simulated && !entry.charged;
+        if (charge)
+            entry.charged = true;
+        recorder_->addCampaign(entry.raw.runs.size(),
+                               charge ? entry.wallNs
+                                      : elapsedNs(start),
+                               !charge);
+        return *entry.defaultAnalysis;
+    }
+
     CampaignConfig cfg = defaultCampaign(runs, device.name,
                                          workload.name(),
                                          workload.inputLabel());

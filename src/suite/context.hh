@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -121,6 +122,24 @@ class SuiteContext
         bool stream = false;
         /** Streamed batch size; resolved to 4096 under --stream. */
         uint64_t batchRuns = 0;
+        /**
+         * Run the suite prepass sharded (--shard-campaigns):
+         * distinct campaigns become dynamically-claimed work items
+         * on the shared pool instead of executing one after the
+         * other. Outputs stay byte-identical to the sequential
+         * prepass at any --jobs.
+         */
+        bool shardCampaigns = false;
+        /**
+         * Background store-I/O threads (--io-threads); 0 = store
+         * entries parse/serialize inline. Becomes
+         * SimConfig::ioThreads on every campaign the context
+         * drives.
+         */
+        unsigned ioThreads = 0;
+        /** Report campaign-granular prepass progress
+         * (--progress). */
+        bool progress = false;
     };
 
     /**
@@ -152,6 +171,18 @@ class SuiteContext
 
     /** @return the streamed batch size (0 = single batch). */
     uint64_t batchRuns() const { return options_.batchRuns; }
+
+    /** @return whether the suite prepass runs sharded. */
+    bool shardCampaigns() const
+    {
+        return options_.shardCampaigns;
+    }
+
+    /** @return background store-I/O threads (0 = inline). */
+    unsigned ioThreads() const { return options_.ioThreads; }
+
+    /** @return whether prepass progress lines are wanted. */
+    bool progress() const { return options_.progress; }
 
     /** @return the run count for an experiment (--runs override
      * or the experiment's default). */
@@ -222,6 +253,15 @@ class SuiteContext
         bool simulated = false;
         /** Simulation cost already charged to a recorder. */
         bool charged = false;
+        /**
+         * Default-config analysis precomputed by the sharded
+         * prepass on the worker that simulated the campaign (in
+         * run order, so it is identical to a fresh
+         * analyzeCampaign()). Absent when the prepass ran
+         * sequentially or a trace/timeline side channel was
+         * armed; campaignResult() then analyzes on demand.
+         */
+        std::optional<CampaignResult> defaultAnalysis;
     };
 
     /** @return whether a plan entry exists for the key. */

@@ -13,12 +13,14 @@
 
 #include "campaign/paperconfigs.hh"
 #include "campaign/store.hh"
+#include "campaign/stream.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "exec/chaos.hh"
 #include "exec/pool.hh"
 #include "obs/json.hh"
 #include "obs/stats_registry.hh"
+#include "obs/timeline.hh"
 #include "suite/context.hh"
 #include "suite/experiment.hh"
 #include "suite/render.hh"
@@ -68,6 +70,17 @@ addStandardOptions(CliParser &cli, int64_t default_runs)
                 "byte-identical to the materialized default)");
     cli.addInt("batch-runs", 0,
                "runs per streamed batch (0 = 4096 with --stream)");
+    cli.addFlag("shard-campaigns",
+                "schedule distinct campaigns as concurrent work "
+                "items on the shared pool instead of one after "
+                "the other (byte-identical results at any "
+                "--jobs)");
+    cli.addInt("io-threads", 0,
+               "background store-I/O operations allowed at once "
+               "(0 = parse/serialize cache entries inline)");
+    cli.addFlag("progress",
+                "report campaign-granular prepass progress "
+                "with an ETA");
     cli.addString("chaos", envOr("RADCRIT_CHAOS", ""),
                   "deterministic harness-fault injection spec "
                   "(e.g. seed=42,runs=300,throws=3,attempts=2; "
@@ -87,6 +100,17 @@ resolveStreamOptions(const CliParser &cli,
         static_cast<uint64_t>(cli.getInt("batch-runs"));
     if (options.stream && options.batchRuns == 0)
         options.batchRuns = 4096;
+    if (cli.getInt("io-threads") < 0)
+        fatal("--io-threads must be >= 0 (got %lld)",
+              static_cast<long long>(cli.getInt("io-threads")));
+    options.shardCampaigns = cli.getFlag("shard-campaigns");
+    options.ioThreads =
+        static_cast<unsigned>(cli.getInt("io-threads"));
+    options.progress = cli.getFlag("progress");
+    // The gate is process-wide: every async adapter leases from
+    // it, so one knob bounds concurrent background store I/O no
+    // matter how many campaigns are in flight.
+    IoThreadGate::global().configure(options.ioThreads);
 }
 
 /**
@@ -257,7 +281,7 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
     StatsSnapshot snap = StatsRegistry::global().snapshot();
     {
         JsonObjectWriter obj(out);
-        obj.field("schema", uint64_t{7});
+        obj.field("schema", uint64_t{8});
         obj.field("suite", "radcrit_suite");
         obj.field("jobs", static_cast<uint64_t>(ctx.jobs()));
         obj.field("experiments_run",
@@ -302,6 +326,11 @@ writeSuiteJson(SuiteContext &ctx, const std::string &path,
             pool.field("dispatches", ctx.pool().dispatches());
         }
 
+        obj.beginRawField("sharding");
+        writeShardingJson(out, snap, 4, sched.sharded,
+                          sched.concurrentPeak, sched.overlapNs,
+                          sched.prepassWallNs, ctx.ioThreads());
+
         obj.beginRawField("resilience");
         writeResilienceJson(out, snap, 4);
 
@@ -342,6 +371,10 @@ runSuite(int argc, char **argv)
     cli.addString("json", "",
                   "suite JSON path (default: "
                   "<out>/radcrit_suite.json)");
+    cli.addString("timeline", "",
+                  "write a Chrome trace-event JSON of the prepass "
+                  "(worker lanes; sharded mode records one span "
+                  "per run plus store-hit spans)");
     for (Experiment *exp : registry.all())
         exp->addOptions(cli);
     cli.parse(argc, argv);
@@ -389,10 +422,23 @@ runSuite(int argc, char **argv)
     ctx.setCli(&cli);
 
     std::printf("radcrit_suite: %zu experiment(s), jobs=%u, "
-                "cache=%s%s\n",
+                "cache=%s%s%s",
                 selected.size(), jobs,
                 store ? cache_dir.c_str() : "off",
-                options.stream ? ", stream" : "");
+                options.stream ? ", stream" : "",
+                options.shardCampaigns ? ", sharded" : "");
+    if (options.ioThreads > 0)
+        std::printf(", io-threads=%u", options.ioThreads);
+    std::printf("\n");
+
+    // The prepass flight recorder: per-run worker-lane spans in
+    // both shapes (sharded mode adds store-hit resolution spans);
+    // campaign/run/source land in the span args.
+    std::unique_ptr<Timeline> tl;
+    if (!cli.getString("timeline").empty()) {
+        tl = std::make_unique<Timeline>();
+        setTimeline(tl.get());
+    }
 
     uint64_t suite_start = nowNs();
     ScheduleStats sched = scheduleCampaigns(selected, ctx);
@@ -403,6 +449,22 @@ runSuite(int argc, char **argv)
                 static_cast<unsigned long long>(sched.simulated),
                 static_cast<unsigned long long>(sched.storeHits),
                 static_cast<double>(sched.wallNs) / 1e9);
+    if (sched.sharded) {
+        std::printf("[suite] sharded prepass: peak %llu "
+                    "concurrent campaign(s), %.2f s wall, "
+                    "%.2f s overlapped\n",
+                    static_cast<unsigned long long>(
+                        sched.concurrentPeak),
+                    static_cast<double>(sched.prepassWallNs) /
+                        1e9,
+                    static_cast<double>(sched.overlapNs) / 1e9);
+    }
+    if (tl) {
+        setTimeline(nullptr);
+        tl->writeJsonFile(cli.getString("timeline"));
+        std::printf("[timeline] %s\n",
+                    cli.getString("timeline").c_str());
+    }
 
     std::vector<ExperimentBlock> blocks;
     blocks.reserve(selected.size());

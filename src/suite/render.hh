@@ -43,9 +43,10 @@ void renderLocalityFigure(
 
 /**
  * Emit one experiment's machine-readable results as
- * <outputDir>/<bench_name>.json (schema 7): campaign/run tallies
+ * <outputDir>/<bench_name>.json (schema 8): campaign/run tallies
  * with worker count and cache traffic, ns-per-run and parallel
  * runs-per-second, the perf-trajectory "timings" block, the
+ * scheduling/async-I/O "sharding" block, the
  * execution-resilience "resilience" block, the process "memory"
  * block, and the full global stats snapshot.
  * tools/check_bench_json.py validates the shape in CI.
@@ -65,7 +66,24 @@ void writeResilienceJson(std::ostream &os,
                          const StatsSnapshot &snap, int indent);
 
 /**
- * Write the schema-7 "memory" JSON object: a live
+ * Write the "sharding" JSON object shared by the per-bench and
+ * suite documents (schema 8): whether the campaign-sharded
+ * prepass ran (always 0 for standalone benches, which have no
+ * prepass), its concurrency high-water mark and overlap win, and
+ * the async store-I/O telemetry from the stats snapshot
+ * (store.io.async.* — zeros without --io-threads). Every field is
+ * present even when the feature is off so consumers never need
+ * existence checks.
+ */
+void writeShardingJson(std::ostream &os, const StatsSnapshot &snap,
+                       int indent, bool enabled,
+                       uint64_t concurrent_campaigns,
+                       uint64_t overlap_ns,
+                       uint64_t prepass_wall_ns,
+                       unsigned io_threads);
+
+/**
+ * Write the schema-8 "memory" JSON object: a live
  * /proc/self/status RSS sample (peak_rss_bytes /
  * current_rss_bytes, 0 when /proc is unavailable) plus the
  * streaming pipeline's batch accounting from the stats snapshot

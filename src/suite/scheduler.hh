@@ -4,11 +4,30 @@
  *
  * Collects every campaign the selected experiments declare,
  * deduplicates them by (device, workload, input, seed, runs)
- * identity, and simulates each distinct campaign exactly once on
- * the context's shared WorkerPool (through the campaign store when
- * one is armed). The raw results land in the context's plan, from
- * which the experiments' pure analyze/render phases are served
- * from memory.
+ * identity, and simulates each distinct campaign exactly once
+ * (through the campaign store when one is armed). The raw results
+ * land in the context's plan, from which the experiments' pure
+ * analyze/render phases are served from memory.
+ *
+ * Two execution shapes produce byte-identical plans:
+ *
+ *  - sequential (default): distinct campaigns run one after the
+ *    other, each parallel across the full shared WorkerPool via
+ *    the streaming runner — the deterministic chunking makes
+ *    results identical to any other execution shape;
+ *  - sharded (--shard-campaigns): every missed campaign's runs are
+ *    flattened into one global index space and claimed run by run
+ *    from the shared pool (WorkerPool::forDynamic()), so grains
+ *    cross campaign boundaries and small campaigns pack alongside
+ *    large ones instead of draining the pool between them — one
+ *    expensive campaign no longer serializes the prepass tail.
+ *    Run k of a campaign still draws from runRng(config, k)
+ *    against a pristine per-worker workload clone, so the raw
+ *    bytes match the sequential prepass at any --jobs. Store
+ *    loads, saves, and each campaign's default analysis are folded
+ *    across the workers too (saves behind the --io-threads gate),
+ *    taking both I/O and analysis off the suite's serial render
+ *    phase.
  */
 
 #ifndef RADCRIT_SUITE_SCHEDULER_HH
@@ -35,16 +54,34 @@ struct ScheduleStats
     uint64_t simulated = 0;
     /** Distinct campaigns served by the campaign store. */
     uint64_t storeHits = 0;
-    /** Wall nanoseconds spent simulating/loading in the prepass. */
+    /**
+     * Summed per-campaign wall nanoseconds of the prepass
+     * simulate/load work (what the campaigns cost individually).
+     */
     uint64_t wallNs = 0;
+    /** Whether the prepass ran sharded (--shard-campaigns). */
+    bool sharded = false;
+    /**
+     * Peak number of distinct campaigns in flight at once: 1 for
+     * a non-empty sequential prepass, up to min(jobs, distinct)
+     * when sharded.
+     */
+    uint64_t concurrentPeak = 0;
+    /** Wall-clock nanoseconds of the whole prepass. */
+    uint64_t prepassWallNs = 0;
+    /**
+     * Wall nanoseconds won back by overlapping campaigns:
+     * max(0, wallNs - prepassWallNs). 0 when sequential.
+     */
+    uint64_t overlapNs = 0;
 };
 
 /**
  * Run the dedup prepass for `experiments` (each at its
- * context-resolved run count) and fill the context's plan.
- * Campaigns are simulated sequentially, each parallel across the
- * full shared pool — the deterministic chunking makes results
- * identical to any other execution shape.
+ * context-resolved run count) and fill the context's plan. The
+ * execution shape follows SuiteContext::shardCampaigns(); with
+ * SuiteContext::progress() the prepass reports campaign-granular
+ * progress ("k/N distinct campaigns" with an ETA).
  */
 ScheduleStats
 scheduleCampaigns(const std::vector<Experiment *> &experiments,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exec/pool.hh"
+#include "obs/stats_registry.hh"
 
 namespace radcrit
 {
@@ -209,6 +210,122 @@ TEST(Pool, BodyExceptionPropagates)
                            }),
             std::runtime_error);
     }
+}
+
+TEST(ForDynamic, EveryIndexRunsExactlyOnce)
+{
+    for (unsigned jobs : {1u, 3u, 8u}) {
+        for (uint64_t count : {0u, 1u, 7u, 64u, 1000u}) {
+            for (uint64_t grain : {0u, 1u, 3u, 16u, 2000u}) {
+                WorkerPool pool(jobs);
+                std::vector<std::atomic<int>> hits(count);
+                pool.forDynamic(
+                    count, grain,
+                    [&](unsigned, uint64_t begin, uint64_t end) {
+                        for (uint64_t i = begin; i < end; ++i)
+                            hits[i].fetch_add(1);
+                    });
+                for (uint64_t i = 0; i < count; ++i)
+                    ASSERT_EQ(hits[i].load(), 1)
+                        << "jobs=" << jobs << " count=" << count
+                        << " grain=" << grain << " index=" << i;
+            }
+        }
+    }
+}
+
+TEST(ForDynamic, ClaimedRangesRespectGrain)
+{
+    WorkerPool pool(4);
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    pool.forDynamic(100, 8,
+                    [&](unsigned, uint64_t begin, uint64_t end) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        ranges.emplace_back(begin, end);
+                    });
+    uint64_t items = 0;
+    for (const auto &r : ranges) {
+        EXPECT_LT(r.first, r.second);
+        EXPECT_LE(r.second - r.first, 8u);
+        // Every grain but the last is full-size and starts on a
+        // grain boundary (the cursor only hands out whole grains).
+        EXPECT_EQ(r.first % 8, 0u);
+        items += r.second - r.first;
+    }
+    EXPECT_EQ(items, 100u);
+    EXPECT_EQ(ranges.size(), (100u + 7u) / 8u);
+}
+
+TEST(ForDynamic, ChunkStatsCountClaimedGrains)
+{
+    WorkerPool pool(4);
+    PoolRunStats stats;
+    pool.forDynamic(100, 8,
+                    [](unsigned, uint64_t, uint64_t) {}, &stats);
+    uint64_t items = 0;
+    uint64_t chunks = 0;
+    for (const auto &w : stats.workers) {
+        items += w.items;
+        chunks += w.chunks;
+    }
+    EXPECT_EQ(items, 100u);
+    EXPECT_EQ(chunks, (100u + 7u) / 8u);
+    EXPECT_EQ(stats.busyNs() + stats.idleNs(),
+              stats.wallNs * stats.workers.size());
+}
+
+TEST(ForDynamic, BodyExceptionPropagatesAndStopsClaims)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        WorkerPool pool(jobs);
+        std::atomic<uint64_t> executed{0};
+        EXPECT_THROW(
+            pool.forDynamic(
+                1000, 1,
+                [&](unsigned, uint64_t begin, uint64_t) {
+                    if (begin == 0)
+                        throw std::runtime_error("boom");
+                    executed.fetch_add(1);
+                }),
+            std::runtime_error);
+        // The throw fast-forwards the shared cursor: the range is
+        // abandoned, not drained.
+        EXPECT_LT(executed.load(), 1000u);
+    }
+}
+
+TEST(PublishPoolStats, EmptyDispatchPublishesNothing)
+{
+    StatsRegistry reg;
+    publishPoolStats(PoolRunStats{}, reg);
+    StatsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.find("pool.utilization"), nullptr);
+    EXPECT_EQ(snap.find("pool.dispatches"), nullptr);
+}
+
+TEST(PublishPoolStats, RealDispatchPublishesBoundedUtilization)
+{
+    WorkerPool pool(2);
+    PoolRunStats stats;
+    pool.forDynamic(10, 1,
+                    [](unsigned, uint64_t, uint64_t) {}, &stats);
+    StatsRegistry reg;
+    publishPoolStats(stats, reg);
+    StatsSnapshot snap = reg.snapshot();
+    ASSERT_NE(snap.find("pool.utilization"), nullptr);
+    EXPECT_GE(snap.value("pool.utilization"), 0.0);
+    EXPECT_LE(snap.value("pool.utilization"), 1.0);
+    EXPECT_EQ(snap.value("pool.dispatches"), 1.0);
+    EXPECT_EQ(snap.value("pool.chunks"), 10.0);
+}
+
+TEST(PoolStats, EmptyUtilizationIsZeroNotNaN)
+{
+    PoolRunStats stats;
+    EXPECT_DOUBLE_EQ(stats.utilization(), 0.0);
+    stats.workers.resize(2); // zero wall: idle pool
+    EXPECT_DOUBLE_EQ(stats.utilization(), 0.0);
 }
 
 } // anonymous namespace

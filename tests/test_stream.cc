@@ -13,6 +13,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "campaign/analysis.hh"
 #include "campaign/runner.hh"
@@ -446,6 +447,119 @@ TEST_F(StreamStoreTest, SimulateOrLoadStreamHitAndMissAgree)
     EXPECT_EQ(a.str(), b.str());
     expectSameAnalysis(analyzeCampaign(simulated, {}),
                        analyzeCampaign(loaded, {}));
+}
+
+/** Inner sink that fails on the I/O thread mid-stream. */
+class ThrowingSink : public RawSink
+{
+  public:
+    void begin(const CampaignMeta &) override {}
+    void
+    consume(RunBatch &&) override
+    {
+        throw std::runtime_error("disk full");
+    }
+    void end(const StatsSnapshot &) override {}
+};
+
+TEST_F(StreamTest, AsyncSaveSinkPreservesDeliveryShape)
+{
+    CampaignRaw raw = campaign(20);
+    ProbeSink probe;
+    AsyncSaveSink async(probe);
+    CampaignRawSource source(raw, 6);
+    EXPECT_EQ(pumpRaw(source, async), 20u);
+    // end() drains the queue, so the probe has seen everything in
+    // producer order even though delivery ran on the I/O thread.
+    EXPECT_EQ(probe.begins, 1);
+    EXPECT_EQ(probe.ends, 1);
+    EXPECT_TRUE(probe.indexOk);
+    EXPECT_EQ(probe.sizes, (std::vector<size_t>{6, 6, 6, 2}));
+    EXPECT_EQ(probe.firstIndices,
+              (std::vector<uint64_t>{0, 6, 12, 18}));
+    EXPECT_EQ(async.batches(), 4u);
+    EXPECT_GE(async.queuePeak(), 1u);
+}
+
+TEST_F(StreamTest, AsyncSaveSinkGatedIsByteIdentical)
+{
+    CampaignRaw raw = campaign(24);
+    IoThreadGate gate(1);
+    CollectRawSink collect;
+    AsyncSaveSink async(collect, &gate, 2);
+    CampaignRawSource source(raw, 7);
+    pumpRaw(source, async);
+    CampaignRaw back = collect.take();
+
+    std::stringstream a, b;
+    writeBeamLog(raw, a);
+    writeBeamLog(back, b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(gate.slots(), 1u);
+}
+
+TEST_F(StreamTest, AsyncRawSourceMatchesInnerBytes)
+{
+    CampaignRaw raw = campaign(18);
+    CampaignRawSource inner(raw, 5);
+    AsyncRawSource async(inner);
+    EXPECT_EQ(async.meta().deviceName, raw.deviceName);
+    EXPECT_EQ(async.meta().sim.faultyRuns, raw.sim.faultyRuns);
+
+    CollectRawSink collect;
+    EXPECT_EQ(pumpRaw(async, collect), 18u);
+    CampaignRaw back = collect.take();
+
+    std::stringstream a, b;
+    writeBeamLog(raw, a);
+    writeBeamLog(back, b);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST_F(StreamTest, AsyncRawSourcePrefetchKeepsRunOrder)
+{
+    CampaignRaw raw = campaign(15);
+    CampaignRawSource inner(raw, 4);
+    IoThreadGate gate(2);
+    AsyncRawSource async(inner, &gate, 2);
+    ProbeSink probe;
+    pumpRaw(async, probe);
+    EXPECT_TRUE(probe.indexOk);
+    EXPECT_EQ(probe.firstIndices,
+              (std::vector<uint64_t>{0, 4, 8, 12}));
+    EXPECT_GE(async.queuePeak(), 1u);
+}
+
+TEST_F(StreamTest, AsyncSaveSinkPropagatesInnerFailure)
+{
+    CampaignRaw raw = campaign(12);
+    ThrowingSink inner;
+    AsyncSaveSink async(inner);
+    CampaignRawSource source(raw, 3);
+    // The inner sink throws on the I/O thread; the error must
+    // surface on the producer (a later consume() or end()), never
+    // vanish.
+    EXPECT_THROW(pumpRaw(source, async), std::runtime_error);
+}
+
+TEST_F(StreamStoreTest, AsyncSaveSinkWritesLoadableEntry)
+{
+    auto store = CampaignStore::open(dir_);
+    CampaignRaw raw = campaign(18);
+
+    IoThreadGate gate(1);
+    auto sink = store->saveSink();
+    AsyncSaveSink async(*sink, &gate, 2);
+    CampaignRawSource source(raw, 5);
+    pumpRaw(source, async);
+
+    std::optional<CampaignRaw> back =
+        store->load(campaignKey(raw));
+    ASSERT_TRUE(back.has_value());
+    std::stringstream a, b;
+    writeBeamLog(raw, a);
+    writeBeamLog(*back, b);
+    EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(ProcMemTest, ReadsPlausibleSample)

@@ -6,11 +6,11 @@ Usage:
     check_bench_json.py --no-run <bench_binary>
     check_bench_json.py --suite <radcrit_suite.json>
 
-With --suite the argument is an existing schema-7 suite document
+With --suite the argument is an existing schema-8 suite document
 (written by `radcrit_suite run`) and is validated in place: dedup
 accounting (simulated + store_hits == distinct), totals that tally
 with the per-experiment blocks, and the
-pool/resilience/memory/stats snapshots.
+pool/sharding/resilience/memory/stats snapshots.
 
 Runs the bench binary (by default with a small --runs count so the
 check stays fast), then parses bench_out/<bench_name>.json from the
@@ -22,7 +22,7 @@ existing file is validated as-is.
 
 Validated shape:
 
-  * schema == 7 and bench matches the binary name
+  * schema == 8 and bench matches the binary name
   * campaigns/runs/wall_ns are positive integers
   * jobs (worker threads per campaign) is a positive integer
   * cache_hits/cache_misses are non-negative integers and account
@@ -37,10 +37,16 @@ Validated shape:
     holds non-negative per-phase wall nanosecond totals whose
     "total" is positive whenever at least one campaign was
     actually simulated (cache_misses > 0)
+  * sharding is the schema-8 scheduling block: whether the
+    campaign-sharded suite prepass ran (always 0 for standalone
+    benches, which have no prepass), its concurrency high-water
+    mark and overlap win, and the async store-I/O telemetry
+    (io_threads/io_batches/io_busy_ns/io_queue_peak — zeros
+    without --io-threads, never absent)
   * resilience is the execution-resilience block: every counter
     (retries, resumes, quarantines, chaos faults) present as a
     non-negative integer — zero on a clean run, never absent
-  * memory is the schema-7 process-memory block: peak_rss_bytes /
+  * memory is the schema-8 process-memory block: peak_rss_bytes /
     current_rss_bytes from /proc/self/status (peak >= current
     whenever both are nonzero) plus the streaming pipeline's
     stream_batches / batch_runs accounting (zero on a
@@ -118,12 +124,51 @@ def validate_resilience(doc):
            "resilience has unexpected keys %s" % sorted(extra))
 
 
+SHARDING_KEYS = ("enabled", "concurrent_campaigns", "overlap_ns",
+                 "prepass_wall_ns", "io_threads", "io_batches",
+                 "io_busy_ns", "io_queue_peak")
+
+
+def validate_sharding(doc):
+    """Check the schema-8 scheduling/async-I/O block.
+
+    Every field is always present (zero when the feature is off)
+    so consumers can difference documents without existence
+    checks.
+    """
+    sh = doc.get("sharding")
+    expect(isinstance(sh, dict),
+           "sharding must be an object, got %r" % sh)
+    for key in SHARDING_KEYS:
+        expect(isinstance(sh.get(key), int) and sh[key] >= 0,
+               "sharding.%s must be a non-negative integer, "
+               "got %r" % (key, sh.get(key)))
+    extra = set(sh) - set(SHARDING_KEYS)
+    expect(not extra,
+           "sharding has unexpected keys %s" % sorted(extra))
+    expect(sh["enabled"] in (0, 1),
+           "sharding.enabled must be 0 or 1, got %r"
+           % sh["enabled"])
+    if not sh["enabled"]:
+        expect(sh["concurrent_campaigns"] <= 1,
+               "sharding disabled but concurrent_campaigns is %d"
+               % sh["concurrent_campaigns"])
+        expect(sh["overlap_ns"] == 0,
+               "sharding disabled but overlap_ns is %d"
+               % sh["overlap_ns"])
+    if sh["io_threads"] == 0:
+        expect(sh["io_batches"] == 0 and sh["io_busy_ns"] == 0
+               and sh["io_queue_peak"] == 0,
+               "io_threads is 0 but async store-I/O telemetry is "
+               "nonzero (%r)" % sh)
+
+
 MEMORY_KEYS = ("peak_rss_bytes", "current_rss_bytes",
                "stream_batches", "batch_runs")
 
 
 def validate_memory(doc):
-    """Check the schema-7 process-memory block.
+    """Check the schema-8 process-memory block.
 
     The RSS fields are zero only when /proc was unavailable; the
     stream fields are zero on a purely materialized (or all-cache-
@@ -148,7 +193,7 @@ def validate_memory(doc):
 
 
 def validate_timings(doc):
-    """Check the schema-7 perf-trajectory block."""
+    """Check the schema-8 perf-trajectory block."""
     timings = doc.get("timings")
     expect(isinstance(timings, dict),
            "timings must be an object, got %r" % timings)
@@ -195,14 +240,14 @@ SUITE_EXP_KEYS = ("campaigns", "runs", "wall_ns", "cache_hits",
 
 
 def validate_suite_json(doc):
-    """Check the schema-7 suite document written by radcrit_suite.
+    """Check the schema-8 suite document written by radcrit_suite.
 
     Unlike the per-bench document, a suite run may legitimately
     involve zero campaigns (e.g. `run fig1_setup`), so the totals
     only need to be non-negative and internally consistent.
     """
-    expect(doc.get("schema") == 7,
-           "suite schema must be 7, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 8,
+           "suite schema must be 8, got %r" % doc.get("schema"))
     expect(doc.get("suite") == "radcrit_suite",
            "suite must be 'radcrit_suite', got %r"
            % doc.get("suite"))
@@ -288,6 +333,7 @@ def validate_suite_json(doc):
                "per-experiment %s sum to %d but totals.%s is %d"
                % (key, sums[key], key, totals[key]))
 
+    validate_sharding(doc)
     validate_resilience(doc)
     validate_memory(doc)
     validate_stats(doc.get("stats"))
@@ -303,7 +349,7 @@ def validate_suite_file(path):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
     validate_suite_json(doc)
-    print("check_bench_json: OK: %s (suite schema 7, %d "
+    print("check_bench_json: OK: %s (suite schema 8, %d "
           "experiments, %d/%d distinct campaigns simulated)"
           % (path, doc["experiments_run"],
              doc["campaigns"]["simulated"],
@@ -321,8 +367,8 @@ def validate(path, bench_name):
             fail("%s is truncated or not valid JSON: %s"
                  % (path, e))
 
-    expect(doc.get("schema") == 7,
-           "schema must be 7, got %r" % doc.get("schema"))
+    expect(doc.get("schema") == 8,
+           "schema must be 8, got %r" % doc.get("schema"))
     expect(doc.get("bench") == bench_name,
            "bench name %r != binary name %r"
            % (doc.get("bench"), bench_name))
@@ -355,6 +401,7 @@ def validate(path, bench_name):
            "ns_per_op does not match wall_ns / runs")
 
     validate_timings(doc)
+    validate_sharding(doc)
     validate_resilience(doc)
     validate_memory(doc)
     validate_stats(doc.get("stats"))
@@ -383,7 +430,7 @@ def main(argv):
     no_run = "--no-run" in argv
     argv = [a for a in argv if a != "--no-run"]
     if argv and argv[0] == "--suite":
-        # Validate an existing schema-7 suite JSON (written by
+        # Validate an existing schema-8 suite JSON (written by
         # `radcrit_suite run`) instead of running a bench binary.
         if len(argv) != 2:
             print(__doc__, file=sys.stderr)

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""End-to-end check of the sharded suite prepass + async store I/O.
+
+Usage:
+    check_shard.py --suite <radcrit_suite> [--runs N] [--jobs N]
+                   [--min-speedup X] [--reps N]
+
+Runs the full 17-distinct-campaign suite plan (every experiment
+except the google-benchmark throughput sweep, which declares no
+campaigns and only adds wall clock) in a sandbox, and asserts the
+two claims --shard-campaigns makes:
+
+  1. Byte-identity: the sharded prepass produces per-experiment
+     CSVs byte-identical to the sequential prepass at --jobs 1, 2
+     and 8, and suite JSON documents whose campaigns / totals /
+     experiments blocks match modulo wall-clock fields. A warm
+     sharded run reading the cache a *sequential* run wrote must
+     match too (the store entries are mode-independent).
+
+  2. Speedup: on a warm cache — the steady-state shape of
+     `run all`, and the configuration where the prepass wall is
+     pure store I/O + analysis — the sharded prepass at --jobs 8
+     with --io-threads 2 beats the sequential prepass wall by at
+     least --min-speedup (default 1.5x). The assertion needs real
+     parallelism, so it only arms when os.cpu_count() >= 4; on
+     smaller machines the measurement still runs and is reported,
+     with a printed skip notice. Cold prepass walls are reported
+     for reference but not asserted: with one campaign holding
+     ~85% of the simulation work, both shapes are bounded by the
+     same critical path.
+
+Exits 0 on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Every experiment except kernel_throughput: the gbench sweep
+# declares no campaigns, so it cannot affect prepass identity and
+# would only add ~30 s of benchmark wall per suite invocation.
+GLOBS = ["fig*", "table*", "sdc_crash_ratios", "abft_coverage",
+         "detectors", "hardening", "avf_comparison",
+         "mtbf_projection", "calibration", "ablation*"]
+
+
+def fail(msg):
+    print("check_shard: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def run_suite(suite, sandbox, tag, jobs, cache, sharded,
+              io_threads=0, runs=8):
+    """One suite invocation; returns its parsed JSON document."""
+    out_dir = os.path.join(sandbox, "out_" + tag)
+    json_path = os.path.join(sandbox, tag + ".json")
+    cmd = [suite, "run"] + GLOBS + [
+        "--runs=%d" % runs, "--jobs=%d" % jobs,
+        "--cache=%s" % os.path.join(sandbox, cache),
+        "--out=%s" % out_dir, "--json=%s" % json_path]
+    if sharded:
+        cmd.append("--shard-campaigns")
+    if io_threads:
+        cmd.append("--io-threads=%d" % io_threads)
+    proc = subprocess.run(cmd, cwd=sandbox,
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE, text=True)
+    expect(proc.returncode == 0,
+           "suite run '%s' exited with %d:\n%s"
+           % (tag, proc.returncode, proc.stderr))
+    with open(json_path) as f:
+        return json.load(f)
+
+
+def read_csvs(sandbox, tag):
+    out_dir = os.path.join(sandbox, "out_" + tag)
+    csvs = {}
+    for name in sorted(os.listdir(out_dir)):
+        if name.endswith(".csv"):
+            with open(os.path.join(out_dir, name), "rb") as f:
+                csvs[name] = f.read()
+    expect(csvs, "suite run '%s' wrote no CSVs" % tag)
+    return csvs
+
+
+def compare_csvs(ref, ref_tag, got, got_tag):
+    expect(set(ref) == set(got),
+           "CSV sets differ between %s and %s: %s"
+           % (ref_tag, got_tag,
+              sorted(set(ref) ^ set(got))))
+    for name in sorted(ref):
+        expect(ref[name] == got[name],
+               "%s differs between %s (%d bytes) and %s (%d "
+               "bytes) — the sharded prepass changed output bytes"
+               % (name, ref_tag, len(ref[name]), got_tag,
+                  len(got[name])))
+
+
+def comparable(doc):
+    """The suite-JSON blocks that must not depend on scheduling:
+    everything except wall-clock (and wall-derived) fields."""
+    return {
+        "campaigns": {k: v for k, v in doc["campaigns"].items()
+                      if k != "prepass_wall_ns"},
+        "totals": {k: v for k, v in doc["totals"].items()
+                   if k not in ("wall_ns", "ns_per_op",
+                                "runs_per_s")},
+        "experiments": {
+            name: {k: v for k, v in block.items()
+                   if k != "wall_ns"}
+            for name, block in doc["experiments"].items()},
+    }
+
+
+def compare_json(ref, ref_tag, got, got_tag):
+    a, b = comparable(ref), comparable(got)
+    for block in ("campaigns", "totals", "experiments"):
+        expect(a[block] == b[block],
+               "suite JSON '%s' block differs between %s and %s:"
+               "\n  %s\n  %s"
+               % (block, ref_tag, got_tag, a[block], b[block]))
+
+
+def prepass_ms(doc):
+    return doc["sharding"]["prepass_wall_ns"] / 1e6
+
+
+def main(argv):
+    suite = None
+    runs = 8
+    jobs = 8
+    min_speedup = 1.5
+    reps = 2
+
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        i += 1
+        if arg == "--suite":
+            suite = argv[i]
+        elif arg == "--runs":
+            runs = int(argv[i])
+        elif arg == "--jobs":
+            jobs = int(argv[i])
+        elif arg == "--min-speedup":
+            min_speedup = float(argv[i])
+        elif arg == "--reps":
+            reps = int(argv[i])
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+        i += 1
+    if suite is None:
+        print(__doc__, file=sys.stderr)
+        return 2
+    suite = os.path.abspath(suite)
+    expect(os.path.exists(suite),
+           "radcrit_suite binary %s does not exist (build it "
+           "first)" % suite)
+
+    with tempfile.TemporaryDirectory() as sandbox:
+        # --- Cold reference: the sequential prepass.
+        seq = run_suite(suite, sandbox, "seq", jobs, "cache_seq",
+                        sharded=False, runs=runs)
+        seq_csvs = read_csvs(sandbox, "seq")
+        expect(seq["campaigns"]["simulated"]
+               == seq["campaigns"]["distinct"] > 0,
+               "cold sequential run did not simulate every "
+               "distinct campaign: %s" % seq["campaigns"])
+
+        # --- Cold sharded runs at several worker counts, each on
+        # a fresh cache so every campaign really simulates.
+        cold_walls = {}
+        for j in (1, 2, jobs):
+            tag = "shard%d" % j
+            doc = run_suite(suite, sandbox, tag, j,
+                            "cache_" + tag, sharded=True,
+                            io_threads=2, runs=runs)
+            expect(doc["sharding"]["enabled"] == 1,
+                   "%s: sharding.enabled is not 1" % tag)
+            expect(doc["campaigns"]["simulated"]
+                   == seq["campaigns"]["distinct"],
+                   "%s simulated %d campaigns, reference "
+                   "simulated %d"
+                   % (tag, doc["campaigns"]["simulated"],
+                      seq["campaigns"]["distinct"]))
+            compare_csvs(seq_csvs, "seq", read_csvs(sandbox, tag),
+                         tag)
+            compare_json(seq, "seq", doc, tag)
+            cold_walls[j] = prepass_ms(doc)
+
+        # --- Cross-mode cache: a warm sharded run reading the
+        # sequential run's cache must reproduce the same bytes.
+        cross = run_suite(suite, sandbox, "cross", jobs,
+                          "cache_seq", sharded=True, io_threads=2,
+                          runs=runs)
+        expect(cross["campaigns"]["store_hits"]
+               == seq["campaigns"]["distinct"],
+               "cross-mode warm run missed the cache: %s"
+               % cross["campaigns"])
+        compare_csvs(seq_csvs, "seq", read_csvs(sandbox, "cross"),
+                     "cross")
+
+        # --- Warm speedup: both modes replay the same warm cache;
+        # best-of-N damps scheduler noise.
+        seq_warm = min(
+            prepass_ms(run_suite(suite, sandbox,
+                                 "seq_warm%d" % r, jobs,
+                                 "cache_seq", sharded=False,
+                                 runs=runs))
+            for r in range(reps))
+        shard_warm = min(
+            prepass_ms(run_suite(suite, sandbox,
+                                 "shard_warm%d" % r, jobs,
+                                 "cache_seq", sharded=True,
+                                 io_threads=2, runs=runs))
+            for r in range(reps))
+        speedup = (seq_warm / shard_warm
+                   if shard_warm > 0 else float("inf"))
+
+        cold = ", ".join("jobs %d: %.0f ms" % (j, w)
+                         for j, w in sorted(cold_walls.items()))
+        print("check_shard: byte-identical at --jobs 1/2/%d; "
+              "cold prepass [%s] vs sequential %.0f ms; warm "
+              "prepass sharded %.0f ms vs sequential %.0f ms "
+              "(%.2fx)"
+              % (jobs, cold, prepass_ms(seq), shard_warm,
+                 seq_warm, speedup))
+
+        cpus = os.cpu_count() or 1
+        if cpus >= 4:
+            expect(speedup >= min_speedup,
+                   "warm sharded prepass speedup %.2fx at "
+                   "--jobs %d is below the %.2fx gate "
+                   "(sequential %.0f ms, sharded %.0f ms)"
+                   % (speedup, jobs, min_speedup, seq_warm,
+                      shard_warm))
+        else:
+            print("check_shard: NOTE: %d CPU(s) < 4 — speedup "
+                  "gate skipped (measured %.2fx, gate %.2fx)"
+                  % (cpus, speedup, min_speedup))
+
+    print("check_shard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,6 +24,14 @@ and asserts the two claims the streaming refactor makes:
     the budget separates the two paths, so a regression that quietly
     re-materializes the campaign under --stream trips the check.
 
+Then a second, smaller campaign (under CampaignStore's single-pass
+validate cap, so the store streams it in one parse) checks the
+warm-hit cost: a streamed store hit must cost no more than
+--warm-factor (default 1.5x) the wall of a materialized (raw,
+single-parse) load of the same entry. Before single-pass validate,
+the streamed hit parsed the entry twice (validate, then stream)
+and cost ~3x; this gate keeps the double-parse from coming back.
+
 Peak RSS is measured per child by wrapping each radcrit_cli
 invocation in its own short-lived Python process that reports
 getrusage(RUSAGE_CHILDREN).ru_maxrss (KiB on Linux, the only
@@ -36,6 +44,7 @@ import os
 import subprocess
 import sys
 import tempfile
+import time
 
 
 def fail(msg):
@@ -82,6 +91,19 @@ def read_bytes(path):
         return f.read()
 
 
+def run_timed(args, cwd):
+    """Run one CLI invocation; return its wall-clock seconds."""
+    begin = time.monotonic()
+    proc = subprocess.run(args, cwd=cwd,
+                          stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE, text=True)
+    wall = time.monotonic() - begin
+    expect(proc.returncode == 0,
+           "radcrit_cli exited with %d:\n%s"
+           % (proc.returncode, proc.stderr))
+    return wall
+
+
 def main(argv):
     cli = None
     runs = 200000
@@ -89,6 +111,8 @@ def main(argv):
     jobs = 4
     batch_runs = 4096
     budget_mib = 256
+    warm_runs = 20000
+    warm_factor = 1.5
 
     i = 1
     while i < len(argv):
@@ -106,6 +130,10 @@ def main(argv):
             batch_runs = int(argv[i])
         elif arg == "--budget-mib":
             budget_mib = int(argv[i])
+        elif arg == "--warm-runs":
+            warm_runs = int(argv[i])
+        elif arg == "--warm-factor":
+            warm_factor = float(argv[i])
         else:
             print(__doc__, file=sys.stderr)
             return 2
@@ -151,9 +179,37 @@ def main(argv):
                "(materialized used %d KiB)"
                % (stream_kib, budget_mib, mat_kib))
 
+        # --- Warm-hit cost. A smaller campaign (under the store's
+        # single-pass validate cap) simulated once, then loaded
+        # twice from the warm cache: materialized (one raw parse)
+        # and streamed. The streamed hit must stay within
+        # warm_factor of the raw load — the double-parse gate.
+        warm = ["--runs=%d" % warm_runs, "--size=%d" % size,
+                "--jobs=%d" % jobs, "--seed=9", "--cache=cache"]
+        run_timed([cli] + warm + ["--csv=warm_ref.csv"], sandbox)
+        raw_s = run_timed([cli] + warm + ["--csv=warm_raw.csv"],
+                          sandbox)
+        stream_s = run_timed(
+            [cli] + warm + ["--stream",
+                            "--batch-runs=%d" % batch_runs,
+                            "--csv=warm_stream.csv"], sandbox)
+        ref_csv = read_bytes(os.path.join(sandbox, "warm_ref.csv"))
+        for name in ("warm_raw.csv", "warm_stream.csv"):
+            expect(read_bytes(os.path.join(sandbox, name))
+                   == ref_csv,
+                   "%s differs from the simulating run's CSV"
+                   % name)
+        expect(stream_s <= warm_factor * raw_s + 0.25,
+               "warm streamed hit took %.2f s, more than %.2fx "
+               "the %.2f s materialized load — the streamed path "
+               "is double-parsing the entry again"
+               % (stream_s, warm_factor, raw_s))
+
     print("check_stream: OK: %d runs, CSV byte-identical, peak RSS "
-          "streamed %d KiB <= %d MiB budget < materialized %d KiB"
-          % (runs, stream_kib, budget_mib, mat_kib))
+          "streamed %d KiB <= %d MiB budget < materialized %d KiB; "
+          "warm hit streamed %.2f s vs raw %.2f s (gate %.1fx)"
+          % (runs, stream_kib, budget_mib, mat_kib, stream_s,
+             raw_s, warm_factor))
     return 0
 
 

@@ -424,6 +424,11 @@ main(int argc, char **argv)
     cli.addInt("batch-runs", 0,
                "runs per streamed batch handed from the simulator "
                "to the analyzer (0 = 4096 with --stream)");
+    cli.addInt("io-threads", 0,
+               "background store-I/O operations allowed at once: "
+               "cache entry parse/serialize rides an I/O thread "
+               "behind a bounded queue instead of the simulate "
+               "path (0 = inline; results are byte-identical)");
     cli.addString("checkpoint", "",
                   "append completed runs to this shard file as "
                   "they finish, so a killed campaign can be "
@@ -524,6 +529,11 @@ main(int argc, char **argv)
         static_cast<uint64_t>(cli.getInt("batch-runs"));
     if (stream && cfg.sim.batchRuns == 0)
         cfg.sim.batchRuns = kDefaultBatchRuns;
+    if (cli.getInt("io-threads") < 0)
+        fatal("--io-threads must be >= 0");
+    cfg.sim.ioThreads =
+        static_cast<unsigned>(cli.getInt("io-threads"));
+    IoThreadGate::global().configure(cfg.sim.ioThreads);
 
     CampaignRaw raw;
     CampaignResult res;

@@ -29,7 +29,7 @@ CHECKER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                        "check_bench_json.py")
 
 STALE_JSON = """{
-  "schema": 7,
+  "schema": 8,
   "bench": "fake_bench",
   "campaigns": 1,
   "jobs": 1,
@@ -52,6 +52,16 @@ STALE_JSON = """{
       "metrics": 500,
       "total": 3000
     }
+  },
+  "sharding": {
+    "enabled": 0,
+    "concurrent_campaigns": 0,
+    "overlap_ns": 0,
+    "prepass_wall_ns": 0,
+    "io_threads": 0,
+    "io_batches": 0,
+    "io_busy_ns": 0,
+    "io_queue_peak": 0
   },
   "resilience": {
     "retries": 0,
@@ -79,7 +89,7 @@ STALE_JSON = """{
 """
 
 # A document an old (pre-resilience) bench would emit.
-SCHEMA4_JSON = STALE_JSON.replace('"schema": 7', '"schema": 4')
+SCHEMA4_JSON = STALE_JSON.replace('"schema": 8', '"schema": 4')
 in_block = False
 lines = []
 for line in SCHEMA4_JSON.splitlines():
@@ -159,7 +169,7 @@ def mode_schema(sandbox):
     proc = run_checker(sandbox, bench)
     expect(proc.returncode != 0,
            "checker accepted an outdated schema-4 document", proc)
-    expect("schema must be 7" in proc.stderr,
+    expect("schema must be 8" in proc.stderr,
            "diagnostic does not name the expected schema", proc)
 
 
